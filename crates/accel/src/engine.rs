@@ -1,0 +1,494 @@
+//! The shared SpMSpM simulation engine.
+//!
+//! Drives a `drt-core` task stream (S-U-C or DRT) over `Z = A · B`,
+//! charging DRAM traffic, intersection/merge cycles, output-partial spills,
+//! and tile-extraction latency — and computing the *actual* product
+//! tile-by-tile so every simulated configuration is functionally validated
+//! against the reference kernels (the paper's MKL check, §5.2.1).
+//!
+//! Traffic rules (the bandwidth/queuing fidelity of §5.2.1):
+//!
+//! * An input tile is fetched when its coordinate ranges differ from the
+//!   tile currently resident for that tensor — consecutive tasks sharing a
+//!   stationary tile fetch it once (tile reuse is exactly what tiling is
+//!   for).
+//! * Output partials go through an LRU [`crate::zcache::OutputCache`]
+//!   sized by the Z buffer partition: revisited-after-eviction tiles pay
+//!   spill writes and refill reads ("multiply-and-merge").
+//! * The final output is written once in compressed form.
+
+use crate::report::RunReport;
+use crate::zcache::OutputCache;
+use drt_core::config::DrtConfig;
+use drt_core::extractor::ExtractorModel;
+use drt_core::kernel::Kernel;
+use drt_core::micro::MicroFormat;
+use drt_core::taskgen::TaskStream;
+use drt_core::{CoreError, RankId};
+use drt_sim::energy::ActionCounts;
+use drt_sim::intersect_unit::IntersectUnit;
+use drt_sim::memory::HierarchySpec;
+use drt_sim::pe::PeArray;
+use drt_sim::traffic::TrafficCounter;
+use drt_tensor::format::SizeModel;
+use drt_tensor::{CsMatrix, MajorAxis};
+use std::collections::BTreeMap;
+
+/// Tiling scheme the engine drives.
+#[derive(Debug, Clone)]
+pub enum Tiling {
+    /// Static uniform coordinate tiles of the given per-rank sizes
+    /// (coordinates).
+    Suc(BTreeMap<RankId, u32>),
+    /// Dynamic reflexive tiling.
+    Drt,
+}
+
+/// Engine configuration for one accelerator variant.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Report label.
+    pub name: String,
+    /// Dataflow loop order, outermost first (e.g. `['j','k','i']` for a
+    /// B-stationary sweep).
+    pub loop_order: Vec<RankId>,
+    /// Tiling scheme.
+    pub tiling: Tiling,
+    /// Buffer partitions and growth strategy (partitions also size the
+    /// S-U-C capacity rule and the output cache).
+    pub drt: DrtConfig,
+    /// Micro-tile shape (paper default 32 × 32, §5.2.4).
+    pub micro: (u32, u32),
+    /// Micro-tile representation (hardware uses [`MicroFormat::Adaptive`];
+    /// the software study uses plain `T-UC`, reproducing Figure 11's
+    /// metadata-overhead outliers).
+    pub micro_format: MicroFormat,
+    /// PE intersection unit.
+    pub intersect: IntersectUnit,
+    /// Merge lanes for combining partial outputs on chip (1 = serial).
+    pub merge_lanes: u32,
+    /// Memory hierarchy.
+    pub hier: HierarchySpec,
+    /// Tile-extractor model (ignored for S-U-C).
+    pub extractor: ExtractorModel,
+    /// When `true`, runtime is DRAM-bound only (Study 2's idealized
+    /// on-chip assumption for OuterSPACE/MatRaptor).
+    pub ideal_on_chip: bool,
+}
+
+impl EngineConfig {
+    /// A reasonable default around the given tiling/partitions, using the
+    /// paper's defaults elsewhere.
+    pub fn new(name: impl Into<String>, tiling: Tiling, drt: DrtConfig) -> EngineConfig {
+        EngineConfig {
+            name: name.into(),
+            loop_order: vec!['j', 'k', 'i'],
+            tiling,
+            drt,
+            micro: (32, 32),
+            micro_format: MicroFormat::default(),
+            intersect: IntersectUnit::SkipBased,
+            merge_lanes: 1,
+            hier: HierarchySpec::default(),
+            extractor: ExtractorModel::parallel(),
+            ideal_on_chip: false,
+        }
+    }
+}
+
+/// Simulate `Z = A · B` under `cfg`.
+///
+/// # Errors
+///
+/// Propagates tiling configuration errors from `drt-core` (bad loop order,
+/// impossible partitions, S-U-C shapes violating the dense rule).
+pub fn run_spmspm(a: &CsMatrix, b: &CsMatrix, cfg: &EngineConfig) -> Result<RunReport, CoreError> {
+    let kernel = Kernel::spmspm_fmt(a, b, cfg.micro, cfg.micro_format)?;
+    let stream = match &cfg.tiling {
+        Tiling::Suc(sizes) => TaskStream::suc(&kernel, &cfg.loop_order, cfg.drt.clone(), sizes)?,
+        Tiling::Drt => TaskStream::drt(&kernel, &cfg.loop_order, cfg.drt.clone())?,
+    };
+
+    let sm = SizeModel::default();
+    let a_rows = a.to_major(MajorAxis::Row);
+    let b_rows = b.to_major(MajorAxis::Row);
+
+    let mut traffic = TrafficCounter::new();
+    let mut actions = ActionCounts::default();
+    let mut pes = PeArray::new(cfg.hier.num_pes);
+    let mut zcache = OutputCache::new(cfg.drt.partitions.get("Z"));
+    let mut out_entries: Vec<(u32, u32, f64)> = Vec::new();
+    let mut maccs = 0u64;
+    let mut exposed_extract = 0u64;
+    let mut last_ranges: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+
+    let mut stream = stream;
+    for task in &mut stream {
+        let ir = task.plan.coord_ranges[&'i'].clone();
+        let kr = task.plan.coord_ranges[&'k'].clone();
+        let jr = task.plan.coord_ranges[&'j'].clone();
+
+        // --- Input traffic: fetch tiles whose ranges changed. ---
+        for tile in &task.plan.tiles {
+            let ranges: Vec<u32> = match tile.name.as_str() {
+                "A" => vec![ir.start, ir.end, kr.start, kr.end],
+                _ => vec![kr.start, kr.end, jr.start, jr.end],
+            };
+            let bytes = tile.footprint();
+            if last_ranges.get(&tile.name) != Some(&ranges) {
+                traffic.read(&tile.name, bytes);
+                last_ranges.insert(tile.name.clone(), ranges);
+            }
+            // The tile streams over the NoC to PEs regardless of whether
+            // DRAM supplied it or the LLB already held it.
+            actions.noc_bytes += bytes;
+            actions.llb_bytes += bytes;
+            actions.pe_buf_bytes += bytes;
+        }
+
+        // --- Functional compute on the task's tiles. ---
+        let ta = a_rows.extract_rect(ir.clone(), kr.clone());
+        let tb = b_rows.extract_rect(kr.clone(), jr.clone());
+        let prod = drt_kernels::spmspm::gustavson(&ta, &tb);
+        maccs += prod.maccs;
+        actions.maccs += prod.maccs;
+        for (r, c, v) in prod.z.iter() {
+            out_entries.push((r + ir.start, c + jr.start, v));
+        }
+
+        // --- On-chip cycles: intersection + merge, round-robin to a PE. ---
+        // Inner-product co-iteration intersects each occupied A row with
+        // each occupied B column of the task, so the scan volume is
+        // operand-nnz × co-iterated-fiber-count (this is exactly the work
+        // a skip-based unit skips through and a parallel unit divides —
+        // Figure 12's lever).
+        let occ_i = (ta.nnz() as u64).min(ir.len() as u64).max(1);
+        let occ_j = (tb.nnz() as u64).min(jr.len() as u64).max(1);
+        let scan = ta.nnz() as u64 * occ_j + tb.nnz() as u64 * occ_i;
+        let isect_cycles = cfg.intersect.cycles_from_counts(scan, prod.maccs);
+        let merge_cycles = (prod.z.nnz() as u64).div_ceil(cfg.merge_lanes.max(1) as u64);
+        actions.intersect_steps += scan;
+        // The LLB-level distributor schedules micro-tile pairs to PEs
+        // (paper Figure 5's task list), so one LLB task's work spreads
+        // over up to `micro-tile pairs` PEs, round-robin.
+        let subtasks: u64 = task
+            .plan
+            .tiles
+            .iter()
+            .map(|t| t.micro_tiles)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        pes.assign_parallel(isect_cycles + merge_cycles, subtasks);
+
+        // --- Output partials through the Z cache. ---
+        let key = vec![ir.start, ir.end, jr.start, jr.end];
+        let added = sm.coo_bytes(prod.z.nnz(), 2) as u64;
+        let charge = zcache.access(&key, added);
+        traffic.write("Z", charge.spill_writes);
+        traffic.read("Z", charge.refill_reads);
+
+        // --- Tile-extraction latency (DRT only; S-U-C traces are zero). ---
+        if matches!(cfg.tiling, Tiling::Drt) {
+            let cost = cfg.extractor.tile_cost(&task.plan.trace, &task.plan.tiles);
+            actions.extractor_words += task.plan.trace.meta_words;
+            exposed_extract +=
+                cfg.extractor.effective_cycles(&cost).saturating_sub(isect_cycles + merge_cycles);
+        }
+    }
+
+    // Final output pass: resident tiles stream out, multi-segment spills
+    // merge (single-segment spills were already final).
+    let fin = zcache.finish();
+    traffic.read("Z", fin.merge_reads);
+    traffic.write("Z", fin.final_writes);
+    let z = finalize_output(a.nrows(), b.ncols(), out_entries);
+
+    actions.dram_bytes = traffic.total();
+    let compute_cycles = pes.makespan();
+    let mem_seconds = cfg.hier.dram.seconds_for(traffic.total());
+    let seconds = if cfg.ideal_on_chip {
+        mem_seconds
+    } else {
+        mem_seconds.max(compute_cycles as f64 / cfg.hier.clock_hz)
+            + exposed_extract as f64 / cfg.hier.clock_hz
+    };
+
+    Ok(RunReport {
+        name: cfg.name.clone(),
+        traffic,
+        maccs,
+        compute_cycles,
+        exposed_extract_cycles: exposed_extract,
+        seconds,
+        output: Some(z),
+        tasks: stream.emitted(),
+        skipped_tasks: stream.skipped_empty(),
+        actions,
+    })
+}
+
+/// Merge accumulated per-task partial entries into the final output.
+pub(crate) fn finalize_output(
+    nrows: u32,
+    ncols: u32,
+    entries: Vec<(u32, u32, f64)>,
+) -> CsMatrix {
+    let merged = CsMatrix::from_entries(nrows, ncols, entries, MajorAxis::Row);
+    let nonzero: Vec<(u32, u32, f64)> = merged.iter().filter(|&(_, _, v)| v != 0.0).collect();
+    CsMatrix::from_entries(nrows, ncols, nonzero, MajorAxis::Row)
+}
+
+/// Sweep S-U-C candidate shapes and return the best-performing report —
+/// the paper's per-workload best-case S-U-C baseline (§5.2.1). At most
+/// `max_candidates` square-ish shapes are tried.
+///
+/// # Errors
+///
+/// Propagates engine errors; returns `BadConfig` when no candidate shape
+/// satisfies the capacity rule.
+pub fn run_spmspm_best_suc(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    base: &EngineConfig,
+    max_candidates: usize,
+) -> Result<RunReport, CoreError> {
+    run_spmspm_best_suc_with_shape(a, b, base, max_candidates).map(|(r, _)| r)
+}
+
+/// [`run_spmspm_best_suc`], additionally returning the winning tile shape
+/// (in coordinates) so repeated runs on similar operands — e.g. the BFS
+/// levels of one workload — can reuse the sweep's result via
+/// [`run_spmspm`] with [`Tiling::Suc`].
+///
+/// # Errors
+///
+/// Same conditions as [`run_spmspm_best_suc`].
+pub fn run_spmspm_best_suc_with_shape(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    base: &EngineConfig,
+    max_candidates: usize,
+) -> Result<(RunReport, BTreeMap<RankId, u32>), CoreError> {
+    // S-U-C tiles are not bound to DRT's micro-tile grid: the scheme may
+    // pick any coordinate shape (it pre-tiles offline). Quantize the sweep
+    // to the largest power-of-two square whose worst-case-dense tile fits
+    // the smallest input partition, capped at the configured micro shape.
+    let sm = SizeModel::default();
+    let min_part = base.drt.partitions.get("A").min(base.drt.partitions.get("B"));
+    let mut quantum = 1u32;
+    while quantum * 2 <= base.micro.0.max(base.micro.1)
+        && drt_core::suc::dense_footprint(&[quantum * 2, quantum * 2], &sm) <= min_part
+    {
+        quantum *= 2;
+    }
+    let base = EngineConfig { micro: (quantum, quantum), ..base.clone() };
+    let base = &base;
+    let kernel = Kernel::spmspm(a, b, base.micro)?;
+    let mut candidates = drt_core::suc::candidate_shapes(&kernel, &base.drt.partitions);
+    // Prune shapes whose task-box count explodes (tiny tiles over a large
+    // iteration space visit billions of empty boxes — never competitive,
+    // and the paper's offline sweep would discard them immediately). Keep
+    // at least the largest-volume shape as a fallback.
+    let boxes = |shape: &BTreeMap<RankId, u32>| -> u64 {
+        shape
+            .iter()
+            .map(|(&r, &sz)| (kernel.extent(r).div_ceil(sz.max(1))) as u64)
+            .product()
+    };
+    const BOX_BUDGET: u64 = 5_000_000;
+    if candidates.iter().any(|c| boxes(c) <= BOX_BUDGET) {
+        candidates.retain(|c| boxes(c) <= BOX_BUDGET);
+    } else if let Some(best) = candidates
+        .iter()
+        .min_by_key(|c| boxes(c))
+        .cloned()
+    {
+        candidates = vec![best];
+    }
+    // Sample the sweep evenly across the volume-sorted shape space so both
+    // cube-like and asymmetric shapes are represented (the paper sweeps
+    // shapes per workload and keeps the best).
+    candidates.sort_by_key(|s| s.values().map(|&v| v as u64).product::<u64>());
+    let want = max_candidates.max(1).min(candidates.len().max(1));
+    if candidates.len() > want {
+        let step = (candidates.len() - 1) as f64 / (want - 1).max(1) as f64;
+        let picked: Vec<_> =
+            (0..want).map(|i| candidates[(i as f64 * step).round() as usize].clone()).collect();
+        candidates = picked;
+        candidates.dedup();
+    }
+    let mut best: Option<(RunReport, BTreeMap<RankId, u32>)> = None;
+    for sizes in candidates {
+        let cfg = EngineConfig { tiling: Tiling::Suc(sizes.clone()), ..base.clone() };
+        let report = run_spmspm(a, b, &cfg)?;
+        if best.as_ref().is_none_or(|(b, _)| report.seconds < b.seconds) {
+            best = Some((report, sizes));
+        }
+    }
+    best.ok_or(CoreError::BadConfig {
+        detail: "no S-U-C shape satisfies the worst-case capacity rule".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_core::config::Partitions;
+    use drt_kernels::spmspm::gustavson;
+    use drt_sim::memory::BufferSpec;
+    use drt_workloads::patterns::{diamond_band, unstructured};
+
+    fn small_hier() -> HierarchySpec {
+        HierarchySpec {
+            llb: BufferSpec { capacity_bytes: 8192, ports: 2 },
+            pe_buffer: BufferSpec { capacity_bytes: 512, ports: 2 },
+            num_pes: 8,
+            ..HierarchySpec::default()
+        }
+    }
+
+    fn drt_cfg(llb: u64) -> DrtConfig {
+        DrtConfig::new(Partitions::split(llb, &[("A", 0.25), ("B", 0.45), ("Z", 0.3)]))
+    }
+
+    fn engine_cfg(name: &str, tiling: Tiling, llb: u64) -> EngineConfig {
+        EngineConfig {
+            micro: (8, 8),
+            hier: small_hier(),
+            ..EngineConfig::new(name, tiling, drt_cfg(llb))
+        }
+    }
+
+    #[test]
+    fn drt_output_matches_reference() {
+        let a = unstructured(96, 96, 700, 2.0, 1);
+        let b = unstructured(96, 96, 700, 2.0, 2);
+        let cfg = engine_cfg("drt", Tiling::Drt, 8192);
+        let r = run_spmspm(&a, &b, &cfg).expect("run");
+        let reference = gustavson(&a, &b).z;
+        assert!(
+            r.output.as_ref().expect("functional").approx_eq(&reference, 1e-9),
+            "simulated output must match the reference kernel"
+        );
+        assert_eq!(r.maccs, gustavson(&a, &b).maccs);
+    }
+
+    #[test]
+    fn suc_output_matches_reference() {
+        let a = diamond_band(64, 1200, 3);
+        let sizes = BTreeMap::from([('i', 16u32), ('k', 16), ('j', 16)]);
+        let cfg = engine_cfg("suc", Tiling::Suc(sizes), 128 * 1024);
+        let r = run_spmspm(&a, &a, &cfg).expect("run");
+        let reference = gustavson(&a, &a).z;
+        assert!(r.output.as_ref().expect("functional").approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn traffic_at_least_lower_bound() {
+        let a = unstructured(128, 128, 900, 2.0, 4);
+        let cfg = engine_cfg("drt", Tiling::Drt, 16 * 1024);
+        let r = run_spmspm(&a, &a, &cfg).expect("run");
+        let z = r.output.as_ref().expect("functional");
+        let lb = drt_sim::traffic::spmspm_lower_bound(&a, &a, z);
+        // Inputs: at least one full read each (micro-tiled representations
+        // carry extra metadata, so ≥ the plain compressed bound).
+        assert!(r.traffic.reads_of("A") >= lb.reads_of("A"));
+        assert!(r.traffic.reads_of("B") >= lb.reads_of("B"));
+        assert!(r.traffic.writes_of("Z") >= lb.writes_of("Z"));
+    }
+
+    #[test]
+    fn drt_beats_suc_traffic_on_irregular_matrix() {
+        // The paper's core claim at engine level.
+        let a = unstructured(192, 192, 1400, 2.0, 5);
+        let drt = run_spmspm(&a, &a, &engine_cfg("drt", Tiling::Drt, 6 * 1024)).expect("run");
+        let best_suc =
+            run_spmspm_best_suc(&a, &a, &engine_cfg("suc", Tiling::Suc(BTreeMap::new()), 6 * 1024), 6)
+                .expect("run");
+        assert!(
+            drt.traffic.total() < best_suc.traffic.total(),
+            "DRT traffic {} must beat best S-U-C traffic {}",
+            drt.traffic.total(),
+            best_suc.traffic.total()
+        );
+        // And both compute the right answer.
+        assert!(drt
+            .output
+            .as_ref()
+            .expect("functional")
+            .approx_eq(best_suc.output.as_ref().expect("functional"), 1e-9));
+    }
+
+    #[test]
+    fn stationary_tensor_read_once_per_sweep() {
+        // With huge partitions, DRT covers everything in one task: each
+        // input read exactly once (plus tiled metadata).
+        let a = unstructured(64, 64, 300, 2.0, 6);
+        let cfg = engine_cfg("drt", Tiling::Drt, 1 << 20);
+        let r = run_spmspm(&a, &a, &cfg).expect("run");
+        assert_eq!(r.tasks, 1, "everything fits in one task");
+        let sm = SizeModel::default();
+        // One task → B read once; its bytes are bounded by ~2× the plain
+        // compressed footprint (micro-tile metadata overhead).
+        assert!(r.traffic.reads_of("B") < 2 * sm.cs_matrix_bytes(&a) as u64 + 4096);
+    }
+
+    #[test]
+    fn rectangular_operands_compute_correctly() {
+        // The F·Fᵀ / Fᵀ·F regime: ranks with very different extents.
+        let f = unstructured(200, 24, 600, 2.0, 15);
+        let ft = f.to_transposed().to_major(drt_tensor::MajorAxis::Row);
+        for (a, b) in [(&f, &ft), (&ft, &f)] {
+            let cfg = engine_cfg("rect", Tiling::Drt, 8192);
+            let r = run_spmspm(a, b, &cfg).expect("run");
+            let reference = gustavson(a, b).z;
+            assert!(r.output.as_ref().expect("functional").approx_eq(&reference, 1e-9));
+            assert_eq!(r.maccs, gustavson(a, b).maccs);
+        }
+    }
+
+    #[test]
+    fn empty_operand_yields_empty_output_and_minimal_traffic() {
+        let a = drt_tensor::CsMatrix::zero(64, 64, drt_tensor::MajorAxis::Row);
+        let b = unstructured(64, 64, 200, 2.0, 16);
+        let cfg = engine_cfg("empty", Tiling::Drt, 8192);
+        let r = run_spmspm(&a, &b, &cfg).expect("run");
+        assert_eq!(r.output.as_ref().expect("functional").nnz(), 0);
+        assert_eq!(r.maccs, 0);
+        assert_eq!(r.tasks, 0, "all tasks skip on an empty operand");
+    }
+
+    #[test]
+    fn ideal_on_chip_is_dram_bound() {
+        let a = unstructured(96, 96, 500, 2.0, 7);
+        let mut cfg = engine_cfg("ideal", Tiling::Drt, 8192);
+        cfg.ideal_on_chip = true;
+        let r = run_spmspm(&a, &a, &cfg).expect("run");
+        // Burst rounding on the aggregate differs from the unrounded
+        // oracle by at most one burst.
+        assert!((r.seconds - r.dram_bound_seconds(&cfg.hier)).abs() / r.seconds < 1e-2);
+    }
+
+    #[test]
+    fn smaller_z_partition_spills_more() {
+        // Identical input partitions (identical tiling) — only the output
+        // cache differs.
+        let a = diamond_band(128, 3000, 8);
+        let big = DrtConfig::new(Partitions::from_bytes(&[("A", 2000), ("B", 4000), ("Z", 8000)]));
+        let tiny = DrtConfig::new(Partitions::from_bytes(&[("A", 2000), ("B", 4000), ("Z", 200)]));
+        let mk = |drt: DrtConfig, name: &str| EngineConfig {
+            micro: (8, 8),
+            hier: small_hier(),
+            ..EngineConfig::new(name, Tiling::Drt, drt)
+        };
+        let r_big = run_spmspm(&a, &a, &mk(big, "bigZ")).expect("run");
+        let r_tiny = run_spmspm(&a, &a, &mk(tiny, "tinyZ")).expect("run");
+        assert!(
+            r_tiny.traffic.of("Z") >= r_big.traffic.of("Z"),
+            "tiny Z partition ({}) should spill at least as much as big ({})",
+            r_tiny.traffic.of("Z"),
+            r_big.traffic.of("Z")
+        );
+    }
+}

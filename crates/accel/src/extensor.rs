@@ -1,0 +1,251 @@
+//! ExTensor-family accelerators (paper §5.2.1).
+//!
+//! Three variants, differing exactly as the paper describes:
+//!
+//! * **ExTensor** — the original design: S-U-C tiling at every level,
+//!   serial skip-based intersection, serial merging.
+//! * **ExTensor-OP** — the authors' improved baseline: same S-U-C tiling,
+//!   but an outer-product dataflow between the global and local buffers
+//!   with multiply-and-merge (partial sums reduced locally until spilled)
+//!   and a parallelized skip-based intersection unit.
+//! * **ExTensor-OP-DRT** (TACTile) — identical to ExTensor-OP except the
+//!   buffer-fill logic is replaced by DRT tile extractors; *the only
+//!   difference is the tiling mechanism* (§6.1.1).
+//!
+//! All variants use the paper's B-stationary `J → K → I` dataflow at the
+//! LLB (§6.6: "The dataflow at this level is B stationary") and the §5.2.4
+//! configuration: static partitions shared by all workloads and 32 × 32
+//! micro tiles (micro-tile shape only matters to the DRT variant).
+
+use crate::engine::{run_spmspm, run_spmspm_best_suc, EngineConfig, Tiling};
+use crate::report::RunReport;
+use drt_core::config::{DrtConfig, Partitions};
+use drt_core::extractor::ExtractorModel;
+use drt_core::CoreError;
+use drt_sim::intersect_unit::IntersectUnit;
+use drt_sim::memory::HierarchySpec;
+use drt_tensor::CsMatrix;
+use std::collections::BTreeMap;
+
+/// The paper's static LLB partitioning (§6.6 / Figure 14: a small A
+/// partition, B around 45%, the rest for output partials).
+pub fn paper_partitions(llb_bytes: u64) -> Partitions {
+    Partitions::split(llb_bytes, &[("A", 0.05), ("B", 0.45), ("Z", 0.5)])
+}
+
+fn base_config(name: &str, tiling: Tiling, hier: &HierarchySpec) -> EngineConfig {
+    let drt = DrtConfig::new(paper_partitions(hier.llb.capacity_bytes));
+    EngineConfig {
+        loop_order: vec!['j', 'k', 'i'],
+        hier: *hier,
+        ..EngineConfig::new(name, tiling, drt)
+    }
+}
+
+/// Number of S-U-C candidate shapes swept per workload (the paper sweeps
+/// static shapes and reports the best, §5.2.1).
+pub const SUC_SWEEP_CANDIDATES: usize = 8;
+
+/// Original ExTensor: best-swept S-U-C shape, serial skip intersection.
+///
+/// # Errors
+///
+/// Propagates engine/tiling configuration errors.
+pub fn run_extensor(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> Result<RunReport, CoreError> {
+    let mut cfg = base_config("ExTensor", Tiling::Suc(BTreeMap::new()), hier);
+    cfg.intersect = IntersectUnit::SkipBased;
+    cfg.merge_lanes = 1;
+    run_spmspm_best_suc(a, b, &cfg, SUC_SWEEP_CANDIDATES)
+}
+
+/// Original ExTensor, returning the best swept shape alongside the report
+/// so subsequent similar runs (e.g. BFS levels of one workload) can reuse
+/// the offline sweep via [`run_extensor_fixed`].
+///
+/// # Errors
+///
+/// Propagates engine/tiling configuration errors.
+pub fn run_extensor_with_shape(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    hier: &HierarchySpec,
+) -> Result<(RunReport, BTreeMap<char, u32>), CoreError> {
+    let mut cfg = base_config("ExTensor", Tiling::Suc(BTreeMap::new()), hier);
+    cfg.intersect = IntersectUnit::SkipBased;
+    cfg.merge_lanes = 1;
+    crate::engine::run_spmspm_best_suc_with_shape(a, b, &cfg, SUC_SWEEP_CANDIDATES)
+}
+
+/// Original ExTensor with a fixed (already swept) tile shape.
+///
+/// # Errors
+///
+/// Propagates engine/tiling configuration errors, including shapes that
+/// violate the worst-case capacity rule for these operands.
+pub fn run_extensor_fixed(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    hier: &HierarchySpec,
+    sizes: &BTreeMap<char, u32>,
+) -> Result<RunReport, CoreError> {
+    let mut cfg = base_config("ExTensor", Tiling::Suc(sizes.clone()), hier);
+    cfg.intersect = IntersectUnit::SkipBased;
+    cfg.merge_lanes = 1;
+    // Quantize the kernel like the sweep does so sub-micro shapes remain
+    // representable.
+    let q = sizes.values().copied().min().unwrap_or(32).min(32).max(1);
+    cfg.micro = (q, q);
+    run_spmspm(a, b, &cfg)
+}
+
+/// ExTensor-OP: best-swept S-U-C shape, parallel intersection,
+/// multiply-and-merge.
+///
+/// # Errors
+///
+/// Propagates engine/tiling configuration errors.
+pub fn run_extensor_op(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    hier: &HierarchySpec,
+) -> Result<RunReport, CoreError> {
+    let mut cfg = base_config("ExTensor-OP", Tiling::Suc(BTreeMap::new()), hier);
+    cfg.intersect = IntersectUnit::Parallel(32);
+    cfg.merge_lanes = 16;
+    run_spmspm_best_suc(a, b, &cfg, SUC_SWEEP_CANDIDATES)
+}
+
+/// ExTensor-OP-DRT (TACTile): ExTensor-OP with DRT tile extraction.
+///
+/// # Errors
+///
+/// Propagates engine/tiling configuration errors.
+pub fn run_tactile(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> Result<RunReport, CoreError> {
+    run_tactile_with(a, b, hier, IntersectUnit::Parallel(32), ExtractorModel::parallel())
+}
+
+/// ExTensor-OP-DRT with an explicit intersection unit and extractor model
+/// (Figure 12's unit sweep and §6.5's ideal-extractor comparison).
+///
+/// # Errors
+///
+/// Propagates engine/tiling configuration errors.
+pub fn run_tactile_with(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    hier: &HierarchySpec,
+    intersect: IntersectUnit,
+    extractor: ExtractorModel,
+) -> Result<RunReport, CoreError> {
+    let mut cfg = base_config("ExTensor-OP-DRT", Tiling::Drt, hier);
+    cfg.intersect = intersect;
+    cfg.merge_lanes = 16;
+    cfg.extractor = extractor;
+    // Configuration-time micro-shape adjustment (§5.2.4 picks the micro
+    // shape by sweep): when a buffer partition cannot hold even one dense
+    // 32×32 micro tile — possible at scaled-down buffer sizes — halve the
+    // micro shape until the preflight passes.
+    let mut last = Err(CoreError::BadConfig { detail: "no feasible micro shape".into() });
+    let mut m = cfg.micro.0.max(cfg.micro.1);
+    while m >= 2 {
+        cfg.micro = (m, m);
+        last = run_spmspm(a, b, &cfg);
+        match &last {
+            Err(CoreError::TileTooLarge { .. }) => m /= 2,
+            _ => return last,
+        }
+    }
+    last
+}
+
+/// ExTensor-OP-DRT with custom partitions, growth order, and micro-tile
+/// shape — the §6.6 design-space knobs (Figures 14–17).
+///
+/// # Errors
+///
+/// Propagates engine/tiling configuration errors.
+pub fn run_tactile_custom(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    hier: &HierarchySpec,
+    drt: DrtConfig,
+    micro: (u32, u32),
+) -> Result<RunReport, CoreError> {
+    let mut cfg = EngineConfig {
+        loop_order: vec!['j', 'k', 'i'],
+        hier: *hier,
+        micro,
+        ..EngineConfig::new("ExTensor-OP-DRT", Tiling::Drt, drt)
+    };
+    cfg.intersect = IntersectUnit::Parallel(32);
+    cfg.merge_lanes = 16;
+    run_spmspm(a, b, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_kernels::spmspm::gustavson;
+    use drt_sim::memory::BufferSpec;
+    use drt_workloads::patterns::unstructured;
+
+    fn hier() -> HierarchySpec {
+        HierarchySpec {
+            llb: BufferSpec { capacity_bytes: 24 * 1024, ports: 2 },
+            num_pes: 16,
+            ..HierarchySpec::default()
+        }
+    }
+
+    #[test]
+    fn all_three_variants_agree_functionally() {
+        let a = unstructured(160, 160, 1100, 2.0, 11);
+        let h = hier();
+        let reference = gustavson(&a, &a).z;
+        for r in [
+            run_extensor(&a, &a, &h).expect("extensor"),
+            run_extensor_op(&a, &a, &h).expect("op"),
+            run_tactile(&a, &a, &h).expect("tactile"),
+        ] {
+            assert!(
+                r.output.as_ref().expect("functional").approx_eq(&reference, 1e-9),
+                "{} output mismatch",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn drt_variant_reduces_traffic_and_time() {
+        let a = unstructured(256, 256, 1800, 2.0, 12);
+        let h = hier();
+        let op = run_extensor_op(&a, &a, &h).expect("op");
+        let drt = run_tactile(&a, &a, &h).expect("tactile");
+        assert!(
+            drt.traffic.total() < op.traffic.total(),
+            "DRT traffic {} vs S-U-C {}",
+            drt.traffic.total(),
+            op.traffic.total()
+        );
+        assert!(drt.seconds <= op.seconds * 1.05, "DRT should not be slower");
+    }
+
+    #[test]
+    fn op_variant_no_slower_than_original() {
+        let a = unstructured(128, 128, 900, 2.0, 13);
+        let h = hier();
+        let ext = run_extensor(&a, &a, &h).expect("extensor");
+        let op = run_extensor_op(&a, &a, &h).expect("op");
+        // Same tiling; better intersection/merge hardware → never slower.
+        assert!(op.compute_cycles <= ext.compute_cycles);
+        assert!(op.seconds <= ext.seconds * 1.0001);
+    }
+
+    #[test]
+    fn partitions_follow_paper_shares() {
+        let p = paper_partitions(1000);
+        assert_eq!(p.get("A"), 50);
+        assert_eq!(p.get("B"), 450);
+        assert_eq!(p.get("Z"), 500);
+    }
+}

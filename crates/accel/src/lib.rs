@@ -1,0 +1,43 @@
+//! # drt-accel — accelerator and baseline models
+//!
+//! Every machine the paper evaluates (§5.2), modelled at the paper's own
+//! fidelity (bandwidth/queuing, §5.2.1) on top of `drt-sim`:
+//!
+//! * [`extensor`] — ExTensor (S-U-C tiling, skip-based intersection), the
+//!   improved ExTensor-OP, and ExTensor-OP-DRT (a.k.a. TACTile), all
+//!   cycle-accounted and functionally validated.
+//! * [`outerspace`] — OuterSPACE (outer-product dataflow): untiled
+//!   original, S-U-C-tiled, and DRT-tiled variants (Study 2, DRAM-bound).
+//! * [`matraptor`] — MatRaptor (row-wise Gustavson): untiled, S-U-C, DRT.
+//! * [`gamma`] — extension: a GAMMA-like row-granular design with a
+//!   FiberCache (the §7 related work the paper calls nascent D-N-C).
+//! * [`hier2`] — two-level (DRAM → LLB → PE) traffic analysis composing
+//!   hierarchical DRT streams with the NoC model (§4.3).
+//! * [`sparch`] — extension: a SpArch-like outer-product design with a
+//!   multi-way merge tree (Table 2's S-N-P entry).
+//! * [`cpu`] — the Intel-MKL-like CPU roofline baseline (30 MB LLC,
+//!   68.25 GB/s) every speedup figure normalizes to.
+//! * [`taco`] — the TACO-like CPU baseline for the Gram kernel (Figure 9).
+//! * [`gram`] — ExTensor-OP(-DRT) running the 3-D Gram contraction.
+//! * [`sw`] — Study 3's software S-U-C/DRT memory-traffic oracle.
+//! * [`engine`] — the shared SpMSpM simulation engine: task streams from
+//!   `drt-core`, stationarity-aware input reuse, an LRU output-tile cache
+//!   for partial-sum spilling, intersection/PE cycle models, and functional
+//!   output collection for validation.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cpu;
+pub mod engine;
+pub mod extensor;
+pub mod gamma;
+pub mod hier2;
+pub mod gram;
+pub mod matraptor;
+pub mod outerspace;
+pub mod report;
+pub mod sparch;
+pub mod sw;
+pub mod taco;
+pub mod zcache;

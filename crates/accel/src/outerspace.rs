@@ -1,0 +1,167 @@
+//! OuterSPACE (outer-product dataflow) and its tiled variants (Study 2,
+//! paper §5.2.2 / Figure 10 top).
+//!
+//! The untiled original distributes columns of `A` and rows of `B`: the
+//! inputs are read once (perfect reuse), but *every* partial product is
+//! materialized to DRAM during the multiply phase and read back during the
+//! merge phase — the output has poor reuse. Tiling `A` and `B` (S-U-C or
+//! DRT) shrinks the working set of partial outputs so they can be
+//! partially reduced on chip, which is where the traffic reduction comes
+//! from. Study 2 idealizes on-chip behaviour: all variants report
+//! DRAM-bound runtime.
+
+use crate::engine::{run_spmspm, run_spmspm_best_suc, EngineConfig, Tiling};
+use crate::report::RunReport;
+use drt_core::config::{DrtConfig, Partitions};
+use drt_core::CoreError;
+use drt_sim::energy::ActionCounts;
+use drt_sim::memory::HierarchySpec;
+use drt_sim::traffic::TrafficCounter;
+use drt_tensor::format::SizeModel;
+use drt_tensor::CsMatrix;
+use std::collections::BTreeMap;
+
+/// Untiled OuterSPACE: inputs once, all partial products spilled and
+/// re-read, final output written once.
+///
+/// # Panics
+///
+/// Panics when inner dimensions disagree.
+pub fn run_untiled(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> RunReport {
+    let sm = SizeModel::default();
+    let prod = drt_kernels::spmspm::outer_product(a, b);
+    let mut traffic = TrafficCounter::new();
+    traffic.read("A", sm.cs_matrix_bytes(a) as u64);
+    traffic.read("B", sm.cs_matrix_bytes(b) as u64);
+    // Multiply phase writes every partial product (COO-like linked lists);
+    // merge phase reads them all back and writes the final result.
+    let partial_bytes = sm.coo_bytes(prod.partial_products as usize, 2) as u64;
+    traffic.write("Z", partial_bytes);
+    traffic.read("Z", partial_bytes);
+    traffic.write("Z", sm.cs_matrix_bytes(&prod.z) as u64);
+    let seconds = hier.dram.seconds_for(traffic.total());
+    let actions = ActionCounts {
+        dram_bytes: traffic.total(),
+        maccs: prod.maccs,
+        ..Default::default()
+    };
+    RunReport {
+        name: "OuterSPACE".into(),
+        traffic,
+        maccs: prod.maccs,
+        compute_cycles: 0,
+        exposed_extract_cycles: 0,
+        seconds,
+        output: Some(prod.z),
+        tasks: 1,
+        skipped_tasks: 0,
+        actions,
+    }
+}
+
+fn partitions(hier: &HierarchySpec) -> Partitions {
+    // Outer-product tiling favors the output working set.
+    Partitions::split(hier.llb.capacity_bytes, &[("A", 0.2), ("B", 0.2), ("Z", 0.6)])
+}
+
+fn base(name: &str, tiling: Tiling, hier: &HierarchySpec) -> EngineConfig {
+    EngineConfig {
+        // Outer-product dataflow: the contracted rank is the outer loop;
+        // the A column chunk is the stationary tensor.
+        loop_order: vec!['k', 'i', 'j'],
+        hier: *hier,
+        ideal_on_chip: true,
+        ..EngineConfig::new(name, tiling, DrtConfig::new(partitions(hier)))
+    }
+}
+
+/// OuterSPACE with a single level of S-U-C tiling (best-swept shape).
+///
+/// # Errors
+///
+/// Propagates engine/tiling configuration errors.
+pub fn run_suc(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> Result<RunReport, CoreError> {
+    let mut r = run_spmspm_best_suc(
+        a,
+        b,
+        &base("OuterSPACE-SUC", Tiling::Suc(BTreeMap::new()), hier),
+        crate::extensor::SUC_SWEEP_CANDIDATES,
+    )?;
+    r.name = "OuterSPACE-SUC".into();
+    Ok(r)
+}
+
+/// OuterSPACE with DRT tiling.
+///
+/// # Errors
+///
+/// Propagates engine/tiling configuration errors.
+pub fn run_drt(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> Result<RunReport, CoreError> {
+    run_spmspm(a, b, &base("OuterSPACE-DRT", Tiling::Drt, hier))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_kernels::spmspm::gustavson;
+    use drt_sim::memory::BufferSpec;
+    use drt_workloads::patterns::unstructured;
+
+    fn hier() -> HierarchySpec {
+        HierarchySpec {
+            llb: BufferSpec { capacity_bytes: 16 * 1024, ports: 2 },
+            ..HierarchySpec::default()
+        }
+    }
+
+    #[test]
+    fn untiled_charges_all_partials() {
+        let a = unstructured(96, 96, 700, 2.0, 1);
+        let r = run_untiled(&a, &a, &hier());
+        let sm = SizeModel::default();
+        let partials = drt_kernels::spmspm::outer_product(&a, &a).partial_products;
+        assert!(r.traffic.of("Z") >= 2 * sm.coo_bytes(partials as usize, 2) as u64);
+        assert!(r.output.as_ref().expect("functional").approx_eq(&gustavson(&a, &a).z, 1e-9));
+    }
+
+    #[test]
+    fn tiling_reduces_output_traffic() {
+        // The regime Figure 10 evaluates: partial-product volume dominates
+        // input footprints, and the LLB can hold meaningful tiles.
+        let a = unstructured(160, 160, 3200, 2.0, 2);
+        let h = HierarchySpec {
+            llb: BufferSpec { capacity_bytes: 64 * 1024, ports: 2 },
+            ..HierarchySpec::default()
+        };
+        let untiled = run_untiled(&a, &a, &h);
+        let drt = run_drt(&a, &a, &h).expect("drt");
+        assert!(
+            drt.traffic.of("Z") < untiled.traffic.of("Z"),
+            "DRT Z traffic {} vs untiled {}",
+            drt.traffic.of("Z"),
+            untiled.traffic.of("Z")
+        );
+        assert!(drt.seconds < untiled.seconds);
+    }
+
+    #[test]
+    fn drt_at_least_matches_suc() {
+        let a = unstructured(160, 160, 1200, 2.0, 3);
+        let h = hier();
+        let suc = run_suc(&a, &a, &h).expect("suc");
+        let drt = run_drt(&a, &a, &h).expect("drt");
+        assert!(drt.traffic.total() <= suc.traffic.total() * 11 / 10);
+        // Functional agreement across all three variants.
+        let reference = gustavson(&a, &a).z;
+        assert!(suc.output.as_ref().expect("out").approx_eq(&reference, 1e-9));
+        assert!(drt.output.as_ref().expect("out").approx_eq(&reference, 1e-9));
+    }
+
+    #[test]
+    fn ideal_on_chip_runtime_is_dram_bound() {
+        let a = unstructured(96, 96, 500, 2.0, 4);
+        let h = hier();
+        let r = run_drt(&a, &a, &h).expect("drt");
+        assert!((r.seconds - r.dram_bound_seconds(&h)).abs() / r.seconds < 1e-2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Run reports: the common result type every accelerator model produces.
+
+use drt_sim::energy::ActionCounts;
+use drt_sim::memory::HierarchySpec;
+use drt_sim::traffic::TrafficCounter;
+use drt_tensor::CsMatrix;
+
+/// The outcome of simulating one workload on one accelerator
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Configuration label ("ExTensor", "ExTensor-OP-DRT", …).
+    pub name: String,
+    /// DRAM traffic per tensor.
+    pub traffic: TrafficCounter,
+    /// Effectual multiply-accumulates.
+    pub maccs: u64,
+    /// On-chip compute critical path in cycles (PE makespan, including
+    /// intersection and merge work).
+    pub compute_cycles: u64,
+    /// Tile-extraction cycles exposed after pipelining (0 when hidden).
+    pub exposed_extract_cycles: u64,
+    /// End-to-end runtime in seconds.
+    pub seconds: f64,
+    /// Functional output for validation (`None` for traffic-only models).
+    pub output: Option<CsMatrix>,
+    /// Emitted (non-empty) tasks.
+    pub tasks: u64,
+    /// Tasks skipped because an input tile was empty.
+    pub skipped_tasks: u64,
+    /// Action counts for energy estimation.
+    pub actions: ActionCounts,
+}
+
+impl RunReport {
+    /// Arithmetic intensity: MACCs per DRAM byte (§5.1.1).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        drt_sim::traffic::arithmetic_intensity(self.maccs, self.traffic.total())
+    }
+
+    /// DRAM-bound runtime (the red-dot oracle): total traffic at peak
+    /// bandwidth, ignoring on-chip limits.
+    pub fn dram_bound_seconds(&self, hier: &HierarchySpec) -> f64 {
+        drt_sim::traffic::dram_bound_seconds(self.traffic.total(), hier.dram.bandwidth_bytes_per_sec)
+    }
+
+    /// Speedup of this run over a baseline run (baseline time / this time).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.seconds / self.seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(seconds: f64, traffic: u64, maccs: u64) -> RunReport {
+        let mut t = TrafficCounter::new();
+        t.read("A", traffic);
+        RunReport {
+            name: "test".into(),
+            traffic: t,
+            maccs,
+            compute_cycles: 0,
+            exposed_extract_cycles: 0,
+            seconds,
+            output: None,
+            tasks: 1,
+            skipped_tasks: 0,
+            actions: ActionCounts::default(),
+        }
+    }
+
+    #[test]
+    fn intensity_and_speedup() {
+        let fast = report(1.0, 100, 400);
+        let slow = report(4.0, 400, 400);
+        assert_eq!(fast.arithmetic_intensity(), 4.0);
+        assert_eq!(slow.arithmetic_intensity(), 1.0);
+        assert_eq!(fast.speedup_over(&slow), 4.0);
+    }
+
+    #[test]
+    fn dram_bound_uses_hierarchy_bandwidth() {
+        let r = report(9.9, 68_250_000_000, 1);
+        let h = HierarchySpec::default();
+        assert!((r.dram_bound_seconds(&h) - 1.0).abs() < 0.01);
+    }
+}

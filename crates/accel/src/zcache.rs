@@ -1,0 +1,298 @@
+//! Output-tile cache: LRU spill model for partial output sums.
+//!
+//! Dataflows that revisit an output region across contracted-dimension
+//! chunks must either keep the region's partial sums on chip or spill them
+//! to DRAM and re-read them later ("multiply-and-merge"; ExTensor-OP
+//! "performs local reductions of partial sums in output tiles until those
+//! tiles need to be spilled to memory", §5.2.1). [`OutputCache`] models the
+//! output buffer partition as an LRU over output tiles: accessing a tile
+//! not resident re-reads any previously spilled partials; making room
+//! evicts (spills) the least recently used tiles.
+
+use std::collections::HashMap;
+
+/// Key identifying one output tile (its coordinate ranges flattened as
+/// `start0, end0, start1, end1, …`).
+pub type TileKey = Vec<u32>;
+
+/// Bytes charged to DRAM by one cache interaction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillCharge {
+    /// Partial-sum bytes written out on evictions.
+    pub spill_writes: u64,
+    /// Partial-sum bytes read back on re-access.
+    pub refill_reads: u64,
+}
+
+/// Bytes charged by the end-of-run output pass (see
+/// [`OutputCache::finish`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FinishCharge {
+    /// Output bytes written (final streams plus rewrites of merged tiles).
+    pub final_writes: u64,
+    /// Spilled partial bytes read back for merging.
+    pub merge_reads: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Current on-chip partial footprint in bytes.
+    resident_bytes: u64,
+    /// Bytes of partials currently spilled in DRAM for this tile.
+    spilled_bytes: u64,
+    /// Number of separate spill segments currently in DRAM.
+    spill_segments: u32,
+    /// LRU stamp.
+    stamp: u64,
+    resident: bool,
+}
+
+/// LRU output-tile cache with a byte budget.
+///
+/// # Example
+///
+/// ```rust
+/// use drt_accel::zcache::OutputCache;
+///
+/// let mut cache = OutputCache::new(150);
+/// cache.access(&vec![0], 100);            // tile 0 resident
+/// let ch = cache.access(&vec![1], 100);   // evicts tile 0
+/// assert_eq!(ch.spill_writes, 100);
+/// let ch = cache.access(&vec![0], 10);    // tile 0 returns: refill
+/// assert_eq!(ch.refill_reads, 100);
+/// let fin = cache.finish();               // stream out what remains
+/// assert!(fin.final_writes > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OutputCache {
+    capacity: u64,
+    used: u64,
+    clock: u64,
+    tiles: HashMap<TileKey, Entry>,
+    /// LRU index over resident tiles: stamp → key (stamps are unique).
+    lru: std::collections::BTreeMap<u64, TileKey>,
+}
+
+impl OutputCache {
+    /// A cache with the given byte capacity (the output buffer partition).
+    pub fn new(capacity_bytes: u64) -> OutputCache {
+        OutputCache {
+            capacity: capacity_bytes,
+            used: 0,
+            clock: 0,
+            tiles: HashMap::new(),
+            lru: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Record that a task contributed `added_bytes` of partial sums to the
+    /// output tile `key`. Returns the DRAM bytes this access charged
+    /// (refills of previously spilled partials plus evictions of others).
+    pub fn access(&mut self, key: &TileKey, added_bytes: u64) -> SpillCharge {
+        self.clock += 1;
+        let mut charge = SpillCharge::default();
+        let stamp = self.clock;
+        let entry = self.tiles.entry(key.clone()).or_insert(Entry {
+            resident_bytes: 0,
+            spilled_bytes: 0,
+            spill_segments: 0,
+            stamp,
+            resident: true,
+        });
+        // Refresh this tile's LRU position.
+        if entry.stamp != stamp {
+            self.lru.remove(&entry.stamp);
+        }
+        entry.stamp = stamp;
+        self.lru.insert(stamp, key.clone());
+        if !entry.resident {
+            // Re-access: read spilled partials back on chip and merge.
+            charge.refill_reads += entry.spilled_bytes;
+            entry.resident_bytes += entry.spilled_bytes;
+            entry.spilled_bytes = 0;
+            entry.spill_segments = 0;
+            entry.resident = true;
+            self.used += entry.resident_bytes;
+        }
+        // Grow the tile's resident footprint (used is maintained
+        // incrementally — recomputing it per access would be quadratic in
+        // live output tiles).
+        let e = self.tiles.get_mut(key).expect("just inserted");
+        e.resident_bytes += added_bytes;
+        self.used += added_bytes;
+        // Evict least-recently-used other tiles until within budget.
+        while self.used > self.capacity {
+            // Oldest resident tile that is not the active one.
+            let victim = self
+                .lru
+                .iter()
+                .find(|(_, k)| k.as_slice() != key.as_slice())
+                .map(|(&s, k)| (s, k.clone()));
+            match victim {
+                Some((vstamp, vk)) => {
+                    self.lru.remove(&vstamp);
+                    let e = self.tiles.get_mut(&vk).expect("victim exists");
+                    charge.spill_writes += e.resident_bytes;
+                    e.spilled_bytes += e.resident_bytes;
+                    e.spill_segments += 1;
+                    self.used -= e.resident_bytes;
+                    e.resident_bytes = 0;
+                    e.resident = false;
+                }
+                None => break, // only the active tile remains; allow overflow
+            }
+        }
+        charge
+    }
+
+    /// Finish the run: account the final-output pass.
+    ///
+    /// * A still-resident tile streams out once (`final_writes`).
+    /// * A tile whose partials were spilled in exactly **one** segment and
+    ///   never revisited needs nothing more — that spill *was* its final
+    ///   write (the partials were merged on chip before eviction).
+    /// * A tile with multiple spill segments (or spilled segments plus
+    ///   still-resident partials) needs a merge pass: read every spilled
+    ///   segment back (`merge_reads`) and write the merged tile once more
+    ///   (counted in `final_writes`).
+    pub fn finish(&mut self) -> FinishCharge {
+        let mut out = FinishCharge::default();
+        for e in self.tiles.values_mut() {
+            let needs_merge =
+                e.spill_segments >= 2 || (e.spill_segments == 1 && e.resident_bytes > 0);
+            if needs_merge {
+                out.merge_reads += e.spilled_bytes;
+                out.final_writes += e.spilled_bytes + e.resident_bytes;
+            } else {
+                // Zero or one spill segment, no resident remainder to merge
+                // with it: whatever is resident streams out once; whatever
+                // was spilled is already final.
+                out.final_writes += e.resident_bytes;
+            }
+            e.spilled_bytes = 0;
+            e.spill_segments = 0;
+            e.resident_bytes = 0;
+            e.resident = false;
+        }
+        self.used = 0;
+        self.lru.clear();
+        out
+    }
+
+    /// Number of distinct output tiles seen.
+    pub fn tiles_seen(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Current resident bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(a: u32, b: u32) -> TileKey {
+        vec![a, a + 1, b, b + 1]
+    }
+
+    #[test]
+    fn no_spills_when_everything_fits() {
+        let mut c = OutputCache::new(1_000_000);
+        let mut total = SpillCharge::default();
+        for i in 0..10 {
+            let ch = c.access(&key(i, 0), 100);
+            total.spill_writes += ch.spill_writes;
+            total.refill_reads += ch.refill_reads;
+        }
+        assert_eq!(total, SpillCharge::default());
+        let fin = c.finish();
+        assert_eq!(fin.merge_reads, 0);
+        assert_eq!(fin.final_writes, 10 * 100, "resident tiles stream out once");
+        assert_eq!(c.tiles_seen(), 10);
+    }
+
+    #[test]
+    fn revisits_within_capacity_are_free() {
+        let mut c = OutputCache::new(10_000);
+        c.access(&key(0, 0), 100);
+        let ch = c.access(&key(0, 0), 100);
+        assert_eq!(ch, SpillCharge::default());
+        assert_eq!(c.resident_bytes(), 200);
+    }
+
+    #[test]
+    fn overflow_spills_lru_and_refills_on_return() {
+        let mut c = OutputCache::new(250);
+        c.access(&key(0, 0), 100); // tile A resident: 100
+        c.access(&key(1, 0), 100); // tile B resident: 200 total
+        // Tile C pushes over: evicts tile A (LRU).
+        let ch = c.access(&key(2, 0), 100);
+        assert_eq!(ch.spill_writes, 100);
+        assert_eq!(ch.refill_reads, 0);
+        // Returning to tile A reads its 100 spilled bytes back and evicts B.
+        let ch = c.access(&key(0, 0), 50);
+        assert_eq!(ch.refill_reads, 100);
+        assert!(ch.spill_writes >= 100, "made room by spilling another tile");
+        // Finish: single-segment spills are final; resident tiles stream out.
+        let fin = c.finish();
+        assert!(fin.final_writes > 0);
+        let fin2 = c.finish();
+        assert_eq!(fin2, FinishCharge::default(), "finish is idempotent");
+    }
+
+    #[test]
+    fn active_tile_can_exceed_capacity_alone() {
+        // A single output tile larger than the partition stays active (the
+        // engine charges its writes at final flush); no deadlock.
+        let mut c = OutputCache::new(50);
+        let ch = c.access(&key(0, 0), 500);
+        assert_eq!(ch, SpillCharge::default());
+        assert_eq!(c.resident_bytes(), 500);
+    }
+
+    #[test]
+    fn zero_capacity_spills_everything_else() {
+        let mut c = OutputCache::new(0);
+        c.access(&key(0, 0), 10);
+        let ch = c.access(&key(1, 0), 10);
+        assert_eq!(ch.spill_writes, 10);
+        let ch = c.access(&key(0, 0), 10);
+        assert_eq!(ch.refill_reads, 10);
+    }
+}
+
+
+#[cfg(test)]
+mod finish_tests {
+    use super::*;
+
+    #[test]
+    fn single_segment_spill_is_final() {
+        let mut c = OutputCache::new(100);
+        c.access(&vec![0], 90);
+        c.access(&vec![1], 90); // evicts tile 0 (one segment)
+        let fin = c.finish();
+        // Tile 0 was spilled once and never revisited: no merge read, no
+        // rewrite. Tile 1 is resident: one final write.
+        assert_eq!(fin.merge_reads, 0);
+        assert_eq!(fin.final_writes, 90);
+    }
+
+    #[test]
+    fn multi_segment_spill_needs_merge() {
+        let mut c = OutputCache::new(100);
+        c.access(&vec![0], 90);
+        c.access(&vec![1], 90); // spill tile 0 (segment 1)
+        c.access(&vec![0], 90); // refill tile 0, spill tile 1
+        c.access(&vec![1], 90); // refill tile 1, spill tile 0 (segment 1 again — it merged on refill)
+        c.access(&vec![0], 30); // refill tile 0 (180 bytes), spill tile 1
+        // Now spill tile 0 again while keeping some residue of it resident:
+        let fin = c.finish();
+        // Tile 1 has a single spilled segment (final), tile 0 is resident.
+        assert_eq!(fin.merge_reads, 0);
+        assert!(fin.final_writes >= 180 + 30);
+    }
+}

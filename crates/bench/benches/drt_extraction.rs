@@ -1,0 +1,64 @@
+//! Criterion micro-benchmark: DRT tile-extraction throughput — how fast
+//! one `plan_tile` call (Algorithms 1 & 2) forms a task's tiles, and how
+//! fast a full task stream covers a kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drt_core::config::{DrtConfig, GrowthOrder, Partitions};
+use drt_core::drt::plan_tile;
+use drt_core::kernel::Kernel;
+use drt_core::taskgen::TaskStream;
+use drt_workloads::patterns::{diamond_band, unstructured};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench_plan_tile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_tile");
+    for (label, a) in [
+        ("banded-2k", diamond_band(2048, 40_000, 1)),
+        ("powerlaw-2k", unstructured(2048, 2048, 40_000, 2.0, 1)),
+    ] {
+        let kernel = Kernel::spmspm(&a, &a, (32, 32)).expect("kernel");
+        let parts = Partitions::split(256 * 1024, &[("A", 0.05), ("B", 0.45), ("Z", 0.5)]);
+        let region: BTreeMap<char, std::ops::Range<u32>> =
+            kernel.ranks().into_iter().map(|r| (r, 0..64u32)).collect();
+        for growth in [GrowthOrder::ContractedFirst, GrowthOrder::Alternating] {
+            let cfg = DrtConfig::new(parts.clone()).with_growth(growth);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{growth:?}"), label),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        plan_tile(
+                            black_box(&kernel),
+                            &['j', 'k', 'i'],
+                            black_box(&region),
+                            &BTreeMap::new(),
+                            cfg,
+                        )
+                        .expect("plan")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_task_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_stream");
+    group.sample_size(10);
+    let a = unstructured(2048, 2048, 60_000, 2.0, 2);
+    let kernel = Kernel::spmspm(&a, &a, (32, 32)).expect("kernel");
+    let parts = Partitions::split(512 * 1024, &[("A", 0.05), ("B", 0.45), ("Z", 0.5)]);
+    group.bench_function("full_kernel_drt", |b| {
+        b.iter(|| {
+            TaskStream::drt(black_box(&kernel), &['j', 'k', 'i'], DrtConfig::new(parts.clone()))
+                .expect("stream")
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_tile, bench_task_stream);
+criterion_main!(benches);

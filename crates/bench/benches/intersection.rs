@@ -1,0 +1,33 @@
+//! Criterion micro-benchmark: coordinate-intersection algorithms
+//! (two-finger vs galloping) across fiber-length skews — the primitive
+//! behind every intersection-unit cycle model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drt_tensor::intersect::{gallop, two_finger};
+use std::hint::black_box;
+
+fn fibers(long: usize, short: usize) -> (Vec<u32>, Vec<u32>) {
+    let a: Vec<u32> = (0..long as u32).map(|x| x * 3).collect();
+    let step = (long / short.max(1)).max(1) as u32;
+    let b: Vec<u32> = (0..short as u32).map(|x| x * 3 * step).collect();
+    (a, b)
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersection");
+    for &(long, short) in &[(10_000usize, 10_000usize), (10_000, 1_000), (10_000, 100)] {
+        let (a, b) = fibers(long, short);
+        group.throughput(Throughput::Elements((long + short) as u64));
+        let label = format!("{long}x{short}");
+        group.bench_with_input(BenchmarkId::new("two_finger", &label), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| two_finger(black_box(a), black_box(b)))
+        });
+        group.bench_with_input(BenchmarkId::new("gallop", &label), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| gallop(black_box(a), black_box(b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersection);
+criterion_main!(benches);

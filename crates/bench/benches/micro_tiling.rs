@@ -1,0 +1,38 @@
+//! Criterion micro-benchmark: micro-grid construction (the S-U-C
+//! pre-processing DRT shares with prior schemes) and region queries (the
+//! Aggregate step's primitive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drt_core::micro::MicroGrid;
+use drt_workloads::patterns::unstructured;
+use std::hint::black_box;
+
+fn bench_grid_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_grid_build");
+    group.sample_size(10);
+    for nnz in [50_000usize, 200_000] {
+        let a = unstructured(8192, 8192, nnz, 2.0, 4);
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(nnz), &a, |b, a| {
+            b.iter(|| MicroGrid::from_matrix(black_box(a), (32, 32)).expect("grid"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_region_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region_stats");
+    let a = unstructured(8192, 8192, 200_000, 2.0, 5);
+    let grid = MicroGrid::from_matrix(&a, (32, 32)).expect("grid");
+    let full = grid.grid_dims()[0];
+    for frac in [4u32, 16, 64] {
+        let span = (full / frac).max(1);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("1/{frac}")), &span, |b, &span| {
+            b.iter(|| grid.region_stats(black_box(&[0..span, 0..span])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_build, bench_region_stats);
+criterion_main!(benches);

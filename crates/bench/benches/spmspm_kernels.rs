@@ -1,0 +1,36 @@
+//! Criterion micro-benchmark: the three reference SpMSpM dataflows
+//! (row-wise Gustavson, inner-product, outer-product) on banded and
+//! power-law matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drt_kernels::spmspm::{gustavson, inner_product, outer_product};
+use drt_workloads::patterns::{diamond_band, unstructured};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmspm");
+    group.sample_size(10);
+    for (label, a) in [
+        ("banded-1k", diamond_band(1024, 20_000, 3)),
+        ("powerlaw-1k", unstructured(1024, 1024, 20_000, 2.0, 3)),
+    ] {
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("gustavson", label), &a, |b, a| {
+            b.iter(|| gustavson(black_box(a), black_box(a)))
+        });
+        group.bench_with_input(BenchmarkId::new("outer_product", label), &a, |b, a| {
+            b.iter(|| outer_product(black_box(a), black_box(a)))
+        });
+        // Inner product visits every candidate output point; keep it to the
+        // banded case where fibers are clustered.
+        if label.starts_with("banded") {
+            group.bench_with_input(BenchmarkId::new("inner_product", label), &a, |b, a| {
+                b.iter(|| inner_product(black_box(a), black_box(a)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Figure 6: ExTensor, ExTensor-OP, and ExTensor-OP-DRT speedup over the
+//! CPU MKL-like baseline on the square SpMSpM workload (S², B = A), with
+//! DRAM-bound oracle performance (the red dots). Workloads are grouped
+//! diamond-band first, then unstructured, each by increasing density.
+
+use drt_bench::{banner, emit_json, geomean, BenchOpts, JsonVal};
+use drt_workloads::suite::{Catalog, PatternClass};
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner("Figure 6: speedup over CPU (S^2)", &opts);
+    let hier = opts.hierarchy();
+    let cpu = opts.cpu();
+
+    let workloads: Vec<_> = if opts.quick {
+        Catalog::sweep_subset()
+    } else {
+        Catalog::figure6_order()
+    };
+
+    println!(
+        "\n{:<18} {:>9} {:>12} {:>14} {:>17} {:>14}",
+        "workload", "group", "ExTensor", "ExTensor-OP", "ExTensor-OP-DRT", "DRT red dot"
+    );
+    let (mut s_ext, mut s_op, mut s_drt) = (Vec::new(), Vec::new(), Vec::new());
+    for entry in &workloads {
+        let a = entry.generate(opts.scale, opts.seed);
+        let base = drt_accel::cpu::run_mkl_like(&a, &a, &cpu);
+        let ext = drt_accel::extensor::run_extensor(&a, &a, &hier).expect("extensor");
+        let op = drt_accel::extensor::run_extensor_op(&a, &a, &hier).expect("op");
+        let drt = drt_accel::extensor::run_tactile(&a, &a, &hier).expect("tactile");
+        // Functional cross-check (the paper's MKL validation).
+        assert!(
+            drt.output
+                .as_ref()
+                .expect("functional")
+                .approx_eq(base.output.as_ref().expect("functional"), 1e-6),
+            "{}: accelerator output diverges from CPU",
+            entry.name
+        );
+        let group = match entry.class {
+            PatternClass::DiamondBand => "band",
+            PatternClass::Unstructured => "unstr",
+        };
+        let red_dot = base.seconds / drt.dram_bound_seconds(&hier);
+        println!(
+            "{:<18} {:>9} {:>12.2} {:>14.2} {:>17.2} {:>14.2}",
+            entry.name,
+            group,
+            ext.speedup_over(&base),
+            op.speedup_over(&base),
+            drt.speedup_over(&base),
+            red_dot
+        );
+        emit_json(
+            &opts,
+            &[
+                ("figure", JsonVal::S("fig06".into())),
+                ("workload", JsonVal::S(entry.name.to_string())),
+                ("extensor", JsonVal::F(ext.speedup_over(&base))),
+                ("extensor_op", JsonVal::F(op.speedup_over(&base))),
+                ("extensor_op_drt", JsonVal::F(drt.speedup_over(&base))),
+                ("drt_dram_bound", JsonVal::F(red_dot)),
+            ],
+        );
+        s_ext.push(ext.speedup_over(&base));
+        s_op.push(op.speedup_over(&base));
+        s_drt.push(drt.speedup_over(&base));
+    }
+    let (ge, go, gd) = (geomean(&s_ext), geomean(&s_op), geomean(&s_drt));
+    println!(
+        "\n{:<18} {:>9} {:>12.2} {:>14.2} {:>17.2}",
+        "geomean", "", ge, go, gd
+    );
+    println!(
+        "\nExTensor-OP-DRT vs ExTensor-OP: {:.2}x | vs ExTensor: {:.2}x  (paper: 1.7x / 2.4x)",
+        gd / go,
+        gd / ge
+    );
+}

@@ -1,0 +1,79 @@
+//! Figure 10: portability to other dataflows (Study 2). Top: OuterSPACE
+//! untiled / S-U-C / DRT. Bottom: MatRaptor untiled / S-U-C / DRT.
+//! Speedups are over each untiled baseline, with DRAM-bound behaviour
+//! idealized (per the paper's §5.2.2 methodology).
+
+use drt_bench::{banner, emit_json, geomean, BenchOpts, JsonVal};
+use drt_workloads::suite::Catalog;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner("Figure 10: OuterSPACE and MatRaptor with S-U-C / DRT tiling (S^2)", &opts);
+    let hier = opts.hierarchy();
+
+    let workloads: Vec<_> = if opts.quick {
+        Catalog::sweep_subset()
+    } else {
+        Catalog::figure6_order()
+    };
+
+    for family in ["OuterSPACE", "MatRaptor"] {
+        println!("\n--- {family} ---");
+        println!(
+            "{:<18} {:>12} {:>12} {:>14} {:>14}",
+            "workload", "SUC speedup", "DRT speedup", "SUC AI gain", "DRT AI gain"
+        );
+        let (mut s_suc, mut s_drt, mut ai_suc, mut ai_drt) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for entry in &workloads {
+            let a = entry.generate(opts.scale, opts.seed);
+            let (untiled, suc, drt) = match family {
+                "OuterSPACE" => (
+                    drt_accel::outerspace::run_untiled(&a, &a, &hier),
+                    drt_accel::outerspace::run_suc(&a, &a, &hier).expect("suc"),
+                    drt_accel::outerspace::run_drt(&a, &a, &hier).expect("drt"),
+                ),
+                _ => (
+                    drt_accel::matraptor::run_untiled(&a, &a, &hier),
+                    drt_accel::matraptor::run_suc(&a, &a, &hier).expect("suc"),
+                    drt_accel::matraptor::run_drt(&a, &a, &hier).expect("drt"),
+                ),
+            };
+            let row = (
+                suc.speedup_over(&untiled),
+                drt.speedup_over(&untiled),
+                suc.arithmetic_intensity() / untiled.arithmetic_intensity(),
+                drt.arithmetic_intensity() / untiled.arithmetic_intensity(),
+            );
+            println!(
+                "{:<18} {:>12.2} {:>12.2} {:>14.2} {:>14.2}",
+                entry.name, row.0, row.1, row.2, row.3
+            );
+            emit_json(
+                &opts,
+                &[
+                    ("figure", JsonVal::S("fig10".into())),
+                    ("family", JsonVal::S(family.into())),
+                    ("workload", JsonVal::S(entry.name.to_string())),
+                    ("suc_speedup", JsonVal::F(row.0)),
+                    ("drt_speedup", JsonVal::F(row.1)),
+                ],
+            );
+            s_suc.push(row.0);
+            s_drt.push(row.1);
+            ai_suc.push(row.2);
+            ai_drt.push(row.3);
+        }
+        println!(
+            "geomean: SUC {:.2}x, DRT {:.2}x speedup | AI gain SUC {:.2}x, DRT {:.2}x{}",
+            geomean(&s_suc),
+            geomean(&s_drt),
+            geomean(&ai_suc),
+            geomean(&ai_drt),
+            match family {
+                "OuterSPACE" => "  (paper AI: 3x / 5.1x; speedup 5.1x DRT)",
+                _ => "  (paper speedup: 1.6x DRT)",
+            }
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 13 and §6.5: area breakdown of ExTensor-OP-DRT and the area
+//! overhead of adding DRT to the baseline design.
+
+use drt_bench::{banner, emit_json, BenchOpts, JsonVal};
+use drt_sim::energy::AreaModel;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner("Figure 13: ExTensor-OP-DRT area breakdown", &opts);
+
+    let base = AreaModel::extensor();
+    let drt = AreaModel::extensor_op_drt();
+
+    println!("\n{:<18} {:>12} {:>16}", "unit", "area (mm^2)", "fraction of die");
+    for (name, area) in drt.breakdown() {
+        println!("{:<18} {:>12.4} {:>16.3e}", name, area, drt.fraction_of(&name));
+        emit_json(
+            &opts,
+            &[
+                ("figure", JsonVal::S("fig13".into())),
+                ("unit", JsonVal::S(name.clone())),
+                ("area_mm2", JsonVal::F(area)),
+                ("fraction", JsonVal::F(drt.fraction_of(&name))),
+            ],
+        );
+    }
+    let overhead = drt.total_mm2() / base.total_mm2() - 1.0;
+    let non_buffer = drt.total_mm2() - drt.breakdown()[0].1;
+    let te = drt
+        .breakdown()
+        .iter()
+        .find(|(n, _)| n == "Tile Extractors")
+        .map(|&(_, a)| a)
+        .unwrap_or(0.0);
+    println!("\ntotal die area: {:.2} mm^2", drt.total_mm2());
+    println!("global buffer share: {:.4} (paper: 99.75%)", drt.fraction_of("Global Buffer"));
+    println!("tile extractor share of non-buffer area: {:.3} (paper: 45%)", te / non_buffer);
+    println!("die-area overhead vs ExTensor: {:.3}% (paper: ~0.1%)", overhead * 100.0);
+}

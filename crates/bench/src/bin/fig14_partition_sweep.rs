@@ -1,0 +1,85 @@
+//! Figure 14: LLB buffer-partition sweep — geomean runtime as the A/B/O
+//! allocation shares vary (B-stationary dataflow; O gets the remainder).
+
+use drt_bench::{banner, emit_json, geomean, BenchOpts, JsonVal};
+use drt_core::config::{DrtConfig, Partitions};
+use drt_workloads::suite::Catalog;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner("Figure 14: A/B/O partition sweep (geomean runtime, ms)", &opts);
+    let hier = opts.hierarchy();
+    let llb = hier.llb.capacity_bytes;
+
+    let workloads: Vec<_> = if opts.quick {
+        Catalog::sweep_subset().into_iter().take(2).collect()
+    } else {
+        Catalog::sweep_subset()
+    };
+    let matrices: Vec<_> =
+        workloads.iter().map(|e| e.generate(opts.scale, opts.seed)).collect();
+
+    let steps: Vec<f64> = if opts.quick {
+        vec![0.1, 0.3, 0.5, 0.7]
+    } else {
+        vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    };
+
+    println!("\n{:>6} {:>6} {:>6} {:>14}", "A %", "B %", "O %", "runtime (ms)");
+    let mut best: Option<(f64, f64, f64, f64)> = None;
+    for &fa in &steps {
+        for &fb in &steps {
+            if fa + fb >= 1.0 {
+                continue;
+            }
+            let fo = 1.0 - fa - fb;
+            let parts = Partitions::split(llb, &[("A", fa), ("B", fb), ("Z", fo)]);
+            let mut times = Vec::new();
+            let mut feasible = true;
+            for a in &matrices {
+                match drt_accel::extensor::run_tactile_custom(
+                    a,
+                    a,
+                    &hier,
+                    DrtConfig::new(parts.clone()),
+                    (32, 32),
+                ) {
+                    Ok(r) => times.push(r.seconds * 1e3),
+                    Err(_) => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                println!("{:>6.0} {:>6.0} {:>6.0} {:>14}", fa * 100.0, fb * 100.0, fo * 100.0, "infeasible");
+                continue;
+            }
+            let g = geomean(&times);
+            println!("{:>6.0} {:>6.0} {:>6.0} {:>14.4}", fa * 100.0, fb * 100.0, fo * 100.0, g);
+            emit_json(
+                &opts,
+                &[
+                    ("figure", JsonVal::S("fig14".into())),
+                    ("a_share", JsonVal::F(fa)),
+                    ("b_share", JsonVal::F(fb)),
+                    ("o_share", JsonVal::F(fo)),
+                    ("runtime_ms", JsonVal::F(g)),
+                ],
+            );
+            if best.is_none() || g < best.expect("set").3 {
+                best = Some((fa, fb, fo, g));
+            }
+        }
+    }
+    if let Some((fa, fb, fo, g)) = best {
+        println!(
+            "\nbest: A {:.0}% / B {:.0}% / O {:.0}% at {:.4} ms",
+            fa * 100.0,
+            fb * 100.0,
+            fo * 100.0,
+            g
+        );
+        println!("(paper: small A allocations with B >= 30% and enough O space perform best)");
+    }
+}

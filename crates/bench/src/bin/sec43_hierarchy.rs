@@ -1,0 +1,56 @@
+//! Section 4.3 / Figure 5: the two-level hierarchy in numbers — macro
+//! tiles crossing DRAM → LLB, PE sub-tasks fanning out from each, and the
+//! LLB-level reuse factor (bytes served on chip per DRAM byte fetched).
+
+use drt_bench::{banner, emit_json, BenchOpts, JsonVal};
+use drt_workloads::suite::Catalog;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner("Section 4.3: hierarchical DRT (DRAM -> LLB -> PE)", &opts);
+    let hier = opts.hierarchy();
+
+    let workloads: Vec<_> = if opts.quick {
+        Catalog::sweep_subset().into_iter().take(2).collect()
+    } else {
+        Catalog::sweep_subset()
+    };
+
+    println!(
+        "\n{:<20} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "workload", "macro tiles", "PE subtasks", "DRAM (KB)", "LLB (KB)", "reuse"
+    );
+    for entry in &workloads {
+        let a = entry.generate(opts.scale, opts.seed);
+        // Micro tiles sized so one fits the scaled PE-buffer partitions
+        // (configuration-time choice, as in §5.2.4).
+        let micro = if opts.scale > 16 { (4, 4) } else if opts.scale > 8 { (8, 8) } else { (32, 32) };
+        match drt_accel::hier2::analyze_two_level(&a, &a, &hier, micro) {
+            Ok(r) => {
+                println!(
+                    "{:<20} {:>12} {:>12} {:>12.1} {:>12.1} {:>9.2}x",
+                    entry.name,
+                    r.macro_tiles,
+                    r.pe_subtasks,
+                    r.dram_bytes as f64 / 1e3,
+                    r.llb_bytes as f64 / 1e3,
+                    r.reuse_factor
+                );
+                emit_json(
+                    &opts,
+                    &[
+                        ("figure", JsonVal::S("sec43".into())),
+                        ("workload", JsonVal::S(entry.name.to_string())),
+                        ("macro_tiles", JsonVal::U(r.macro_tiles)),
+                        ("pe_subtasks", JsonVal::U(r.pe_subtasks)),
+                        ("dram_bytes", JsonVal::U(r.dram_bytes)),
+                        ("llb_bytes", JsonVal::U(r.llb_bytes)),
+                        ("reuse", JsonVal::F(r.reuse_factor)),
+                    ],
+                );
+            }
+            Err(e) => println!("{:<20} infeasible at this scale: {e}", entry.name),
+        }
+    }
+    println!("\n(reuse > 1: each DRAM byte is served to PEs multiple times from the LLB — the hierarchy's point)");
+}

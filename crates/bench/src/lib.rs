@@ -1,0 +1,168 @@
+//! # drt-bench — the paper-reproduction harness
+//!
+//! One binary per table/figure of the paper's evaluation (Section 6),
+//! each printing the same rows/series the paper reports. Run with:
+//!
+//! ```text
+//! cargo run -p drt-bench --release --bin fig06_spmspm_square -- --scale 16
+//! ```
+//!
+//! Common flags (parsed by [`BenchOpts::from_args`]):
+//!
+//! * `--scale N` — divide every matrix's linear dimensions and non-zero
+//!   count by `N` (buffers and LLC shrink proportionally so the regimes
+//!   match the paper's); `--scale 1` runs full-size Table 3 matrices.
+//! * `--seed S` — workload-generation seed.
+//! * `--json` — additionally emit machine-readable JSON rows.
+//! * `--quick` — shrink workload lists for smoke runs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use drt_accel::cpu::CpuSpec;
+use drt_sim::memory::HierarchySpec;
+use std::fmt::Write as _;
+
+/// Common command-line options shared by all bench binaries.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Workload down-scaling factor (1 = paper-size).
+    pub scale: u32,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Emit JSON rows in addition to the table.
+    pub json: bool,
+    /// Smoke-run mode: fewer workloads / sweep points.
+    pub quick: bool,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts { scale: 16, seed: 42, json: false, quick: false }
+    }
+}
+
+impl BenchOpts {
+    /// Parse from `std::env::args` (unknown flags are ignored).
+    pub fn from_args() -> BenchOpts {
+        let mut opts = BenchOpts::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.scale = v;
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.seed = v;
+                        i += 1;
+                    }
+                }
+                "--json" => opts.json = true,
+                "--quick" => opts.quick = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The accelerator hierarchy at this scale (buffers shrink with the
+    /// workloads so the capacity regimes match the paper's).
+    pub fn hierarchy(&self) -> HierarchySpec {
+        HierarchySpec::default().scaled_down(self.scale as u64)
+    }
+
+    /// The CPU baseline at this scale.
+    pub fn cpu(&self) -> CpuSpec {
+        CpuSpec::default().scaled_down(self.scale as u64)
+    }
+}
+
+/// Geometric mean of positive finite values (the paper's summary
+/// statistic).
+pub fn geomean(xs: &[f64]) -> f64 {
+    let vals: Vec<f64> = xs.iter().copied().filter(|&x| x > 0.0 && x.is_finite()).collect();
+    if vals.is_empty() {
+        return 0.0;
+    }
+    (vals.iter().map(|x| x.ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+/// Print a figure/table banner.
+pub fn banner(title: &str, opts: &BenchOpts) {
+    println!("{}", "=".repeat(78));
+    println!("{title}");
+    println!(
+        "scale = {} | seed = {}{}",
+        opts.scale,
+        opts.seed,
+        if opts.quick { " | quick" } else { "" }
+    );
+    println!("{}", "=".repeat(78));
+}
+
+/// A JSON scalar for machine-readable rows (hand-rolled so the harness
+/// stays dependency-free).
+#[derive(Debug, Clone)]
+pub enum JsonVal {
+    /// A string value.
+    S(String),
+    /// A float value.
+    F(f64),
+    /// An unsigned integer value.
+    U(u64),
+}
+
+/// Emit one machine-readable row when `--json` was passed.
+pub fn emit_json(opts: &BenchOpts, fields: &[(&str, JsonVal)]) {
+    if !opts.json {
+        return;
+    }
+    let mut s = String::from("JSON {");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = match v {
+            JsonVal::S(x) => write!(s, "\"{k}\": \"{}\"", x.replace('"', "\\\"")),
+            JsonVal::F(x) => write!(s, "\"{k}\": {x}"),
+            JsonVal::U(x) => write!(s, "\"{k}\": {x}"),
+        };
+    }
+    s.push('}');
+    println!("{s}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, f64::INFINITY, 0.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_hierarchy_shrinks_buffers() {
+        let o = BenchOpts { scale: 16, ..BenchOpts::default() };
+        let h = o.hierarchy();
+        assert_eq!(h.llb.capacity_bytes, 30 * 1024 * 1024 / 16);
+        let c = o.cpu();
+        assert_eq!(c.llc_bytes, 30 * 1024 * 1024 / 16);
+    }
+
+    #[test]
+    fn default_opts_sane() {
+        let o = BenchOpts::default();
+        assert!(o.scale >= 1);
+        assert!(!o.json);
+    }
+}

@@ -1,0 +1,604 @@
+//! The dynamic reflexive tiling algorithm (paper Algorithms 1 and 2).
+//!
+//! One call to [`plan_tile`] forms the tiles of a single Einsum task:
+//! starting from small initial tile sizes, it grows each tensor's
+//! dimensions — most-stationary tensor first — until each tensor's macro
+//! tile fills its buffer partition, respecting *co-tiling constraints*
+//! (once a tensor's rank is sized, every later tensor sharing that rank
+//! must span the same coordinate range) and *pinned* ranks whose size was
+//! fixed by an outer loop iteration (a stationary tensor's tile stays
+//! resident across an inner-loop sweep).
+//!
+//! All growth happens at micro-tile granularity (paper §3.2.1): tile sizes
+//! and base points are expressed in *grid units*, and footprints are read
+//! from the footprint-augmented micro-tile metadata — never by
+//! introspecting tile contents.
+//!
+//! The fallback path (Algorithm 1 line 13) triggers when a tensor cannot
+//! fit even a minimal tile under its pinned constraints: the pinned range
+//! is subdivided (halved repeatedly) along the tensor's innermost pinned
+//! rank, and the plan reports [`TilePlan::partial_rank`] so the task
+//! generator can stream the remainder as extra tasks while the stationary
+//! tensor stays resident.
+
+use crate::config::{DrtConfig, GrowthOrder};
+use crate::kernel::Kernel;
+use crate::micro::RegionStats;
+use crate::{CoreError, RankId};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Per-tensor result of one tiling call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileStats {
+    /// Tensor name (matches the kernel binding and partition key).
+    pub name: String,
+    /// Non-zeros in the macro tile.
+    pub nnz: u64,
+    /// Bytes of micro-tile data + intra-micro-tile metadata.
+    pub data_bytes: u64,
+    /// Bytes of macro-tile metadata (coordinates, footprints, pointers,
+    /// segments — Figure 5).
+    pub macro_meta_bytes: u64,
+    /// Occupied micro tiles collected into the macro tile.
+    pub micro_tiles: u64,
+    /// Grid rows spanned along the tensor's outermost dimension.
+    pub outer_rows: u64,
+}
+
+impl TileStats {
+    /// Total buffer footprint of the macro tile.
+    pub fn footprint(&self) -> u64 {
+        self.data_bytes + self.macro_meta_bytes
+    }
+}
+
+/// Work counters of the extraction process (consumed by the extractor
+/// latency model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractionTrace {
+    /// Metadata words the Aggregate step read while measuring regions.
+    pub meta_words: u64,
+    /// Successful dimension-grow steps.
+    pub grow_steps: u32,
+    /// Rejected grow attempts (buffer-overflow reversals, Figure 3c's ✗).
+    pub rejected_grows: u32,
+    /// Fallback subdivisions (Algorithm 1 line 13).
+    pub fallbacks: u32,
+}
+
+/// The tiles chosen for one Einsum task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilePlan {
+    /// Chosen range per rank, in grid units.
+    pub grid_ranges: BTreeMap<RankId, Range<u32>>,
+    /// Chosen range per rank, in coordinates.
+    pub coord_ranges: BTreeMap<RankId, Range<u32>>,
+    /// Per-input-tensor tile statistics, in kernel input order.
+    pub tiles: Vec<TileStats>,
+    /// Extraction work counters.
+    pub trace: ExtractionTrace,
+    /// When the fallback subdivided a pinned rank, the rank whose chosen
+    /// range is shorter than its pinned size; the task generator must
+    /// re-issue the remainder.
+    pub partial_rank: Option<RankId>,
+}
+
+impl TilePlan {
+    /// Tile stats for a tensor by name.
+    pub fn tile(&self, name: &str) -> Option<&TileStats> {
+        self.tiles.iter().find(|t| t.name == name)
+    }
+
+    /// Whether every input tile is empty (task can be skipped).
+    pub fn is_empty_task(&self) -> bool {
+        self.tiles.iter().any(|t| t.nnz == 0)
+    }
+}
+
+/// One DRT invocation (Algorithm 1).
+///
+/// * `region` — per rank, the grid-unit window this call may tile within;
+///   the task's base point is each range's start. For top-level tiling this
+///   is `0..grid_extent`; hierarchical tiling passes a parent tile's range.
+/// * `pinned` — per rank, a size (grid units) fixed by an outer loop level.
+///
+/// # Example
+///
+/// ```rust
+/// use drt_core::config::{DrtConfig, Partitions};
+/// use drt_core::drt::plan_tile;
+/// use drt_core::kernel::Kernel;
+/// use drt_workloads::patterns::unstructured;
+/// use std::collections::BTreeMap;
+///
+/// # fn main() -> Result<(), drt_core::CoreError> {
+/// let a = unstructured(64, 64, 400, 2.0, 1);
+/// let kernel = Kernel::spmspm(&a, &a, (8, 8))?;
+/// let cfg = DrtConfig::new(Partitions::split(4096, &[("A", 0.3), ("B", 0.5), ("Z", 0.2)]));
+/// let region: BTreeMap<char, _> = kernel
+///     .ranks()
+///     .into_iter()
+///     .map(|r| (r, 0..kernel.extent(r).div_ceil(kernel.micro_step(r))))
+///     .collect();
+/// let plan = plan_tile(&kernel, &['j', 'k', 'i'], &region, &BTreeMap::new(), &cfg)?;
+/// // Each tensor's tile fits its partition, and shared ranks are co-tiled.
+/// for tile in &plan.tiles {
+///     assert!(tile.footprint() <= cfg.partitions.get(&tile.name));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CoreError::TileTooLarge`] when some tensor's minimal
+/// (one-micro-tile-per-free-rank) tile exceeds its partition even after
+/// subdividing pinned ranks to a single micro tile, and
+/// [`CoreError::BadLoopOrder`] for invalid orders.
+pub fn plan_tile(
+    kernel: &Kernel,
+    loop_order: &[RankId],
+    region: &BTreeMap<RankId, Range<u32>>,
+    pinned: &BTreeMap<RankId, u32>,
+    config: &DrtConfig,
+) -> Result<TilePlan, CoreError> {
+    kernel.validate_loop_order(loop_order)?;
+    let mut trace = ExtractionTrace::default();
+
+    // Working state, all in grid units.
+    let mut sizes: BTreeMap<RankId, u32> = BTreeMap::new();
+    let mut constrained: BTreeMap<RankId, bool> = BTreeMap::new();
+    for &r in &kernel.ranks() {
+        let reg = region
+            .get(&r)
+            .cloned()
+            .unwrap_or(0..grid_extent(kernel, r));
+        let avail = reg.end.saturating_sub(reg.start).max(1);
+        let init = match pinned.get(&r) {
+            Some(&p) => p.min(avail),
+            None => {
+                let coords = config.initial_sizes.get(&r).copied();
+                let units = coords
+                    .map(|c| c.div_ceil(kernel.micro_step(r)).max(1))
+                    .unwrap_or(1);
+                units.min(avail)
+            }
+        };
+        sizes.insert(r, init);
+        constrained.insert(r, pinned.contains_key(&r));
+    }
+    let mut partial_rank: Option<RankId> = None;
+
+    let order = kernel.stationarity_order(loop_order);
+    for &ti in &order {
+        let binding = &kernel.inputs()[ti];
+        let partition = config.partitions.get(&binding.name);
+
+        // --- loadNextTile: ensure the tensor fits at current sizes. ---
+        loop {
+            let stats = measure(kernel, ti, region, &sizes);
+            trace.meta_words += stats.meta_words;
+            let foot = footprint_of(binding, &stats, outer_rows(kernel, ti, &sizes));
+            if foot <= partition {
+                break;
+            }
+            // Shrink this tensor's own unconstrained ranks to minimum first.
+            let mut shrunk = false;
+            for &r in &binding.ranks {
+                if !constrained[&r] && sizes[&r] > 1 {
+                    sizes.insert(r, 1);
+                    shrunk = true;
+                }
+            }
+            if shrunk {
+                continue;
+            }
+            // Fallback (Alg. 1 line 13): subdivide the innermost pinned /
+            // constrained rank of this tensor.
+            let victim = loop_order
+                .iter()
+                .rev()
+                .copied()
+                .find(|r| binding.ranks.contains(r) && sizes[r] > 1);
+            match victim {
+                Some(r) => {
+                    trace.fallbacks += 1;
+                    sizes.insert(r, sizes[&r] / 2);
+                    if pinned.contains_key(&r) {
+                        partial_rank = Some(r);
+                    }
+                }
+                None => {
+                    let stats = measure(kernel, ti, region, &sizes);
+                    return Err(CoreError::TileTooLarge {
+                        tensor: binding.name.clone(),
+                        needed: footprint_of(binding, &stats, outer_rows(kernel, ti, &sizes)),
+                        partition,
+                    });
+                }
+            }
+        }
+
+        // --- growDims (Algorithm 2). ---
+        grow_dims(kernel, ti, loop_order, region, &mut sizes, &mut constrained, config, &mut trace);
+
+        // Co-tiling: every rank of this tensor becomes a constraint for
+        // later tensors.
+        for &r in &binding.ranks {
+            constrained.insert(r, true);
+        }
+    }
+
+    // Assemble the plan.
+    let mut grid_ranges = BTreeMap::new();
+    let mut coord_ranges = BTreeMap::new();
+    for &r in &kernel.ranks() {
+        let reg_start = region.get(&r).map(|x| x.start).unwrap_or(0);
+        let gr = reg_start..reg_start + sizes[&r];
+        let step = kernel.micro_step(r);
+        let extent = kernel.extent(r);
+        coord_ranges.insert(r, (gr.start * step)..(gr.end.saturating_mul(step)).min(extent));
+        grid_ranges.insert(r, gr);
+    }
+    let mut tiles = Vec::with_capacity(kernel.inputs().len());
+    for (ti, binding) in kernel.inputs().iter().enumerate() {
+        let stats = measure(kernel, ti, region, &sizes);
+        let rows = outer_rows(kernel, ti, &sizes);
+        tiles.push(TileStats {
+            name: binding.name.clone(),
+            nnz: stats.nnz,
+            data_bytes: stats.data_bytes,
+            macro_meta_bytes: binding.grid.macro_meta_bytes(stats.micro_tiles, rows),
+            micro_tiles: stats.micro_tiles,
+            outer_rows: rows,
+        });
+    }
+    Ok(TilePlan { grid_ranges, coord_ranges, tiles, trace, partial_rank })
+}
+
+/// Algorithm 2: grow a tensor's unconstrained dimensions until its buffer
+/// partition is full.
+#[allow(clippy::too_many_arguments)]
+fn grow_dims(
+    kernel: &Kernel,
+    ti: usize,
+    loop_order: &[RankId],
+    region: &BTreeMap<RankId, Range<u32>>,
+    sizes: &mut BTreeMap<RankId, u32>,
+    constrained: &mut BTreeMap<RankId, bool>,
+    config: &DrtConfig,
+    trace: &mut ExtractionTrace,
+) {
+    let binding = &kernel.inputs()[ti];
+    let partition = config.partitions.get(&binding.name);
+    let avail = |r: RankId| -> u32 {
+        let reg = region.get(&r).cloned().unwrap_or(0..grid_extent(kernel, r));
+        reg.end.saturating_sub(reg.start).max(1)
+    };
+
+    // Current accumulated footprint.
+    let mut cur = measure(kernel, ti, region, sizes);
+    trace.meta_words += cur.meta_words;
+
+    // Dimension visit order.
+    let mut dims: Vec<RankId> = binding.ranks.clone();
+    dims.sort_by_key(|&r| {
+        let contracted = kernel.is_contracted(r);
+        let pos = loop_order.iter().position(|&x| x == r).unwrap_or(usize::MAX);
+        (!contracted, pos)
+    });
+
+    let try_grow = |r: RankId,
+                        sizes: &mut BTreeMap<RankId, u32>,
+                        cur: &mut RegionStats,
+                        trace: &mut ExtractionTrace|
+     -> bool {
+        // Returns false when this dimension can no longer grow.
+        let old = sizes[&r];
+        if old >= avail(r) {
+            return false;
+        }
+        let new = (old + config.grow_step).min(avail(r));
+        // Measure only the delta slab along r.
+        let slab = measure_slab(kernel, ti, region, sizes, r, old..new);
+        trace.meta_words += slab.meta_words;
+        let grown = *cur + slab;
+        let rows = if binding.ranks[0] == r { new as u64 } else { sizes[&binding.ranks[0]] as u64 };
+        let foot = grown.data_bytes + binding.grid.macro_meta_bytes(grown.micro_tiles, rows);
+        if foot <= partition {
+            sizes.insert(r, new);
+            *cur = grown;
+            trace.grow_steps += 1;
+            true
+        } else {
+            trace.rejected_grows += 1;
+            false
+        }
+    };
+
+    match config.growth {
+        GrowthOrder::ContractedFirst => {
+            for &r in &dims {
+                if constrained[&r] {
+                    continue;
+                }
+                // Grow this dimension to exhaustion, then move on
+                // (Algorithm 2's fallback `continue`).
+                while try_grow(r, sizes, &mut cur, trace) {}
+                constrained.insert(r, true);
+            }
+        }
+        GrowthOrder::Alternating => {
+            let mut active: Vec<RankId> = dims.iter().copied().filter(|r| !constrained[r]).collect();
+            while !active.is_empty() {
+                active.retain(|&r| try_grow(r, sizes, &mut cur, trace));
+            }
+            for &r in &dims {
+                constrained.insert(r, true);
+            }
+        }
+    }
+}
+
+/// Grid extent of a rank (micro tiles along it).
+fn grid_extent(kernel: &Kernel, r: RankId) -> u32 {
+    kernel.extent(r).div_ceil(kernel.micro_step(r)).max(1)
+}
+
+/// Region stats of tensor `ti`'s tile at the given sizes.
+fn measure(
+    kernel: &Kernel,
+    ti: usize,
+    region: &BTreeMap<RankId, Range<u32>>,
+    sizes: &BTreeMap<RankId, u32>,
+) -> RegionStats {
+    let binding = &kernel.inputs()[ti];
+    let ranges: Vec<Range<u32>> = binding
+        .ranks
+        .iter()
+        .map(|&r| {
+            let start = region.get(&r).map(|x| x.start).unwrap_or(0);
+            start..start + sizes[&r]
+        })
+        .collect();
+    binding.grid.region_stats(&ranges)
+}
+
+/// Region stats of only the slab added when rank `r` grows from
+/// `delta.start` to `delta.end` (sizes of other ranks unchanged).
+fn measure_slab(
+    kernel: &Kernel,
+    ti: usize,
+    region: &BTreeMap<RankId, Range<u32>>,
+    sizes: &BTreeMap<RankId, u32>,
+    r: RankId,
+    delta: Range<u32>,
+) -> RegionStats {
+    let binding = &kernel.inputs()[ti];
+    let ranges: Vec<Range<u32>> = binding
+        .ranks
+        .iter()
+        .map(|&d| {
+            let start = region.get(&d).map(|x| x.start).unwrap_or(0);
+            if d == r {
+                start + delta.start..start + delta.end
+            } else {
+                start..start + sizes[&d]
+            }
+        })
+        .collect();
+    binding.grid.region_stats(&ranges)
+}
+
+fn outer_rows(kernel: &Kernel, ti: usize, sizes: &BTreeMap<RankId, u32>) -> u64 {
+    let binding = &kernel.inputs()[ti];
+    sizes[&binding.ranks[0]] as u64
+}
+
+fn footprint_of(binding: &crate::kernel::TensorBinding, stats: &RegionStats, rows: u64) -> u64 {
+    stats.data_bytes + binding.grid.macro_meta_bytes(stats.micro_tiles, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Partitions;
+    use drt_tensor::{CooMatrix, CsMatrix, MajorAxis};
+    use drt_workloads::patterns::{diamond_band, unstructured};
+
+    fn figure3_kernel(micro: u32) -> Kernel {
+        // The 4x4 matrices of Figure 3a: A and B with the shaded pattern.
+        let a = CsMatrix::from_coo(
+            &CooMatrix::from_triplets(
+                4,
+                4,
+                vec![(0, 0, 0.5), (2, 0, 0.2), (3, 0, 0.7)],
+            )
+            .expect("ok"),
+            MajorAxis::Row,
+        );
+        let b = CsMatrix::from_coo(
+            &CooMatrix::from_triplets(
+                4,
+                4,
+                vec![(0, 0, 0.3), (2, 0, 0.1), (2, 1, 0.8), (0, 3, 1.1)],
+            )
+            .expect("ok"),
+            MajorAxis::Row,
+        );
+        Kernel::spmspm(&a, &b, (micro, micro)).expect("valid")
+    }
+
+    fn full_region(k: &Kernel) -> BTreeMap<RankId, Range<u32>> {
+        k.ranks().into_iter().map(|r| (r, 0..grid_extent(k, r))).collect()
+    }
+
+    #[test]
+    fn grows_until_partition_full() {
+        // Scalar-granularity micro tiles (1x1) mimic Figure 3's example.
+        let k = figure3_kernel(1);
+        // Generous partitions: tiles grow to the whole tensor.
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 10_000), ("B", 10_000), ("Z", 0)]));
+        let plan =
+            plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg).expect("plan");
+        assert_eq!(plan.coord_ranges[&'k'], 0..4);
+        assert_eq!(plan.coord_ranges[&'j'], 0..4);
+        assert_eq!(plan.coord_ranges[&'i'], 0..4);
+        assert_eq!(plan.tile("A").expect("A tiled").nnz, 3);
+        assert_eq!(plan.tile("B").expect("B tiled").nnz, 4);
+        assert!(plan.trace.grow_steps > 0);
+    }
+
+    #[test]
+    fn tight_partition_limits_growth() {
+        let k = figure3_kernel(1);
+        // B's partition fits ~2 non-zeros of data+meta; growth must stop early.
+        // One 1x1 micro tile with 1 nnz costs (1+1)*4 + 12 = 20 data bytes
+        // plus macro meta (16 per tile + segments).
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 90), ("B", 90), ("Z", 0)]));
+        let plan =
+            plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg).expect("plan");
+        let b = plan.tile("B").expect("B tiled");
+        assert!(b.footprint() <= 90, "B footprint {} within partition", b.footprint());
+        let a = plan.tile("A").expect("A tiled");
+        assert!(a.footprint() <= 90, "A footprint {} within partition", a.footprint());
+        assert!(plan.trace.rejected_grows > 0, "growth stopped by capacity");
+    }
+
+    #[test]
+    fn co_tiling_shares_contracted_range() {
+        // Whatever K range B chose, A must use the same one: verified by
+        // construction (single k entry in coord_ranges) — and A's stats are
+        // measured over exactly that range.
+        let a = unstructured(64, 64, 500, 2.0, 1);
+        let b = unstructured(64, 64, 500, 2.0, 2);
+        let k = Kernel::spmspm(&a, &b, (4, 4)).expect("valid");
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 2000), ("B", 2000), ("Z", 0)]));
+        let plan =
+            plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg).expect("plan");
+        let kr = plan.coord_ranges[&'k'].clone();
+        // A's counted nnz equals a direct count over (i-range × k-range).
+        let ir = plan.coord_ranges[&'i'].clone();
+        let expected = a.nnz_in_rect(ir, kr);
+        assert_eq!(plan.tile("A").expect("A tiled").nnz, expected as u64);
+    }
+
+    #[test]
+    fn pinned_ranks_are_respected() {
+        let k = figure3_kernel(1);
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 10_000), ("B", 10_000), ("Z", 0)]));
+        let pinned = BTreeMap::from([('k', 2u32), ('j', 1u32)]);
+        let plan = plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &pinned, &cfg).expect("plan");
+        assert_eq!(plan.grid_ranges[&'k'], 0..2);
+        assert_eq!(plan.grid_ranges[&'j'], 0..1);
+        // i is free and grows to the extent.
+        assert_eq!(plan.grid_ranges[&'i'], 0..4);
+        assert!(plan.partial_rank.is_none());
+    }
+
+    #[test]
+    fn sparse_regions_allow_larger_coordinate_tiles() {
+        // The headline claim: with the same buffer, DRT's coordinate range
+        // over a sparse region exceeds the worst-case-dense S-U-C shape.
+        let m = unstructured(256, 256, 700, 2.0, 3); // ~1% dense
+        let k = Kernel::spmspm(&m, &m, (8, 8)).expect("valid");
+        let cfg =
+            DrtConfig::new(Partitions::from_bytes(&[("A", 4096), ("B", 4096), ("Z", 0)]));
+        let plan =
+            plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg).expect("plan");
+        // Worst-case dense 8x8-micro-tile count for 4096 bytes:
+        // dense micro tile = (8+1)*4 + 64*12 = 804 bytes → ~5 micro tiles.
+        // DRT should cover far more grid area than 5 tiles' worth.
+        let covered = plan.grid_ranges[&'k'].len() as u64 * plan.grid_ranges[&'j'].len() as u64;
+        assert!(covered > 16, "covered {covered} grid cells; expected sparsity-aware growth");
+        let b = plan.tile("B").expect("B tiled");
+        assert!(b.footprint() <= 4096);
+    }
+
+    #[test]
+    fn minimal_tile_too_large_is_an_error() {
+        let m = diamond_band(64, 2048, 1); // dense band: micro tiles well filled
+        let k = Kernel::spmspm(&m, &m, (16, 16)).expect("valid");
+        // 10-byte partition cannot hold any micro tile.
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 10), ("B", 10), ("Z", 0)]));
+        let err = plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg);
+        assert!(matches!(err, Err(CoreError::TileTooLarge { .. })));
+    }
+
+    #[test]
+    fn fallback_subdivides_pinned_rank() {
+        // B gets a huge tile pinned; A's partition is tiny, so loading A
+        // under the pinned k range must subdivide k and mark the plan
+        // partial.
+        let a = diamond_band(64, 2000, 5);
+        let b = diamond_band(64, 2000, 6);
+        let k = Kernel::spmspm(&a, &b, (4, 4)).expect("valid");
+        let mut cfg =
+            DrtConfig::new(Partitions::from_bytes(&[("A", 600), ("B", 100_000), ("Z", 0)]));
+        cfg.grow_step = 4;
+        let pinned = BTreeMap::from([('k', 16u32), ('j', 16u32)]);
+        let plan = plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &pinned, &cfg).expect("plan");
+        assert_eq!(plan.partial_rank, Some('k'));
+        assert!(plan.grid_ranges[&'k'].len() < 16);
+        assert!(plan.tile("A").expect("A tiled").footprint() <= 600);
+        assert!(plan.trace.fallbacks > 0);
+    }
+
+    #[test]
+    fn alternating_growth_produces_squarer_tiles() {
+        let m = unstructured(256, 256, 2000, 2.0, 7);
+        let k = Kernel::spmspm(&m, &m, (8, 8)).expect("valid");
+        let parts = Partitions::from_bytes(&[("A", 3000), ("B", 3000), ("Z", 0)]);
+        let greedy = plan_tile(
+            &k,
+            &['j', 'k', 'i'],
+            &full_region(&k),
+            &BTreeMap::new(),
+            &DrtConfig::new(parts.clone()),
+        )
+        .expect("plan");
+        let alt = plan_tile(
+            &k,
+            &['j', 'k', 'i'],
+            &full_region(&k),
+            &BTreeMap::new(),
+            &DrtConfig::new(parts).with_growth(GrowthOrder::Alternating),
+        )
+        .expect("plan");
+        let aspect = |p: &TilePlan| {
+            let kk = p.grid_ranges[&'k'].len() as f64;
+            let jj = p.grid_ranges[&'j'].len() as f64;
+            (kk / jj).max(jj / kk)
+        };
+        assert!(
+            aspect(&alt) <= aspect(&greedy),
+            "alternating ({:.2}) should be no more elongated than greedy ({:.2})",
+            aspect(&alt),
+            aspect(&greedy)
+        );
+    }
+
+    #[test]
+    fn initial_size_is_respected_as_floor() {
+        let k = figure3_kernel(1);
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 10_000), ("B", 10_000), ("Z", 0)]))
+            .with_initial_size('j', 3);
+        let plan =
+            plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg).expect("plan");
+        assert!(plan.grid_ranges[&'j'].len() >= 3);
+    }
+
+    #[test]
+    fn region_offsets_tile_subwindows() {
+        let m = unstructured(64, 64, 400, 2.0, 8);
+        let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 50_000), ("B", 50_000), ("Z", 0)]));
+        let region = BTreeMap::from([('i', 4u32..12u32), ('k', 8..16), ('j', 0..16)]);
+        let plan = plan_tile(&k, &['j', 'k', 'i'], &region, &BTreeMap::new(), &cfg).expect("plan");
+        assert!(plan.grid_ranges[&'i'].start == 4 && plan.grid_ranges[&'i'].end <= 12);
+        assert!(plan.grid_ranges[&'k'].start == 8 && plan.grid_ranges[&'k'].end <= 16);
+        // Coordinate ranges are grid ranges × micro step.
+        assert_eq!(plan.coord_ranges[&'i'].start, 16);
+    }
+}

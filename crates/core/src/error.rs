@@ -1,0 +1,102 @@
+use crate::RankId;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for tiling configuration and planning failures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A single micro tile of a tensor does not fit its buffer partition —
+    /// the configuration cannot make progress.
+    TileTooLarge {
+        /// Tensor whose minimal tile overflows.
+        tensor: String,
+        /// Footprint of the minimal (one-micro-tile) macro tile, in bytes.
+        needed: u64,
+        /// The tensor's buffer partition, in bytes.
+        partition: u64,
+    },
+    /// Two tensors bind the same rank with different micro-tile steps, so
+    /// co-tiling at micro granularity is impossible.
+    InconsistentMicroStep {
+        /// The shared rank.
+        rank: RankId,
+        /// The two conflicting steps.
+        steps: (u32, u32),
+    },
+    /// Two tensors bind the same rank with different coordinate extents.
+    InconsistentExtent {
+        /// The shared rank.
+        rank: RankId,
+        /// The two conflicting extents.
+        extents: (u32, u32),
+    },
+    /// The requested loop order does not cover every rank of the kernel
+    /// exactly once.
+    BadLoopOrder {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A configuration value is invalid (zero partition, missing tensor,
+    /// zero micro tile, …).
+    BadConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An S-U-C tile shape violates the worst-case-dense capacity rule.
+    ShapeOverflowsBuffer {
+        /// Tensor whose dense tile overflows.
+        tensor: String,
+        /// Worst-case dense footprint of the requested shape, in bytes.
+        dense_footprint: u64,
+        /// The tensor's buffer partition, in bytes.
+        partition: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::TileTooLarge { tensor, needed, partition } => write!(
+                f,
+                "minimal tile of tensor {tensor} needs {needed} bytes but its partition is {partition} bytes"
+            ),
+            CoreError::InconsistentMicroStep { rank, steps } => write!(
+                f,
+                "rank {rank} is bound with micro steps {} and {}, which cannot co-tile",
+                steps.0, steps.1
+            ),
+            CoreError::InconsistentExtent { rank, extents } => write!(
+                f,
+                "rank {rank} is bound with extents {} and {}",
+                extents.0, extents.1
+            ),
+            CoreError::BadLoopOrder { detail } => write!(f, "invalid loop order: {detail}"),
+            CoreError::BadConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            CoreError::ShapeOverflowsBuffer { tensor, dense_footprint, partition } => write!(
+                f,
+                "static tile shape of {tensor} has worst-case dense footprint {dense_footprint} bytes, over its {partition}-byte partition"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let e = CoreError::TileTooLarge { tensor: "A".into(), needed: 4096, partition: 1024 };
+        let s = e.to_string();
+        assert!(s.contains("4096") && s.contains("1024") && s.contains('A'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,236 @@
+//! Hierarchical tiling: DRT applied at multiple S-DOP levels.
+//!
+//! The accelerator template (paper Figure 4) has a tile extractor in every
+//! sparse data-orchestration partition: the DRAM-level extractor breaks
+//! tensors into macro tiles for the global buffer, the global-buffer-level
+//! extractor breaks those into sub-tiles for the PE buffers, and so on
+//! ("DRT can be applied hierarchically to achieve locality/load balance at
+//! different levels in the memory hierarchy", §3.2.1).
+//!
+//! [`TwoLevelStream`] composes two [`crate::taskgen::TaskStream`]s: an
+//! outer stream over the whole kernel, and — per outer task — an inner
+//! stream restricted to the outer task's region with smaller partitions.
+//! Deeper hierarchies compose the same way.
+
+use crate::config::DrtConfig;
+use crate::kernel::Kernel;
+use crate::taskgen::{Task, TaskStream};
+use crate::{CoreError, RankId};
+
+/// One outer task together with the inner tasks that subdivide it.
+#[derive(Debug, Clone)]
+pub struct HierarchicalTask {
+    /// The macro tile chosen at the outer level (e.g. DRAM → LLB).
+    pub outer: Task,
+    /// The sub-tiles the inner level carved it into (e.g. LLB → PE).
+    pub inner: Vec<Task>,
+}
+
+impl HierarchicalTask {
+    /// Inner tasks per outer task — the parallel work the distributor can
+    /// hand to PEs.
+    pub fn fan_out(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+/// Two-level hierarchical task generator.
+#[derive(Debug)]
+pub struct TwoLevelStream<'k> {
+    kernel: &'k Kernel,
+    outer: TaskStream<'k>,
+    inner_order: Vec<RankId>,
+    inner_config: DrtConfig,
+    inner_emitted: u64,
+    inner_skipped: u64,
+}
+
+impl<'k> TwoLevelStream<'k> {
+    /// Builds a two-level DRT stream.
+    ///
+    /// `outer_config`'s partitions describe the upper buffer (e.g. the
+    /// LLB); `inner_config`'s the lower one (e.g. a PE buffer). The loop
+    /// orders may differ — the paper's example uses `J → K → I` from DRAM
+    /// to LLB but `K → I → J` from LLB to PEs (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the preflight errors of [`TaskStream::drt`] for either
+    /// level (a micro tile must fit the *inner* partitions too).
+    pub fn drt(
+        kernel: &'k Kernel,
+        outer_order: &[RankId],
+        outer_config: DrtConfig,
+        inner_order: &[RankId],
+        inner_config: DrtConfig,
+    ) -> Result<TwoLevelStream<'k>, CoreError> {
+        kernel.validate_loop_order(inner_order)?;
+        // Inner preflight: the densest micro tile must fit the inner
+        // partitions or no sub-tiling can make progress.
+        for b in kernel.inputs() {
+            let minimal = b.grid.max_tile_footprint() as u64 + b.grid.macro_meta_bytes(1, 1);
+            let partition = inner_config.partitions.get(&b.name);
+            if minimal > partition {
+                return Err(CoreError::TileTooLarge {
+                    tensor: b.name.clone(),
+                    needed: minimal,
+                    partition,
+                });
+            }
+        }
+        let outer = TaskStream::drt(kernel, outer_order, outer_config)?;
+        Ok(TwoLevelStream {
+            kernel,
+            outer,
+            inner_order: inner_order.to_vec(),
+            inner_config,
+            inner_emitted: 0,
+            inner_skipped: 0,
+        })
+    }
+
+    /// Inner tasks emitted so far across all outer tasks.
+    pub fn inner_emitted(&self) -> u64 {
+        self.inner_emitted
+    }
+
+    /// Inner tasks skipped as empty so far.
+    pub fn inner_skipped(&self) -> u64 {
+        self.inner_skipped
+    }
+
+    /// Outer tasks emitted so far.
+    pub fn outer_emitted(&self) -> u64 {
+        self.outer.emitted()
+    }
+}
+
+impl Iterator for TwoLevelStream<'_> {
+    type Item = Result<HierarchicalTask, CoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let outer = self.outer.next()?;
+        let mut inner_stream = match TaskStream::drt_in_region(
+            self.kernel,
+            &self.inner_order,
+            self.inner_config.clone(),
+            &outer.plan.grid_ranges,
+        ) {
+            Ok(s) => s,
+            Err(e) => return Some(Err(e)),
+        };
+        let inner: Vec<Task> = (&mut inner_stream).collect();
+        self.inner_emitted += inner_stream.emitted();
+        self.inner_skipped += inner_stream.skipped_empty();
+        Some(Ok(HierarchicalTask { outer, inner }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Partitions;
+    use drt_workloads::patterns::{diamond_band, unstructured};
+    use std::collections::BTreeSet;
+
+    fn streams(
+        a: &drt_tensor::CsMatrix,
+        llb: u64,
+        pe: u64,
+    ) -> (Kernel, DrtConfig, DrtConfig) {
+        let kernel = Kernel::spmspm(a, a, (4, 4)).expect("kernel");
+        let shares: [(&str, f64); 3] = [("A", 0.25), ("B", 0.5), ("Z", 0.25)];
+        (
+            kernel,
+            DrtConfig::new(Partitions::split(llb, &shares)),
+            DrtConfig::new(Partitions::split(pe, &shares)),
+        )
+    }
+
+    #[test]
+    fn inner_tasks_tile_each_outer_task_exactly() {
+        let a = diamond_band(64, 1500, 1);
+        let (kernel, outer_cfg, inner_cfg) = streams(&a, 64 * 1024, 2 * 1024);
+        let stream = TwoLevelStream::drt(&kernel, &['j', 'k', 'i'], outer_cfg, &['k', 'i', 'j'], inner_cfg)
+            .expect("two-level");
+        let mut saw_fan_out = false;
+        for h in stream {
+            let h = h.expect("inner stream");
+            let mut covered: BTreeSet<(u32, u32, u32)> = BTreeSet::new();
+            let mut cells = 0u64;
+            for t in &h.inner {
+                for i in t.plan.grid_ranges[&'i'].clone() {
+                    for k in t.plan.grid_ranges[&'k'].clone() {
+                        for j in t.plan.grid_ranges[&'j'].clone() {
+                            assert!(covered.insert((i, k, j)), "inner overlap");
+                            cells += 1;
+                        }
+                    }
+                }
+                // Inner ranges stay inside the outer tile.
+                for (&r, range) in &t.plan.grid_ranges {
+                    let o = &h.outer.plan.grid_ranges[&r];
+                    assert!(range.start >= o.start && range.end <= o.end, "inner escapes outer");
+                }
+            }
+            let outer_cells: u64 = kernel
+                .ranks()
+                .iter()
+                .map(|r| h.outer.plan.grid_ranges[r].len() as u64)
+                .product();
+            // Coverage is exact up to skipped-empty inner tasks.
+            assert!(cells <= outer_cells);
+            if h.fan_out() > 1 {
+                saw_fan_out = true;
+            }
+        }
+        assert!(saw_fan_out, "small PE buffers must force sub-tiling");
+    }
+
+    #[test]
+    fn inner_tiles_respect_pe_partitions() {
+        let a = unstructured(96, 96, 900, 2.0, 2);
+        let (kernel, outer_cfg, inner_cfg) = streams(&a, 32 * 1024, 1024);
+        let pe_parts = inner_cfg.partitions.clone();
+        let stream = TwoLevelStream::drt(&kernel, &['j', 'k', 'i'], outer_cfg, &['k', 'i', 'j'], inner_cfg)
+            .expect("two-level");
+        for h in stream {
+            for t in h.expect("inner stream").inner {
+                for tile in &t.plan.tiles {
+                    assert!(
+                        tile.footprint() <= pe_parts.get(&tile.name),
+                        "{} sub-tile of {} bytes over PE partition",
+                        tile.name,
+                        tile.footprint()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preflight_rejects_impossible_pe_buffers() {
+        let a = diamond_band(32, 600, 3);
+        let (kernel, outer_cfg, _) = streams(&a, 32 * 1024, 0);
+        let inner_cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 4), ("B", 4), ("Z", 4)]));
+        assert!(matches!(
+            TwoLevelStream::drt(&kernel, &['j', 'k', 'i'], outer_cfg, &['k', 'i', 'j'], inner_cfg),
+            Err(CoreError::TileTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let a = unstructured(48, 48, 300, 2.0, 4);
+        let (kernel, outer_cfg, inner_cfg) = streams(&a, 16 * 1024, 1024);
+        let mut stream =
+            TwoLevelStream::drt(&kernel, &['j', 'k', 'i'], outer_cfg, &['k', 'i', 'j'], inner_cfg)
+                .expect("two-level");
+        let mut inner_total = 0u64;
+        for h in &mut stream {
+            inner_total += h.expect("inner stream").inner.len() as u64;
+        }
+        assert_eq!(stream.inner_emitted(), inner_total);
+        assert!(stream.outer_emitted() > 0);
+    }
+}

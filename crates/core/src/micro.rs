@@ -1,0 +1,531 @@
+//! Micro-tile grids: S-U-C pre-tiling with footprint-augmented metadata.
+//!
+//! DRT coarsens its search to *micro tiles* (paper §3.2.1/§4.1): the tensor
+//! is statically pre-tiled into uniform coordinate-space micro tiles, and
+//! the `T-[uc]+` metadata is augmented with each micro tile's footprint
+//! (Figure 5's "micro tile sizes" array). The tile extractor then counts a
+//! candidate macro tile's footprint by scanning only this per-micro-tile
+//! metadata — never the micro tiles' own contents.
+//!
+//! [`MicroGrid`] stores exactly that metadata: the occupied micro tiles in
+//! lexicographic grid order, each with its occupancy and footprint, indexed
+//! by the outermost grid dimension for fast slab queries.
+
+use crate::CoreError;
+use drt_tensor::format::SizeModel;
+use drt_tensor::{CsMatrix, CsfTensor};
+use std::ops::Range;
+
+/// How each micro tile's own contents are represented.
+///
+/// The paper's software study stores micro tiles as plain `T-UC` (CSR),
+/// whose uncompressed segment array dominates nearly-empty tiles — the
+/// Figure 11 red-circled outliers pay over 8× metadata overhead, and the
+/// paper notes "we expect a T-CC representation will resolve this".
+/// [`MicroFormat::Adaptive`] is that resolution: each micro tile uses
+/// whichever of `T-UC` and `T-CC` is smaller for its occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MicroFormat {
+    /// Plain CSR/CSF micro tiles: full segment array per tile.
+    Uc,
+    /// Doubly compressed micro tiles: coordinates per non-zero only.
+    Cc,
+    /// Per-tile minimum of the two (the hardware configurations).
+    #[default]
+    Adaptive,
+}
+
+/// Occupancy/footprint/cost summary of a grid region.
+///
+/// Returned by [`MicroGrid::region_stats`]; accumulates with `+`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Non-zeros inside the region.
+    pub nnz: u64,
+    /// Sum of micro-tile footprints (bytes of data + intra-micro-tile
+    /// metadata) inside the region.
+    pub data_bytes: u64,
+    /// Number of occupied micro tiles inside the region.
+    pub micro_tiles: u64,
+    /// Metadata words the Aggregate unit reads to measure the region
+    /// (segment + coordinate + footprint words).
+    pub meta_words: u64,
+}
+
+impl std::ops::Add for RegionStats {
+    type Output = RegionStats;
+
+    fn add(self, rhs: RegionStats) -> RegionStats {
+        RegionStats {
+            nnz: self.nnz + rhs.nnz,
+            data_bytes: self.data_bytes + rhs.data_bytes,
+            micro_tiles: self.micro_tiles + rhs.micro_tiles,
+            meta_words: self.meta_words + rhs.meta_words,
+        }
+    }
+}
+
+impl std::ops::AddAssign for RegionStats {
+    fn add_assign(&mut self, rhs: RegionStats) {
+        *self = *self + rhs;
+    }
+}
+
+/// An N-dimensional micro-tile grid over one tensor.
+///
+/// Grid coordinates are *micro-tile units*: grid point `g` along dimension
+/// `d` covers tensor coordinates `g * micro[d] .. (g + 1) * micro[d]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroGrid {
+    dims: Vec<u32>,
+    micro: Vec<u32>,
+    grid_dims: Vec<u32>,
+    /// Flattened grid points of occupied micro tiles (`ndim` entries per
+    /// tile), sorted lexicographically.
+    coords: Vec<u32>,
+    occupancy: Vec<u32>,
+    footprint: Vec<u32>,
+    /// Index over the outermost grid dimension: tiles whose first grid
+    /// coordinate is `g` occupy positions `dim0_seg[g]..dim0_seg[g + 1]`.
+    dim0_seg: Vec<usize>,
+    total_nnz: u64,
+    size_model: SizeModel,
+    format: MicroFormat,
+}
+
+impl MicroGrid {
+    /// Pre-tile a matrix into `micro.0 × micro.1` micro tiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] when either micro dimension is zero.
+    pub fn from_matrix(m: &CsMatrix, micro: (u32, u32)) -> Result<MicroGrid, CoreError> {
+        Self::from_matrix_fmt(m, micro, MicroFormat::default())
+    }
+
+    /// Pre-tile a matrix with an explicit micro-tile representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] when either micro dimension is zero.
+    pub fn from_matrix_fmt(
+        m: &CsMatrix,
+        micro: (u32, u32),
+        format: MicroFormat,
+    ) -> Result<MicroGrid, CoreError> {
+        Self::from_points(
+            vec![m.nrows(), m.ncols()],
+            vec![micro.0, micro.1],
+            m.iter().map(|(r, c, _)| vec![r, c]),
+            m.nnz() as u64,
+            format,
+        )
+    }
+
+    /// Pre-tile an N-dimensional CSF tensor with the given micro shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] when `micro` has the wrong rank or a
+    /// zero entry.
+    pub fn from_csf(t: &CsfTensor, micro: &[u32]) -> Result<MicroGrid, CoreError> {
+        Self::from_csf_fmt(t, micro, MicroFormat::default())
+    }
+
+    /// Pre-tile an N-dimensional tensor with an explicit micro-tile
+    /// representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadConfig`] when `micro` has the wrong rank or
+    /// a zero entry.
+    pub fn from_csf_fmt(
+        t: &CsfTensor,
+        micro: &[u32],
+        format: MicroFormat,
+    ) -> Result<MicroGrid, CoreError> {
+        if micro.len() != t.ndim() {
+            return Err(CoreError::BadConfig {
+                detail: format!("micro shape has {} dims, tensor has {}", micro.len(), t.ndim()),
+            });
+        }
+        Self::from_points(
+            t.shape().to_vec(),
+            micro.to_vec(),
+            t.iter_points().map(|(p, _)| p),
+            t.nnz() as u64,
+            format,
+        )
+    }
+
+    fn from_points<I>(
+        dims: Vec<u32>,
+        micro: Vec<u32>,
+        points: I,
+        total_nnz: u64,
+        format: MicroFormat,
+    ) -> Result<MicroGrid, CoreError>
+    where
+        I: Iterator<Item = Vec<u32>>,
+    {
+        if micro.contains(&0) {
+            return Err(CoreError::BadConfig { detail: "micro tile dimensions must be positive".into() });
+        }
+        let ndim = dims.len();
+        let grid_dims: Vec<u32> =
+            dims.iter().zip(&micro).map(|(&d, &m)| d.div_ceil(m).max(1)).collect();
+        // Bucket points into micro tiles.
+        let mut keyed: Vec<Vec<u32>> = points
+            .map(|p| p.iter().zip(&micro).map(|(&c, &m)| c / m).collect())
+            .collect();
+        keyed.sort_unstable();
+        let size_model = SizeModel::default();
+        let mut coords = Vec::new();
+        let mut occupancy: Vec<u32> = Vec::new();
+        let mut footprint: Vec<u32> = Vec::new();
+        let mut i = 0usize;
+        while i < keyed.len() {
+            let mut j = i;
+            while j < keyed.len() && keyed[j] == keyed[i] {
+                j += 1;
+            }
+            coords.extend_from_slice(&keyed[i]);
+            let occ = (j - i) as u32;
+            occupancy.push(occ);
+            footprint.push(Self::micro_footprint(&micro, occ, &size_model, format) as u32);
+            i = j;
+        }
+        // dim0 index.
+        let ntiles = occupancy.len();
+        let mut dim0_seg = vec![0usize; grid_dims[0] as usize + 1];
+        for t in 0..ntiles {
+            dim0_seg[coords[t * ndim] as usize + 1] += 1;
+        }
+        for g in 0..grid_dims[0] as usize {
+            dim0_seg[g + 1] += dim0_seg[g];
+        }
+        Ok(MicroGrid {
+            dims,
+            micro,
+            grid_dims,
+            coords,
+            occupancy,
+            footprint,
+            dim0_seg,
+            total_nnz,
+            size_model,
+            format,
+        })
+    }
+
+    /// Footprint model of one micro tile holding `occ` non-zeros.
+    ///
+    /// 2-D micro tiles are stored as plain CSR (`T-UC`): a full segment
+    /// array over the micro rows plus coordinate/value pairs — this is the
+    /// metadata overhead Figure 11's outliers pay. Higher-order micro tiles
+    /// use a CSF-like cost of one coordinate per non-zero per inner level.
+    fn micro_footprint(micro: &[u32], occ: u32, sm: &SizeModel, format: MicroFormat) -> usize {
+        if occ == 0 {
+            return 0;
+        }
+        let occ = occ as usize;
+        let inner = (micro.len() - 1).max(1);
+        let uc = (micro[0] as usize + 1) * sm.seg_bytes + occ * (inner * sm.coord_bytes + sm.value_bytes);
+        // T-CC: one coordinate per dimension per non-zero plus a tiny
+        // per-tile header (root segment).
+        let cc = 2 * sm.seg_bytes + occ * (micro.len() * sm.coord_bytes + sm.value_bytes);
+        match format {
+            MicroFormat::Uc => uc,
+            MicroFormat::Cc => cc,
+            MicroFormat::Adaptive => uc.min(cc),
+        }
+    }
+
+    /// The micro-tile representation this grid was built with.
+    pub fn format(&self) -> MicroFormat {
+        self.format
+    }
+
+    /// Number of tensor dimensions.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Tensor coordinate extents.
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Micro-tile shape (coordinates per micro tile, per dimension).
+    pub fn micro_shape(&self) -> &[u32] {
+        &self.micro
+    }
+
+    /// Grid extents (micro tiles per dimension).
+    pub fn grid_dims(&self) -> &[u32] {
+        &self.grid_dims
+    }
+
+    /// Number of occupied micro tiles.
+    pub fn occupied_tiles(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// Total non-zeros in the tensor.
+    pub fn total_nnz(&self) -> u64 {
+        self.total_nnz
+    }
+
+    /// Sum of all micro-tile footprints (the tensor's tiled footprint).
+    pub fn total_data_bytes(&self) -> u64 {
+        self.footprint.iter().map(|&b| b as u64).sum()
+    }
+
+    /// Footprint of the densest occupied micro tile — the minimum buffer
+    /// partition that lets any tiling make progress.
+    pub fn max_tile_footprint(&self) -> u32 {
+        self.footprint.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Occupancy and footprint of the micro tile at `point` (grid units),
+    /// or `None` when that tile is empty.
+    pub fn tile_at(&self, point: &[u32]) -> Option<(u32, u32)> {
+        let ndim = self.ndim();
+        let (a, b) = self.dim0_row(point[0])?;
+        let row = &self.coords[a * ndim..b * ndim];
+        // Binary search over the remaining coordinates within the row.
+        let key = &point[1..];
+        let mut lo = 0usize;
+        let mut hi = b - a;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let t = &row[mid * ndim + 1..mid * ndim + ndim];
+            if t < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo < b - a && &row[lo * ndim + 1..lo * ndim + ndim] == key {
+            Some((self.occupancy[a + lo], self.footprint[a + lo]))
+        } else {
+            None
+        }
+    }
+
+    fn dim0_row(&self, g: u32) -> Option<(usize, usize)> {
+        if g >= self.grid_dims[0] {
+            return None;
+        }
+        Some((self.dim0_seg[g as usize], self.dim0_seg[g as usize + 1]))
+    }
+
+    /// Measure the region spanned by `ranges` (grid units, one range per
+    /// dimension) — the Aggregate unit's primitive.
+    ///
+    /// `meta_words` models what the extractor reads: two segment words per
+    /// outer grid row touched, plus a coordinate word and a footprint word
+    /// per occupied micro tile scanned in those rows (tiles outside the
+    /// inner ranges still cost coordinate reads while scanning in raster
+    /// order, bounded by a binary-search window per row).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ranges.len() != self.ndim()`.
+    pub fn region_stats(&self, ranges: &[Range<u32>]) -> RegionStats {
+        assert_eq!(ranges.len(), self.ndim(), "one grid range per dimension");
+        let ndim = self.ndim();
+        let mut stats = RegionStats::default();
+        let g_end = ranges[0].end.min(self.grid_dims[0]);
+        for g in ranges[0].start..g_end {
+            let (a, b) = match self.dim0_row(g) {
+                Some(r) => r,
+                None => continue,
+            };
+            stats.meta_words += 2; // outer segment reads
+            if a == b {
+                continue;
+            }
+            // Narrow by the second dimension via binary search (rows are
+            // sorted lexicographically on the remaining coordinates).
+            let (lo, hi) = if ndim >= 2 {
+                let row = &self.coords[a * ndim..b * ndim];
+                let n = b - a;
+                let lo = partition(n, |t| row[t * ndim + 1] < ranges[1].start);
+                let hi = partition(n, |t| row[t * ndim + 1] < ranges[1].end);
+                (a + lo, a + hi)
+            } else {
+                (a, b)
+            };
+            for t in lo..hi {
+                stats.meta_words += 2; // coordinate + footprint words
+                let tc = &self.coords[t * ndim..(t + 1) * ndim];
+                let inside =
+                    (2..ndim).all(|d| tc[d] >= ranges[d].start && tc[d] < ranges[d].end);
+                if inside {
+                    stats.nnz += self.occupancy[t] as u64;
+                    stats.data_bytes += self.footprint[t] as u64;
+                    stats.micro_tiles += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Bytes of *macro-tile* metadata needed to describe `micro_tiles` micro
+    /// tiles spanning `outer_rows` outer grid rows: per micro tile a
+    /// coordinate, a footprint word, and a pointer, plus the outer segment
+    /// array (Figure 5's macro-tile arrays).
+    pub fn macro_meta_bytes(&self, micro_tiles: u64, outer_rows: u64) -> u64 {
+        let sm = &self.size_model;
+        micro_tiles * (sm.coord_bytes as u64 + sm.coord_bytes as u64 + 8)
+            + (outer_rows + 1) * sm.seg_bytes as u64
+    }
+
+    /// Convert a coordinate range along dimension `d` into grid units
+    /// (inclusive of partially covered micro tiles).
+    pub fn grid_range(&self, d: usize, coords: Range<u32>) -> Range<u32> {
+        let m = self.micro[d];
+        (coords.start / m)..coords.end.div_ceil(m).min(self.grid_dims[d])
+    }
+
+    /// Convert a grid range along dimension `d` back into coordinates
+    /// (clamped to the tensor extent).
+    pub fn coord_range(&self, d: usize, grid: Range<u32>) -> Range<u32> {
+        let m = self.micro[d];
+        (grid.start * m)..(grid.end.saturating_mul(m)).min(self.dims[d])
+    }
+}
+
+fn partition(n: usize, pred: impl Fn(usize) -> bool) -> usize {
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_tensor::{CooMatrix, CooTensor, MajorAxis};
+
+    fn grid4() -> MicroGrid {
+        // Figure 3a's matrix A-like pattern on a 4x4 matrix, 2x2 micro tiles.
+        let coo = CooMatrix::from_triplets(
+            4,
+            4,
+            vec![(0, 1, 7.0), (0, 2, 1.0), (2, 0, 6.0), (2, 2, 12.0), (2, 3, 3.0), (3, 1, 10.0)],
+        )
+        .expect("ok");
+        let m = CsMatrix::from_coo(&coo, MajorAxis::Row);
+        MicroGrid::from_matrix(&m, (2, 2)).expect("valid micro shape")
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let g = grid4();
+        assert_eq!(g.grid_dims(), &[2, 2]);
+        assert_eq!(g.occupied_tiles(), 4);
+        assert_eq!(g.total_nnz(), 6);
+    }
+
+    #[test]
+    fn tile_at_reports_occupancy() {
+        let g = grid4();
+        assert_eq!(g.tile_at(&[0, 0]).expect("occupied").0, 1); // (0,1)
+        assert_eq!(g.tile_at(&[1, 1]).expect("occupied").0, 2); // (2,2),(2,3)
+        assert_eq!(g.tile_at(&[1, 0]).expect("occupied").0, 2); // (2,0),(3,1)
+        assert!(g.tile_at(&[5, 0]).is_none());
+    }
+
+    #[test]
+    fn region_stats_counts_nnz_exactly() {
+        let g = grid4();
+        let all = g.region_stats(&[0..2, 0..2]);
+        assert_eq!(all.nnz, 6);
+        assert_eq!(all.micro_tiles, 4);
+        let left = g.region_stats(&[0..2, 0..1]);
+        assert_eq!(left.nnz, 3);
+        let bottom_right = g.region_stats(&[1..2, 1..2]);
+        assert_eq!(bottom_right.nnz, 2);
+        let empty = g.region_stats(&[0..2, 5..9]);
+        assert_eq!(empty.nnz, 0);
+        assert_eq!(empty.micro_tiles, 0);
+    }
+
+    #[test]
+    fn region_stats_meta_cost_positive() {
+        let g = grid4();
+        let s = g.region_stats(&[0..2, 0..2]);
+        // 2 rows * 2 seg words + 4 tiles * 2 words.
+        assert_eq!(s.meta_words, 2 * 2 + 4 * 2);
+    }
+
+    #[test]
+    fn footprint_includes_micro_metadata() {
+        let g = grid4();
+        let (occ, bytes) = g.tile_at(&[0, 0]).expect("occupied");
+        assert_eq!(occ, 1);
+        // CSR micro tile: (2+1)*4 seg + 1*(4+8) = 24 bytes.
+        assert_eq!(bytes, 24);
+    }
+
+    #[test]
+    fn grid_and_coord_range_roundtrip() {
+        let g = grid4();
+        assert_eq!(g.grid_range(0, 0..3), 0..2);
+        assert_eq!(g.grid_range(1, 2..4), 1..2);
+        assert_eq!(g.coord_range(0, 0..1), 0..2);
+        assert_eq!(g.coord_range(1, 1..2), 2..4);
+    }
+
+    #[test]
+    fn csf_grid_counts_boxes() {
+        let mut coo = CooTensor::new(vec![8, 8, 8]);
+        coo.push(&[0, 0, 0], 1.0).expect("ok");
+        coo.push(&[0, 0, 1], 1.0).expect("ok");
+        coo.push(&[7, 7, 7], 1.0).expect("ok");
+        let t = CsfTensor::from_coo(coo);
+        let g = MicroGrid::from_csf(&t, &[2, 2, 2]).expect("valid");
+        assert_eq!(g.grid_dims(), &[4, 4, 4]);
+        assert_eq!(g.occupied_tiles(), 2);
+        assert_eq!(g.region_stats(&[0..1, 0..1, 0..1]).nnz, 2);
+        assert_eq!(g.region_stats(&[3..4, 3..4, 3..4]).nnz, 1);
+        assert_eq!(g.region_stats(&[0..4, 0..4, 0..4]).nnz, 3);
+        assert_eq!(g.tile_at(&[0, 0, 0]).expect("occupied").0, 2);
+    }
+
+    #[test]
+    fn rejects_zero_micro() {
+        let m = CsMatrix::zero(4, 4, MajorAxis::Row);
+        assert!(MicroGrid::from_matrix(&m, (0, 2)).is_err());
+    }
+
+    #[test]
+    fn ragged_edge_tiles_counted() {
+        // 5x5 matrix, 2x2 micro tiles → 3x3 grid with ragged edges.
+        let coo = CooMatrix::from_triplets(5, 5, vec![(4, 4, 1.0)]).expect("ok");
+        let m = CsMatrix::from_coo(&coo, MajorAxis::Row);
+        let g = MicroGrid::from_matrix(&m, (2, 2)).expect("valid");
+        assert_eq!(g.grid_dims(), &[3, 3]);
+        assert_eq!(g.region_stats(&[2..3, 2..3]).nnz, 1);
+        assert_eq!(g.coord_range(0, 2..3), 4..5);
+    }
+
+    #[test]
+    fn stats_accumulate_with_add() {
+        let g = grid4();
+        let a = g.region_stats(&[0..1, 0..2]);
+        let b = g.region_stats(&[1..2, 0..2]);
+        let sum = a + b;
+        assert_eq!(sum.nnz, 6);
+        assert_eq!(sum, g.region_stats(&[0..2, 0..2]));
+    }
+}

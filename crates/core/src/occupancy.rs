@@ -1,0 +1,163 @@
+//! Buffer-occupancy statistics across a task stream.
+//!
+//! The paper's central claim (§1, §3): DRT maximizes tile occupancy
+//! "subject to the buffer capacity" while "variation in occupancy across
+//! spatially distributed tiles is minimized". This module measures exactly
+//! that: per-task buffer-partition utilization (tile footprint ÷
+//! partition) and non-zero occupancy, summarized as mean / coefficient of
+//! variation per tensor.
+
+use crate::config::Partitions;
+use crate::taskgen::Task;
+use std::collections::BTreeMap;
+
+/// Utilization summary of one tensor's tiles across a task stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationStats {
+    /// Number of tiles observed.
+    pub tiles: u64,
+    /// Mean buffer-partition utilization in `[0, 1]`.
+    pub mean_utilization: f64,
+    /// Coefficient of variation of utilization (σ/μ; lower = steadier).
+    pub utilization_cv: f64,
+    /// Mean non-zeros per tile.
+    pub mean_nnz: f64,
+    /// Coefficient of variation of per-tile non-zeros.
+    pub nnz_cv: f64,
+}
+
+/// Accumulates per-tensor tile-utilization statistics from tasks.
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyProbe {
+    samples: BTreeMap<String, Vec<(f64, f64)>>, // (utilization, nnz)
+}
+
+impl OccupancyProbe {
+    /// An empty probe.
+    pub fn new() -> OccupancyProbe {
+        OccupancyProbe::default()
+    }
+
+    /// Record one task's tiles against the given partitions.
+    pub fn record(&mut self, task: &Task, partitions: &Partitions) {
+        for tile in &task.plan.tiles {
+            let cap = partitions.get(&tile.name);
+            if cap == 0 {
+                continue;
+            }
+            let util = tile.footprint() as f64 / cap as f64;
+            self.samples
+                .entry(tile.name.clone())
+                .or_default()
+                .push((util, tile.nnz as f64));
+        }
+    }
+
+    /// Summaries per tensor name, in name order.
+    pub fn stats(&self) -> BTreeMap<String, UtilizationStats> {
+        self.samples
+            .iter()
+            .map(|(name, xs)| {
+                let n = xs.len() as f64;
+                let mean = |sel: fn(&(f64, f64)) -> f64| -> f64 {
+                    xs.iter().map(sel).sum::<f64>() / n
+                };
+                let cv = |sel: fn(&(f64, f64)) -> f64, mu: f64| -> f64 {
+                    if mu == 0.0 {
+                        return 0.0;
+                    }
+                    let var = xs.iter().map(|x| (sel(x) - mu).powi(2)).sum::<f64>() / n;
+                    var.sqrt() / mu
+                };
+                let mu_u = mean(|x| x.0);
+                let mu_n = mean(|x| x.1);
+                (
+                    name.clone(),
+                    UtilizationStats {
+                        tiles: xs.len() as u64,
+                        mean_utilization: mu_u,
+                        utilization_cv: cv(|x| x.0, mu_u),
+                        mean_nnz: mu_n,
+                        nnz_cv: cv(|x| x.1, mu_n),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DrtConfig;
+    use crate::kernel::Kernel;
+    use crate::taskgen::TaskStream;
+    use drt_workloads::patterns::unstructured;
+    use std::collections::BTreeMap as Map;
+
+    fn probe_stream(stream: TaskStream<'_>, parts: &Partitions) -> Map<String, UtilizationStats> {
+        let mut probe = OccupancyProbe::new();
+        for t in stream {
+            probe.record(&t, parts);
+        }
+        probe.stats()
+    }
+
+    #[test]
+    fn drt_fills_buffers_fuller_and_steadier_than_suc() {
+        // The paper's core claim, measured: on irregular data, DRT's
+        // stationary-tensor tiles have higher mean utilization and lower
+        // occupancy variation than dense-safe static tiles.
+        let a = unstructured(256, 256, 2500, 2.0, 21);
+        let kernel = Kernel::spmspm(&a, &a, (8, 8)).expect("kernel");
+        let parts = Partitions::split(8 * 1024, &[("A", 0.25), ("B", 0.5), ("Z", 0.25)]);
+        let cfg = DrtConfig::new(parts.clone());
+
+        let drt = probe_stream(
+            TaskStream::drt(&kernel, &['j', 'k', 'i'], cfg.clone()).expect("drt"),
+            &parts,
+        );
+        // Largest dense-safe static shape: A's 2048-byte partition caps
+        // (i, k) at 8x8 (dense 804 B); B's 4096-byte partition allows
+        // j = 16 alongside k = 8 (dense 1572 B).
+        let sizes = Map::from([('i', 8u32), ('k', 8), ('j', 16)]);
+        let suc = probe_stream(
+            TaskStream::suc(&kernel, &['j', 'k', 'i'], cfg, &sizes).expect("suc"),
+            &parts,
+        );
+        let (db, sb) = (&drt["B"], &suc["B"]);
+        assert!(
+            db.mean_utilization > sb.mean_utilization * 2.0,
+            "DRT B utilization {:.3} should dwarf S-U-C's {:.3}",
+            db.mean_utilization,
+            sb.mean_utilization
+        );
+        assert!(
+            db.nnz_cv < sb.nnz_cv,
+            "DRT occupancy CV {:.3} should undercut S-U-C's {:.3}",
+            db.nnz_cv,
+            sb.nnz_cv
+        );
+    }
+
+    #[test]
+    fn utilization_never_exceeds_one_for_drt() {
+        let a = unstructured(128, 128, 900, 2.0, 22);
+        let kernel = Kernel::spmspm(&a, &a, (8, 8)).expect("kernel");
+        let parts = Partitions::split(6 * 1024, &[("A", 0.3), ("B", 0.5), ("Z", 0.2)]);
+        let mut probe = OccupancyProbe::new();
+        for t in TaskStream::drt(&kernel, &['j', 'k', 'i'], DrtConfig::new(parts.clone())).expect("drt") {
+            probe.record(&t, &parts);
+        }
+        for (name, s) in probe.stats() {
+            assert!(s.mean_utilization <= 1.0, "{name} over capacity on average");
+            assert!(s.tiles > 0);
+        }
+    }
+
+    #[test]
+    fn empty_probe_has_no_stats() {
+        let probe = OccupancyProbe::new();
+        assert!(probe.stats().is_empty());
+    }
+}

@@ -1,0 +1,164 @@
+//! Graph-analytics kernels built on SpMSpM — the application domain the
+//! paper's introduction motivates (triangle counting, Markov clustering,
+//! Jaccard similarity; paper §1 and §5.1.2).
+
+use crate::spmspm::gustavson;
+use drt_tensor::{CsMatrix, MajorAxis};
+
+/// Count triangles in an undirected graph given its (symmetric, zero
+/// -diagonal) adjacency matrix: `tri = Σ (A² ∘ A) / 6`.
+///
+/// Also returns the masked product `A² ∘ A` (the per-edge triangle-support
+/// matrix used by truss decompositions).
+///
+/// # Panics
+///
+/// Panics when `a` is not square.
+pub fn triangle_count(a: &CsMatrix) -> (u64, CsMatrix) {
+    assert_eq!(a.nrows(), a.ncols(), "adjacency matrix must be square");
+    let a2 = gustavson(a, a).z;
+    // Sample A² at A's pattern (the A² ∘ A mask).
+    let support = drt_tensor::ops::mask(&a2, a).expect("same shape by construction");
+    let total: f64 = support.values().iter().sum();
+    ((total / 6.0).round() as u64, support)
+}
+
+/// One expansion step of Markov clustering: `M ← normalize_cols(M²)`
+/// (the paper cites HipMCL's `S²` as a driving SpMSpM workload).
+///
+/// # Panics
+///
+/// Panics when `m` is not square.
+pub fn mcl_expand_step(m: &CsMatrix) -> CsMatrix {
+    assert_eq!(m.nrows(), m.ncols(), "MCL operates on square stochastic matrices");
+    let m2 = gustavson(m, m).z.to_major(MajorAxis::Col);
+    // Column-normalize.
+    let mut entries = Vec::with_capacity(m2.nnz());
+    for col in 0..m2.ncols() {
+        let f = m2.fiber(col);
+        let sum: f64 = f.values.iter().sum();
+        if sum == 0.0 {
+            continue;
+        }
+        for (&r, &v) in f.coords.iter().zip(f.values) {
+            entries.push((r, col, v / sum));
+        }
+    }
+    CsMatrix::from_entries(m2.nrows(), m2.ncols(), entries, MajorAxis::Row)
+}
+
+/// Pairwise Jaccard similarity of the rows of a Boolean feature matrix
+/// `F` (paper §5.1.2 motivates `F · Fᵀ` with Jaccard): for rows `u`, `v`,
+/// `J(u,v) = |u ∩ v| / |u ∪ v|`, returned as a sparse `rows × rows` matrix
+/// over pairs with non-empty intersection.
+///
+/// # Panics
+///
+/// Never panics for well-formed inputs.
+pub fn jaccard_rows(f: &CsMatrix) -> CsMatrix {
+    let f_rows = f.to_major(MajorAxis::Row);
+    let ft = f_rows.to_transposed().to_major(MajorAxis::Row);
+    // Intersection sizes come from the Boolean product F · Fᵀ.
+    let bool_entries: Vec<(u32, u32, f64)> =
+        f_rows.iter().map(|(r, c, _)| (r, c, 1.0)).collect();
+    let fb = CsMatrix::from_entries(f.nrows(), f.ncols(), bool_entries, MajorAxis::Row);
+    let ftb: Vec<(u32, u32, f64)> = ft.iter().map(|(r, c, _)| (r, c, 1.0)).collect();
+    let ftb = CsMatrix::from_entries(ft.nrows(), ft.ncols(), ftb, MajorAxis::Row);
+    let inter = gustavson(&fb, &ftb).z;
+    let deg: Vec<f64> = (0..f_rows.nrows()).map(|r| f_rows.fiber_len(r) as f64).collect();
+    let entries: Vec<(u32, u32, f64)> = inter
+        .iter()
+        .filter(|&(_, _, x)| x > 0.0)
+        .map(|(u, v, x)| {
+            let union = deg[u as usize] + deg[v as usize] - x;
+            (u, v, if union > 0.0 { x / union } else { 0.0 })
+        })
+        .collect();
+    CsMatrix::from_entries(inter.nrows(), inter.ncols(), entries, MajorAxis::Row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_tensor::CooMatrix;
+
+    fn undirected(n: u32, edges: &[(u32, u32)]) -> CsMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for &(u, v) in edges {
+            coo.push(u, v, 1.0).expect("in bounds");
+            coo.push(v, u, 1.0).expect("in bounds");
+        }
+        CsMatrix::from_coo(&coo, MajorAxis::Row)
+    }
+
+    #[test]
+    fn triangle_in_k3() {
+        let a = undirected(3, &[(0, 1), (1, 2), (0, 2)]);
+        let (count, support) = triangle_count(&a);
+        assert_eq!(count, 1);
+        // Every edge of the triangle supports exactly one triangle.
+        for (_, _, v) in support.iter() {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let a = undirected(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(triangle_count(&a).0, 4);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let a = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (count, support) = triangle_count(&a);
+        assert_eq!(count, 0);
+        assert_eq!(support.values().iter().filter(|&&v| v != 0.0).count(), 0);
+    }
+
+    #[test]
+    fn mcl_step_keeps_columns_stochastic() {
+        // Start from a column-stochastic matrix; expansion must preserve
+        // column sums of 1.
+        let m = CsMatrix::from_entries(
+            3,
+            3,
+            vec![(0, 0, 0.5), (1, 0, 0.5), (1, 1, 1.0), (2, 2, 0.7), (0, 2, 0.3)],
+            MajorAxis::Row,
+        );
+        let m2 = mcl_expand_step(&m).to_major(MajorAxis::Col);
+        for col in 0..3 {
+            let sum: f64 = m2.fiber(col).values.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "column {col} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn jaccard_identical_rows_score_one() {
+        // Rows 0 and 1 have identical features; row 2 is disjoint.
+        let f = CsMatrix::from_entries(
+            3,
+            4,
+            vec![(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 1.0), (2, 3, 1.0)],
+            MajorAxis::Row,
+        );
+        let j = jaccard_rows(&f);
+        assert!((j.get(0, 1) - 1.0).abs() < 1e-9);
+        assert!((j.get(0, 0) - 1.0).abs() < 1e-9, "self-similarity is 1");
+        assert_eq!(j.get(0, 2), 0.0, "disjoint rows share nothing");
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        // Row 0: {0,1}; row 1: {1,2} → intersection 1, union 3.
+        let f = CsMatrix::from_entries(
+            2,
+            3,
+            vec![(0, 0, 1.0), (0, 1, 1.0), (1, 1, 1.0), (1, 2, 1.0)],
+            MajorAxis::Row,
+        );
+        let j = jaccard_rows(&f);
+        assert!((j.get(0, 1) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((j.get(1, 0) - 1.0 / 3.0).abs() < 1e-9, "jaccard is symmetric");
+    }
+}

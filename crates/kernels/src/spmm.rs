@@ -1,0 +1,123 @@
+//! Mixed sparse/dense kernels from ExTensor's kernel menu (paper Table 2
+//! lists SpMM, TTM/V, and SDDMM alongside SpMSpM).
+//!
+//! * [`spmm`] — sparse × dense matrix multiply.
+//! * [`sddmm`] — sampled dense-dense matrix multiply: compute `U · Vᵀ` only
+//!   at the non-zero positions of a sparse sampling matrix.
+//!
+//! These reference implementations extend the validation surface beyond
+//! the paper's main SpMSpM evaluation; the DRT tiling machinery applies to
+//! them unchanged (the sparse operand's micro grid drives tiling, dense
+//! operands have trivially uniform occupancy).
+
+use drt_tensor::{CsMatrix, DenseMatrix, MajorAxis};
+
+/// Sparse × dense: `Z = A · D`, with `A` sparse and `D` dense.
+///
+/// # Panics
+///
+/// Panics when inner dimensions disagree.
+pub fn spmm(a: &CsMatrix, d: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(a.ncols(), d.nrows(), "inner dimensions must agree");
+    let a_rows = a.to_major(MajorAxis::Row);
+    let mut z = DenseMatrix::zeros(a.nrows(), d.ncols());
+    for i in 0..a_rows.nrows() {
+        let fiber = a_rows.fiber(i);
+        for (&k, &va) in fiber.coords.iter().zip(fiber.values) {
+            for j in 0..d.ncols() {
+                let cur = z.get(i, j);
+                z.set(i, j, cur + va * d.get(k, j));
+            }
+        }
+    }
+    z
+}
+
+/// Sampled dense-dense: `Z_ij = S_ij · (U · Vᵀ)_ij` computed only where
+/// `S_ij ≠ 0`.
+///
+/// `u` is `I × R`, `v` is `J × R` (both dense); `s` is the `I × J` sparse
+/// sampling matrix. Returns a sparse matrix with `s`'s pattern.
+///
+/// # Panics
+///
+/// Panics when the factor shapes disagree with `s`.
+pub fn sddmm(s: &CsMatrix, u: &DenseMatrix, v: &DenseMatrix) -> CsMatrix {
+    assert_eq!(s.nrows(), u.nrows(), "U must have one row per row of S");
+    assert_eq!(s.ncols(), v.nrows(), "V must have one row per column of S");
+    assert_eq!(u.ncols(), v.ncols(), "factor ranks must agree");
+    let rank = u.ncols();
+    let entries: Vec<(u32, u32, f64)> = s
+        .iter()
+        .map(|(i, j, sv)| {
+            let dot: f64 = (0..rank).map(|r| u.get(i, r) * v.get(j, r)).sum();
+            (i, j, sv * dot)
+        })
+        .filter(|&(_, _, x)| x != 0.0)
+        .collect();
+    CsMatrix::from_entries(s.nrows(), s.ncols(), entries, MajorAxis::Row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_workloads::patterns::unstructured;
+
+    fn dense_of(m: &CsMatrix) -> DenseMatrix {
+        DenseMatrix::from_sparse(m)
+    }
+
+    #[test]
+    fn spmm_matches_dense_oracle() {
+        let a = unstructured(24, 16, 80, 2.0, 1);
+        let d = dense_of(&unstructured(16, 12, 100, 2.0, 2));
+        let z = spmm(&a, &d);
+        let oracle = dense_of(&a).matmul(&d);
+        assert!(z.max_abs_diff(&oracle) < 1e-9);
+    }
+
+    #[test]
+    fn spmm_of_zero_matrix_is_zero() {
+        let a = CsMatrix::zero(8, 8, MajorAxis::Row);
+        let d = dense_of(&unstructured(8, 8, 30, 2.0, 3));
+        let z = spmm(&a, &d);
+        assert_eq!(z.max_abs_diff(&DenseMatrix::zeros(8, 8)), 0.0);
+    }
+
+    #[test]
+    fn sddmm_matches_elementwise_oracle() {
+        let s = unstructured(20, 18, 60, 2.0, 4);
+        let u = dense_of(&unstructured(20, 6, 80, 2.0, 5));
+        let v = dense_of(&unstructured(18, 6, 80, 2.0, 6));
+        let z = sddmm(&s, &u, &v);
+        // Oracle: full dense product masked by S.
+        let full = u.matmul(&v_transposed(&v));
+        for (i, j, zv) in z.iter() {
+            let expect = s.get(i, j) * full.get(i, j);
+            assert!((zv - expect).abs() < 1e-9, "mismatch at ({i},{j})");
+        }
+        // Pattern containment: no entry outside S's pattern.
+        for (i, j, _) in z.iter() {
+            assert_ne!(s.get(i, j), 0.0);
+        }
+    }
+
+    fn v_transposed(v: &DenseMatrix) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(v.ncols(), v.nrows());
+        for r in 0..v.nrows() {
+            for c in 0..v.ncols() {
+                t.set(c, r, v.get(r, c));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn sddmm_rejects_mismatched_rank() {
+        let s = unstructured(8, 8, 10, 2.0, 7);
+        let u = DenseMatrix::zeros(8, 3);
+        let v = DenseMatrix::zeros(8, 4);
+        let result = std::panic::catch_unwind(|| sddmm(&s, &u, &v));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Intersection-unit cycle models (paper §6.4, Figure 12).
+//!
+//! Inner-product-style dataflows spend their on-chip time intersecting
+//! coordinate fibers. The paper evaluates three units:
+//!
+//! * **Skip-based serial** — ExTensor's unit: one pointer advance per
+//!   cycle, with skipping (galloping) past mismatched runs.
+//! * **Parallel** — a `P`-lane variant that advances up to `P` candidate
+//!   comparisons per cycle.
+//! * **Serial-optimal** — an oracle that sustains one effectual MACC per
+//!   cycle per PE regardless of sparsity (visualizes potential).
+
+use drt_tensor::intersect::IntersectResult;
+
+/// Which intersection unit a PE uses.
+///
+/// # Example
+///
+/// ```rust
+/// use drt_sim::intersect_unit::IntersectUnit;
+///
+/// // 1000 scan steps producing 80 matches:
+/// let skip = IntersectUnit::SkipBased.cycles_from_counts(1000, 80);
+/// let par = IntersectUnit::Parallel(32).cycles_from_counts(1000, 80);
+/// let opt = IntersectUnit::SerialOptimal.cycles_from_counts(1000, 80);
+/// assert!(skip >= par && par >= opt);
+/// assert_eq!(opt, 80); // one effectual MACC per cycle
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntersectUnit {
+    /// ExTensor's serial skip-based unit.
+    SkipBased,
+    /// Parallelized skip-based unit with the given lane count.
+    Parallel(u32),
+    /// Oracle: one effectual MACC per cycle (Figure 12's upper bound).
+    SerialOptimal,
+}
+
+impl IntersectUnit {
+    /// Cycles to intersect one fiber pair, given the measured intersection
+    /// work (`advances`/`comparisons` from the skip-based reference walk)
+    /// and the number of matches.
+    pub fn cycles(&self, work: &IntersectResult) -> u64 {
+        let serial = (work.advances + work.comparisons).max(work.matches.len()) as u64;
+        match *self {
+            IntersectUnit::SkipBased => serial,
+            IntersectUnit::Parallel(p) => {
+                let p = p.max(1) as u64;
+                // Lanes divide the scanning work but every match still
+                // issues a MACC.
+                (serial.div_ceil(p)).max(work.matches.len() as u64)
+            }
+            IntersectUnit::SerialOptimal => work.matches.len() as u64,
+        }
+    }
+
+    /// Cycles from pre-aggregated work counters (for models that sum
+    /// intersection work across many fiber pairs without keeping each
+    /// [`IntersectResult`]).
+    pub fn cycles_from_counts(&self, scan_steps: u64, matches: u64) -> u64 {
+        let serial = scan_steps.max(matches);
+        match *self {
+            IntersectUnit::SkipBased => serial,
+            IntersectUnit::Parallel(p) => (serial.div_ceil(p.max(1) as u64)).max(matches),
+            IntersectUnit::SerialOptimal => matches,
+        }
+    }
+
+    /// Display name used in figures.
+    pub fn label(&self) -> String {
+        match *self {
+            IntersectUnit::SkipBased => "Skip-Based".to_string(),
+            IntersectUnit::Parallel(p) => format!("Parallel-{p}"),
+            IntersectUnit::SerialOptimal => "Serial-Optimal".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_tensor::intersect::gallop;
+
+    #[test]
+    fn ordering_skip_ge_parallel_ge_optimal() {
+        let a: Vec<u32> = (0..1000).step_by(3).collect();
+        let b: Vec<u32> = (0..1000).step_by(5).collect();
+        let w = gallop(&a, &b);
+        let skip = IntersectUnit::SkipBased.cycles(&w);
+        let par = IntersectUnit::Parallel(8).cycles(&w);
+        let opt = IntersectUnit::SerialOptimal.cycles(&w);
+        assert!(skip >= par, "skip {skip} >= parallel {par}");
+        assert!(par >= opt, "parallel {par} >= optimal {opt}");
+        assert_eq!(opt, w.matches.len() as u64);
+    }
+
+    #[test]
+    fn parallel_never_beats_match_count() {
+        let a: Vec<u32> = (0..64).collect();
+        let w = gallop(&a, &a);
+        // Fully matching fibers: 64 MACCs minimum even with many lanes.
+        assert_eq!(IntersectUnit::Parallel(1024).cycles(&w), 64);
+    }
+
+    #[test]
+    fn counts_api_matches_result_api() {
+        let a: Vec<u32> = (0..200).step_by(2).collect();
+        let b: Vec<u32> = (0..200).step_by(7).collect();
+        let w = gallop(&a, &b);
+        let direct = IntersectUnit::SkipBased.cycles(&w);
+        let counted = IntersectUnit::SkipBased
+            .cycles_from_counts((w.advances + w.comparisons) as u64, w.matches.len() as u64);
+        assert_eq!(direct, counted);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(IntersectUnit::SkipBased.label(), "Skip-Based");
+        assert_eq!(IntersectUnit::Parallel(32).label(), "Parallel-32");
+        assert_eq!(IntersectUnit::SerialOptimal.label(), "Serial-Optimal");
+    }
+}

@@ -1,0 +1,35 @@
+//! # drt-sim — accelerator simulation substrate
+//!
+//! The modelling layer shared by every accelerator in the reproduction
+//! (paper §5.2): byte-exact DRAM-traffic accounting, a bandwidth/queuing
+//! memory model, PE-array and intersection-unit cycle models, and an
+//! Accelergy-style energy/area estimator.
+//!
+//! The paper's own methodology is queue/bandwidth-based ("we use queuing
+//! models for the NoC, buffers, and DRAM — which ensure data transfers are
+//! not allowed to exceed peak bandwidth", §5.2.1), so this crate models at
+//! the same fidelity: per-phase byte counts and compute cycles, combined by
+//! overlap (`max`) rather than event-driven port arbitration.
+//!
+//! * [`traffic`] — per-tensor read/write byte counters and traffic lower
+//!   bounds (Figure 1's red squares).
+//! * [`memory`] — DRAM bandwidth model and buffer specs (the paper's 68.25
+//!   GB/s, 30 MB LLB, 32 KB PE buffers).
+//! * [`intersect_unit`] — cycle models for the three intersection units of
+//!   Figure 12 (serial skip-based, parallel-P, serial-optimal).
+//! * [`noc`] — tile-distribution model with hardware multicast (Figure
+//!   4's Distributor).
+//! * [`pe`] — PE array with round-robin task distribution (§6.2's
+//!   load-balance caveat).
+//! * [`energy`] — Accelergy-like per-action energy and component area
+//!   tables (Figure 13, §6.5).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod energy;
+pub mod intersect_unit;
+pub mod memory;
+pub mod noc;
+pub mod pe;
+pub mod traffic;

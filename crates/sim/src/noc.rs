@@ -1,0 +1,121 @@
+//! Network-on-chip model: distribution of tiles from an S-DOP to the next
+//! level (paper Figure 4's Distributor and §6.6's NoC-bandwidth sweep).
+//!
+//! The paper notes ExTensor-style accelerators have "regular communication
+//! patterns (e.g. multicast)", making a bandwidth model sufficient. This
+//! module models exactly that: unicast streams pay per destination,
+//! multicasts pay once per link level, and per-transfer serialization is
+//! `bytes / link_bytes_per_cycle`.
+
+/// How a tile is delivered to the consuming units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Each destination receives a distinct payload (e.g. different `A`
+    /// sub-tiles round-robined to PEs).
+    Unicast {
+        /// Number of destinations receiving distinct payloads.
+        destinations: u32,
+    },
+    /// All destinations receive the same payload (e.g. a stationary `B`
+    /// tile broadcast to every PE).
+    Multicast {
+        /// Number of destinations sharing one payload.
+        destinations: u32,
+    },
+}
+
+/// A bandwidth-modelled NoC level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocModel {
+    /// Link bandwidth in bytes per cycle.
+    pub link_bytes_per_cycle: u32,
+    /// Whether the fabric supports hardware multicast (ExTensor's does);
+    /// without it a multicast degrades to repeated unicasts.
+    pub hardware_multicast: bool,
+}
+
+impl Default for NocModel {
+    fn default() -> Self {
+        NocModel { link_bytes_per_cycle: 64, hardware_multicast: true }
+    }
+}
+
+impl NocModel {
+    /// Cycles to deliver `bytes` with the given delivery pattern.
+    pub fn cycles(&self, bytes: u64, delivery: Delivery) -> u64 {
+        let per_copy = bytes.div_ceil(self.link_bytes_per_cycle.max(1) as u64);
+        match delivery {
+            Delivery::Unicast { destinations } => per_copy * destinations.max(1) as u64,
+            Delivery::Multicast { destinations } => {
+                if self.hardware_multicast {
+                    per_copy
+                } else {
+                    per_copy * destinations.max(1) as u64
+                }
+            }
+        }
+    }
+
+    /// Total bytes that actually cross links (for energy accounting):
+    /// multicast payloads are replicated at the last hop, so energy still
+    /// scales with destinations, at a discounted rate.
+    pub fn link_bytes(&self, bytes: u64, delivery: Delivery) -> u64 {
+        match delivery {
+            Delivery::Unicast { destinations } => bytes * destinations.max(1) as u64,
+            Delivery::Multicast { destinations } => {
+                if self.hardware_multicast {
+                    // Shared trunk once, plus one leaf hop per *extra*
+                    // destination at roughly half the unicast cost; one
+                    // destination degenerates to a unicast.
+                    bytes + bytes * (destinations.max(1) as u64 - 1) / 2
+                } else {
+                    bytes * destinations.max(1) as u64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multicast_pays_once_with_hardware_support() {
+        let noc = NocModel::default();
+        let uni = noc.cycles(1024, Delivery::Unicast { destinations: 8 });
+        let multi = noc.cycles(1024, Delivery::Multicast { destinations: 8 });
+        assert_eq!(multi * 8, uni);
+    }
+
+    #[test]
+    fn multicast_degrades_without_hardware_support() {
+        let noc = NocModel { hardware_multicast: false, ..NocModel::default() };
+        assert_eq!(
+            noc.cycles(1024, Delivery::Multicast { destinations: 8 }),
+            noc.cycles(1024, Delivery::Unicast { destinations: 8 })
+        );
+    }
+
+    #[test]
+    fn serialization_rounds_up() {
+        let noc = NocModel { link_bytes_per_cycle: 64, hardware_multicast: true };
+        assert_eq!(noc.cycles(1, Delivery::Unicast { destinations: 1 }), 1);
+        assert_eq!(noc.cycles(65, Delivery::Unicast { destinations: 1 }), 2);
+        assert_eq!(noc.cycles(0, Delivery::Unicast { destinations: 4 }), 0);
+    }
+
+    #[test]
+    fn link_bytes_scale_with_destinations() {
+        let noc = NocModel::default();
+        let uni = noc.link_bytes(100, Delivery::Unicast { destinations: 4 });
+        let multi = noc.link_bytes(100, Delivery::Multicast { destinations: 4 });
+        assert_eq!(uni, 400);
+        assert!(multi < uni && multi > 100);
+        // A single destination degenerates to unicast cost.
+        assert_eq!(
+            noc.link_bytes(100, Delivery::Multicast { destinations: 1 }),
+            noc.link_bytes(100, Delivery::Unicast { destinations: 1 })
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! DRAM-traffic accounting (Figure 1's currency).
+//!
+//! Every accelerator model reports its memory behaviour as a
+//! [`TrafficCounter`]: bytes read and written per named tensor. Lower
+//! bounds (the red squares in Figures 1, 6–10) are computed from the
+//! operands' compressed footprints: read each input once, write the output
+//! once.
+
+use drt_tensor::format::SizeModel;
+use drt_tensor::CsMatrix;
+use std::collections::BTreeMap;
+
+/// Per-tensor DRAM traffic in bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficCounter {
+    reads: BTreeMap<String, u64>,
+    writes: BTreeMap<String, u64>,
+}
+
+impl TrafficCounter {
+    /// An empty counter.
+    pub fn new() -> TrafficCounter {
+        TrafficCounter::default()
+    }
+
+    /// Record `bytes` read for tensor `name`.
+    pub fn read(&mut self, name: &str, bytes: u64) {
+        *self.reads.entry(name.to_string()).or_insert(0) += bytes;
+    }
+
+    /// Record `bytes` written for tensor `name`.
+    pub fn write(&mut self, name: &str, bytes: u64) {
+        *self.writes.entry(name.to_string()).or_insert(0) += bytes;
+    }
+
+    /// Total bytes read for tensor `name`.
+    pub fn reads_of(&self, name: &str) -> u64 {
+        self.reads.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total bytes written for tensor `name`.
+    pub fn writes_of(&self, name: &str) -> u64 {
+        self.writes.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total traffic (reads + writes) for tensor `name`.
+    pub fn of(&self, name: &str) -> u64 {
+        self.reads_of(name) + self.writes_of(name)
+    }
+
+    /// Total traffic across all tensors.
+    pub fn total(&self) -> u64 {
+        self.reads.values().sum::<u64>() + self.writes.values().sum::<u64>()
+    }
+
+    /// All tensor names that appear in the counter.
+    pub fn tensors(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.reads.keys().chain(self.writes.keys()).cloned().collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Merge another counter into this one.
+    pub fn merge(&mut self, other: &TrafficCounter) {
+        for (n, &b) in &other.reads {
+            *self.reads.entry(n.clone()).or_insert(0) += b;
+        }
+        for (n, &b) in &other.writes {
+            *self.writes.entry(n.clone()).or_insert(0) += b;
+        }
+    }
+}
+
+/// Traffic lower bound for `Z = A · B` (Figure 1's red squares): read each
+/// operand's compressed representation once, write the output once.
+///
+/// `z` is the actual product (needed for its footprint); pass the result of
+/// a reference kernel.
+pub fn spmspm_lower_bound(a: &CsMatrix, b: &CsMatrix, z: &CsMatrix) -> TrafficCounter {
+    let sm = SizeModel::default();
+    let mut t = TrafficCounter::new();
+    t.read("A", sm.cs_matrix_bytes(a) as u64);
+    t.read("B", sm.cs_matrix_bytes(b) as u64);
+    t.write("Z", sm.cs_matrix_bytes(z) as u64);
+    t
+}
+
+/// Arithmetic intensity: effectual MACCs per byte of DRAM traffic
+/// (paper §5.1.1). DRAM-bound performance is proportional to this.
+pub fn arithmetic_intensity(maccs: u64, traffic_bytes: u64) -> f64 {
+    if traffic_bytes == 0 {
+        return f64::INFINITY;
+    }
+    maccs as f64 / traffic_bytes as f64
+}
+
+/// DRAM-bound runtime in seconds: traffic over peak bandwidth — the "red
+/// dot" oracle given ideal on-chip compute.
+pub fn dram_bound_seconds(traffic_bytes: u64, bandwidth_bytes_per_sec: f64) -> f64 {
+    traffic_bytes as f64 / bandwidth_bytes_per_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_tensor::{CooMatrix, MajorAxis};
+
+    #[test]
+    fn counter_accumulates_and_merges() {
+        let mut t = TrafficCounter::new();
+        t.read("A", 100);
+        t.read("A", 50);
+        t.write("Z", 30);
+        assert_eq!(t.reads_of("A"), 150);
+        assert_eq!(t.of("Z"), 30);
+        assert_eq!(t.total(), 180);
+        let mut u = TrafficCounter::new();
+        u.read("B", 10);
+        u.write("Z", 5);
+        t.merge(&u);
+        assert_eq!(t.total(), 195);
+        assert_eq!(t.tensors(), vec!["A", "B", "Z"]);
+    }
+
+    #[test]
+    fn lower_bound_counts_each_operand_once() {
+        let m = CsMatrix::from_coo(
+            &CooMatrix::from_triplets(4, 4, vec![(0, 0, 1.0), (1, 2, 2.0)]).expect("ok"),
+            MajorAxis::Row,
+        );
+        let lb = spmspm_lower_bound(&m, &m, &m);
+        let sm = SizeModel::default();
+        let one = sm.cs_matrix_bytes(&m) as u64;
+        assert_eq!(lb.reads_of("A"), one);
+        assert_eq!(lb.reads_of("B"), one);
+        assert_eq!(lb.writes_of("Z"), one);
+        assert_eq!(lb.total(), 3 * one);
+    }
+
+    #[test]
+    fn arithmetic_intensity_basics() {
+        assert_eq!(arithmetic_intensity(100, 50), 2.0);
+        assert!(arithmetic_intensity(1, 0).is_infinite());
+    }
+
+    #[test]
+    fn dram_bound_time_scales_inversely_with_bandwidth() {
+        let t1 = dram_bound_seconds(1 << 30, 68.25e9);
+        let t2 = dram_bound_seconds(1 << 30, 2.0 * 68.25e9);
+        assert!((t1 / t2 - 2.0).abs() < 1e-9);
+    }
+}

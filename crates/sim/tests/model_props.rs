@@ -1,0 +1,87 @@
+//! Property-based tests for the simulation substrate: the models must be
+//! monotone and conservative, or every downstream comparison is suspect.
+
+use drt_sim::intersect_unit::IntersectUnit;
+use drt_sim::memory::{DramModel, HierarchySpec};
+use drt_sim::noc::{Delivery, NocModel};
+use drt_sim::pe::PeArray;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn dram_time_monotone_in_bytes(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let d = DramModel::default();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(d.seconds_for(lo) <= d.seconds_for(hi));
+        prop_assert!(d.effective_bytes(lo) <= d.effective_bytes(hi));
+        // Burst rounding never shrinks a transfer and adds less than one burst.
+        prop_assert!(d.effective_bytes(hi) >= hi);
+        prop_assert!(d.effective_bytes(hi) < hi + d.burst_bytes as u64);
+    }
+
+    #[test]
+    fn bandwidth_scaling_is_inverse_linear(bytes in 1u64..10_000_000, f in 1u32..16) {
+        let d = DramModel::default();
+        let s = d.scaled(f as f64);
+        let ratio = d.seconds_for(bytes) / s.seconds_for(bytes);
+        prop_assert!((ratio - f as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_time_is_max_of_components(bytes in 0u64..1_000_000, cycles in 0u64..1_000_000) {
+        let h = HierarchySpec::default();
+        let t = h.phase_seconds(bytes, cycles);
+        let mem = h.dram.seconds_for(bytes);
+        let cmp = cycles as f64 / h.clock_hz;
+        prop_assert!((t - mem.max(cmp)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pe_makespan_bounds(costs in proptest::collection::vec(0u64..10_000, 1..100), pes in 1u32..64) {
+        let mut rr = PeArray::new(pes);
+        for &c in &costs {
+            rr.assign_round_robin(c);
+        }
+        let total: u64 = costs.iter().sum();
+        let max = *costs.iter().max().unwrap();
+        // Makespan at least the ideal and at least the largest task; at
+        // most the total.
+        prop_assert!(rr.makespan() >= total.div_ceil(pes as u64).min(total));
+        prop_assert!(rr.makespan() >= max.min(total));
+        prop_assert!(rr.makespan() <= total);
+        prop_assert_eq!(rr.total_cycles(), total);
+        prop_assert!(rr.imbalance() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn parallel_assignment_never_worse_than_serial(cost in 1u64..100_000, par in 1u64..256) {
+        let mut serial = PeArray::new(16);
+        serial.assign_round_robin(cost);
+        let mut parallel = PeArray::new(16);
+        parallel.assign_parallel(cost, par);
+        prop_assert!(parallel.makespan() <= serial.makespan());
+        prop_assert_eq!(parallel.total_cycles(), cost);
+    }
+
+    #[test]
+    fn intersect_unit_ordering(scan in 0u64..1_000_000, matches in 0u64..10_000) {
+        let matches = matches.min(scan.max(1));
+        let skip = IntersectUnit::SkipBased.cycles_from_counts(scan, matches);
+        let par = IntersectUnit::Parallel(32).cycles_from_counts(scan, matches);
+        let opt = IntersectUnit::SerialOptimal.cycles_from_counts(scan, matches);
+        prop_assert!(skip >= par);
+        prop_assert!(par >= opt);
+        prop_assert_eq!(opt, matches);
+    }
+
+    #[test]
+    fn noc_multicast_never_dearer_than_unicast(bytes in 0u64..1_000_000, dests in 1u32..64) {
+        let noc = NocModel::default();
+        let multi = Delivery::Multicast { destinations: dests };
+        let uni = Delivery::Unicast { destinations: dests };
+        let (mc, uc) = (noc.cycles(bytes, multi), noc.cycles(bytes, uni));
+        prop_assert!(mc <= uc, "multicast {mc} cycles vs unicast {uc}");
+        let (mb, ub) = (noc.link_bytes(bytes, multi), noc.link_bytes(bytes, uni));
+        prop_assert!(mb <= ub, "multicast {mb} link bytes vs unicast {ub}");
+    }
+}

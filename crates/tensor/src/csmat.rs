@@ -1,0 +1,590 @@
+use crate::{CooMatrix, Coord, CoordRange, TensorError, Value};
+
+/// Which dimension a [`CsMatrix`] compresses along its outer (major) axis.
+///
+/// `Row` yields CSR (paper Figure 2b); `Col` yields CSC. In `T-[uc]+`
+/// vocabulary both are `T-UC`: an Uncompressed major dimension over a
+/// Compressed minor dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MajorAxis {
+    /// Compress rows: CSR. A fiber is one row.
+    Row,
+    /// Compress columns: CSC. A fiber is one column.
+    Col,
+}
+
+impl MajorAxis {
+    /// The opposite axis.
+    pub fn flipped(self) -> MajorAxis {
+        match self {
+            MajorAxis::Row => MajorAxis::Col,
+            MajorAxis::Col => MajorAxis::Row,
+        }
+    }
+}
+
+/// A compressed sparse matrix (CSR or CSC, selected by [`MajorAxis`]).
+///
+/// Storage follows the paper's segment/coordinate/data layout (Figure 2b):
+///
+/// * `seg` — segment array, `major_dim() + 1` entries; fiber `i` occupies
+///   positions `seg[i]..seg[i+1]`.
+/// * `coords` — minor coordinates, sorted ascending within each fiber.
+/// * `vals` — data values, parallel to `coords`.
+///
+/// # Example
+///
+/// ```rust
+/// use drt_tensor::{CooMatrix, CsMatrix, MajorAxis};
+///
+/// # fn main() -> Result<(), drt_tensor::TensorError> {
+/// let coo = CooMatrix::from_triplets(3, 3, vec![(0, 1, 2.0), (2, 0, 4.0), (0, 2, 1.0)])?;
+/// let csr = CsMatrix::from_coo(&coo, MajorAxis::Row);
+/// let row0 = csr.fiber(0);
+/// assert_eq!(row0.coords, &[1, 2]);
+/// assert_eq!(row0.values, &[2.0, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsMatrix {
+    nrows: Coord,
+    ncols: Coord,
+    major: MajorAxis,
+    seg: Vec<usize>,
+    coords: Vec<Coord>,
+    vals: Vec<Value>,
+}
+
+/// Borrowed view of one fiber (a row of a CSR matrix or a column of a CSC
+/// matrix): parallel coordinate and value slices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiberView<'a> {
+    /// Minor coordinates, ascending.
+    pub coords: &'a [Coord],
+    /// Values parallel to `coords`.
+    pub values: &'a [Value],
+}
+
+impl FiberView<'_> {
+    /// Number of non-zeros in this fiber.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the fiber is empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+}
+
+impl CsMatrix {
+    /// Builds a compressed matrix from a COO builder, summing duplicates.
+    pub fn from_coo(coo: &CooMatrix, major: MajorAxis) -> CsMatrix {
+        Self::from_entries(coo.nrows(), coo.ncols(), coo.entries().to_vec(), major)
+    }
+
+    /// Builds from raw `(row, col, value)` triplets without bounds checks on
+    /// individual entries (the caller guarantees validity, e.g. a generator).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when a triplet lies outside the shape.
+    pub fn from_entries(
+        nrows: Coord,
+        ncols: Coord,
+        mut entries: Vec<(Coord, Coord, Value)>,
+        major: MajorAxis,
+    ) -> CsMatrix {
+        debug_assert!(entries.iter().all(|&(r, c, _)| r < nrows && c < ncols));
+        let key = |e: &(Coord, Coord, Value)| match major {
+            MajorAxis::Row => (e.0, e.1),
+            MajorAxis::Col => (e.1, e.0),
+        };
+        entries.sort_unstable_by_key(key);
+        let major_dim = match major {
+            MajorAxis::Row => nrows,
+            MajorAxis::Col => ncols,
+        } as usize;
+        let mut seg = Vec::with_capacity(major_dim + 1);
+        let mut coords = Vec::with_capacity(entries.len());
+        let mut vals = Vec::with_capacity(entries.len());
+        seg.push(0usize);
+        let mut cur_major: Coord = 0;
+        for e in &entries {
+            let (mj, mn) = key(e);
+            // Sum duplicates (same major & minor coordinate).
+            if coords.len() > seg[cur_major as usize]
+                && mj == cur_major
+                && *coords.last().expect("nonempty") == mn
+            {
+                *vals.last_mut().expect("parallel arrays") += e.2;
+                continue;
+            }
+            while cur_major < mj {
+                seg.push(coords.len());
+                cur_major += 1;
+            }
+            coords.push(mn);
+            vals.push(e.2);
+        }
+        while seg.len() <= major_dim {
+            seg.push(coords.len());
+        }
+        CsMatrix { nrows, ncols, major, seg, coords, vals }
+    }
+
+    /// An empty matrix of the given shape.
+    pub fn zero(nrows: Coord, ncols: Coord, major: MajorAxis) -> CsMatrix {
+        let major_dim = match major {
+            MajorAxis::Row => nrows,
+            MajorAxis::Col => ncols,
+        } as usize;
+        CsMatrix { nrows, ncols, major, seg: vec![0; major_dim + 1], coords: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Builds directly from compressed parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the arrays are not a
+    /// well-formed compressed representation (wrong segment length,
+    /// non-monotone segments, unsorted or out-of-range coordinates,
+    /// mismatched value length).
+    pub fn from_parts(
+        nrows: Coord,
+        ncols: Coord,
+        major: MajorAxis,
+        seg: Vec<usize>,
+        coords: Vec<Coord>,
+        vals: Vec<Value>,
+    ) -> Result<CsMatrix, TensorError> {
+        let major_dim = match major {
+            MajorAxis::Row => nrows,
+            MajorAxis::Col => ncols,
+        } as usize;
+        let minor_dim = match major {
+            MajorAxis::Row => ncols,
+            MajorAxis::Col => nrows,
+        };
+        let fail = |detail: String| Err(TensorError::ShapeMismatch { detail });
+        if seg.len() != major_dim + 1 {
+            return fail(format!("segment array has {} entries, expected {}", seg.len(), major_dim + 1));
+        }
+        if seg[0] != 0 || *seg.last().expect("nonempty") != coords.len() {
+            return fail("segment array must start at 0 and end at nnz".into());
+        }
+        if seg.windows(2).any(|w| w[0] > w[1]) {
+            return fail("segment array must be non-decreasing".into());
+        }
+        if coords.len() != vals.len() {
+            return fail(format!("{} coordinates but {} values", coords.len(), vals.len()));
+        }
+        for w in seg.windows(2) {
+            let fiber = &coords[w[0]..w[1]];
+            if fiber.windows(2).any(|c| c[0] >= c[1]) {
+                return fail("fiber coordinates must be strictly ascending".into());
+            }
+            if fiber.last().is_some_and(|&c| c >= minor_dim) {
+                return fail("coordinate exceeds minor dimension".into());
+            }
+        }
+        Ok(CsMatrix { nrows, ncols, major, seg, coords, vals })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Coord {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Coord {
+        self.ncols
+    }
+
+    /// The compressed (outer) axis.
+    pub fn major(&self) -> MajorAxis {
+        self.major
+    }
+
+    /// Size of the major dimension.
+    pub fn major_dim(&self) -> Coord {
+        match self.major {
+            MajorAxis::Row => self.nrows,
+            MajorAxis::Col => self.ncols,
+        }
+    }
+
+    /// Size of the minor dimension.
+    pub fn minor_dim(&self) -> Coord {
+        match self.major {
+            MajorAxis::Row => self.ncols,
+            MajorAxis::Col => self.nrows,
+        }
+    }
+
+    /// Number of stored non-zeros (the tensor's *occupancy*, paper Table 1).
+    pub fn nnz(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Fraction of points that are non-zero.
+    pub fn density(&self) -> f64 {
+        if self.nrows == 0 || self.ncols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.nrows as f64 * self.ncols as f64)
+    }
+
+    /// The segment (pointer) array.
+    pub fn seg(&self) -> &[usize] {
+        &self.seg
+    }
+
+    /// The minor-coordinate array.
+    pub fn coord_array(&self) -> &[Coord] {
+        &self.coords
+    }
+
+    /// The data-value array.
+    pub fn values(&self) -> &[Value] {
+        &self.vals
+    }
+
+    /// Borrow fiber `major_coord` (row for CSR, column for CSC).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `major_coord >= self.major_dim()`.
+    pub fn fiber(&self, major_coord: Coord) -> FiberView<'_> {
+        let i = major_coord as usize;
+        let (a, b) = (self.seg[i], self.seg[i + 1]);
+        FiberView { coords: &self.coords[a..b], values: &self.vals[a..b] }
+    }
+
+    /// Number of non-zeros in fiber `major_coord`.
+    pub fn fiber_len(&self, major_coord: Coord) -> usize {
+        let i = major_coord as usize;
+        self.seg[i + 1] - self.seg[i]
+    }
+
+    /// Iterate all non-zeros as `(row, col, value)` in storage order.
+    pub fn iter(&self) -> NnzIter<'_> {
+        NnzIter { mat: self, fiber: 0, pos: 0 }
+    }
+
+    /// Look up a single element (zero when absent).
+    pub fn get(&self, row: Coord, col: Coord) -> Value {
+        let (mj, mn) = match self.major {
+            MajorAxis::Row => (row, col),
+            MajorAxis::Col => (col, row),
+        };
+        if mj >= self.major_dim() {
+            return 0.0;
+        }
+        let f = self.fiber(mj);
+        match f.coords.binary_search(&mn) {
+            Ok(p) => f.values[p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Re-layout into the requested major axis (CSR ⇄ CSC conversion).
+    ///
+    /// Returns a clone when the layout already matches.
+    pub fn to_major(&self, major: MajorAxis) -> CsMatrix {
+        if major == self.major {
+            return self.clone();
+        }
+        let entries: Vec<_> = self.iter().collect();
+        CsMatrix::from_entries(self.nrows, self.ncols, entries, major)
+    }
+
+    /// The transpose, reusing this matrix's arrays.
+    ///
+    /// A CSR matrix's arrays are exactly the CSC arrays of its transpose, so
+    /// this is O(1) in data movement (paper Section 5.1.2 relies on this for
+    /// the `F·Fᵀ` workloads).
+    pub fn to_transposed(&self) -> CsMatrix {
+        CsMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            major: self.major.flipped(),
+            seg: self.seg.clone(),
+            coords: self.coords.clone(),
+            vals: self.vals.clone(),
+        }
+    }
+
+    /// Count non-zeros inside the coordinate-space rectangle
+    /// `rows × cols` — the primitive DRT's Aggregate step performs.
+    ///
+    /// Cost: one binary search pair per major fiber in range.
+    pub fn nnz_in_rect(&self, rows: CoordRange, cols: CoordRange) -> usize {
+        let (major_r, minor_r) = match self.major {
+            MajorAxis::Row => (rows, cols),
+            MajorAxis::Col => (cols, rows),
+        };
+        let mut count = 0;
+        let hi = major_r.end.min(self.major_dim());
+        for mj in major_r.start..hi {
+            let f = self.fiber(mj);
+            let lo = f.coords.partition_point(|&c| c < minor_r.start);
+            let hi = f.coords.partition_point(|&c| c < minor_r.end);
+            count += hi - lo;
+        }
+        count
+    }
+
+    /// Extract the sub-matrix covering `rows × cols` as a new matrix whose
+    /// coordinates are rebased to the rectangle's base point (paper §4.2.2:
+    /// "recomputes macro tile metadata to start at base points of 0").
+    pub fn extract_rect(&self, rows: CoordRange, cols: CoordRange) -> CsMatrix {
+        let (major_r, minor_r) = match self.major {
+            MajorAxis::Row => (rows.clone(), cols.clone()),
+            MajorAxis::Col => (cols.clone(), rows.clone()),
+        };
+        let major_dim = major_r.end.saturating_sub(major_r.start) as usize;
+        let mut seg = Vec::with_capacity(major_dim + 1);
+        let mut coords = Vec::new();
+        let mut vals = Vec::new();
+        seg.push(0usize);
+        let hi_major = major_r.end.min(self.major_dim());
+        for mj in major_r.start..major_r.end {
+            if mj < hi_major {
+                let f = self.fiber(mj);
+                let lo = f.coords.partition_point(|&c| c < minor_r.start);
+                let hi = f.coords.partition_point(|&c| c < minor_r.end);
+                for p in lo..hi {
+                    coords.push(f.coords[p] - minor_r.start);
+                    vals.push(f.values[p]);
+                }
+            }
+            seg.push(coords.len());
+        }
+        let (nrows, ncols) = (
+            rows.end.saturating_sub(rows.start),
+            cols.end.saturating_sub(cols.start),
+        );
+        CsMatrix { nrows, ncols, major: self.major, seg, coords, vals }
+    }
+
+    /// Exact equality of the *logical* matrices, independent of layout.
+    pub fn logically_eq(&self, other: &CsMatrix) -> bool {
+        self.approx_eq(other, 0.0)
+    }
+
+    /// Approximate logical equality within absolute tolerance `tol`,
+    /// independent of layout. Plays the paper's "validate output against
+    /// Intel MKL" role for our simulators.
+    pub fn approx_eq(&self, other: &CsMatrix, tol: f64) -> bool {
+        if self.nrows != other.nrows || self.ncols != other.ncols {
+            return false;
+        }
+        let a = self.to_major(MajorAxis::Row);
+        let b = other.to_major(MajorAxis::Row);
+        let mut ia = a.iter().filter(|e| e.2 != 0.0);
+        let mut ib = b.iter().filter(|e| e.2 != 0.0);
+        loop {
+            match (ia.next(), ib.next()) {
+                (None, None) => return true,
+                (Some((r1, c1, v1)), Some((r2, c2, v2))) => {
+                    if r1 != r2 || c1 != c2 || (v1 - v2).abs() > tol {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// Iterator over a [`CsMatrix`]'s non-zeros in storage order.
+///
+/// Produced by [`CsMatrix::iter`]; yields `(row, col, value)`.
+#[derive(Debug, Clone)]
+pub struct NnzIter<'a> {
+    mat: &'a CsMatrix,
+    fiber: usize,
+    pos: usize,
+}
+
+impl Iterator for NnzIter<'_> {
+    type Item = (Coord, Coord, Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.fiber < self.mat.major_dim() as usize {
+            if self.pos < self.mat.seg[self.fiber + 1] {
+                let p = self.pos;
+                self.pos += 1;
+                let mj = self.fiber as Coord;
+                let mn = self.mat.coords[p];
+                let v = self.mat.vals[p];
+                return Some(match self.mat.major {
+                    MajorAxis::Row => (mj, mn, v),
+                    MajorAxis::Col => (mn, mj, v),
+                });
+            }
+            self.fiber += 1;
+            self.pos = self.mat.seg[self.fiber];
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.mat.nnz() - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for NnzIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsMatrix {
+        // Figure 2 of the paper:
+        //   row 0: (0,1)=7 (0,2)=1
+        //   row 2: (2,0)=6 (2,2)=12 (2,3)=3
+        //   row 3: (3,1)=10
+        let coo = CooMatrix::from_triplets(
+            4,
+            4,
+            vec![(0, 1, 7.0), (0, 2, 1.0), (2, 0, 6.0), (2, 2, 12.0), (2, 3, 3.0), (3, 1, 10.0)],
+        )
+        .expect("in bounds");
+        CsMatrix::from_coo(&coo, MajorAxis::Row)
+    }
+
+    #[test]
+    fn matches_paper_figure_2_csr() {
+        let m = sample();
+        assert_eq!(m.seg(), &[0, 2, 2, 5, 6]);
+        assert_eq!(m.coord_array(), &[1, 2, 0, 2, 3, 1]);
+        assert_eq!(m.values(), &[7.0, 1.0, 6.0, 12.0, 3.0, 10.0]);
+    }
+
+    #[test]
+    fn duplicates_sum() {
+        let coo = CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.5)]).expect("ok");
+        let m = CsMatrix::from_coo(&coo, MajorAxis::Row);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn csc_layout_groups_by_column() {
+        let coo = CooMatrix::from_triplets(3, 3, vec![(0, 1, 1.0), (2, 1, 2.0), (1, 0, 3.0)])
+            .expect("ok");
+        let m = CsMatrix::from_coo(&coo, MajorAxis::Col);
+        assert_eq!(m.fiber(1).coords, &[0, 2]);
+        assert_eq!(m.fiber(0).coords, &[1]);
+        assert_eq!(m.get(2, 1), 2.0);
+    }
+
+    #[test]
+    fn to_major_roundtrip_preserves_logical_matrix() {
+        let m = sample();
+        let csc = m.to_major(MajorAxis::Col);
+        assert_eq!(csc.major(), MajorAxis::Col);
+        assert!(m.logically_eq(&csc));
+        assert!(csc.to_major(MajorAxis::Row).logically_eq(&m));
+    }
+
+    #[test]
+    fn transpose_is_free_relayout() {
+        let m = sample();
+        let t = m.to_transposed();
+        assert_eq!(t.major(), MajorAxis::Col);
+        for (r, c, v) in m.iter() {
+            assert_eq!(t.get(c, r), v);
+        }
+        assert_eq!(t.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn nnz_in_rect_counts_quadrants() {
+        let m = sample();
+        // 2x2 coordinate-space tiles of Figure 2 / Figure 3a.
+        assert_eq!(m.nnz_in_rect(0..2, 0..2), 1); // (0,1)
+        assert_eq!(m.nnz_in_rect(0..2, 2..4), 1); // (0,2)
+        assert_eq!(m.nnz_in_rect(2..4, 0..2), 2); // (2,0), (3,1)
+        assert_eq!(m.nnz_in_rect(2..4, 2..4), 2); // (2,2), (2,3)
+        assert_eq!(m.nnz_in_rect(0..4, 0..4), 6);
+    }
+
+    #[test]
+    fn nnz_in_rect_clamps_overhang() {
+        let m = sample();
+        assert_eq!(m.nnz_in_rect(2..100, 0..100), 4);
+        assert_eq!(m.nnz_in_rect(50..100, 0..100), 0);
+    }
+
+    #[test]
+    fn extract_rect_rebases_coordinates() {
+        let m = sample();
+        let tile = m.extract_rect(2..4, 2..4);
+        assert_eq!(tile.nrows(), 2);
+        assert_eq!(tile.ncols(), 2);
+        assert_eq!(tile.nnz(), 2);
+        assert_eq!(tile.get(0, 0), 12.0); // was (2,2)
+        assert_eq!(tile.get(0, 1), 3.0); // was (2,3)
+    }
+
+    #[test]
+    fn extract_rect_overhang_pads_empty_fibers() {
+        let m = sample();
+        let tile = m.extract_rect(3..6, 0..4);
+        assert_eq!(tile.nrows(), 3);
+        assert_eq!(tile.nnz(), 1);
+        assert_eq!(tile.get(0, 1), 10.0);
+        assert_eq!(tile.fiber_len(2), 0);
+    }
+
+    #[test]
+    fn iter_yields_row_major_order() {
+        let m = sample();
+        let pts: Vec<_> = m.iter().map(|(r, c, _)| (r, c)).collect();
+        assert_eq!(pts, vec![(0, 1), (0, 2), (2, 0), (2, 2), (2, 3), (3, 1)]);
+        assert_eq!(m.iter().len(), 6);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        // Valid.
+        assert!(CsMatrix::from_parts(2, 2, MajorAxis::Row, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        // Bad segment length.
+        assert!(CsMatrix::from_parts(2, 2, MajorAxis::Row, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // Unsorted fiber.
+        assert!(CsMatrix::from_parts(2, 2, MajorAxis::Row, vec![0, 2, 2], vec![1, 0], vec![1.0, 2.0]).is_err());
+        // Coordinate out of range.
+        assert!(CsMatrix::from_parts(2, 2, MajorAxis::Row, vec![0, 1, 1], vec![7], vec![1.0]).is_err());
+        // Non-monotone segments.
+        assert!(CsMatrix::from_parts(2, 2, MajorAxis::Row, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn zero_matrix_has_no_entries() {
+        let z = CsMatrix::zero(5, 3, MajorAxis::Col);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.seg().len(), 4);
+        assert_eq!(z.iter().count(), 0);
+        assert_eq!(z.density(), 0.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_fp_noise() {
+        let a = CsMatrix::from_entries(2, 2, vec![(0, 0, 1.0)], MajorAxis::Row);
+        let b = CsMatrix::from_entries(2, 2, vec![(0, 0, 1.0 + 1e-12)], MajorAxis::Col);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn approx_eq_ignores_explicit_zeros() {
+        let a = CsMatrix::from_entries(2, 2, vec![(0, 0, 0.0), (1, 1, 2.0)], MajorAxis::Row);
+        let b = CsMatrix::from_entries(2, 2, vec![(1, 1, 2.0)], MajorAxis::Row);
+        assert!(a.logically_eq(&b));
+    }
+}

@@ -1,0 +1,209 @@
+//! Doubly compressed sparse matrices (`T-CC`).
+//!
+//! CSR's uncompressed outer dimension stores one segment entry per row —
+//! wasteful when most rows are empty (hypersparse matrices, micro tiles of
+//! hypersparse regions, BFS frontiers). `T-CC` compresses the outer
+//! dimension too: only *occupied* rows carry metadata. This is the
+//! representation the paper says "will resolve" Figure 11's red-circled
+//! metadata-overhead outliers (§6.3), and the `Adaptive` micro-tile format
+//! of `drt-core` picks it per tile.
+
+use crate::format::SizeModel;
+use crate::{CsMatrix, Coord, MajorAxis, Value};
+
+/// A doubly compressed (`T-CC`) sparse matrix: coordinate/segment lists on
+/// *both* dimensions, so empty rows cost nothing.
+///
+/// # Example
+///
+/// ```rust
+/// use drt_tensor::{CooMatrix, CsMatrix, MajorAxis};
+/// use drt_tensor::dcsr::DcsrMatrix;
+///
+/// # fn main() -> Result<(), drt_tensor::TensorError> {
+/// let coo = CooMatrix::from_triplets(1_000_000, 1_000_000, vec![(7, 3, 1.0), (999_999, 0, 2.0)])?;
+/// let csr = CsMatrix::from_coo(&coo, MajorAxis::Row);
+/// let dcsr = DcsrMatrix::from_cs(&csr);
+/// assert_eq!(dcsr.occupied_rows(), 2);
+/// assert_eq!(dcsr.get(999_999, 0), 2.0);
+/// // Footprint: two occupied rows of metadata, not a million.
+/// assert!(dcsr.footprint_bytes() < 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcsrMatrix {
+    nrows: Coord,
+    ncols: Coord,
+    /// Occupied row coordinates, ascending.
+    row_coords: Vec<Coord>,
+    /// Segment array over occupied rows (`row_coords.len() + 1` entries).
+    seg: Vec<usize>,
+    /// Column coordinates, ascending within each row.
+    cols: Vec<Coord>,
+    vals: Vec<Value>,
+}
+
+impl DcsrMatrix {
+    /// Convert from a compressed matrix (any layout; rows become the
+    /// compressed outer dimension).
+    pub fn from_cs(m: &CsMatrix) -> DcsrMatrix {
+        let rows = m.to_major(MajorAxis::Row);
+        let mut row_coords = Vec::new();
+        let mut seg = vec![0usize];
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        for r in 0..rows.nrows() {
+            let f = rows.fiber(r);
+            if f.is_empty() {
+                continue;
+            }
+            row_coords.push(r);
+            cols.extend_from_slice(f.coords);
+            vals.extend_from_slice(f.values);
+            seg.push(cols.len());
+        }
+        DcsrMatrix { nrows: m.nrows(), ncols: m.ncols(), row_coords, seg, cols, vals }
+    }
+
+    /// Convert back to a row-major compressed matrix.
+    pub fn to_cs(&self) -> CsMatrix {
+        let mut entries = Vec::with_capacity(self.vals.len());
+        for (i, &r) in self.row_coords.iter().enumerate() {
+            for p in self.seg[i]..self.seg[i + 1] {
+                entries.push((r, self.cols[p], self.vals[p]));
+            }
+        }
+        CsMatrix::from_entries(self.nrows, self.ncols, entries, MajorAxis::Row)
+    }
+
+    /// Number of rows (logical).
+    pub fn nrows(&self) -> Coord {
+        self.nrows
+    }
+
+    /// Number of columns (logical).
+    pub fn ncols(&self) -> Coord {
+        self.ncols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Number of rows with at least one non-zero.
+    pub fn occupied_rows(&self) -> usize {
+        self.row_coords.len()
+    }
+
+    /// Look up one element (zero when absent).
+    pub fn get(&self, row: Coord, col: Coord) -> Value {
+        match self.row_coords.binary_search(&row) {
+            Ok(i) => {
+                let slice = &self.cols[self.seg[i]..self.seg[i + 1]];
+                match slice.binary_search(&col) {
+                    Ok(off) => self.vals[self.seg[i] + off],
+                    Err(_) => 0.0,
+                }
+            }
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The fiber (columns + values) of an occupied row, or `None` when the
+    /// row is empty.
+    pub fn row(&self, row: Coord) -> Option<(&[Coord], &[Value])> {
+        let i = self.row_coords.binary_search(&row).ok()?;
+        let (a, b) = (self.seg[i], self.seg[i + 1]);
+        Some((&self.cols[a..b], &self.vals[a..b]))
+    }
+
+    /// Footprint in bytes under the default [`SizeModel`] — the number
+    /// `T-CC` is chosen to minimize for hypersparse data.
+    pub fn footprint_bytes(&self) -> usize {
+        let sm = SizeModel::default();
+        sm.cc_matrix_bytes(self.nnz(), self.occupied_rows())
+    }
+}
+
+impl From<&CsMatrix> for DcsrMatrix {
+    fn from(m: &CsMatrix) -> DcsrMatrix {
+        DcsrMatrix::from_cs(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn hypersparse() -> CsMatrix {
+        let coo = CooMatrix::from_triplets(
+            10_000,
+            10_000,
+            vec![(3, 100, 1.5), (3, 200, 2.5), (9_999, 0, -1.0)],
+        )
+        .expect("in bounds");
+        CsMatrix::from_coo(&coo, MajorAxis::Row)
+    }
+
+    #[test]
+    fn roundtrip_preserves_matrix() {
+        let m = hypersparse();
+        let d = DcsrMatrix::from_cs(&m);
+        assert!(d.to_cs().logically_eq(&m));
+        assert_eq!(d.nnz(), 3);
+        assert_eq!(d.occupied_rows(), 2);
+    }
+
+    #[test]
+    fn get_and_row_access() {
+        let d = DcsrMatrix::from_cs(&hypersparse());
+        assert_eq!(d.get(3, 200), 2.5);
+        assert_eq!(d.get(3, 150), 0.0);
+        assert_eq!(d.get(5_000, 5_000), 0.0);
+        let (cols, vals) = d.row(3).expect("occupied");
+        assert_eq!(cols, &[100, 200]);
+        assert_eq!(vals, &[1.5, 2.5]);
+        assert!(d.row(4).is_none());
+    }
+
+    #[test]
+    fn footprint_beats_csr_on_hypersparse() {
+        let m = hypersparse();
+        let d = DcsrMatrix::from_cs(&m);
+        let sm = SizeModel::default();
+        let csr_bytes = sm.cs_matrix_bytes(&m);
+        assert!(
+            d.footprint_bytes() * 100 < csr_bytes,
+            "T-CC {} bytes should be tiny next to T-UC {} bytes",
+            d.footprint_bytes(),
+            csr_bytes
+        );
+    }
+
+    #[test]
+    fn dense_rows_cost_slightly_more_than_csr() {
+        // On a fully occupied matrix T-CC pays an extra coordinate per row.
+        let coo = CooMatrix::from_triplets(
+            4,
+            4,
+            (0..4).flat_map(|r| (0..4).map(move |c| (r, c, 1.0))).collect::<Vec<_>>(),
+        )
+        .expect("in bounds");
+        let m = CsMatrix::from_coo(&coo, MajorAxis::Row);
+        let d = DcsrMatrix::from_cs(&m);
+        let sm = SizeModel::default();
+        assert!(d.footprint_bytes() >= sm.cs_matrix_bytes(&m));
+        assert!(d.to_cs().logically_eq(&m));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let d = DcsrMatrix::from_cs(&CsMatrix::zero(100, 100, MajorAxis::Row));
+        assert_eq!(d.nnz(), 0);
+        assert_eq!(d.occupied_rows(), 0);
+        assert_eq!(d.to_cs().nnz(), 0);
+    }
+}

@@ -1,0 +1,177 @@
+use crate::{CsMatrix, Coord, Value};
+
+/// A small dense row-major matrix, used as the oracle in functional
+/// validation (simulated accelerator output vs. dense triple-loop multiply).
+///
+/// Not intended for large data; every evaluated kernel also has a sparse
+/// reference implementation in `drt-kernels`.
+///
+/// # Example
+///
+/// ```rust
+/// use drt_tensor::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 2);
+/// m.set(0, 1, 3.0);
+/// assert_eq!(m.get(0, 1), 3.0);
+/// let p = m.matmul(&m);
+/// assert_eq!(p.get(0, 1), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: Coord,
+    ncols: Coord,
+    data: Vec<Value>,
+}
+
+impl DenseMatrix {
+    /// An all-zero `nrows × ncols` matrix.
+    pub fn zeros(nrows: Coord, ncols: Coord) -> DenseMatrix {
+        DenseMatrix { nrows, ncols, data: vec![0.0; nrows as usize * ncols as usize] }
+    }
+
+    /// Densify a compressed matrix.
+    pub fn from_sparse(m: &CsMatrix) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(m.nrows(), m.ncols());
+        for (r, c, v) in m.iter() {
+            let cur = d.get(r, c);
+            d.set(r, c, cur + v);
+        }
+        d
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Coord {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Coord {
+        self.ncols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the point is out of bounds.
+    pub fn get(&self, row: Coord, col: Coord) -> Value {
+        assert!(row < self.nrows && col < self.ncols, "dense access out of bounds");
+        self.data[row as usize * self.ncols as usize + col as usize]
+    }
+
+    /// Element setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the point is out of bounds.
+    pub fn set(&mut self, row: Coord, col: Coord, v: Value) {
+        assert!(row < self.nrows && col < self.ncols, "dense access out of bounds");
+        self.data[row as usize * self.ncols as usize + col as usize] = v;
+    }
+
+    /// Dense matrix multiply (`self · rhs`), the validation oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when inner dimensions disagree.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.ncols, rhs.nrows, "inner dimensions must agree");
+        let mut out = DenseMatrix::zeros(self.nrows, rhs.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.ncols {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + a * rhs.get(k, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Convert to a compressed matrix, dropping exact zeros.
+    pub fn to_sparse(&self, major: crate::MajorAxis) -> CsMatrix {
+        let mut entries = Vec::new();
+        for r in 0..self.nrows {
+            for c in 0..self.ncols {
+                let v = self.get(r, c);
+                if v != 0.0 {
+                    entries.push((r, c, v));
+                }
+            }
+        }
+        CsMatrix::from_entries(self.nrows, self.ncols, entries, major)
+    }
+
+    /// Maximum absolute elementwise difference against `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CooMatrix, MajorAxis};
+
+    #[test]
+    fn roundtrip_sparse_dense() {
+        let coo =
+            CooMatrix::from_triplets(3, 2, vec![(0, 1, 2.0), (2, 0, -1.0)]).expect("in bounds");
+        let sp = CsMatrix::from_coo(&coo, MajorAxis::Row);
+        let d = DenseMatrix::from_sparse(&sp);
+        assert_eq!(d.get(0, 1), 2.0);
+        assert_eq!(d.get(1, 1), 0.0);
+        let back = d.to_sparse(MajorAxis::Col);
+        assert!(back.logically_eq(&sp));
+    }
+
+    #[test]
+    fn matmul_small() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let mut a = DenseMatrix::zeros(2, 2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 3.0);
+        a.set(1, 1, 4.0);
+        let mut b = DenseMatrix::zeros(2, 2);
+        b.set(0, 0, 5.0);
+        b.set(0, 1, 6.0);
+        b.set(1, 0, 7.0);
+        b.set(1, 1, 8.0);
+        let c = a.matmul(&b);
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_rejects_bad_shapes() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = DenseMatrix::zeros(2, 2);
+        let mut b = DenseMatrix::zeros(2, 2);
+        b.set(1, 0, 0.25);
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+    }
+}

@@ -1,0 +1,247 @@
+//! Format-agnostic fibertree views (paper Figure 2c).
+//!
+//! The fibertree abstraction represents any tensor as a tree of
+//! coordinate/payload lists: each list is a *fiber*, each payload is either
+//! a sub-fiber (for non-leaf levels) or a data value (at the leaves). It
+//! hides the details of the concrete `T-[uc]+` representation, which is how
+//! the paper explains traversal, co-iteration, and tiling uniformly for
+//! CSR, CSC, and CSF.
+//!
+//! # Example
+//!
+//! ```rust
+//! use drt_tensor::{CooMatrix, CsMatrix, MajorAxis};
+//! use drt_tensor::fibertree::{FiberTree, Payload};
+//!
+//! # fn main() -> Result<(), drt_tensor::TensorError> {
+//! let coo = CooMatrix::from_triplets(4, 4, vec![(0, 1, 7.0), (2, 0, 6.0)])?;
+//! let csr = CsMatrix::from_coo(&coo, MajorAxis::Row);
+//! let root = csr.root_fiber();
+//! // Root coordinates are the occupied rows.
+//! let rows: Vec<u32> = root.iter().map(|(c, _)| c).collect();
+//! assert_eq!(rows, vec![0, 2]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{Coord, CsMatrix, CsfTensor, Value};
+
+/// A payload in a fibertree: either a sub-fiber or a leaf value.
+#[derive(Debug, Clone)]
+pub enum Payload<'a> {
+    /// An inner node: the fiber one level down.
+    Fiber(Fiber<'a>),
+    /// A leaf: the stored data value.
+    Value(Value),
+}
+
+/// One coordinate/payload list of a fibertree.
+#[derive(Debug, Clone)]
+pub struct Fiber<'a> {
+    source: Source<'a>,
+    level: usize,
+    /// Fiber index within its level (position of the parent coordinate).
+    fiber: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Source<'a> {
+    Matrix(&'a CsMatrix),
+    Csf(&'a CsfTensor),
+}
+
+/// Types that expose a fibertree view of themselves.
+///
+/// This trait is *sealed*: it is implemented for the crate's concrete
+/// representations and not intended for downstream implementation.
+pub trait FiberTree: private::Sealed {
+    /// The root fiber (coordinates of the outermost dimension).
+    fn root_fiber(&self) -> Fiber<'_>;
+
+    /// Number of fibertree levels (the tensor's rank).
+    fn depth(&self) -> usize;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for crate::CsMatrix {}
+    impl Sealed for crate::CsfTensor {}
+}
+
+impl FiberTree for CsMatrix {
+    fn root_fiber(&self) -> Fiber<'_> {
+        Fiber { source: Source::Matrix(self), level: 0, fiber: 0 }
+    }
+
+    fn depth(&self) -> usize {
+        2
+    }
+}
+
+impl FiberTree for CsfTensor {
+    fn root_fiber(&self) -> Fiber<'_> {
+        Fiber { source: Source::Csf(self), level: 0, fiber: 0 }
+    }
+
+    fn depth(&self) -> usize {
+        self.ndim()
+    }
+}
+
+impl<'a> Fiber<'a> {
+    /// Iterate this fiber's `(coordinate, payload)` pairs in coordinate
+    /// order (concordant traversal).
+    pub fn iter(&self) -> FiberIter<'a> {
+        match self.source {
+            Source::Matrix(m) => {
+                if self.level == 0 {
+                    // Root fiber of a matrix: occupied major coordinates.
+                    FiberIter {
+                        source: self.source,
+                        level: 0,
+                        positions: (0..m.major_dim())
+                            .filter(|&mj| m.fiber_len(mj) > 0)
+                            .map(|mj| mj as usize)
+                            .collect(),
+                        next: 0,
+                    }
+                } else {
+                    let (a, b) = (m.seg()[self.fiber], m.seg()[self.fiber + 1]);
+                    FiberIter {
+                        source: self.source,
+                        level: 1,
+                        positions: (a..b).collect(),
+                        next: 0,
+                    }
+                }
+            }
+            Source::Csf(t) => {
+                let (a, b) = (t.seg_at(self.level, self.fiber), t.seg_at(self.level, self.fiber + 1));
+                FiberIter { source: self.source, level: self.level, positions: (a..b).collect(), next: 0 }
+            }
+        }
+    }
+
+    /// Number of occupied coordinates in this fiber.
+    pub fn len(&self) -> usize {
+        self.iter().positions.len()
+    }
+
+    /// Whether this fiber has no occupied coordinates.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Iterator over one fiber's `(coordinate, payload)` pairs.
+#[derive(Debug, Clone)]
+pub struct FiberIter<'a> {
+    source: Source<'a>,
+    level: usize,
+    positions: Vec<usize>,
+    next: usize,
+}
+
+impl<'a> Iterator for FiberIter<'a> {
+    type Item = (Coord, Payload<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let pos = *self.positions.get(self.next)?;
+        self.next += 1;
+        Some(match self.source {
+            Source::Matrix(m) => {
+                if self.level == 0 {
+                    let mj = pos as Coord;
+                    (mj, Payload::Fiber(Fiber { source: self.source, level: 1, fiber: pos }))
+                } else {
+                    (m.coord_array()[pos], Payload::Value(m.values()[pos]))
+                }
+            }
+            Source::Csf(t) => {
+                let c = t.coord_at(self.level, pos);
+                if self.level + 1 == t.ndim() {
+                    (c, Payload::Value(t.values()[pos]))
+                } else {
+                    (c, Payload::Fiber(Fiber { source: self.source, level: self.level + 1, fiber: pos }))
+                }
+            }
+        })
+    }
+}
+
+/// Flatten a fibertree into `(point, value)` pairs by depth-first
+/// concordant traversal — a format-agnostic way to enumerate non-zeros.
+pub fn flatten<T: FiberTree>(tensor: &T) -> Vec<(Vec<Coord>, Value)> {
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    descend(tensor.root_fiber(), &mut stack, &mut out);
+    out
+}
+
+fn descend(fiber: Fiber<'_>, stack: &mut Vec<Coord>, out: &mut Vec<(Vec<Coord>, Value)>) {
+    for (c, payload) in fiber.iter() {
+        stack.push(c);
+        match payload {
+            Payload::Value(v) => out.push((stack.clone(), v)),
+            Payload::Fiber(f) => descend(f, stack, out),
+        }
+        stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CooMatrix, CooTensor, MajorAxis};
+
+    #[test]
+    fn matrix_fibertree_matches_figure_2c() {
+        // Figure 2c: root fiber has rows 0, 2, 3; row 2's fiber has
+        // coordinates 0, 2, 3.
+        let coo = CooMatrix::from_triplets(
+            4,
+            4,
+            vec![(0, 1, 7.0), (0, 2, 1.0), (2, 0, 6.0), (2, 2, 12.0), (2, 3, 3.0), (3, 1, 10.0)],
+        )
+        .expect("ok");
+        let m = CsMatrix::from_coo(&coo, MajorAxis::Row);
+        let root = m.root_fiber();
+        let rows: Vec<Coord> = root.iter().map(|(c, _)| c).collect();
+        assert_eq!(rows, vec![0, 2, 3]);
+        let (_, payload) = root.iter().nth(1).expect("row 2 exists");
+        match payload {
+            Payload::Fiber(f) => {
+                let cols: Vec<Coord> = f.iter().map(|(c, _)| c).collect();
+                assert_eq!(cols, vec![0, 2, 3]);
+            }
+            Payload::Value(_) => panic!("matrix level 0 payloads are fibers"),
+        }
+    }
+
+    #[test]
+    fn flatten_matches_matrix_iter() {
+        let coo = CooMatrix::from_triplets(3, 3, vec![(1, 0, 2.0), (2, 2, 3.0)]).expect("ok");
+        let m = CsMatrix::from_coo(&coo, MajorAxis::Row);
+        let flat = flatten(&m);
+        let direct: Vec<(Vec<Coord>, f64)> =
+            m.iter().map(|(r, c, v)| (vec![r, c], v)).collect();
+        assert_eq!(flat, direct);
+    }
+
+    #[test]
+    fn csf_fibertree_has_rank_depth() {
+        let mut coo = CooTensor::new(vec![2, 2, 2]);
+        coo.push(&[1, 0, 1], 4.0).expect("ok");
+        let t = CsfTensor::from_coo(coo);
+        assert_eq!(t.depth(), 3);
+        let flat = flatten(&t);
+        assert_eq!(flat, vec![(vec![1, 0, 1], 4.0)]);
+    }
+
+    #[test]
+    fn empty_matrix_has_empty_root() {
+        let m = CsMatrix::zero(3, 3, MajorAxis::Row);
+        assert!(m.root_fiber().is_empty());
+        assert!(flatten(&m).is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Coordinate intersection — the core co-iteration primitive of sparse
+//! tensor algebra (paper §2.1: effectual computation requires intersecting
+//! the non-zero coordinates of co-iterated fibers).
+//!
+//! Two algorithms are provided, both over sorted coordinate slices:
+//!
+//! * [`two_finger`] — the classic merge-style scan; cost is linear in the
+//!   sum of fiber lengths.
+//! * [`gallop`] — skip-based intersection (ExTensor's intersection unit is
+//!   skip-based): the shorter fiber leads and the longer fiber is advanced
+//!   by doubling searches, so highly mismatched fibers cost
+//!   `O(short · log long)`.
+//!
+//! Every function returns an [`IntersectResult`] carrying exact work
+//! counters (element advances and comparisons). The accelerator models in
+//! `drt-sim` convert these into cycles for the paper's three intersection
+//! units (serial skip-based, parallel-P, serial-optimal — Figure 12).
+
+use crate::Coord;
+
+/// Outcome of intersecting two sorted coordinate lists.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntersectResult {
+    /// Matching coordinates with their positions in each input:
+    /// `(coord, pos_a, pos_b)`.
+    pub matches: Vec<(Coord, usize, usize)>,
+    /// Total pointer advances performed (serial skip-based work).
+    pub advances: usize,
+    /// Total coordinate comparisons performed.
+    pub comparisons: usize,
+}
+
+impl IntersectResult {
+    /// Number of matching coordinates (effectual co-iteration points).
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// Whether no coordinates matched.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+}
+
+/// Two-finger (merge) intersection of two sorted coordinate slices.
+///
+/// # Example
+///
+/// ```rust
+/// use drt_tensor::intersect::two_finger;
+///
+/// let r = two_finger(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]);
+/// let coords: Vec<u32> = r.matches.iter().map(|m| m.0).collect();
+/// assert_eq!(coords, vec![3, 7]);
+/// ```
+pub fn two_finger(a: &[Coord], b: &[Coord]) -> IntersectResult {
+    let mut out = IntersectResult::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        out.comparisons += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                out.matches.push((a[i], i, j));
+                i += 1;
+                j += 1;
+                out.advances += 2;
+            }
+            std::cmp::Ordering::Less => {
+                i += 1;
+                out.advances += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                j += 1;
+                out.advances += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skip-based (galloping) intersection: the shorter list leads, the longer
+/// is advanced with doubling searches.
+///
+/// Produces the same matches as [`two_finger`] but with work proportional to
+/// `short · log(long)`, modelling ExTensor's skip-based intersection unit.
+pub fn gallop(a: &[Coord], b: &[Coord]) -> IntersectResult {
+    // Keep the match positions oriented (a, b) even when b leads.
+    if a.len() <= b.len() {
+        gallop_inner(a, b, false)
+    } else {
+        gallop_inner(b, a, true)
+    }
+}
+
+fn gallop_inner(short: &[Coord], long: &[Coord], swapped: bool) -> IntersectResult {
+    let mut out = IntersectResult::default();
+    let mut base = 0usize;
+    for (si, &c) in short.iter().enumerate() {
+        out.advances += 1;
+        // Doubling search for the first position in `long[base..]` with
+        // coordinate >= c.
+        let mut step = 1usize;
+        let mut lo = base;
+        while lo + step < long.len() && long[lo + step] < c {
+            out.comparisons += 1;
+            lo += step;
+            step *= 2;
+        }
+        let hi = (lo + step + 1).min(long.len());
+        let slice = &long[lo..hi];
+        let off = slice.partition_point(|&x| x < c);
+        out.comparisons += (slice.len().max(1)).ilog2() as usize + 1;
+        let pos = lo + off;
+        base = pos;
+        if pos < long.len() && long[pos] == c {
+            out.comparisons += 1;
+            let (pa, pb) = if swapped { (pos, si) } else { (si, pos) };
+            out.matches.push((c, pa, pb));
+            base = pos + 1;
+        }
+        if base >= long.len() {
+            // Remaining short coordinates cannot match; the leader still
+            // advances through them in a serial unit, but a skip unit stops.
+            break;
+        }
+    }
+    out
+}
+
+/// Intersect two fibers and combine matching values with `f`, returning the
+/// combined `(coord, f(va, vb))` pairs. This is the "intersect then MACC"
+/// inner loop of inner-product SpMSpM.
+///
+/// # Panics
+///
+/// Panics when either fiber's coordinate and value slices differ in length.
+pub fn intersect_values<F>(
+    a_coords: &[Coord],
+    a_vals: &[f64],
+    b_coords: &[Coord],
+    b_vals: &[f64],
+    mut f: F,
+) -> Vec<(Coord, f64)>
+where
+    F: FnMut(f64, f64) -> f64,
+{
+    assert_eq!(a_coords.len(), a_vals.len(), "fiber a: parallel arrays");
+    assert_eq!(b_coords.len(), b_vals.len(), "fiber b: parallel arrays");
+    two_finger(a_coords, b_coords)
+        .matches
+        .into_iter()
+        .map(|(c, pa, pb)| (c, f(a_vals[pa], b_vals[pb])))
+        .collect()
+}
+
+/// Dot product of two sparse fibers (sum over the coordinate intersection),
+/// plus the number of effectual multiplies. The scalar kernel of
+/// inner-product SpMSpM.
+pub fn sparse_dot(
+    a_coords: &[Coord],
+    a_vals: &[f64],
+    b_coords: &[Coord],
+    b_vals: &[f64],
+) -> (f64, usize) {
+    let pairs = intersect_values(a_coords, a_vals, b_coords, b_vals, |x, y| x * y);
+    let n = pairs.len();
+    (pairs.into_iter().map(|(_, v)| v).sum(), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coords(r: &IntersectResult) -> Vec<Coord> {
+        r.matches.iter().map(|m| m.0).collect()
+    }
+
+    #[test]
+    fn two_finger_basic() {
+        let r = two_finger(&[0, 2, 4, 6], &[1, 2, 3, 6]);
+        assert_eq!(coords(&r), vec![2, 6]);
+        assert!(r.advances > 0);
+    }
+
+    #[test]
+    fn two_finger_disjoint_and_empty() {
+        assert!(two_finger(&[1, 3], &[2, 4]).is_empty());
+        assert!(two_finger(&[], &[1, 2]).is_empty());
+        assert_eq!(two_finger(&[], &[1, 2]).advances, 0);
+    }
+
+    #[test]
+    fn gallop_matches_two_finger() {
+        let a: Vec<Coord> = (0..200).step_by(3).collect();
+        let b: Vec<Coord> = (0..200).step_by(7).collect();
+        assert_eq!(coords(&gallop(&a, &b)), coords(&two_finger(&a, &b)));
+    }
+
+    #[test]
+    fn gallop_matches_when_first_is_longer() {
+        let a: Vec<Coord> = (0..500).collect();
+        let b: Vec<Coord> = vec![3, 250, 499];
+        let g = gallop(&a, &b);
+        assert_eq!(coords(&g), vec![3, 250, 499]);
+        // Positions stay oriented (a, b).
+        assert_eq!(g.matches[0], (3, 3, 0));
+        assert_eq!(g.matches[2], (499, 499, 2));
+    }
+
+    #[test]
+    fn gallop_cheaper_on_skewed_inputs() {
+        let a: Vec<Coord> = (0..10_000).collect();
+        let b: Vec<Coord> = vec![9_999];
+        let g = gallop(&a, &b);
+        let t = two_finger(&a, &b);
+        assert_eq!(coords(&g), coords(&t));
+        assert!(
+            g.comparisons + g.advances < (t.comparisons + t.advances) / 10,
+            "gallop should skip most of the long fiber ({} vs {})",
+            g.comparisons + g.advances,
+            t.comparisons + t.advances
+        );
+    }
+
+    #[test]
+    fn intersect_values_multiplies_matches() {
+        let got = intersect_values(&[1, 2, 5], &[1.0, 2.0, 3.0], &[2, 5], &[10.0, 100.0], |a, b| a * b);
+        assert_eq!(got, vec![(2, 20.0), (5, 300.0)]);
+    }
+
+    #[test]
+    fn sparse_dot_counts_multiplies() {
+        let (v, n) = sparse_dot(&[0, 1, 2], &[1.0, 1.0, 1.0], &[1, 2, 3], &[2.0, 3.0, 4.0]);
+        assert_eq!(v, 5.0);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn identical_fibers_fully_match() {
+        let a: Vec<Coord> = (0..50).collect();
+        let r = gallop(&a, &a);
+        assert_eq!(r.len(), 50);
+    }
+}

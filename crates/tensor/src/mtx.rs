@@ -1,0 +1,166 @@
+//! Minimal MatrixMarket-style text I/O.
+//!
+//! Lets the examples and tests exchange matrices with external tools
+//! (`%%MatrixMarket matrix coordinate real general` headers, 1-based
+//! coordinates). Only the coordinate/real/general flavor is supported —
+//! enough to load SuiteSparse exports if a user supplies real data in place
+//! of the synthetic surrogates.
+
+use crate::{CooMatrix, CsMatrix, MajorAxis, TensorError};
+use std::fmt::Write as _;
+
+/// Serialize a matrix to MatrixMarket coordinate text.
+///
+/// # Example
+///
+/// ```rust
+/// use drt_tensor::{CooMatrix, CsMatrix, MajorAxis, mtx};
+///
+/// # fn main() -> Result<(), drt_tensor::TensorError> {
+/// let coo = CooMatrix::from_triplets(2, 2, vec![(0, 1, 3.0)])?;
+/// let m = CsMatrix::from_coo(&coo, MajorAxis::Row);
+/// let text = mtx::to_string(&m);
+/// let back = mtx::from_str(&text)?;
+/// assert!(back.logically_eq(&m));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_string(m: &CsMatrix) -> String {
+    let mut s = String::new();
+    s.push_str("%%MatrixMarket matrix coordinate real general\n");
+    let _ = writeln!(s, "{} {} {}", m.nrows(), m.ncols(), m.nnz());
+    for (r, c, v) in m.iter() {
+        let _ = writeln!(s, "{} {} {}", r + 1, c + 1, v);
+    }
+    s
+}
+
+/// Parse MatrixMarket coordinate text into a CSR matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ParseMatrix`] on malformed headers, size lines,
+/// or entries, and [`TensorError::OutOfBounds`] when an entry exceeds the
+/// declared shape.
+pub fn from_str(text: &str) -> Result<CsMatrix, TensorError> {
+    let mut lines = text.lines().enumerate();
+    let (first_no, first) = lines
+        .next()
+        .ok_or(TensorError::ParseMatrix { line: 1, detail: "empty input".into() })?;
+    if !first.starts_with("%%MatrixMarket") {
+        return Err(TensorError::ParseMatrix {
+            line: first_no + 1,
+            detail: "missing %%MatrixMarket header".into(),
+        });
+    }
+    let mut size: Option<(u32, u32, usize)> = None;
+    let mut coo = CooMatrix::new(0, 0);
+    let mut remaining = 0usize;
+    for (no, line) in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match size {
+            None => {
+                if fields.len() != 3 {
+                    return Err(TensorError::ParseMatrix {
+                        line: no + 1,
+                        detail: "size line must be `rows cols nnz`".into(),
+                    });
+                }
+                let parse = |f: &str, what: &str| {
+                    f.parse::<u64>().map_err(|_| TensorError::ParseMatrix {
+                        line: no + 1,
+                        detail: format!("invalid {what}: {f:?}"),
+                    })
+                };
+                let (r, c, n) =
+                    (parse(fields[0], "rows")?, parse(fields[1], "cols")?, parse(fields[2], "nnz")?);
+                size = Some((r as u32, c as u32, n as usize));
+                coo = CooMatrix::with_capacity(r as u32, c as u32, n as usize);
+                remaining = n as usize;
+            }
+            Some(_) => {
+                if fields.len() < 3 {
+                    return Err(TensorError::ParseMatrix {
+                        line: no + 1,
+                        detail: "entry must be `row col value`".into(),
+                    });
+                }
+                let bad = |what: &str, f: &str| TensorError::ParseMatrix {
+                    line: no + 1,
+                    detail: format!("invalid {what}: {f:?}"),
+                };
+                let r: u32 = fields[0].parse().map_err(|_| bad("row", fields[0]))?;
+                let c: u32 = fields[1].parse().map_err(|_| bad("col", fields[1]))?;
+                let v: f64 = fields[2].parse().map_err(|_| bad("value", fields[2]))?;
+                if r == 0 || c == 0 {
+                    return Err(TensorError::ParseMatrix {
+                        line: no + 1,
+                        detail: "coordinates are 1-based".into(),
+                    });
+                }
+                coo.push(r - 1, c - 1, v)?;
+                remaining = remaining.saturating_sub(1);
+            }
+        }
+    }
+    if size.is_none() {
+        return Err(TensorError::ParseMatrix { line: 1, detail: "missing size line".into() });
+    }
+    if remaining != 0 {
+        return Err(TensorError::ParseMatrix {
+            line: text.lines().count(),
+            detail: format!("{remaining} entries missing vs. declared nnz"),
+        });
+    }
+    Ok(CsMatrix::from_coo(&coo, MajorAxis::Row))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let coo = CooMatrix::from_triplets(3, 4, vec![(0, 3, 1.5), (2, 0, -2.0)]).expect("ok");
+        let m = CsMatrix::from_coo(&coo, MajorAxis::Row);
+        let s = to_string(&m);
+        let back = from_str(&s).expect("parse");
+        assert!(back.logically_eq(&m));
+        assert_eq!(back.nrows(), 3);
+        assert_eq!(back.ncols(), 4);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(from_str("2 2 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_coords() {
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 5.0\n";
+        assert!(from_str(s).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_entries() {
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5.0\n";
+        assert!(from_str(s).is_err());
+    }
+
+    #[test]
+    fn skips_comment_lines() {
+        let s = "%%MatrixMarket matrix coordinate real general\n% comment\n2 2 1\n2 2 7.0\n";
+        let m = from_str(s).expect("parse");
+        assert_eq!(m.get(1, 1), 7.0);
+    }
+
+    #[test]
+    fn rejects_out_of_shape_entry() {
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(from_str(s).is_err());
+    }
+}

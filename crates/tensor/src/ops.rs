@@ -1,0 +1,188 @@
+//! Elementwise and structural operations on sparse matrices.
+//!
+//! The non-contraction primitives that sparse pipelines compose around
+//! SpMSpM: union-style addition, intersection-style Hadamard product,
+//! pattern masking (the `A² ∘ A` of triangle counting), scaling, and
+//! filtering. All operations are layout-preserving on the left operand.
+
+use crate::{CsMatrix, Coord, MajorAxis, TensorError, Value};
+
+fn check_same_shape(a: &CsMatrix, b: &CsMatrix) -> Result<(), TensorError> {
+    if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
+        return Err(TensorError::ShapeMismatch {
+            detail: format!(
+                "{}x{} vs {}x{}",
+                a.nrows(),
+                a.ncols(),
+                b.nrows(),
+                b.ncols()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Elementwise sum `A + B` (coordinate-space union).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn add(a: &CsMatrix, b: &CsMatrix) -> Result<CsMatrix, TensorError> {
+    check_same_shape(a, b)?;
+    let mut entries: Vec<(Coord, Coord, Value)> = a.iter().collect();
+    entries.extend(b.iter());
+    let merged = CsMatrix::from_entries(a.nrows(), a.ncols(), entries, a.major());
+    // Drop exact cancellations.
+    let nz: Vec<(Coord, Coord, Value)> = merged.iter().filter(|&(_, _, v)| v != 0.0).collect();
+    Ok(CsMatrix::from_entries(a.nrows(), a.ncols(), nz, a.major()))
+}
+
+/// Elementwise (Hadamard) product `A ∘ B` (coordinate-space intersection).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn hadamard(a: &CsMatrix, b: &CsMatrix) -> Result<CsMatrix, TensorError> {
+    check_same_shape(a, b)?;
+    let entries: Vec<(Coord, Coord, Value)> = a
+        .iter()
+        .filter_map(|(r, c, va)| {
+            let vb = b.get(r, c);
+            (vb != 0.0).then_some((r, c, va * vb))
+        })
+        .collect();
+    Ok(CsMatrix::from_entries(a.nrows(), a.ncols(), entries, a.major()))
+}
+
+/// Keep only `A`'s entries whose positions are non-zero in `pattern`
+/// (values untouched) — sampling by a sparsity pattern.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn mask(a: &CsMatrix, pattern: &CsMatrix) -> Result<CsMatrix, TensorError> {
+    check_same_shape(a, pattern)?;
+    let entries: Vec<(Coord, Coord, Value)> =
+        a.iter().filter(|&(r, c, _)| pattern.get(r, c) != 0.0).collect();
+    Ok(CsMatrix::from_entries(a.nrows(), a.ncols(), entries, a.major()))
+}
+
+/// Scale every value by `factor` (dropping the matrix to empty when
+/// `factor == 0`).
+pub fn scale(a: &CsMatrix, factor: Value) -> CsMatrix {
+    let entries: Vec<(Coord, Coord, Value)> = a
+        .iter()
+        .map(|(r, c, v)| (r, c, v * factor))
+        .filter(|&(_, _, v)| v != 0.0)
+        .collect();
+    CsMatrix::from_entries(a.nrows(), a.ncols(), entries, a.major())
+}
+
+/// Keep entries satisfying a predicate on `(row, col, value)` — e.g.
+/// thresholding, triangular masks.
+pub fn filter<F>(a: &CsMatrix, mut keep: F) -> CsMatrix
+where
+    F: FnMut(Coord, Coord, Value) -> bool,
+{
+    let entries: Vec<(Coord, Coord, Value)> =
+        a.iter().filter(|&(r, c, v)| keep(r, c, v)).collect();
+    CsMatrix::from_entries(a.nrows(), a.ncols(), entries, a.major())
+}
+
+/// The strictly lower-triangular part (`row > col`) — the standard
+/// de-duplication step of triangle counting.
+pub fn tril_strict(a: &CsMatrix) -> CsMatrix {
+    filter(a, |r, c, _| r > c)
+}
+
+/// Per-row value sums (length `nrows`).
+pub fn row_sums(a: &CsMatrix) -> Vec<Value> {
+    let rows = a.to_major(MajorAxis::Row);
+    (0..rows.nrows())
+        .map(|r| rows.fiber(r).values.iter().sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn m(entries: Vec<(u32, u32, f64)>) -> CsMatrix {
+        CsMatrix::from_coo(
+            &CooMatrix::from_triplets(4, 4, entries).expect("in bounds"),
+            MajorAxis::Row,
+        )
+    }
+
+    #[test]
+    fn add_unions_and_sums() {
+        let a = m(vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        let b = m(vec![(1, 1, 3.0), (2, 2, 4.0)]);
+        let s = add(&a, &b).expect("same shape");
+        assert_eq!(s.get(0, 0), 1.0);
+        assert_eq!(s.get(1, 1), 5.0);
+        assert_eq!(s.get(2, 2), 4.0);
+        assert_eq!(s.nnz(), 3);
+    }
+
+    #[test]
+    fn add_drops_cancellations() {
+        let a = m(vec![(0, 0, 1.0)]);
+        let b = m(vec![(0, 0, -1.0)]);
+        assert_eq!(add(&a, &b).expect("same shape").nnz(), 0);
+    }
+
+    #[test]
+    fn hadamard_intersects() {
+        let a = m(vec![(0, 0, 2.0), (1, 1, 3.0)]);
+        let b = m(vec![(1, 1, 4.0), (2, 2, 5.0)]);
+        let h = hadamard(&a, &b).expect("same shape");
+        assert_eq!(h.nnz(), 1);
+        assert_eq!(h.get(1, 1), 12.0);
+    }
+
+    #[test]
+    fn mask_keeps_values() {
+        let a = m(vec![(0, 0, 7.0), (1, 1, 8.0)]);
+        let p = m(vec![(1, 1, 1.0), (3, 3, 1.0)]);
+        let out = mask(&a, &p).expect("same shape");
+        assert_eq!(out.nnz(), 1);
+        assert_eq!(out.get(1, 1), 8.0);
+    }
+
+    #[test]
+    fn scale_and_zero() {
+        let a = m(vec![(0, 1, 2.0), (2, 3, -4.0)]);
+        let s = scale(&a, 0.5);
+        assert_eq!(s.get(0, 1), 1.0);
+        assert_eq!(s.get(2, 3), -2.0);
+        assert_eq!(scale(&a, 0.0).nnz(), 0);
+    }
+
+    #[test]
+    fn tril_strict_drops_diagonal_and_upper() {
+        let a = m(vec![(0, 0, 1.0), (1, 0, 2.0), (0, 1, 3.0), (3, 2, 4.0)]);
+        let t = tril_strict(&a);
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.get(1, 0), 2.0);
+        assert_eq!(t.get(3, 2), 4.0);
+    }
+
+    #[test]
+    fn row_sums_layout_independent() {
+        let a = m(vec![(0, 0, 1.0), (0, 3, 2.0), (2, 1, 5.0)]);
+        let csc = a.to_major(MajorAxis::Col);
+        assert_eq!(row_sums(&a), vec![3.0, 0.0, 5.0, 0.0]);
+        assert_eq!(row_sums(&csc), row_sums(&a));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = m(vec![(0, 0, 1.0)]);
+        let b = CsMatrix::zero(3, 4, MajorAxis::Row);
+        assert!(add(&a, &b).is_err());
+        assert!(hadamard(&a, &b).is_err());
+        assert!(mask(&a, &b).is_err());
+    }
+}

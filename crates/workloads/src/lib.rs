@@ -1,0 +1,40 @@
+//! # drt-workloads — synthetic workload generators
+//!
+//! The paper evaluates DRT over SuiteSparse/SNAP matrices (Table 3), MS-BFS
+//! frontier workloads (Figure 8), and FROSTT-like 3-D tensors (Figure 9).
+//! Those datasets are not redistributable inside this repository, so this
+//! crate generates *seeded synthetic surrogates* that preserve the
+//! properties DRT's behaviour depends on:
+//!
+//! * exact dimensions and non-zero counts of each Table 3 matrix (optionally
+//!   scaled down by an integer factor for fast runs),
+//! * the two sparsity-pattern regimes the paper groups workloads by —
+//!   **diamond-band** (FEM-style matrices, left of the red line in Figure 6)
+//!   and **unstructured** (SNAP graphs with power-law degree distributions,
+//!   right of the red line),
+//! * per-row occupancy skew (coefficient of row variation), which Figure 8
+//!   sorts by.
+//!
+//! Real data can still be used: [`drt_tensor::mtx`] parses MatrixMarket
+//! text, and every consumer in this repository takes a plain
+//! [`drt_tensor::CsMatrix`].
+//!
+//! ## Example
+//!
+//! ```rust
+//! use drt_workloads::suite::Catalog;
+//!
+//! let catalog = Catalog::paper_table3();
+//! let entry = catalog.get("bcsstk17").expect("in Table 3");
+//! let m = entry.generate(16, 7); // scale 16, seed 7
+//! assert!(m.nnz() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod msbfs;
+pub mod patterns;
+pub mod suite;
+pub mod tallskinny;
+pub mod tensor3;

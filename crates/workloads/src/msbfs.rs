@@ -1,0 +1,151 @@
+//! Multi-source BFS workloads (paper §5.1.2, Figure 8).
+//!
+//! MS-BFS expresses breadth-first search from many sources as a sequence of
+//! Boolean sparse matrix multiplies: `F_{t+1} = Fₜ · S` where `S` is the
+//! square adjacency matrix and `Fₜ` is the short-long frontier matrix
+//! (one row per active search, one column per vertex). The paper runs all
+//! iterations, filters visited vertices offline (not counted in runtime),
+//! and sets the ratio of `S`'s dimension to the number of sources
+//! ("aspect ratio of columns to rows") to 2⁷, 2⁹, or 2¹¹.
+
+use drt_tensor::{CsMatrix, MajorAxis};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One MS-BFS workload: the adjacency matrix plus the frontier matrix of
+/// every BFS level (after offline visited-filtering, as in the paper).
+#[derive(Debug, Clone)]
+pub struct MsBfsWorkload {
+    /// Square adjacency matrix `S` (row-major).
+    pub adjacency: CsMatrix,
+    /// Frontier matrices `F₀, F₁, …` — `sources × n`, Boolean (values 1.0).
+    /// `frontiers[t] · S` produces the (unfiltered) frontier `t + 1`.
+    pub frontiers: Vec<CsMatrix>,
+}
+
+impl MsBfsWorkload {
+    /// Total frontier non-zeros across all iterations (total work volume).
+    pub fn total_frontier_nnz(&self) -> usize {
+        self.frontiers.iter().map(CsMatrix::nnz).sum()
+    }
+}
+
+/// Build an MS-BFS workload over adjacency matrix `s`.
+///
+/// `aspect` sets the number of sources to `s.nrows() / aspect` (the paper's
+/// 2⁷/2⁹/2¹¹ ratios); sources are chosen uniformly at random with `seed`.
+/// Iterations stop when every search's frontier is empty or after
+/// `max_iters`.
+///
+/// # Panics
+///
+/// Panics when `s` is not square or `aspect == 0`.
+pub fn build(s: &CsMatrix, aspect: u32, max_iters: usize, seed: u64) -> MsBfsWorkload {
+    assert_eq!(s.nrows(), s.ncols(), "adjacency matrix must be square");
+    assert!(aspect > 0, "aspect ratio must be positive");
+    let n = s.nrows();
+    let num_sources = (n / aspect).max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB4F5_0000);
+    let mut vertices: Vec<u32> = (0..n).collect();
+    vertices.shuffle(&mut rng);
+    let sources: Vec<u32> = vertices.into_iter().take(num_sources as usize).collect();
+
+    let s_rows = s.to_major(MajorAxis::Row);
+    // visited[search] = set of vertices already reached.
+    let mut visited: Vec<std::collections::HashSet<u32>> =
+        sources.iter().map(|&v| std::collections::HashSet::from([v])).collect();
+    let mut frontier: Vec<Vec<u32>> = sources.iter().map(|&v| vec![v]).collect();
+
+    let mut frontiers = Vec::new();
+    let mut iter = 0;
+    while frontier.iter().any(|f| !f.is_empty()) && iter < max_iters {
+        // Record the current frontier as a short-long Boolean matrix.
+        let mut entries = Vec::new();
+        for (row, verts) in frontier.iter().enumerate() {
+            for &v in verts {
+                entries.push((row as u32, v, 1.0));
+            }
+        }
+        frontiers.push(CsMatrix::from_entries(num_sources, n, entries, MajorAxis::Row));
+        // Expand: next frontier = neighbors not yet visited.
+        let mut next: Vec<Vec<u32>> = vec![Vec::new(); sources.len()];
+        for (row, verts) in frontier.iter().enumerate() {
+            for &v in verts {
+                for &u in s_rows.fiber(v).coords {
+                    if visited[row].insert(u) {
+                        next[row].push(u);
+                    }
+                }
+            }
+        }
+        for f in &mut next {
+            f.sort_unstable();
+        }
+        frontier = next;
+        iter += 1;
+    }
+    MsBfsWorkload { adjacency: s_rows, frontiers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::unstructured;
+    use drt_tensor::CooMatrix;
+
+    fn path_graph(n: u32) -> CsMatrix {
+        // 0 → 1 → 2 → … (directed path).
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n - 1 {
+            coo.push(i, i + 1, 1.0).expect("in bounds");
+        }
+        CsMatrix::from_coo(&coo, MajorAxis::Row)
+    }
+
+    #[test]
+    fn path_graph_bfs_advances_one_hop_per_iter() {
+        let s = path_graph(16);
+        let w = build(&s, 16, 32, 0); // one source
+        assert_eq!(w.frontiers[0].nnz(), 1, "initial frontier is the source");
+        // Each level frontier of a path has exactly one vertex until the end.
+        for f in &w.frontiers {
+            assert_eq!(f.nnz(), 1);
+        }
+        // A path from a random vertex v reaches n-1-v more vertices.
+        let start = w.frontiers[0].iter().next().expect("one source").1;
+        assert_eq!(w.frontiers.len() as u32, 16 - start);
+    }
+
+    #[test]
+    fn frontier_shape_follows_aspect() {
+        let s = unstructured(256, 256, 2048, 2.0, 7);
+        let w = build(&s, 64, 8, 7);
+        assert_eq!(w.frontiers[0].nrows(), 4); // 256 / 64 sources
+        assert_eq!(w.frontiers[0].ncols(), 256);
+    }
+
+    #[test]
+    fn frontiers_never_revisit() {
+        let s = unstructured(128, 128, 1024, 2.0, 9);
+        let w = build(&s, 32, 16, 9);
+        let rows = w.frontiers[0].nrows();
+        for row in 0..rows {
+            let mut seen = std::collections::HashSet::new();
+            for f in &w.frontiers {
+                for &c in f.fiber(row).coords {
+                    assert!(seen.insert(c), "vertex {c} appears twice in search {row}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let s = unstructured(64, 64, 512, 2.0, 5);
+        let a = build(&s, 16, 8, 11);
+        let b = build(&s, 16, 8, 11);
+        assert_eq!(a.frontiers.len(), b.frontiers.len());
+        assert_eq!(a.total_frontier_nnz(), b.total_frontier_nnz());
+    }
+}

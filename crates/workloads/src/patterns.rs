@@ -1,0 +1,308 @@
+//! Sparsity-pattern generators.
+//!
+//! Two families, matching the paper's workload grouping (Figure 6):
+//!
+//! * [`diamond_band`] — FEM/structural-style matrices: non-zeros cluster in
+//!   small blocks along a band around the diagonal whose width undulates
+//!   ("diamond" bands). Low row-variation, locally dense.
+//! * [`unstructured`] — SNAP-graph-style matrices: power-law in- and
+//!   out-degree distributions with no spatial locality. High row-variation,
+//!   globally scattered.
+//!
+//! All generators are deterministic in `(parameters, seed)`.
+
+use drt_tensor::{CsMatrix, MajorAxis};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generate an `n × n` diamond-band matrix with approximately `nnz`
+/// non-zeros.
+///
+/// Rows carry small contiguous blocks of non-zeros placed inside a band
+/// around the diagonal; the half-bandwidth swells and shrinks along the
+/// diagonal with a slow sinusoid, producing the diamond-like occupancy the
+/// paper's left-group matrices exhibit. The result is symmetric-patterned
+/// (both `(i,j)` and `(j,i)` are usually present), like FEM stiffness
+/// matrices.
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+pub fn diamond_band(n: u32, nnz: usize, seed: u64) -> CsMatrix {
+    assert!(n > 0, "matrix dimension must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1A8_0000);
+    let per_row = (nnz as f64 / n as f64).max(1.0);
+    // Half-bandwidth sized so blocks fit; at least the per-row count.
+    let base_bw = (per_row * 2.5).ceil().max(2.0) as i64;
+    let block = 3usize; // FEM-like 3-wide dense blocklets
+    let mut entries = Vec::with_capacity(nnz + n as usize);
+    for i in 0..n as i64 {
+        // Sinusoidal band swell: between 0.5x and 1.5x the base bandwidth.
+        let phase = i as f64 / n as f64 * std::f64::consts::PI * 6.0;
+        let bw = ((base_bw as f64) * (1.0 + 0.5 * phase.sin())).max(1.0) as i64;
+        // Always keep the diagonal (structural matrices are full-rank-ish).
+        entries.push((i as u32, i as u32, rng.random_range(0.1..1.0)));
+        // Oversample: deduplication removes in-band collisions, and padding
+        // with uniform points would destroy the band structure.
+        let budget = per_row * 1.45;
+        let mut placed = 1.0;
+        while placed < budget {
+            let off = rng.random_range(-bw..=bw);
+            let j0 = i + off;
+            for b in 0..block as i64 {
+                let j = j0 + b;
+                if j >= 0 && j < n as i64 && placed < budget + block as f64 {
+                    entries.push((i as u32, j as u32, rng.random_range(-1.0..1.0)));
+                    placed += 1.0;
+                }
+            }
+        }
+    }
+    trim_to_nnz(n, n, entries, nnz, None)
+}
+
+/// Generate an `nrows × ncols` unstructured matrix with approximately `nnz`
+/// non-zeros and power-law row/column degree distributions (exponent
+/// `alpha`, typically 1.5–2.5 for social/web graphs).
+///
+/// # Panics
+///
+/// Panics when `nrows == 0 || ncols == 0` or `alpha <= 0.0`.
+pub fn unstructured(nrows: u32, ncols: u32, nnz: usize, alpha: f64, seed: u64) -> CsMatrix {
+    assert!(nrows > 0 && ncols > 0, "matrix dimensions must be positive");
+    assert!(alpha > 0.0, "power-law exponent must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0505_CAFE);
+    let mut entries = Vec::with_capacity(nnz + nnz / 4);
+    // Zipf-like sampling via inverse transform: rank ~ u^(-1/(alpha-1))
+    // truncated to the dimension, then shuffled through a random affine
+    // permutation so heavy rows are not spatially adjacent.
+    let sample_zipf = |rng: &mut StdRng, dim: u32| -> u32 {
+        let u: f64 = rng.random_range(f64::EPSILON..1.0);
+        let r = u.powf(-1.0 / alpha) - 1.0;
+        (r * dim as f64 / 50.0).min(dim as f64 - 1.0) as u32
+    };
+    // Random affine permutations (odd multiplier mod 2^k style; use
+    // multiply-mod-prime-ish mixing that stays within the dimension).
+    let mix = |x: u32, dim: u32, a: u64, b: u64| -> u32 {
+        (((x as u64).wrapping_mul(a).wrapping_add(b)) % dim as u64) as u32
+    };
+    let (ar, br) = (rng.random_range(1..u32::MAX as u64) | 1, rng.random());
+    let (ac, bc) = (rng.random_range(1..u32::MAX as u64) | 1, rng.random());
+    while entries.len() < nnz + nnz / 8 {
+        let r = mix(sample_zipf(&mut rng, nrows), nrows, ar, br);
+        let c = mix(sample_zipf(&mut rng, ncols), ncols, ac, bc);
+        entries.push((r, c, rng.random_range(-1.0..1.0f64)));
+    }
+    trim_to_nnz(nrows, ncols, entries, nnz, Some(&mut rng))
+}
+
+/// Generate an R-MAT (recursive-matrix) graph adjacency matrix with
+/// approximately `nnz` edges — the Graph500 generator, whose quadrant
+/// probabilities `(a, b, c, d)` control degree skew and community
+/// structure. `rmat(n, nnz, 0.57, 0.19, 0.19, seed)` approximates social
+/// graphs; all-equal probabilities degenerate to uniform random.
+///
+/// # Panics
+///
+/// Panics when `n` is not a power of two or the probabilities are
+/// negative / sum above 1.
+pub fn rmat(n: u32, nnz: usize, a: f64, b: f64, c: f64, seed: u64) -> CsMatrix {
+    assert!(n.is_power_of_two(), "R-MAT needs a power-of-two dimension");
+    assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "invalid quadrant probabilities");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0DDB_A11);
+    let levels = n.trailing_zeros();
+    let mut entries = Vec::with_capacity(nnz + nnz / 4);
+    while entries.len() < nnz + nnz / 8 {
+        let (mut row, mut col) = (0u32, 0u32);
+        for _ in 0..levels {
+            row <<= 1;
+            col <<= 1;
+            let u: f64 = rng.random_range(0.0..1.0);
+            if u < a {
+                // top-left
+            } else if u < a + b {
+                col |= 1;
+            } else if u < a + b + c {
+                row |= 1;
+            } else {
+                row |= 1;
+                col |= 1;
+            }
+        }
+        entries.push((row, col, rng.random_range(-1.0..1.0)));
+    }
+    trim_to_nnz(n, n, entries, nnz, None)
+}
+
+/// Generate an `nrows × ncols` uniformly random matrix with approximately
+/// `nnz` non-zeros — used for the "Random" series in Figure 11.
+///
+/// # Panics
+///
+/// Panics when `nrows == 0 || ncols == 0`.
+pub fn uniform_random(nrows: u32, ncols: u32, nnz: usize, seed: u64) -> CsMatrix {
+    assert!(nrows > 0 && ncols > 0, "matrix dimensions must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0C0F_FEE0);
+    let mut entries = Vec::with_capacity(nnz + nnz / 4);
+    while entries.len() < nnz + nnz / 8 {
+        entries.push((
+            rng.random_range(0..nrows),
+            rng.random_range(0..ncols),
+            rng.random_range(-1.0..1.0f64),
+        ));
+    }
+    trim_to_nnz(nrows, ncols, entries, nnz, Some(&mut rng))
+}
+
+/// Dedup entries and trim/pad so the result has close to `target` non-zeros
+/// (exactly `target` when enough distinct points were sampled).
+fn trim_to_nnz(
+    nrows: u32,
+    ncols: u32,
+    mut entries: Vec<(u32, u32, f64)>,
+    target: usize,
+    pad_rng: Option<&mut StdRng>,
+) -> CsMatrix {
+    entries.sort_unstable_by_key(|e| (e.0, e.1));
+    entries.dedup_by_key(|e| (e.0, e.1));
+    let capacity = nrows as usize * ncols as usize;
+    let target = target.min(capacity);
+    // Pad with extra random points if deduplication undershot (only for
+    // generators whose pattern tolerates uniform fill).
+    if let Some(rng) = pad_rng {
+        let mut attempts = 0usize;
+        while entries.len() < target && attempts < target * 4 {
+            let e =
+                (rng.random_range(0..nrows), rng.random_range(0..ncols), rng.random_range(-1.0..1.0));
+            entries.push(e);
+            attempts += 1;
+            if attempts.is_multiple_of(1024) {
+                entries.sort_unstable_by_key(|e| (e.0, e.1));
+                entries.dedup_by_key(|e| (e.0, e.1));
+            }
+        }
+    }
+    entries.sort_unstable_by_key(|e| (e.0, e.1));
+    entries.dedup_by_key(|e| (e.0, e.1));
+    if entries.len() > target {
+        // Drop a random subset to hit the target exactly while keeping the
+        // pattern: take every k-th survivor.
+        let keep = target as f64 / entries.len() as f64;
+        let mut kept = Vec::with_capacity(target);
+        let mut acc = 0.0;
+        for e in entries {
+            // Diagonal entries survive trimming unconditionally so banded
+            // generators keep their structural diagonal.
+            if e.0 == e.1 {
+                kept.push(e);
+                continue;
+            }
+            acc += keep;
+            if acc >= 1.0 {
+                acc -= 1.0;
+                kept.push(e);
+            }
+        }
+        entries = kept;
+    }
+    CsMatrix::from_entries(nrows, ncols, entries, MajorAxis::Row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_tensor::stats::sparsity_stats;
+
+    #[test]
+    fn diamond_band_is_banded() {
+        let m = diamond_band(256, 4096, 1);
+        assert!(m.nnz() > 3000, "close to requested nnz, got {}", m.nnz());
+        // All non-zeros near the diagonal.
+        let max_off = m
+            .iter()
+            .map(|(r, c, _)| (r as i64 - c as i64).unsigned_abs())
+            .max()
+            .unwrap();
+        assert!(max_off < 256 / 2, "band stays near diagonal, max offset {max_off}");
+        // Diagonal fully populated.
+        for i in 0..256 {
+            assert_ne!(m.get(i, i), 0.0, "diagonal element {i}");
+        }
+    }
+
+    #[test]
+    fn unstructured_has_high_row_cv() {
+        let band = diamond_band(512, 8192, 2);
+        let unst = unstructured(512, 512, 8192, 1.8, 2);
+        let cv_band = sparsity_stats(&band).row_cv;
+        let cv_unst = sparsity_stats(&unst).row_cv;
+        assert!(
+            cv_unst > cv_band * 1.5,
+            "unstructured ({cv_unst:.2}) should be much more skewed than banded ({cv_band:.2})"
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = unstructured(128, 128, 1000, 2.0, 42);
+        let b = unstructured(128, 128, 1000, 2.0, 42);
+        assert!(a.logically_eq(&b));
+        let c = unstructured(128, 128, 1000, 2.0, 43);
+        assert!(!a.logically_eq(&c), "different seeds give different matrices");
+    }
+
+    #[test]
+    fn nnz_close_to_target() {
+        for (m, target) in [
+            (uniform_random(200, 200, 2000, 3), 2000usize),
+            (unstructured(200, 200, 2000, 2.0, 3), 2000),
+            (diamond_band(200, 2000, 3), 2000),
+        ] {
+            let got = m.nnz();
+            assert!(
+                (got as f64 - target as f64).abs() / target as f64 <= 0.25,
+                "nnz {got} too far from target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn rectangular_shapes_supported() {
+        let m = unstructured(300, 50, 900, 2.0, 9);
+        assert_eq!(m.nrows(), 300);
+        assert_eq!(m.ncols(), 50);
+        assert!(m.iter().all(|(r, c, _)| r < 300 && c < 50));
+    }
+
+    #[test]
+    fn rmat_is_skewed_and_bounded() {
+        let m = rmat(256, 4000, 0.57, 0.19, 0.19, 1);
+        assert_eq!(m.nrows(), 256);
+        assert!(m.iter().all(|(r, c, _)| r < 256 && c < 256));
+        // Skewed quadrant probabilities concentrate edges: row CV well
+        // above a uniform matrix's.
+        let uni = uniform_random(256, 256, 4000, 1);
+        let cv_rmat = sparsity_stats(&m).row_cv;
+        let cv_uni = sparsity_stats(&uni).row_cv;
+        assert!(cv_rmat > cv_uni * 1.5, "rmat CV {cv_rmat:.2} vs uniform {cv_uni:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rmat_rejects_non_power_of_two() {
+        let _ = rmat(100, 50, 0.25, 0.25, 0.25, 1);
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        let a = rmat(64, 500, 0.5, 0.2, 0.2, 9);
+        let b = rmat(64, 500, 0.5, 0.2, 0.2, 9);
+        assert!(a.logically_eq(&b));
+    }
+
+    #[test]
+    fn target_clamped_to_capacity() {
+        let m = uniform_random(4, 4, 100, 5);
+        assert!(m.nnz() <= 16);
+    }
+}

@@ -1,0 +1,222 @@
+//! The Table 3 matrix catalog: SuiteSparse/SNAP surrogates.
+//!
+//! Each entry records the real matrix's dimensions, non-zero count, and the
+//! pattern group the paper assigns it to (Figure 6 splits workloads into a
+//! *diamond-band* group and an *unstructured* group at the red line).
+//! [`CatalogEntry::generate`] produces a seeded synthetic surrogate with the
+//! same shape and occupancy, optionally scaled down by an integer factor.
+
+use crate::patterns;
+use drt_tensor::CsMatrix;
+
+/// Sparsity-pattern regime of a catalog matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternClass {
+    /// FEM/structural band matrices — the left group in Figure 6.
+    DiamondBand,
+    /// SNAP-style graphs with power-law degrees — the right group.
+    Unstructured,
+}
+
+/// One matrix of the paper's Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogEntry {
+    /// SuiteSparse/SNAP name as printed in the paper.
+    pub name: &'static str,
+    /// Rows of the real matrix.
+    pub nrows: u32,
+    /// Columns of the real matrix.
+    pub ncols: u32,
+    /// Non-zeros of the real matrix.
+    pub nnz: usize,
+    /// Which pattern group Figure 6 places it in.
+    pub class: PatternClass,
+}
+
+impl CatalogEntry {
+    /// Density of the full-size matrix.
+    pub fn density(&self) -> f64 {
+        self.nnz as f64 / (self.nrows as f64 * self.ncols as f64)
+    }
+
+    /// Dimensions and nnz after down-scaling by `scale` (≥ 1).
+    ///
+    /// Linear dimensions and non-zero count are both divided by `scale`, so
+    /// the mean non-zeros per row — the quantity tile-occupancy statistics
+    /// depend on — is preserved. (Density grows by `scale`; the benches
+    /// report the scale used.)
+    pub fn scaled_dims(&self, scale: u32) -> (u32, u32, usize) {
+        let s = scale.max(1);
+        (
+            (self.nrows / s).max(16),
+            (self.ncols / s).max(16),
+            (self.nnz / s as usize).max(64),
+        )
+    }
+
+    /// Generate the surrogate matrix at the given scale, deterministically
+    /// in `(self.name, scale, seed)`.
+    pub fn generate(&self, scale: u32, seed: u64) -> CsMatrix {
+        let (r, c, nnz) = self.scaled_dims(scale);
+        // Stable per-matrix seed so different entries differ even with the
+        // same user seed.
+        let name_hash = self.name.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+        let seed = seed ^ name_hash;
+        match self.class {
+            PatternClass::DiamondBand => patterns::diamond_band(r, nnz, seed),
+            PatternClass::Unstructured => patterns::unstructured(r, c, nnz, 1.9, seed),
+        }
+    }
+}
+
+/// A named collection of [`CatalogEntry`] values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Catalog {
+    entries: Vec<CatalogEntry>,
+}
+
+impl Catalog {
+    /// The full Table 3 catalog (20 matrices).
+    pub fn paper_table3() -> Catalog {
+        use PatternClass::*;
+        let e = |name, n: u32, nnz: usize, class| CatalogEntry { name, nrows: n, ncols: n, nnz, class };
+        Catalog {
+            entries: vec![
+                // HB / Bova / DNVS / Hamm / Williams / LAW — diamond-band group.
+                e("bcsstk17", 11_000, 428_650, DiamondBand),
+                e("pwtk", 218_000, 11_524_432, DiamondBand),
+                e("rma10", 47_000, 2_329_092, DiamondBand),
+                e("shipsec1", 141_000, 3_568_176, DiamondBand),
+                e("scircuit", 171_000, 958_936, DiamondBand),
+                e("pdb1HYS", 36_000, 4_344_765, DiamondBand),
+                e("cant", 63_000, 4_007_383, DiamondBand),
+                e("consph", 83_000, 6_010_480, DiamondBand),
+                e("mac_econ_fwd500", 207_000, 1_273_389, DiamondBand),
+                e("mc2depi", 526_000, 2_100_225, DiamondBand),
+                // SNAP / Williams / LAW — unstructured group.
+                e("enron", 69_000, 276_143, Unstructured),
+                e("cop20k_A", 121_000, 2_624_331, Unstructured),
+                e("sx-mathoverflow", 25_000, 239_978, Unstructured),
+                e("cit-HepPh", 35_000, 421_578, Unstructured),
+                e("soc-Epinions1", 76_000, 508_837, Unstructured),
+                e("p2p-Gnutella31", 63_000, 147_892, Unstructured),
+                e("soc-sign-epinions", 132_000, 841_372, Unstructured),
+                e("sx-askubuntu", 159_000, 596_933, Unstructured),
+                e("email-EuAll", 265_000, 420_045, Unstructured),
+                e("amazon0302", 262_000, 1_234_877, Unstructured),
+            ],
+        }
+    }
+
+    /// The Figure 6 workload order: diamond-band group first, then
+    /// unstructured, each sorted by increasing input density.
+    pub fn figure6_order() -> Vec<CatalogEntry> {
+        let mut all = Catalog::paper_table3().entries;
+        all.retain(|e| e.name != "enron"); // Figure 6 shows 19 workloads.
+        all.sort_by(|a, b| {
+            (a.class == PatternClass::Unstructured)
+                .cmp(&(b.class == PatternClass::Unstructured))
+                .then(a.density().partial_cmp(&b.density()).expect("finite densities"))
+        });
+        all
+    }
+
+    /// A small representative subset (one dense-band, one sparse-band, one
+    /// dense-unstructured, one sparse-unstructured) for design-space sweeps
+    /// and tests.
+    pub fn sweep_subset() -> Vec<CatalogEntry> {
+        let c = Catalog::paper_table3();
+        ["bcsstk17", "scircuit", "cit-HepPh", "p2p-Gnutella31"]
+            .iter()
+            .map(|n| c.get(n).expect("subset names are in Table 3").clone())
+            .collect()
+    }
+
+    /// Look up an entry by its paper name.
+    pub fn get(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// All entries, in Table 3 order.
+    pub fn entries(&self) -> &[CatalogEntry] {
+        &self.entries
+    }
+
+    /// Number of catalog entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_tensor::stats::sparsity_stats;
+
+    #[test]
+    fn table3_has_twenty_matrices() {
+        let c = Catalog::paper_table3();
+        assert_eq!(c.len(), 20);
+        assert!(c.get("pwtk").is_some());
+        assert!(c.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn densities_match_paper_within_rounding() {
+        let c = Catalog::paper_table3();
+        // Table 3 reports bcsstk17 at 0.356% and mc2depi at 0.00076%.
+        let b = c.get("bcsstk17").expect("present");
+        assert!((b.density() - 0.00356).abs() < 0.0004, "bcsstk17 density {}", b.density());
+        let m = c.get("mc2depi").expect("present");
+        assert!((m.density() - 0.0000076).abs() < 0.000002, "mc2depi density {}", m.density());
+    }
+
+    #[test]
+    fn figure6_order_groups_then_sorts() {
+        let order = Catalog::figure6_order();
+        assert_eq!(order.len(), 19);
+        let first_unstructured =
+            order.iter().position(|e| e.class == PatternClass::Unstructured).expect("both groups");
+        // All diamond-band entries precede all unstructured entries.
+        assert!(order[..first_unstructured].iter().all(|e| e.class == PatternClass::DiamondBand));
+        assert!(order[first_unstructured..].iter().all(|e| e.class == PatternClass::Unstructured));
+        // Density ascending within each group.
+        for w in order[..first_unstructured].windows(2) {
+            assert!(w[0].density() <= w[1].density());
+        }
+        for w in order[first_unstructured..].windows(2) {
+            assert!(w[0].density() <= w[1].density());
+        }
+    }
+
+    #[test]
+    fn scaled_generation_matches_target_shape() {
+        let c = Catalog::paper_table3();
+        let e = c.get("sx-mathoverflow").expect("present");
+        let m = e.generate(32, 1);
+        let (r, c2, nnz) = e.scaled_dims(32);
+        assert_eq!(m.nrows(), r);
+        assert_eq!(m.ncols(), c2);
+        assert!((m.nnz() as f64 - nnz as f64).abs() / nnz as f64 <= 0.25);
+    }
+
+    #[test]
+    fn surrogates_reproduce_pattern_regimes() {
+        let c = Catalog::paper_table3();
+        let band = c.get("bcsstk17").expect("present").generate(16, 3);
+        let unst = c.get("soc-Epinions1").expect("present").generate(16, 3);
+        assert!(sparsity_stats(&unst).row_cv > sparsity_stats(&band).row_cv);
+    }
+
+    #[test]
+    fn scale_one_keeps_full_dims() {
+        let c = Catalog::paper_table3();
+        let e = c.get("bcsstk17").expect("present");
+        assert_eq!(e.scaled_dims(1), (11_000, 11_000, 428_650));
+    }
+}

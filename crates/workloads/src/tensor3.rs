@@ -1,0 +1,153 @@
+//! 3-D tensor workloads for the Gram kernel (paper §5.1.2, Figure 9).
+//!
+//! The paper sweeps FROSTT tensors and synthetic tensors from Benson &
+//! Ballard's generator across densities from 10⁻⁶ % to 10 %. These
+//! surrogates reproduce the density sweep with realistic mode skew: mode-0
+//! slices have power-law occupancy (as real count tensors do), while modes
+//! 1 and 2 are scattered.
+
+use drt_tensor::{CooTensor, CsfTensor};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A named 3-D tensor surrogate.
+#[derive(Debug, Clone)]
+pub struct Tensor3Workload {
+    /// Display name (FROSTT-like).
+    pub name: String,
+    /// The tensor.
+    pub tensor: CsfTensor,
+}
+
+/// Generate an `I × J × K` tensor with approximately `nnz` non-zeros and
+/// power-law skew on mode 0.
+///
+/// # Panics
+///
+/// Panics when any dimension is zero.
+pub fn skewed_tensor(i: u32, j: u32, k: u32, nnz: usize, seed: u64) -> CsfTensor {
+    assert!(i > 0 && j > 0 && k > 0, "tensor dimensions must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3D3D_3D3D);
+    let mut coo = CooTensor::new(vec![i, j, k]);
+    let cap = i as usize * j as usize * k as usize;
+    let target = nnz.min(cap);
+    let mut seen = std::collections::HashSet::with_capacity(target * 2);
+    let mut attempts = 0usize;
+    while seen.len() < target && attempts < target * 20 {
+        attempts += 1;
+        // Mode-0 slice chosen with power-law weight (heavy head).
+        let u: f64 = rng.random_range(f64::EPSILON..1.0);
+        let slice = ((u.powf(-0.6) - 1.0) * i as f64 / 30.0).min(i as f64 - 1.0) as u32;
+        // Mix so heavy slices are scattered over the coordinate space.
+        let slice = ((slice as u64 * 2_654_435_761) % i as u64) as u32;
+        let p = [slice, rng.random_range(0..j), rng.random_range(0..k)];
+        if seen.insert(p) {
+            coo.push(&p, rng.random_range(0.1..1.0)).expect("in bounds");
+        }
+    }
+    CsfTensor::from_coo(coo)
+}
+
+/// The Figure 9 density sweep.
+///
+/// Real count tensors (FROSTT) keep their non-zero volume roughly constant
+/// while density varies over orders of magnitude through their *mode
+/// sizes* — a 1e-6-dense tensor is a huge, hypersparse cube, not a small
+/// one. The sweep therefore fixes `nnz` and derives each point's cube
+/// dimension from the target density: `dim = cbrt(nnz / density)`.
+///
+/// Returns one [`Tensor3Workload`] per density point; names encode the
+/// target density.
+pub fn figure9_sweep(nnz: usize, seed: u64) -> Vec<Tensor3Workload> {
+    let densities = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
+    densities
+        .iter()
+        .filter_map(|&d| {
+            let dim = ((nnz as f64 / d).cbrt().ceil() as u32).max(8);
+            if nnz < 8 {
+                return None;
+            }
+            Some(Tensor3Workload {
+                name: format!("synth-d{d:.0e}"),
+                tensor: skewed_tensor(dim, dim, dim, nnz, seed),
+            })
+        })
+        .collect()
+}
+
+/// Named FROSTT-like surrogates at a given scale factor (dimensions divided
+/// by `scale`). The shapes echo the relative mode sizes of common FROSTT
+/// tensors (e.g. NELL-2-like, Flickr-like) while remaining tractable.
+pub fn frostt_like(scale: u32, seed: u64) -> Vec<Tensor3Workload> {
+    let s = scale.max(1);
+    let spec: [(&str, u32, u32, u32, usize); 3] = [
+        ("nell2-like", 12_092 / s, 9_184 / s, 28_818 / s, 76_879_419 / (s as usize).pow(3)),
+        ("flickr-like", 319_686 / s, 28_153 / s, 1_607_191 / s, 112_890_310 / (s as usize).pow(3)),
+        ("vast-like", 165_427 / s, 11_374 / s, 2 * 16, 26_021_945 / (s as usize).pow(3)),
+    ];
+    spec.iter()
+        .map(|&(name, i, j, k, nnz)| Tensor3Workload {
+            name: name.to_string(),
+            tensor: skewed_tensor(i.max(8), j.max(8), k.max(8), nnz.max(64), seed),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewed_tensor_hits_target_nnz() {
+        let t = skewed_tensor(64, 64, 64, 5000, 1);
+        let got = t.nnz() as f64;
+        assert!((got - 5000.0).abs() / 5000.0 < 0.05, "nnz {got} vs target 5000");
+        assert_eq!(t.shape(), &[64, 64, 64]);
+    }
+
+    #[test]
+    fn mode0_is_skewed() {
+        let t = skewed_tensor(32, 32, 32, 4000, 2);
+        let counts: Vec<usize> =
+            (0..32).map(|s| t.nnz_in_box(&[s..s + 1, 0..32, 0..32])).collect();
+        let max = *counts.iter().max().expect("nonempty");
+        let mean = counts.iter().sum::<usize>() as f64 / 32.0;
+        assert!(max as f64 > mean * 2.0, "heaviest slice ({max}) should exceed 2× mean ({mean})");
+    }
+
+    #[test]
+    fn sweep_densities_ascend_at_fixed_nnz() {
+        let sweep = figure9_sweep(5_000, 3);
+        assert!(sweep.len() >= 4);
+        let densities: Vec<f64> = sweep
+            .iter()
+            .map(|w| {
+                let s = w.tensor.shape();
+                w.tensor.nnz() as f64 / (s[0] as f64 * s[1] as f64 * s[2] as f64)
+            })
+            .collect();
+        for w in densities.windows(2) {
+            assert!(w[0] < w[1], "densities must ascend: {densities:?}");
+        }
+        // Non-zero volume stays roughly constant across the sweep.
+        for w in &sweep {
+            assert!(w.tensor.nnz() as f64 >= 5_000.0 * 0.5, "{} lost nnz", w.name);
+        }
+    }
+
+    #[test]
+    fn frostt_like_scales() {
+        let ws = frostt_like(64, 4);
+        assert_eq!(ws.len(), 3);
+        for w in &ws {
+            assert!(w.tensor.nnz() >= 64, "{} too small", w.name);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = skewed_tensor(16, 16, 16, 500, 9);
+        let b = skewed_tensor(16, 16, 16, 500, 9);
+        assert_eq!(a, b);
+    }
+}

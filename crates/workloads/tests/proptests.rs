@@ -1,0 +1,94 @@
+//! Property-based tests for the workload generators: structural guarantees
+//! every downstream experiment relies on.
+
+use drt_tensor::stats::sparsity_stats;
+use drt_workloads::patterns::{diamond_band, uniform_random, unstructured};
+use drt_workloads::suite::Catalog;
+use drt_workloads::{msbfs, tallskinny, tensor3};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generators_stay_in_bounds(n in 16u32..200, nnz in 10usize..800, seed in 0u64..50) {
+        for m in [
+            diamond_band(n, nnz, seed),
+            unstructured(n, n, nnz, 2.0, seed),
+            uniform_random(n, n, nnz, seed),
+        ] {
+            prop_assert_eq!(m.nrows(), n);
+            prop_assert_eq!(m.ncols(), n);
+            for (r, c, v) in m.iter() {
+                prop_assert!(r < n && c < n);
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_pure_functions(n in 16u32..96, nnz in 10usize..400, seed in 0u64..50) {
+        prop_assert!(diamond_band(n, nnz, seed).logically_eq(&diamond_band(n, nnz, seed)));
+        prop_assert!(unstructured(n, n, nnz, 1.8, seed)
+            .logically_eq(&unstructured(n, n, nnz, 1.8, seed)));
+    }
+
+    #[test]
+    fn tall_skinny_is_exact_column_restriction(n in 32u32..128, nnz in 20usize..500, aspect in 2u32..16, seed in 0u64..20) {
+        let m = unstructured(n, n, nnz, 2.0, seed);
+        let f = tallskinny::tall_skinny(&m, aspect);
+        prop_assert_eq!(f.ncols(), (n / aspect).max(1));
+        prop_assert_eq!(f.nnz(), m.nnz_in_rect(0..n, 0..f.ncols()));
+        for (r, c, v) in f.iter() {
+            prop_assert_eq!(m.get(r, c), v);
+        }
+    }
+
+    #[test]
+    fn bfs_frontiers_shrink_to_termination(n in 32u32..128, seed in 0u64..20) {
+        let s = unstructured(n, n, n as usize * 4, 2.0, seed);
+        let w = msbfs::build(&s, 8, 64, seed);
+        // Total visited never exceeds sources × vertices.
+        let total: usize = w.total_frontier_nnz();
+        let sources = w.frontiers[0].nrows() as usize;
+        prop_assert!(total <= sources * n as usize);
+        // Iterations terminate well before the cap on these graphs.
+        prop_assert!(w.frontiers.len() < 64);
+    }
+
+    #[test]
+    fn tensor3_points_in_bounds(dim in 8u32..48, nnz in 16usize..600, seed in 0u64..20) {
+        let t = tensor3::skewed_tensor(dim, dim, dim, nnz, seed);
+        for (p, v) in t.iter_points() {
+            prop_assert!(p.iter().all(|&c| c < dim));
+            prop_assert!(v.is_finite() && v > 0.0);
+        }
+    }
+}
+
+#[test]
+fn catalog_entries_generate_at_many_scales() {
+    let catalog = Catalog::paper_table3();
+    for entry in catalog.entries().iter().take(4) {
+        for scale in [32, 64, 256] {
+            let m = entry.generate(scale, 1);
+            assert!(m.nnz() > 0, "{} at scale {scale}", entry.name);
+            let (r, c, _) = entry.scaled_dims(scale);
+            assert_eq!((m.nrows(), m.ncols()), (r, c));
+        }
+    }
+}
+
+#[test]
+fn pattern_classes_are_statistically_distinct() {
+    // Across several seeds, the banded group's row CV stays below the
+    // unstructured group's — the property Figures 6/8 depend on.
+    for seed in 0..4 {
+        let band = diamond_band(512, 8192, seed);
+        let unst = unstructured(512, 512, 8192, 1.9, seed);
+        assert!(
+            sparsity_stats(&unst).row_cv > sparsity_stats(&band).row_cv,
+            "seed {seed}: regimes overlap"
+        );
+    }
+}

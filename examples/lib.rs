@@ -1,0 +1,1 @@
+//! Shared helpers for the DRT examples (each example is a standalone binary).

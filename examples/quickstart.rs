@@ -1,0 +1,74 @@
+//! Quickstart: tile one sparse matrix multiplication with DRT and see why
+//! dynamic, sparsity-aware tiles beat static ones.
+//!
+//! ```text
+//! cargo run -p drt-examples --release --bin quickstart
+//! ```
+
+use drt_core::config::{DrtConfig, Partitions};
+use drt_core::kernel::Kernel;
+use drt_core::taskgen::TaskStream;
+use drt_tensor::stats::{occupancy_cv, tile_occupancy_grid};
+use drt_workloads::patterns::unstructured;
+use std::collections::BTreeMap;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. A sparse, irregular matrix (power-law degrees, like a web graph).
+    let a = unstructured(512, 512, 4_000, 2.0, 7);
+    println!("matrix: {}x{}, {} non-zeros ({:.3}% dense)", a.nrows(), a.ncols(), a.nnz(), a.density() * 100.0);
+
+    // The problem DRT solves: static coordinate-space tiles have wildly
+    // varying occupancy on irregular data.
+    let grid = tile_occupancy_grid(&a, 64, 64);
+    println!(
+        "64x64 static tiles: occupancy CV = {:.2} (0 would be perfectly uniform)",
+        occupancy_cv(&grid)
+    );
+
+    // 2. Describe the Einsum Z_ij = A_ik * B_kj with 16x16 micro tiles.
+    let kernel = Kernel::spmspm(&a, &a, (16, 16))?;
+
+    // 3. Give each tensor a slice of a 32 KiB buffer and stream DRT tasks
+    //    with a B-stationary dataflow (J -> K -> I).
+    let config = DrtConfig::new(Partitions::split(
+        32 * 1024,
+        &[("A", 0.05), ("B", 0.45), ("Z", 0.5)],
+    ));
+    let order = ['j', 'k', 'i'];
+    let mut drt_tasks = Vec::new();
+    let mut stream = TaskStream::drt(&kernel, &order, config.clone())?;
+    for task in &mut stream {
+        drt_tasks.push(task);
+    }
+
+    println!("\nDRT produced {} tasks (skipped {} empty regions)", drt_tasks.len(), stream.skipped_empty());
+    println!("first five task shapes (coordinate ranges) — note the nonuniform sizes:");
+    for t in drt_tasks.iter().take(5) {
+        let i = &t.plan.coord_ranges[&'i'];
+        let k = &t.plan.coord_ranges[&'k'];
+        let j = &t.plan.coord_ranges[&'j'];
+        let b = t.plan.tile("B").expect("B tile");
+        println!(
+            "  task {}: i {:>4}..{:<4} k {:>4}..{:<4} j {:>4}..{:<4}  B tile: {:>5} nnz, {:>6} B ({}% of partition)",
+            t.index,
+            i.start,
+            i.end,
+            k.start,
+            k.end,
+            j.start,
+            j.end,
+            b.nnz,
+            b.footprint(),
+            100 * b.footprint() / config.partitions.get("B").max(1)
+        );
+    }
+
+    // 4. Compare against the best static (S-U-C) tiling for the same
+    //    buffer: the worst-case-dense rule caps its tile shape.
+    let sizes = BTreeMap::from([('i', 32u32), ('k', 32), ('j', 32)]);
+    let suc_tasks = TaskStream::suc(&kernel, &order, config, &sizes)?.count();
+    println!("\nS-U-C with dense-safe 32x32x32 tiles needs {suc_tasks} tasks; DRT needed {}.", drt_tasks.len());
+    println!("fewer tasks = fewer buffer fills = less DRAM traffic — that is the paper's headline.");
+    Ok(())
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the paper (plus the ablations and
+# extensions) into bench_logs/. Usage:
+#   scripts/run_all_figures.sh [--scale N] [--seed S] [--quick] [--json]
+set -uo pipefail
+cd "$(dirname "$0")/.."
+ARGS=("$@")
+BINS=(
+  table3_datasets fig13_area fig01_traffic fig06_spmspm_square
+  fig07_tallskinny fig08_msbfs fig09_gram fig10_portability fig11_software
+  fig12_bandwidth fig14_partition_sweep fig15_alternating fig16_start_tile
+  fig17_micro_tile sec43_hierarchy sec65_overhead sec66_llb_sweep
+  ablation_grow_step ablation_pipeline ablation_occupancy ext_gamma
+)
+cargo build --workspace --release
+mkdir -p bench_logs
+status=0
+for b in "${BINS[@]}"; do
+  echo "=== $b ==="
+  if ./target/release/"$b" "${ARGS[@]}" | tee "bench_logs/$b.txt"; then
+    echo "=== OK $b ==="
+  else
+    echo "=== FAIL $b ==="
+    status=1
+  fi
+done
+exit $status

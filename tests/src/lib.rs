@@ -1,0 +1,1 @@
+//! Integration test support crate (tests live in `tests/tests/`).

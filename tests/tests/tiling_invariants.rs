@@ -1,0 +1,131 @@
+//! Property-based integration tests of the tiling invariants that make the
+//! simulators trustworthy: task streams partition the iteration space,
+//! capacity limits hold, co-tiling is exact, and the engine's functional
+//! output is independent of every tiling knob.
+
+use drt_accel::engine::{run_spmspm, EngineConfig, Tiling};
+use drt_core::config::{DrtConfig, GrowthOrder, Partitions};
+use drt_core::kernel::Kernel;
+use drt_core::taskgen::TaskStream;
+use drt_kernels::spmspm::gustavson;
+use drt_sim::memory::{BufferSpec, HierarchySpec};
+use drt_tensor::{CsMatrix, MajorAxis};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_matrix(dim: u32, max_nnz: usize) -> impl Strategy<Value = CsMatrix> {
+    proptest::collection::vec((0..dim, 0..dim, 0.1..1.0f64), 1..max_nnz)
+        .prop_map(move |entries| CsMatrix::from_entries(dim, dim, entries, MajorAxis::Row))
+}
+
+fn small_hier() -> HierarchySpec {
+    HierarchySpec {
+        llb: BufferSpec { capacity_bytes: 4096, ports: 2 },
+        num_pes: 4,
+        ..HierarchySpec::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn drt_tasks_partition_grid_space(a in arb_matrix(64, 250), llb in 1200u64..6000) {
+        let kernel = Kernel::spmspm(&a, &a, (8, 8)).unwrap();
+        let parts = Partitions::split(llb, &[("A", 0.3), ("B", 0.5), ("Z", 0.2)]);
+        let cfg = DrtConfig::new(parts.clone());
+        // A partition too small for one micro tile is rejected up front;
+        // skip those inputs.
+        if let Ok(mut stream) = TaskStream::drt(&kernel, &['j', 'k', 'i'], cfg) {
+            let tasks: Vec<_> = (&mut stream).collect();
+            let mut covered = std::collections::HashSet::new();
+            for t in &tasks {
+                for i in t.plan.grid_ranges[&'i'].clone() {
+                    for k in t.plan.grid_ranges[&'k'].clone() {
+                        for j in t.plan.grid_ranges[&'j'].clone() {
+                            prop_assert!(covered.insert((i, k, j)), "cell covered twice");
+                        }
+                    }
+                }
+                // Capacity invariant: every emitted tile fits its partition.
+                for tile in &t.plan.tiles {
+                    prop_assert!(
+                        tile.footprint() <= parts.get(&tile.name),
+                        "{} tile of {} bytes over its {}-byte partition",
+                        tile.name,
+                        tile.footprint(),
+                        parts.get(&tile.name)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_output_invariant_under_tiling_knobs(
+        a in arb_matrix(48, 200),
+        micro in 4u32..12,
+        b_share in 2u32..7,
+    ) {
+        let reference = gustavson(&a, &a).z;
+        let b_frac = b_share as f64 / 10.0;
+        let parts = Partitions::split(
+            6 * 1024,
+            &[("A", 0.8 - b_frac), ("B", b_frac), ("Z", 0.2)],
+        );
+        for growth in [GrowthOrder::ContractedFirst, GrowthOrder::Alternating] {
+            let cfg = EngineConfig {
+                micro: (micro, micro),
+                hier: small_hier(),
+                ..EngineConfig::new(
+                    "prop",
+                    Tiling::Drt,
+                    DrtConfig::new(parts.clone()).with_growth(growth),
+                )
+            };
+            // Infeasible partitions for this micro shape are skipped.
+            if let Ok(r) = run_spmspm(&a, &a, &cfg) {
+                prop_assert!(
+                    r.output.as_ref().unwrap().approx_eq(&reference, 1e-9),
+                    "output changed under micro={micro}, growth={growth:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suc_and_drt_agree_functionally(a in arb_matrix(40, 160), tile in 1u32..5) {
+        let reference = gustavson(&a, &a).z;
+        let parts = Partitions::split(64 * 1024, &[("A", 0.4), ("B", 0.4), ("Z", 0.2)]);
+        let sizes: BTreeMap<char, u32> =
+            [('i', tile * 8), ('k', tile * 8), ('j', tile * 8)].into();
+        let mk = |tiling| EngineConfig {
+            micro: (8, 8),
+            hier: small_hier(),
+            ..EngineConfig::new("prop", tiling, DrtConfig::new(parts.clone()))
+        };
+        let suc = run_spmspm(&a, &a, &mk(Tiling::Suc(sizes))).unwrap();
+        let drt = run_spmspm(&a, &a, &mk(Tiling::Drt)).unwrap();
+        prop_assert!(suc.output.as_ref().unwrap().approx_eq(&reference, 1e-9));
+        prop_assert!(drt.output.as_ref().unwrap().approx_eq(&reference, 1e-9));
+        prop_assert_eq!(suc.maccs, drt.maccs);
+    }
+
+    #[test]
+    fn loop_order_does_not_change_results(a in arb_matrix(40, 150)) {
+        let reference = gustavson(&a, &a).z;
+        let parts = Partitions::split(4 * 1024, &[("A", 0.3), ("B", 0.4), ("Z", 0.3)]);
+        for order in [['j', 'k', 'i'], ['i', 'k', 'j'], ['k', 'i', 'j'], ['i', 'j', 'k']] {
+            let cfg = EngineConfig {
+                micro: (8, 8),
+                loop_order: order.to_vec(),
+                hier: small_hier(),
+                ..EngineConfig::new("prop", Tiling::Drt, DrtConfig::new(parts.clone()))
+            };
+            if let Ok(r) = run_spmspm(&a, &a, &cfg) { prop_assert!(
+                r.output.as_ref().unwrap().approx_eq(&reference, 1e-9),
+                "output changed under loop order {order:?}"
+            ) }
+        }
+    }
+}
