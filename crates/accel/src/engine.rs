@@ -171,14 +171,7 @@ pub fn run_spmspm(a: &CsMatrix, b: &CsMatrix, cfg: &EngineConfig) -> Result<RunR
         // The LLB-level distributor schedules micro-tile pairs to PEs
         // (paper Figure 5's task list), so one LLB task's work spreads
         // over up to `micro-tile pairs` PEs, round-robin.
-        let subtasks: u64 = task
-            .plan
-            .tiles
-            .iter()
-            .map(|t| t.micro_tiles)
-            .max()
-            .unwrap_or(1)
-            .max(1);
+        let subtasks: u64 = task.plan.tiles.iter().map(|t| t.micro_tiles).max().unwrap_or(1).max(1);
         pes.assign_parallel(isect_cycles + merge_cycles, subtasks);
 
         // --- Output partials through the Z cache. ---
@@ -229,11 +222,7 @@ pub fn run_spmspm(a: &CsMatrix, b: &CsMatrix, cfg: &EngineConfig) -> Result<RunR
 }
 
 /// Merge accumulated per-task partial entries into the final output.
-pub(crate) fn finalize_output(
-    nrows: u32,
-    ncols: u32,
-    entries: Vec<(u32, u32, f64)>,
-) -> CsMatrix {
+pub(crate) fn finalize_output(nrows: u32, ncols: u32, entries: Vec<(u32, u32, f64)>) -> CsMatrix {
     let merged = CsMatrix::from_entries(nrows, ncols, entries, MajorAxis::Row);
     let nonzero: Vec<(u32, u32, f64)> = merged.iter().filter(|&(_, _, v)| v != 0.0).collect();
     CsMatrix::from_entries(nrows, ncols, nonzero, MajorAxis::Row)
@@ -291,19 +280,12 @@ pub fn run_spmspm_best_suc_with_shape(
     // and the paper's offline sweep would discard them immediately). Keep
     // at least the largest-volume shape as a fallback.
     let boxes = |shape: &BTreeMap<RankId, u32>| -> u64 {
-        shape
-            .iter()
-            .map(|(&r, &sz)| (kernel.extent(r).div_ceil(sz.max(1))) as u64)
-            .product()
+        shape.iter().map(|(&r, &sz)| (kernel.extent(r).div_ceil(sz.max(1))) as u64).product()
     };
     const BOX_BUDGET: u64 = 5_000_000;
     if candidates.iter().any(|c| boxes(c) <= BOX_BUDGET) {
         candidates.retain(|c| boxes(c) <= BOX_BUDGET);
-    } else if let Some(best) = candidates
-        .iter()
-        .min_by_key(|c| boxes(c))
-        .cloned()
-    {
+    } else if let Some(best) = candidates.iter().min_by_key(|c| boxes(c)).cloned() {
         candidates = vec![best];
     }
     // Sample the sweep evenly across the volume-sorted shape space so both
@@ -403,9 +385,13 @@ mod tests {
         // The paper's core claim at engine level.
         let a = unstructured(192, 192, 1400, 2.0, 5);
         let drt = run_spmspm(&a, &a, &engine_cfg("drt", Tiling::Drt, 6 * 1024)).expect("run");
-        let best_suc =
-            run_spmspm_best_suc(&a, &a, &engine_cfg("suc", Tiling::Suc(BTreeMap::new()), 6 * 1024), 6)
-                .expect("run");
+        let best_suc = run_spmspm_best_suc(
+            &a,
+            &a,
+            &engine_cfg("suc", Tiling::Suc(BTreeMap::new()), 6 * 1024),
+            6,
+        )
+        .expect("run");
         assert!(
             drt.traffic.total() < best_suc.traffic.total(),
             "DRT traffic {} must beat best S-U-C traffic {}",

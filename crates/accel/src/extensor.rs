@@ -51,7 +51,11 @@ pub const SUC_SWEEP_CANDIDATES: usize = 8;
 /// # Errors
 ///
 /// Propagates engine/tiling configuration errors.
-pub fn run_extensor(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> Result<RunReport, CoreError> {
+pub fn run_extensor(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    hier: &HierarchySpec,
+) -> Result<RunReport, CoreError> {
     let mut cfg = base_config("ExTensor", Tiling::Suc(BTreeMap::new()), hier);
     cfg.intersect = IntersectUnit::SkipBased;
     cfg.merge_lanes = 1;
@@ -93,7 +97,7 @@ pub fn run_extensor_fixed(
     cfg.merge_lanes = 1;
     // Quantize the kernel like the sweep does so sub-micro shapes remain
     // representable.
-    let q = sizes.values().copied().min().unwrap_or(32).min(32).max(1);
+    let q = sizes.values().copied().min().unwrap_or(32).clamp(1, 32);
     cfg.micro = (q, q);
     run_spmspm(a, b, &cfg)
 }
@@ -120,7 +124,11 @@ pub fn run_extensor_op(
 /// # Errors
 ///
 /// Propagates engine/tiling configuration errors.
-pub fn run_tactile(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> Result<RunReport, CoreError> {
+pub fn run_tactile(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    hier: &HierarchySpec,
+) -> Result<RunReport, CoreError> {
     run_tactile_with(a, b, hier, IntersectUnit::Parallel(32), ExtractorModel::parallel())
 }
 

@@ -56,8 +56,10 @@ impl GramCounter {
         let mut out_pairs = 0u64;
         for (_, ks) in self.jk.range(jr.start..jr.end) {
             for (_, is) in ks.range(kr.start..kr.end) {
-                let ci = is.partition_point(|&v| v < ir.end) - is.partition_point(|&v| v < ir.start);
-                let cl = is.partition_point(|&v| v < lr.end) - is.partition_point(|&v| v < lr.start);
+                let ci =
+                    is.partition_point(|&v| v < ir.end) - is.partition_point(|&v| v < ir.start);
+                let cl =
+                    is.partition_point(|&v| v < lr.end) - is.partition_point(|&v| v < lr.start);
                 maccs += (ci * cl) as u64;
                 out_pairs += (ci * cl) as u64;
             }
@@ -68,10 +70,7 @@ impl GramCounter {
 }
 
 fn partitions(hier: &HierarchySpec) -> Partitions {
-    Partitions::split(
-        hier.llb.capacity_bytes,
-        &[("X", 0.3), ("Y", 0.3), ("G", 0.4)],
-    )
+    Partitions::split(hier.llb.capacity_bytes, &[("X", 0.3), ("Y", 0.3), ("G", 0.4)])
 }
 
 /// Run the Gram kernel with DRT tiling (ExTensor-OP-DRT).
@@ -118,12 +117,7 @@ pub fn run_gram_suc(
     let cfg = DrtConfig::new(partitions(hier));
     drt_core::suc::validate_shape(&kernel, tile_sizes, &cfg.partitions)?;
     let sm = SizeModel::default();
-    let (si, sl, sj, sk) = (
-        tile_sizes[&'i'],
-        tile_sizes[&'l'],
-        tile_sizes[&'j'],
-        tile_sizes[&'k'],
-    );
+    let (si, sl, sj, sk) = (tile_sizes[&'i'], tile_sizes[&'l'], tile_sizes[&'j'], tile_sizes[&'k']);
     // Tiled footprints from S-U-C grids at the tile shapes themselves
     // (plain T-UC tiles, as the static scheme stores them).
     let gx = drt_core::micro::MicroGrid::from_csf_fmt(
@@ -263,7 +257,11 @@ mod tests {
     fn drt_maccs_match_reference() {
         let x = skewed_tensor(24, 24, 24, 800, 1);
         let r = run_gram_drt(&x, &hier(), [4, 4, 4]).expect("run");
-        assert_eq!(r.maccs, drt_kernels::gram::gram_maccs(&x), "task MACCs must sum to the kernel total");
+        assert_eq!(
+            r.maccs,
+            drt_kernels::gram::gram_maccs(&x),
+            "task MACCs must sum to the kernel total"
+        );
     }
 
     #[test]

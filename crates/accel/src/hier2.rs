@@ -60,8 +60,7 @@ pub fn analyze_two_level(
         hier.pe_buffer.capacity_bytes,
         &[("A", 0.4), ("B", 0.4), ("Z", 0.2)],
     ));
-    let stream =
-        TwoLevelStream::drt(&kernel, &['j', 'k', 'i'], outer, &['k', 'i', 'j'], inner)?;
+    let stream = TwoLevelStream::drt(&kernel, &['j', 'k', 'i'], outer, &['k', 'i', 'j'], inner)?;
     let noc = NocModel::default();
 
     let mut report = TwoLevelReport::default();
@@ -71,13 +70,8 @@ pub fn analyze_two_level(
         report.macro_tiles += 1;
         // DRAM boundary: fetch macro tiles whose ranges changed.
         for tile in &h.outer.plan.tiles {
-            let key: Vec<u32> = h
-                .outer
-                .plan
-                .grid_ranges
-                .values()
-                .flat_map(|r| [r.start, r.end])
-                .collect();
+            let key: Vec<u32> =
+                h.outer.plan.grid_ranges.values().flat_map(|r| [r.start, r.end]).collect();
             if last_outer.get(&tile.name) != Some(&key) {
                 report.dram_bytes += tile.footprint();
                 last_outer.insert(tile.name.clone(), key);

@@ -32,8 +32,8 @@ pub mod cpu;
 pub mod engine;
 pub mod extensor;
 pub mod gamma;
-pub mod hier2;
 pub mod gram;
+pub mod hier2;
 pub mod matraptor;
 pub mod outerspace;
 pub mod report;

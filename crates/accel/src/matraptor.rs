@@ -70,8 +70,7 @@ pub fn run_untiled(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> RunRepor
 fn base(name: &str, tiling: Tiling, hier: &HierarchySpec) -> EngineConfig {
     // Row-wise dataflow: A row-chunk stationary, K middle, J inner; the
     // output row band stays resident (Gustavson's partial reuse on Z).
-    let parts =
-        Partitions::split(hier.llb.capacity_bytes, &[("A", 0.2), ("B", 0.5), ("Z", 0.3)]);
+    let parts = Partitions::split(hier.llb.capacity_bytes, &[("A", 0.2), ("B", 0.5), ("Z", 0.3)]);
     EngineConfig {
         loop_order: vec!['i', 'k', 'j'],
         hier: *hier,

@@ -40,11 +40,8 @@ pub fn run_untiled(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> RunRepor
     traffic.read("Z", partial_bytes);
     traffic.write("Z", sm.cs_matrix_bytes(&prod.z) as u64);
     let seconds = hier.dram.seconds_for(traffic.total());
-    let actions = ActionCounts {
-        dram_bytes: traffic.total(),
-        maccs: prod.maccs,
-        ..Default::default()
-    };
+    let actions =
+        ActionCounts { dram_bytes: traffic.total(), maccs: prod.maccs, ..Default::default() };
     RunReport {
         name: "OuterSPACE".into(),
         traffic,

@@ -41,7 +41,10 @@ impl RunReport {
     /// DRAM-bound runtime (the red-dot oracle): total traffic at peak
     /// bandwidth, ignoring on-chip limits.
     pub fn dram_bound_seconds(&self, hier: &HierarchySpec) -> f64 {
-        drt_sim::traffic::dram_bound_seconds(self.traffic.total(), hier.dram.bandwidth_bytes_per_sec)
+        drt_sim::traffic::dram_bound_seconds(
+            self.traffic.total(),
+            hier.dram.bandwidth_bytes_per_sec,
+        )
     }
 
     /// Speedup of this run over a baseline run (baseline time / this time).

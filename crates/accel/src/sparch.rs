@@ -40,11 +40,8 @@ pub fn run_sparch_like(
     let partial_bytes = sm.coo_bytes(prod.partial_products as usize, 2) as u64;
     let chunk_bytes = (hier.llb.capacity_bytes / 2).max(1);
     let chunks = partial_bytes.div_ceil(chunk_bytes).max(1);
-    let merge_passes = if chunks <= 1 {
-        0
-    } else {
-        (chunks as f64).log(merge_ways as f64).ceil() as u64
-    };
+    let merge_passes =
+        if chunks <= 1 { 0 } else { (chunks as f64).log(merge_ways as f64).ceil() as u64 };
     // Write all partials once; each merge pass reads and rewrites the
     // shrinking stream (bounded below by the final output footprint).
     let final_bytes = sm.cs_matrix_bytes(&prod.z) as u64;
@@ -118,10 +115,9 @@ mod tests {
         let r = run_sparch_like(&a, &a, &hier(1024), 64);
         let sm = SizeModel::default();
         // Partials written once + final output once.
-        let partials = sm.coo_bytes(
-            drt_kernels::spmspm::outer_product(&a, &a).partial_products as usize,
-            2,
-        ) as u64;
+        let partials = sm
+            .coo_bytes(drt_kernels::spmspm::outer_product(&a, &a).partial_products as usize, 2)
+            as u64;
         assert_eq!(r.traffic.reads_of("Z"), 0);
         assert_eq!(
             r.traffic.writes_of("Z"),

@@ -54,12 +54,8 @@ fn llc_hierarchy(spec: &CpuSpec) -> HierarchySpec {
 fn sw_config(name: &str, tiling: Tiling, spec: &CpuSpec, micro: (u32, u32)) -> EngineConfig {
     // Inner-product dataflow on LLC macro tiles: output-stationary loop
     // order (i, j outer; k inner) — Z tiles never spill; inputs stream.
-    let parts = Partitions::split(
-        spec.llc_bytes,
-        &[("A", 0.4), ("B", 0.4), ("Z", 0.2)],
-    );
-    let drt =
-        DrtConfig::new(parts).with_growth(GrowthOrder::Alternating);
+    let parts = Partitions::split(spec.llc_bytes, &[("A", 0.4), ("B", 0.4), ("Z", 0.2)]);
+    let drt = DrtConfig::new(parts).with_growth(GrowthOrder::Alternating);
     EngineConfig {
         loop_order: vec!['i', 'j', 'k'],
         micro,

@@ -228,7 +228,7 @@ mod tests {
         let mut c = OutputCache::new(250);
         c.access(&key(0, 0), 100); // tile A resident: 100
         c.access(&key(1, 0), 100); // tile B resident: 200 total
-        // Tile C pushes over: evicts tile A (LRU).
+                                   // Tile C pushes over: evicts tile A (LRU).
         let ch = c.access(&key(2, 0), 100);
         assert_eq!(ch.spill_writes, 100);
         assert_eq!(ch.refill_reads, 0);
@@ -264,7 +264,6 @@ mod tests {
     }
 }
 
-
 #[cfg(test)]
 mod finish_tests {
     use super::*;
@@ -289,7 +288,7 @@ mod finish_tests {
         c.access(&vec![0], 90); // refill tile 0, spill tile 1
         c.access(&vec![1], 90); // refill tile 1, spill tile 0 (segment 1 again — it merged on refill)
         c.access(&vec![0], 30); // refill tile 0 (180 bytes), spill tile 1
-        // Now spill tile 0 again while keeping some residue of it resident:
+                                // Now spill tile 0 again while keeping some residue of it resident:
         let fin = c.finish();
         // Tile 1 has a single spilled segment (final), tile 0 is resident.
         assert_eq!(fin.merge_reads, 0);

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drt_core::config::{DrtConfig, GrowthOrder, Partitions};
-use drt_core::drt::plan_tile;
+use drt_core::drt::{plan_tile, plan_tile_with_mode, MeasureMode};
 use drt_core::kernel::Kernel;
 use drt_core::taskgen::TaskStream;
 use drt_workloads::patterns::{diamond_band, unstructured};
@@ -44,6 +44,37 @@ fn bench_plan_tile(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_measure_modes(c: &mut Criterion) {
+    // Incremental (cached load-phase stats + reused grow accumulation) vs
+    // FromScratch (the reference behavior that re-measures every phase).
+    // Both produce bit-identical plans; only host time differs.
+    let mut group = c.benchmark_group("plan_tile_modes");
+    let a = unstructured(2048, 2048, 40_000, 2.0, 1);
+    let kernel = Kernel::spmspm(&a, &a, (32, 32)).expect("kernel");
+    let parts = Partitions::split(256 * 1024, &[("A", 0.05), ("B", 0.45), ("Z", 0.5)]);
+    let cfg = DrtConfig::new(parts);
+    let region: BTreeMap<char, std::ops::Range<u32>> =
+        kernel.ranks().into_iter().map(|r| (r, 0..64u32)).collect();
+    for (label, mode) in
+        [("incremental", MeasureMode::Incremental), ("from_scratch", MeasureMode::FromScratch)]
+    {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                plan_tile_with_mode(
+                    black_box(&kernel),
+                    &['j', 'k', 'i'],
+                    black_box(&region),
+                    &BTreeMap::new(),
+                    &cfg,
+                    mode,
+                )
+                .expect("plan")
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_task_stream(c: &mut Criterion) {
     let mut group = c.benchmark_group("task_stream");
     group.sample_size(10);
@@ -60,5 +91,5 @@ fn bench_task_stream(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_plan_tile, bench_task_stream);
+criterion_group!(benches, bench_plan_tile, bench_measure_modes, bench_task_stream);
 criterion_main!(benches);

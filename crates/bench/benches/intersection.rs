@@ -19,9 +19,11 @@ fn bench_intersection(c: &mut Criterion) {
         let (a, b) = fibers(long, short);
         group.throughput(Throughput::Elements((long + short) as u64));
         let label = format!("{long}x{short}");
-        group.bench_with_input(BenchmarkId::new("two_finger", &label), &(&a, &b), |bench, (a, b)| {
-            bench.iter(|| two_finger(black_box(a), black_box(b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("two_finger", &label),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| two_finger(black_box(a), black_box(b))),
+        );
         group.bench_with_input(BenchmarkId::new("gallop", &label), &(&a, &b), |bench, (a, b)| {
             bench.iter(|| gallop(black_box(a), black_box(b)))
         });

@@ -21,15 +21,27 @@ fn bench_grid_build(c: &mut Criterion) {
 }
 
 fn bench_region_stats(c: &mut Criterion) {
+    // `prefix` is the shipping prefix-sum implementation; `naive` is the
+    // retained linear-scan oracle. Same box queries on the same grid
+    // (>= 10^4 occupied micro tiles), so the pair directly shows the
+    // box-query speedup.
     let mut group = c.benchmark_group("region_stats");
     let a = unstructured(8192, 8192, 200_000, 2.0, 5);
     let grid = MicroGrid::from_matrix(&a, (32, 32)).expect("grid");
+    assert!(grid.occupied_tiles() >= 10_000, "grid too sparse for the comparison");
     let full = grid.grid_dims()[0];
-    for frac in [4u32, 16, 64] {
+    for frac in [1u32, 4, 16, 64] {
         let span = (full / frac).max(1);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("1/{frac}")), &span, |b, &span| {
-            b.iter(|| grid.region_stats(black_box(&[0..span, 0..span])))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("prefix", format!("1/{frac}")),
+            &span,
+            |b, &span| b.iter(|| grid.region_stats(black_box(&[0..span, 0..span]))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("1/{frac}")),
+            &span,
+            |b, &span| b.iter(|| grid.region_stats_naive(black_box(&[0..span, 0..span]))),
+        );
     }
     group.finish();
 }

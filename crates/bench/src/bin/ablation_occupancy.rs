@@ -81,5 +81,7 @@ fn main() {
             ],
         );
     }
-    println!("\n(stationary tensor B; DRT should fill its partition nearly fully with low variation)");
+    println!(
+        "\n(stationary tensor B; DRT should fill its partition nearly fully with low variation)"
+    );
 }

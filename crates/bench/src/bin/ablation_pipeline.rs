@@ -24,10 +24,7 @@ fn main() {
         ("pipelined P=32", ExtractorModel::parallel()),
         ("unpipelined P=32", ExtractorModel::unpipelined()),
         ("pipelined P=1", ExtractorModel::serial()),
-        (
-            "unpipelined P=1",
-            ExtractorModel { pipelined: false, ..ExtractorModel::serial() },
-        ),
+        ("unpipelined P=1", ExtractorModel { pipelined: false, ..ExtractorModel::serial() }),
     ];
 
     println!("\n{:<20} {:>14} {:>18}", "extractor", "runtime (ms)", "exposed cycles");

@@ -11,11 +11,8 @@ fn main() {
     banner("Figure 1: aggregate DRAM traffic per operand (S^2, B = A)", &opts);
     let hier = opts.hierarchy();
 
-    let workloads: Vec<_> = if opts.quick {
-        Catalog::sweep_subset()
-    } else {
-        Catalog::figure6_order()
-    };
+    let workloads: Vec<_> =
+        if opts.quick { Catalog::sweep_subset() } else { Catalog::figure6_order() };
 
     let mut totals: Vec<(String, TrafficCounter)> = vec![
         ("OuterSPACE".into(), TrafficCounter::new()),
@@ -42,7 +39,10 @@ fn main() {
     }
 
     let gb = |b: u64| b as f64 / 1e9;
-    println!("\n{:<18} {:>10} {:>10} {:>10} {:>10}", "design", "A (GB)", "B (GB)", "Z (GB)", "total");
+    println!(
+        "\n{:<18} {:>10} {:>10} {:>10} {:>10}",
+        "design", "A (GB)", "B (GB)", "Z (GB)", "total"
+    );
     for (name, t) in &totals {
         println!(
             "{:<18} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",

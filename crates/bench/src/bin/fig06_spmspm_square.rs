@@ -2,8 +2,12 @@
 //! CPU MKL-like baseline on the square SpMSpM workload (S², B = A), with
 //! DRAM-bound oracle performance (the red dots). Workloads are grouped
 //! diamond-band first, then unstructured, each by increasing density.
+//!
+//! Workload generation and the (engine × dataset) cells run in parallel
+//! (`DRT_BENCH_THREADS` overrides the worker count); rows print in the
+//! paper's order regardless of scheduling.
 
-use drt_bench::{banner, emit_json, geomean, BenchOpts, JsonVal};
+use drt_bench::{banner, emit_json, geomean, par, run_suite_cells, BenchOpts, JsonVal};
 use drt_workloads::suite::{Catalog, PatternClass};
 
 fn main() {
@@ -12,44 +16,35 @@ fn main() {
     let hier = opts.hierarchy();
     let cpu = opts.cpu();
 
-    let workloads: Vec<_> = if opts.quick {
-        Catalog::sweep_subset()
-    } else {
-        Catalog::figure6_order()
-    };
+    let workloads: Vec<_> =
+        if opts.quick { Catalog::sweep_subset() } else { Catalog::figure6_order() };
+
+    // Generate matrices (and their micro-tile grids, inside each engine
+    // run) in parallel; S² squares each matrix against itself.
+    let pairs: Vec<(String, _, _)> = par::par_map(&workloads, |_, entry| {
+        let a = entry.generate(opts.scale, opts.seed);
+        (entry.name.to_string(), a.clone(), a)
+    });
+    let cells = run_suite_cells(&pairs, &hier, &cpu);
 
     println!(
         "\n{:<18} {:>9} {:>12} {:>14} {:>17} {:>14}",
         "workload", "group", "ExTensor", "ExTensor-OP", "ExTensor-OP-DRT", "DRT red dot"
     );
     let (mut s_ext, mut s_op, mut s_drt) = (Vec::new(), Vec::new(), Vec::new());
-    for entry in &workloads {
-        let a = entry.generate(opts.scale, opts.seed);
-        let base = drt_accel::cpu::run_mkl_like(&a, &a, &cpu);
-        let ext = drt_accel::extensor::run_extensor(&a, &a, &hier).expect("extensor");
-        let op = drt_accel::extensor::run_extensor_op(&a, &a, &hier).expect("op");
-        let drt = drt_accel::extensor::run_tactile(&a, &a, &hier).expect("tactile");
-        // Functional cross-check (the paper's MKL validation).
-        assert!(
-            drt.output
-                .as_ref()
-                .expect("functional")
-                .approx_eq(base.output.as_ref().expect("functional"), 1e-6),
-            "{}: accelerator output diverges from CPU",
-            entry.name
-        );
+    for (entry, cell) in workloads.iter().zip(&cells) {
         let group = match entry.class {
             PatternClass::DiamondBand => "band",
             PatternClass::Unstructured => "unstr",
         };
-        let red_dot = base.seconds / drt.dram_bound_seconds(&hier);
+        let red_dot = cell.base.seconds / cell.drt.dram_bound_seconds(&hier);
         println!(
             "{:<18} {:>9} {:>12.2} {:>14.2} {:>17.2} {:>14.2}",
             entry.name,
             group,
-            ext.speedup_over(&base),
-            op.speedup_over(&base),
-            drt.speedup_over(&base),
+            cell.ext.speedup_over(&cell.base),
+            cell.op.speedup_over(&cell.base),
+            cell.drt.speedup_over(&cell.base),
             red_dot
         );
         emit_json(
@@ -57,21 +52,18 @@ fn main() {
             &[
                 ("figure", JsonVal::S("fig06".into())),
                 ("workload", JsonVal::S(entry.name.to_string())),
-                ("extensor", JsonVal::F(ext.speedup_over(&base))),
-                ("extensor_op", JsonVal::F(op.speedup_over(&base))),
-                ("extensor_op_drt", JsonVal::F(drt.speedup_over(&base))),
+                ("extensor", JsonVal::F(cell.ext.speedup_over(&cell.base))),
+                ("extensor_op", JsonVal::F(cell.op.speedup_over(&cell.base))),
+                ("extensor_op_drt", JsonVal::F(cell.drt.speedup_over(&cell.base))),
                 ("drt_dram_bound", JsonVal::F(red_dot)),
             ],
         );
-        s_ext.push(ext.speedup_over(&base));
-        s_op.push(op.speedup_over(&base));
-        s_drt.push(drt.speedup_over(&base));
+        s_ext.push(cell.ext.speedup_over(&cell.base));
+        s_op.push(cell.op.speedup_over(&cell.base));
+        s_drt.push(cell.drt.speedup_over(&cell.base));
     }
     let (ge, go, gd) = (geomean(&s_ext), geomean(&s_op), geomean(&s_drt));
-    println!(
-        "\n{:<18} {:>9} {:>12.2} {:>14.2} {:>17.2}",
-        "geomean", "", ge, go, gd
-    );
+    println!("\n{:<18} {:>9} {:>12.2} {:>14.2} {:>17.2}", "geomean", "", ge, go, gd);
     println!(
         "\nExTensor-OP-DRT vs ExTensor-OP: {:.2}x | vs ExTensor: {:.2}x  (paper: 1.7x / 2.4x)",
         gd / go,

@@ -2,7 +2,7 @@
 //! the short-long product `Fᵀ·F` then the tall-skinny product `F·Fᵀ`
 //! (paper §6.1.1, "Tall-skinny matrices").
 
-use drt_bench::{banner, emit_json, geomean, BenchOpts, JsonVal};
+use drt_bench::{banner, emit_json, geomean, par, run_suite_cells, BenchOpts, JsonVal};
 use drt_workloads::suite::Catalog;
 use drt_workloads::tallskinny::figure7_pair;
 
@@ -42,49 +42,48 @@ fn main() {
         "\n{:<20} {:>7} {:>12} {:>14} {:>17} {:>12}",
         "workload", "kind", "ExTensor", "ExTensor-OP", "ExTensor-OP-DRT", "DRT red dot"
     );
-    let mut speedups = Vec::new();
-    let (mut over_ext, mut over_op) = (Vec::new(), Vec::new());
-    for name in names {
+    // Each matrix yields two operand pairs (short-long Fᵀ·F, tall-skinny
+    // F·Fᵀ). Generate them in parallel, then run all (engine × pair)
+    // cells in parallel; rows print in the paper's order.
+    let pairs: Vec<(String, _, _)> = par::par_map(names, |_, name| {
         let entry = catalog.get(name).expect("name in Table 3");
         let s = entry.generate(opts.scale, opts.seed);
         let (f, ft) = figure7_pair(&s, aspect);
-        // Short-long: Fᵀ·F ; tall-skinny: F·Fᵀ.
-        for (kind, a, b) in [("FtF", &ft, &f), ("FFt", &f, &ft)] {
-            let base = drt_accel::cpu::run_mkl_like(a, b, &cpu);
-            let ext = drt_accel::extensor::run_extensor(a, b, &hier).expect("extensor");
-            let op = drt_accel::extensor::run_extensor_op(a, b, &hier).expect("op");
-            let drt = drt_accel::extensor::run_tactile(a, b, &hier).expect("tactile");
-            assert!(
-                drt.output
-                    .as_ref()
-                    .expect("functional")
-                    .approx_eq(base.output.as_ref().expect("functional"), 1e-6),
-                "{name}/{kind}: output diverges"
-            );
-            let red = base.seconds / drt.dram_bound_seconds(&hier);
-            println!(
-                "{:<20} {:>7} {:>12.2} {:>14.2} {:>17.2} {:>12.2}",
-                name,
-                kind,
-                ext.speedup_over(&base),
-                op.speedup_over(&base),
-                drt.speedup_over(&base),
-                red
-            );
-            emit_json(
-                &opts,
-                &[
-                    ("figure", JsonVal::S("fig07".into())),
-                    ("workload", JsonVal::S(format!("{name}/{kind}"))),
-                    ("extensor", JsonVal::F(ext.speedup_over(&base))),
-                    ("extensor_op", JsonVal::F(op.speedup_over(&base))),
-                    ("extensor_op_drt", JsonVal::F(drt.speedup_over(&base))),
-                ],
-            );
-            speedups.push(drt.speedup_over(&base));
-            over_ext.push(drt.seconds.recip() / ext.seconds.recip());
-            over_op.push(drt.seconds.recip() / op.seconds.recip());
-        }
+        [(format!("{name}/FtF"), ft.clone(), f.clone()), (format!("{name}/FFt"), f, ft)]
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let cells = run_suite_cells(&pairs, &hier, &cpu);
+
+    let mut speedups = Vec::new();
+    let (mut over_ext, mut over_op) = (Vec::new(), Vec::new());
+    for ((label, _, _), cell) in pairs.iter().zip(&cells) {
+        let (name, kind) = label.split_once('/').expect("label");
+        let (base, ext, op, drt) = (&cell.base, &cell.ext, &cell.op, &cell.drt);
+        let red = base.seconds / drt.dram_bound_seconds(&hier);
+        println!(
+            "{:<20} {:>7} {:>12.2} {:>14.2} {:>17.2} {:>12.2}",
+            name,
+            kind,
+            ext.speedup_over(base),
+            op.speedup_over(base),
+            drt.speedup_over(base),
+            red
+        );
+        emit_json(
+            &opts,
+            &[
+                ("figure", JsonVal::S("fig07".into())),
+                ("workload", JsonVal::S(label.clone())),
+                ("extensor", JsonVal::F(ext.speedup_over(base))),
+                ("extensor_op", JsonVal::F(op.speedup_over(base))),
+                ("extensor_op_drt", JsonVal::F(drt.speedup_over(base))),
+            ],
+        );
+        speedups.push(drt.speedup_over(base));
+        over_ext.push(drt.seconds.recip() / ext.seconds.recip());
+        over_op.push(drt.seconds.recip() / op.seconds.recip());
     }
     println!(
         "\ngeomean: DRT over CPU {:.2}x | over ExTensor {:.2}x | over ExTensor-OP {:.2}x  (paper: 3.5x / 3.5x / 5.2x)",

@@ -96,7 +96,8 @@ fn main() {
         "\n{:<20} {:>8} {:>7} {:>12} {:>17}",
         "workload", "row CV", "iters", "ExTensor", "ExTensor-OP-DRT"
     );
-    let (mut ext, mut drt, mut hi_var, mut lo_var) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let (mut ext, mut drt, mut hi_var, mut lo_var) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     for (cv, name, se, sd, iters) in &rows {
         println!("{:<20} {:>8.2} {:>7} {:>12.2} {:>17.2}", name, cv, iters, se, sd);
         emit_json(

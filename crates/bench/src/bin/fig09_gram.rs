@@ -34,10 +34,7 @@ fn main() {
         let drt = drt_accel::gram::run_gram_drt(&w.tensor, &hier, micro).expect("drt gram");
         let gs = suc.arithmetic_intensity() / taco.arithmetic_intensity();
         let gd = drt.arithmetic_intensity() / taco.arithmetic_intensity();
-        println!(
-            "{:<16} {:>12.3e} {:>14.3} {:>17.3} {:>12.2}",
-            w.name, density, gs, gd, gd / gs
-        );
+        println!("{:<16} {:>12.3e} {:>14.3} {:>17.3} {:>12.2}", w.name, density, gs, gd, gd / gs);
         emit_json(
             &opts,
             &[

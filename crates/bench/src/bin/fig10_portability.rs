@@ -11,11 +11,8 @@ fn main() {
     banner("Figure 10: OuterSPACE and MatRaptor with S-U-C / DRT tiling (S^2)", &opts);
     let hier = opts.hierarchy();
 
-    let workloads: Vec<_> = if opts.quick {
-        Catalog::sweep_subset()
-    } else {
-        Catalog::figure6_order()
-    };
+    let workloads: Vec<_> =
+        if opts.quick { Catalog::sweep_subset() } else { Catalog::figure6_order() };
 
     for family in ["OuterSPACE", "MatRaptor"] {
         println!("\n--- {family} ---");

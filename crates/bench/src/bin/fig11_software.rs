@@ -17,16 +17,10 @@ fn main() {
     // the way the paper's full-size matrices dwarf 30 MB — tiling can only
     // help when the untiled working set misses cache.
     let n: u32 = if opts.quick { 1024 } else { (262_144 / opts.scale).max(1024) };
-    let densities: &[f64] = if opts.quick {
-        &[1e-3, 1e-2]
-    } else {
-        &[1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2]
-    };
+    let densities: &[f64] =
+        if opts.quick { &[1e-3, 1e-2] } else { &[1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2] };
 
-    println!(
-        "\n{:<12} {:>10} {:>12} {:>12}",
-        "pattern", "density", "SW SUC", "SW DNC"
-    );
+    println!("\n{:<12} {:>10} {:>12} {:>12}", "pattern", "density", "SW SUC", "SW DNC");
     let (mut all_suc, mut all_dnc) = (Vec::new(), Vec::new());
     for &d in densities {
         let nnz = (n as f64 * n as f64 * d) as usize;

@@ -17,11 +17,8 @@ fn main() {
     } else {
         Catalog::sweep_subset()
     };
-    let units = [
-        IntersectUnit::SkipBased,
-        IntersectUnit::Parallel(32),
-        IntersectUnit::SerialOptimal,
-    ];
+    let units =
+        [IntersectUnit::SkipBased, IntersectUnit::Parallel(32), IntersectUnit::SerialOptimal];
     let factors = [1.0f64, 2.0, 4.0, 8.0];
 
     println!("\n{:<16} {:>8} {:>8} {:>8} {:>8}", "unit", "1x", "2x", "4x", "8x");

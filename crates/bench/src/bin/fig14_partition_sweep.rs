@@ -16,8 +16,7 @@ fn main() {
     } else {
         Catalog::sweep_subset()
     };
-    let matrices: Vec<_> =
-        workloads.iter().map(|e| e.generate(opts.scale, opts.seed)).collect();
+    let matrices: Vec<_> = workloads.iter().map(|e| e.generate(opts.scale, opts.seed)).collect();
 
     let steps: Vec<f64> = if opts.quick {
         vec![0.1, 0.3, 0.5, 0.7]
@@ -52,7 +51,13 @@ fn main() {
                 }
             }
             if !feasible {
-                println!("{:>6.0} {:>6.0} {:>6.0} {:>14}", fa * 100.0, fb * 100.0, fo * 100.0, "infeasible");
+                println!(
+                    "{:>6.0} {:>6.0} {:>6.0} {:>14}",
+                    fa * 100.0,
+                    fb * 100.0,
+                    fo * 100.0,
+                    "infeasible"
+                );
                 continue;
             }
             let g = geomean(&times);

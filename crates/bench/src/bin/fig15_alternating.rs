@@ -32,10 +32,7 @@ fn main() {
     let catalog = Catalog::paper_table3();
     let parts = drt_accel::extensor::paper_partitions(hier.llb.capacity_bytes);
 
-    println!(
-        "\n{:<20} {:>16} {:>16}",
-        "workload", "traffic overhead", "runtime overhead"
-    );
+    println!("\n{:<20} {:>16} {:>16}", "workload", "traffic overhead", "runtime overhead");
     let (mut t_ovh, mut r_ovh) = (Vec::new(), Vec::new());
     for name in names {
         let entry = catalog.get(name).expect("name in Table 3");

@@ -24,7 +24,13 @@ fn main() {
         let a = entry.generate(opts.scale, opts.seed);
         // Micro tiles sized so one fits the scaled PE-buffer partitions
         // (configuration-time choice, as in §5.2.4).
-        let micro = if opts.scale > 16 { (4, 4) } else if opts.scale > 8 { (8, 8) } else { (32, 32) };
+        let micro = if opts.scale > 16 {
+            (4, 4)
+        } else if opts.scale > 8 {
+            (8, 8)
+        } else {
+            (32, 32)
+        };
         match drt_accel::hier2::analyze_two_level(&a, &a, &hier, micro) {
             Ok(r) => {
                 println!(

@@ -24,7 +24,13 @@ fn main() {
 
     println!(
         "\n{:<20} {:>12} {:>12} {:>10} {:>14} {:>14} {:>14}",
-        "workload", "ideal (ms)", "parallel(ms)", "overhead", "E ext (mJ)", "E op (mJ)", "E drt (mJ)"
+        "workload",
+        "ideal (ms)",
+        "parallel(ms)",
+        "overhead",
+        "E ext (mJ)",
+        "E op (mJ)",
+        "E drt (mJ)"
     );
     let mut overheads = Vec::new();
     let (mut e_ext_r, mut e_op_r, mut e_drt_r) = (Vec::new(), Vec::new(), Vec::new());
@@ -81,10 +87,7 @@ fn main() {
         e_drt_r.push(e_drt);
     }
     let max_ovh = overheads.iter().copied().fold(0.0f64, f64::max);
-    println!(
-        "\nmax extractor overhead: {:.3}% (paper: < 1% on every workload)",
-        max_ovh * 100.0
-    );
+    println!("\nmax extractor overhead: {:.3}% (paper: < 1% on every workload)", max_ovh * 100.0);
     println!(
         "geomean energy: DRT uses {:.1}% less than ExTensor-OP and {:.1}% less than ExTensor",
         (1.0 - geomean(&e_drt_r) / geomean(&e_op_r)) * 100.0,

@@ -20,8 +20,7 @@ fn main() {
     } else {
         Catalog::sweep_subset()
     };
-    let matrices: Vec<_> =
-        workloads.iter().map(|e| e.generate(opts.scale, opts.seed)).collect();
+    let matrices: Vec<_> = workloads.iter().map(|e| e.generate(opts.scale, opts.seed)).collect();
 
     // --- LLB capacity sweep. ---
     println!("\nLLB capacity sweep (geomean runtime, ms):");
@@ -52,7 +51,8 @@ fn main() {
     println!("\nNoC bandwidth sweep (geomean runtime, ms):");
     println!("{:>16} {:>14}", "NoC (B/cycle)", "runtime (ms)");
     for noc in [16u32, 32, 64, 128, 256] {
-        let extractor = ExtractorModel { distribute_bytes_per_cycle: noc, ..ExtractorModel::parallel() };
+        let extractor =
+            ExtractorModel { distribute_bytes_per_cycle: noc, ..ExtractorModel::parallel() };
         let mut times = Vec::new();
         for a in &matrices {
             if let Ok(r) = drt_accel::extensor::run_tactile_with(

@@ -44,5 +44,8 @@ fn main() {
             ],
         );
     }
-    println!("\n(surrogates scale dims and nnz by 1/{}, preserving mean row occupancy)", opts.scale);
+    println!(
+        "\n(surrogates scale dims and nnz by 1/{}, preserving mean row occupancy)",
+        opts.scale
+    );
 }

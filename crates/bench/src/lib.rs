@@ -23,6 +23,8 @@ use drt_accel::cpu::CpuSpec;
 use drt_sim::memory::HierarchySpec;
 use std::fmt::Write as _;
 
+pub mod par;
+
 /// Common command-line options shared by all bench binaries.
 #[derive(Debug, Clone)]
 pub struct BenchOpts {
@@ -81,6 +83,77 @@ impl BenchOpts {
     pub fn cpu(&self) -> CpuSpec {
         CpuSpec::default().scaled_down(self.scale as u64)
     }
+}
+
+/// Results of the standard four-engine suite on one operand pair.
+#[derive(Debug)]
+pub struct SuiteCell {
+    /// CPU MKL-like baseline (§5.2.1 reference kernel).
+    pub base: drt_accel::report::RunReport,
+    /// ExTensor.
+    pub ext: drt_accel::report::RunReport,
+    /// ExTensor-OP.
+    pub op: drt_accel::report::RunReport,
+    /// ExTensor-OP-DRT.
+    pub drt: drt_accel::report::RunReport,
+}
+
+/// Run the standard four-engine suite over independent operand pairs
+/// (`(label, A, B)`), fanning the (engine config × dataset) cells out over
+/// worker threads via [`par::par_map`]. Each cell builds its own
+/// micro-tile grids and runs its own simulation; the §5.2.1 functional
+/// cross-check of every DRT output against its CPU reference also runs in
+/// parallel. Results come back in input order, so table rows and `--json`
+/// output are deterministic regardless of thread scheduling.
+///
+/// # Panics
+///
+/// Panics when an engine run fails or a DRT output diverges from its CPU
+/// reference — a bench run with a broken engine must not report numbers.
+pub fn run_suite_cells(
+    pairs: &[(String, drt_tensor::CsMatrix, drt_tensor::CsMatrix)],
+    hier: &HierarchySpec,
+    cpu: &CpuSpec,
+) -> Vec<SuiteCell> {
+    let cells: Vec<(usize, u8)> =
+        (0..pairs.len()).flat_map(|w| (0..4u8).map(move |e| (w, e))).collect();
+    let reports = par::par_map(&cells, |_, &(w, e)| {
+        let (label, a, b) = &pairs[w];
+        match e {
+            0 => drt_accel::cpu::run_mkl_like(a, b, cpu),
+            1 => drt_accel::extensor::run_extensor(a, b, hier)
+                .unwrap_or_else(|err| panic!("{label}: extensor failed: {err:?}")),
+            2 => drt_accel::extensor::run_extensor_op(a, b, hier)
+                .unwrap_or_else(|err| panic!("{label}: extensor-op failed: {err:?}")),
+            _ => drt_accel::extensor::run_tactile(a, b, hier)
+                .unwrap_or_else(|err| panic!("{label}: tactile failed: {err:?}")),
+        }
+    });
+    let mut it = reports.into_iter();
+    let out: Vec<SuiteCell> = (0..pairs.len())
+        .map(|_| SuiteCell {
+            base: it.next().expect("cell"),
+            ext: it.next().expect("cell"),
+            op: it.next().expect("cell"),
+            drt: it.next().expect("cell"),
+        })
+        .collect();
+    // Functional cross-check (the paper's MKL validation), fanned out too:
+    // output comparison is O(nnz) per workload and independent per cell.
+    let idx: Vec<usize> = (0..pairs.len()).collect();
+    par::par_map(&idx, |_, &w| {
+        let c = &out[w];
+        assert!(
+            c.drt
+                .output
+                .as_ref()
+                .expect("functional")
+                .approx_eq(c.base.output.as_ref().expect("functional"), 1e-6),
+            "{}: accelerator output diverges from CPU reference",
+            pairs[w].0
+        );
+    });
+    out
 }
 
 /// Geometric mean of positive finite values (the paper's summary

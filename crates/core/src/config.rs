@@ -64,11 +64,7 @@ impl Partitions {
     pub fn scaled_to(&self, new_total: u64) -> Partitions {
         let old = self.total().max(1);
         Partitions {
-            bytes: self
-                .bytes
-                .iter()
-                .map(|(n, &b)| (n.clone(), b * new_total / old))
-                .collect(),
+            bytes: self.bytes.iter().map(|(n, &b)| (n.clone(), b * new_total / old)).collect(),
         }
     }
 }
@@ -91,7 +87,12 @@ impl DrtConfig {
     /// Default configuration with the given partitions: contracted-first
     /// growth, one-micro-tile initial sizes, grow step 1.
     pub fn new(partitions: Partitions) -> DrtConfig {
-        DrtConfig { partitions, growth: GrowthOrder::default(), initial_sizes: BTreeMap::new(), grow_step: 1 }
+        DrtConfig {
+            partitions,
+            growth: GrowthOrder::default(),
+            initial_sizes: BTreeMap::new(),
+            grow_step: 1,
+        }
     }
 
     /// Builder-style: set the growth order.

@@ -96,6 +96,33 @@ impl TilePlan {
     }
 }
 
+/// How [`plan_tile`] obtains region measurements.
+///
+/// Both modes charge the *modeled* Aggregate cost identically — the
+/// [`ExtractionTrace`] and the resulting [`TilePlan`] are bit-for-bit the
+/// same — but [`MeasureMode::Incremental`] skips host-side recomputation:
+///
+/// * the grow phase starts from the accepting measurement of the load
+///   phase instead of re-measuring the same region,
+/// * each grow probe adds a delta-slab measurement onto the cached
+///   accumulated stats (a rejected grow is reversed in O(1) by simply
+///   discarding the candidate sum), and
+/// * the final per-tensor tile statistics reuse the accumulated stats
+///   whenever the tensor's rank sizes are unchanged since its grow phase
+///   finished — a later tensor's fallback subdivision of a shared
+///   (co-tiled) rank invalidates the cache, forcing a fresh measurement.
+///
+/// [`MeasureMode::FromScratch`] performs every measurement directly and is
+/// kept as the equivalence oracle for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MeasureMode {
+    /// Reuse cached per-tensor measurements across phases (default).
+    #[default]
+    Incremental,
+    /// Measure every phase from scratch (the reference behavior).
+    FromScratch,
+}
+
 /// One DRT invocation (Algorithm 1).
 ///
 /// * `region` — per rank, the grid-unit window this call may tile within;
@@ -143,6 +170,19 @@ pub fn plan_tile(
     pinned: &BTreeMap<RankId, u32>,
     config: &DrtConfig,
 ) -> Result<TilePlan, CoreError> {
+    plan_tile_with_mode(kernel, loop_order, region, pinned, config, MeasureMode::Incremental)
+}
+
+/// [`plan_tile`] with an explicit [`MeasureMode`]. Produces a bit-identical
+/// [`TilePlan`] in either mode; `FromScratch` exists as the test oracle.
+pub fn plan_tile_with_mode(
+    kernel: &Kernel,
+    loop_order: &[RankId],
+    region: &BTreeMap<RankId, Range<u32>>,
+    pinned: &BTreeMap<RankId, u32>,
+    config: &DrtConfig,
+    mode: MeasureMode,
+) -> Result<TilePlan, CoreError> {
     kernel.validate_loop_order(loop_order)?;
     let mut trace = ExtractionTrace::default();
 
@@ -150,18 +190,13 @@ pub fn plan_tile(
     let mut sizes: BTreeMap<RankId, u32> = BTreeMap::new();
     let mut constrained: BTreeMap<RankId, bool> = BTreeMap::new();
     for &r in &kernel.ranks() {
-        let reg = region
-            .get(&r)
-            .cloned()
-            .unwrap_or(0..grid_extent(kernel, r));
+        let reg = region.get(&r).cloned().unwrap_or(0..grid_extent(kernel, r));
         let avail = reg.end.saturating_sub(reg.start).max(1);
         let init = match pinned.get(&r) {
             Some(&p) => p.min(avail),
             None => {
                 let coords = config.initial_sizes.get(&r).copied();
-                let units = coords
-                    .map(|c| c.div_ceil(kernel.micro_step(r)).max(1))
-                    .unwrap_or(1);
+                let units = coords.map(|c| c.div_ceil(kernel.micro_step(r)).max(1)).unwrap_or(1);
                 units.min(avail)
             }
         };
@@ -170,17 +205,28 @@ pub fn plan_tile(
     }
     let mut partial_rank: Option<RankId> = None;
 
+    // Per-tensor accumulated stats cache: the rank sizes at the time the
+    // tensor's grow phase finished, and the accumulated region stats at
+    // those sizes. Consulted (and validated against the final sizes) when
+    // assembling `TileStats`, so unchanged tensors skip a re-measurement.
+    let mut cache: Vec<Option<(Vec<u32>, RegionStats)>> = vec![None; kernel.inputs().len()];
+    let snapshot = |binding: &crate::kernel::TensorBinding, sizes: &BTreeMap<RankId, u32>| {
+        binding.ranks.iter().map(|r| sizes[r]).collect::<Vec<u32>>()
+    };
+
     let order = kernel.stationarity_order(loop_order);
     for &ti in &order {
         let binding = &kernel.inputs()[ti];
         let partition = config.partitions.get(&binding.name);
 
         // --- loadNextTile: ensure the tensor fits at current sizes. ---
+        let loaded;
         loop {
             let stats = measure(kernel, ti, region, &sizes);
             trace.meta_words += stats.meta_words;
             let foot = footprint_of(binding, &stats, outer_rows(kernel, ti, &sizes));
             if foot <= partition {
+                loaded = stats;
                 break;
             }
             // Shrink this tensor's own unconstrained ranks to minimum first.
@@ -221,7 +267,19 @@ pub fn plan_tile(
         }
 
         // --- growDims (Algorithm 2). ---
-        grow_dims(kernel, ti, loop_order, region, &mut sizes, &mut constrained, config, &mut trace);
+        let grown = grow_dims(
+            kernel,
+            ti,
+            loop_order,
+            region,
+            &mut sizes,
+            &mut constrained,
+            config,
+            &mut trace,
+            loaded,
+            mode,
+        );
+        cache[ti] = Some((snapshot(binding, &sizes), grown));
 
         // Co-tiling: every rank of this tensor becomes a constraint for
         // later tensors.
@@ -243,7 +301,16 @@ pub fn plan_tile(
     }
     let mut tiles = Vec::with_capacity(kernel.inputs().len());
     for (ti, binding) in kernel.inputs().iter().enumerate() {
-        let stats = measure(kernel, ti, region, &sizes);
+        // Reuse the accumulated grow-phase stats when this tensor's rank
+        // sizes are unchanged since its grow phase; a later tensor's
+        // fallback subdivision of a shared rank fails the snapshot check
+        // and forces a fresh measurement.
+        let stats = match (mode, &cache[ti]) {
+            (MeasureMode::Incremental, Some((snap, st))) if *snap == snapshot(binding, &sizes) => {
+                *st
+            }
+            _ => measure(kernel, ti, region, &sizes),
+        };
         let rows = outer_rows(kernel, ti, &sizes);
         tiles.push(TileStats {
             name: binding.name.clone(),
@@ -258,7 +325,9 @@ pub fn plan_tile(
 }
 
 /// Algorithm 2: grow a tensor's unconstrained dimensions until its buffer
-/// partition is full.
+/// partition is full. Returns the accumulated region stats at the final
+/// sizes (exact for `nnz`/`data_bytes`/`micro_tiles`: the accepted delta
+/// slabs partition the grown region).
 #[allow(clippy::too_many_arguments)]
 fn grow_dims(
     kernel: &Kernel,
@@ -269,7 +338,9 @@ fn grow_dims(
     constrained: &mut BTreeMap<RankId, bool>,
     config: &DrtConfig,
     trace: &mut ExtractionTrace,
-) {
+    loaded: RegionStats,
+    mode: MeasureMode,
+) -> RegionStats {
     let binding = &kernel.inputs()[ti];
     let partition = config.partitions.get(&binding.name);
     let avail = |r: RankId| -> u32 {
@@ -277,8 +348,13 @@ fn grow_dims(
         reg.end.saturating_sub(reg.start).max(1)
     };
 
-    // Current accumulated footprint.
-    let mut cur = measure(kernel, ti, region, sizes);
+    // Current accumulated footprint. The load phase's accepting measurement
+    // covered exactly this region, so Incremental mode reuses it; the
+    // modeled charge is the same either way.
+    let mut cur = match mode {
+        MeasureMode::Incremental => loaded,
+        MeasureMode::FromScratch => measure(kernel, ti, region, sizes),
+    };
     trace.meta_words += cur.meta_words;
 
     // Dimension visit order.
@@ -290,9 +366,9 @@ fn grow_dims(
     });
 
     let try_grow = |r: RankId,
-                        sizes: &mut BTreeMap<RankId, u32>,
-                        cur: &mut RegionStats,
-                        trace: &mut ExtractionTrace|
+                    sizes: &mut BTreeMap<RankId, u32>,
+                    cur: &mut RegionStats,
+                    trace: &mut ExtractionTrace|
      -> bool {
         // Returns false when this dimension can no longer grow.
         let old = sizes[&r];
@@ -330,7 +406,8 @@ fn grow_dims(
             }
         }
         GrowthOrder::Alternating => {
-            let mut active: Vec<RankId> = dims.iter().copied().filter(|r| !constrained[r]).collect();
+            let mut active: Vec<RankId> =
+                dims.iter().copied().filter(|r| !constrained[r]).collect();
             while !active.is_empty() {
                 active.retain(|&r| try_grow(r, sizes, &mut cur, trace));
             }
@@ -339,6 +416,7 @@ fn grow_dims(
             }
         }
     }
+    cur
 }
 
 /// Grid extent of a rank (micro tiles along it).
@@ -410,12 +488,8 @@ mod tests {
     fn figure3_kernel(micro: u32) -> Kernel {
         // The 4x4 matrices of Figure 3a: A and B with the shaded pattern.
         let a = CsMatrix::from_coo(
-            &CooMatrix::from_triplets(
-                4,
-                4,
-                vec![(0, 0, 0.5), (2, 0, 0.2), (3, 0, 0.7)],
-            )
-            .expect("ok"),
+            &CooMatrix::from_triplets(4, 4, vec![(0, 0, 0.5), (2, 0, 0.2), (3, 0, 0.7)])
+                .expect("ok"),
             MajorAxis::Row,
         );
         let b = CsMatrix::from_coo(
@@ -440,8 +514,8 @@ mod tests {
         let k = figure3_kernel(1);
         // Generous partitions: tiles grow to the whole tensor.
         let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 10_000), ("B", 10_000), ("Z", 0)]));
-        let plan =
-            plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg).expect("plan");
+        let plan = plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg)
+            .expect("plan");
         assert_eq!(plan.coord_ranges[&'k'], 0..4);
         assert_eq!(plan.coord_ranges[&'j'], 0..4);
         assert_eq!(plan.coord_ranges[&'i'], 0..4);
@@ -457,8 +531,8 @@ mod tests {
         // One 1x1 micro tile with 1 nnz costs (1+1)*4 + 12 = 20 data bytes
         // plus macro meta (16 per tile + segments).
         let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 90), ("B", 90), ("Z", 0)]));
-        let plan =
-            plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg).expect("plan");
+        let plan = plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg)
+            .expect("plan");
         let b = plan.tile("B").expect("B tiled");
         assert!(b.footprint() <= 90, "B footprint {} within partition", b.footprint());
         let a = plan.tile("A").expect("A tiled");
@@ -475,8 +549,8 @@ mod tests {
         let b = unstructured(64, 64, 500, 2.0, 2);
         let k = Kernel::spmspm(&a, &b, (4, 4)).expect("valid");
         let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 2000), ("B", 2000), ("Z", 0)]));
-        let plan =
-            plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg).expect("plan");
+        let plan = plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg)
+            .expect("plan");
         let kr = plan.coord_ranges[&'k'].clone();
         // A's counted nnz equals a direct count over (i-range × k-range).
         let ir = plan.coord_ranges[&'i'].clone();
@@ -503,10 +577,9 @@ mod tests {
         // over a sparse region exceeds the worst-case-dense S-U-C shape.
         let m = unstructured(256, 256, 700, 2.0, 3); // ~1% dense
         let k = Kernel::spmspm(&m, &m, (8, 8)).expect("valid");
-        let cfg =
-            DrtConfig::new(Partitions::from_bytes(&[("A", 4096), ("B", 4096), ("Z", 0)]));
-        let plan =
-            plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg).expect("plan");
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 4096), ("B", 4096), ("Z", 0)]));
+        let plan = plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg)
+            .expect("plan");
         // Worst-case dense 8x8-micro-tile count for 4096 bytes:
         // dense micro tile = (8+1)*4 + 64*12 = 804 bytes → ~5 micro tiles.
         // DRT should cover far more grid area than 5 tiles' worth.
@@ -584,8 +657,8 @@ mod tests {
         let k = figure3_kernel(1);
         let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 10_000), ("B", 10_000), ("Z", 0)]))
             .with_initial_size('j', 3);
-        let plan =
-            plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg).expect("plan");
+        let plan = plan_tile(&k, &['j', 'k', 'i'], &full_region(&k), &BTreeMap::new(), &cfg)
+            .expect("plan");
         assert!(plan.grid_ranges[&'j'].len() >= 3);
     }
 

@@ -61,7 +61,12 @@ pub struct ExtractorModel {
 
 impl Default for ExtractorModel {
     fn default() -> Self {
-        ExtractorModel { read_width: 32, distribute_bytes_per_cycle: 64, ideal: false, pipelined: true }
+        ExtractorModel {
+            read_width: 32,
+            distribute_bytes_per_cycle: 64,
+            ideal: false,
+            pipelined: true,
+        }
     }
 }
 

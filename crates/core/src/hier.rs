@@ -133,11 +133,7 @@ mod tests {
     use drt_workloads::patterns::{diamond_band, unstructured};
     use std::collections::BTreeSet;
 
-    fn streams(
-        a: &drt_tensor::CsMatrix,
-        llb: u64,
-        pe: u64,
-    ) -> (Kernel, DrtConfig, DrtConfig) {
+    fn streams(a: &drt_tensor::CsMatrix, llb: u64, pe: u64) -> (Kernel, DrtConfig, DrtConfig) {
         let kernel = Kernel::spmspm(a, a, (4, 4)).expect("kernel");
         let shares: [(&str, f64); 3] = [("A", 0.25), ("B", 0.5), ("Z", 0.25)];
         (
@@ -151,8 +147,9 @@ mod tests {
     fn inner_tasks_tile_each_outer_task_exactly() {
         let a = diamond_band(64, 1500, 1);
         let (kernel, outer_cfg, inner_cfg) = streams(&a, 64 * 1024, 2 * 1024);
-        let stream = TwoLevelStream::drt(&kernel, &['j', 'k', 'i'], outer_cfg, &['k', 'i', 'j'], inner_cfg)
-            .expect("two-level");
+        let stream =
+            TwoLevelStream::drt(&kernel, &['j', 'k', 'i'], outer_cfg, &['k', 'i', 'j'], inner_cfg)
+                .expect("two-level");
         let mut saw_fan_out = false;
         for h in stream {
             let h = h.expect("inner stream");
@@ -173,11 +170,8 @@ mod tests {
                     assert!(range.start >= o.start && range.end <= o.end, "inner escapes outer");
                 }
             }
-            let outer_cells: u64 = kernel
-                .ranks()
-                .iter()
-                .map(|r| h.outer.plan.grid_ranges[r].len() as u64)
-                .product();
+            let outer_cells: u64 =
+                kernel.ranks().iter().map(|r| h.outer.plan.grid_ranges[r].len() as u64).product();
             // Coverage is exact up to skipped-empty inner tasks.
             assert!(cells <= outer_cells);
             if h.fan_out() > 1 {
@@ -192,8 +186,9 @@ mod tests {
         let a = unstructured(96, 96, 900, 2.0, 2);
         let (kernel, outer_cfg, inner_cfg) = streams(&a, 32 * 1024, 1024);
         let pe_parts = inner_cfg.partitions.clone();
-        let stream = TwoLevelStream::drt(&kernel, &['j', 'k', 'i'], outer_cfg, &['k', 'i', 'j'], inner_cfg)
-            .expect("two-level");
+        let stream =
+            TwoLevelStream::drt(&kernel, &['j', 'k', 'i'], outer_cfg, &['k', 'i', 'j'], inner_cfg)
+                .expect("two-level");
         for h in stream {
             for t in h.expect("inner stream").inner {
                 for tile in &t.plan.tiles {

@@ -64,7 +64,10 @@ impl Kernel {
                 let step = b.grid.micro_shape()[d];
                 if let Some(&e) = extents.get(&r) {
                     if e != extent {
-                        return Err(CoreError::InconsistentExtent { rank: r, extents: (e, extent) });
+                        return Err(CoreError::InconsistentExtent {
+                            rank: r,
+                            extents: (e, extent),
+                        });
                     }
                 } else {
                     extents.insert(r, extent);
@@ -116,7 +119,13 @@ impl Kernel {
     ) -> Result<Kernel, CoreError> {
         if a.ncols() != b.nrows() {
             return Err(CoreError::BadConfig {
-                detail: format!("inner dims disagree: A is {}x{}, B is {}x{}", a.nrows(), a.ncols(), b.nrows(), b.ncols()),
+                detail: format!(
+                    "inner dims disagree: A is {}x{}, B is {}x{}",
+                    a.nrows(),
+                    a.ncols(),
+                    b.nrows(),
+                    b.ncols()
+                ),
             });
         }
         let ga = MicroGrid::from_matrix_fmt(a, micro, format)?;

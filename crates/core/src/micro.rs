@@ -75,6 +75,13 @@ impl std::ops::AddAssign for RegionStats {
 ///
 /// Grid coordinates are *micro-tile units*: grid point `g` along dimension
 /// `d` covers tensor coordinates `g * micro[d] .. (g + 1) * micro[d]`.
+///
+/// Beyond the raw footprint-augmented metadata (paper Figure 5), the grid
+/// carries *cumulative prefix sums* of occupancy and footprint over the
+/// lexicographically sorted tile array. Because every outer-dimension slab
+/// and every inner-coordinate window is contiguous in that order, any box
+/// query resolves to a handful of binary searches plus prefix
+/// subtractions — see [`MicroGrid::region_stats`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct MicroGrid {
     dims: Vec<u32>,
@@ -88,6 +95,12 @@ pub struct MicroGrid {
     /// Index over the outermost grid dimension: tiles whose first grid
     /// coordinate is `g` occupy positions `dim0_seg[g]..dim0_seg[g + 1]`.
     dim0_seg: Vec<usize>,
+    /// `pfx_nnz[t]` = total occupancy of tiles `0..t`; length `ntiles + 1`.
+    pfx_nnz: Vec<u64>,
+    /// `pfx_bytes[t]` = total footprint of tiles `0..t`; length `ntiles + 1`.
+    pfx_bytes: Vec<u64>,
+    /// Densest single tile's footprint (cached for O(1) preflight checks).
+    max_footprint: u32,
     total_nnz: u64,
     size_model: SizeModel,
     format: MicroFormat,
@@ -169,15 +182,16 @@ impl MicroGrid {
         I: Iterator<Item = Vec<u32>>,
     {
         if micro.contains(&0) {
-            return Err(CoreError::BadConfig { detail: "micro tile dimensions must be positive".into() });
+            return Err(CoreError::BadConfig {
+                detail: "micro tile dimensions must be positive".into(),
+            });
         }
         let ndim = dims.len();
         let grid_dims: Vec<u32> =
             dims.iter().zip(&micro).map(|(&d, &m)| d.div_ceil(m).max(1)).collect();
         // Bucket points into micro tiles.
-        let mut keyed: Vec<Vec<u32>> = points
-            .map(|p| p.iter().zip(&micro).map(|(&c, &m)| c / m).collect())
-            .collect();
+        let mut keyed: Vec<Vec<u32>> =
+            points.map(|p| p.iter().zip(&micro).map(|(&c, &m)| c / m).collect()).collect();
         keyed.sort_unstable();
         let size_model = SizeModel::default();
         let mut coords = Vec::new();
@@ -204,6 +218,20 @@ impl MicroGrid {
         for g in 0..grid_dims[0] as usize {
             dim0_seg[g + 1] += dim0_seg[g];
         }
+        // Cumulative occupancy/footprint prefix sums over the sorted tile
+        // array: slab and window sums become prefix subtractions.
+        let mut pfx_nnz = Vec::with_capacity(ntiles + 1);
+        let mut pfx_bytes = Vec::with_capacity(ntiles + 1);
+        pfx_nnz.push(0u64);
+        pfx_bytes.push(0u64);
+        let (mut acc_nnz, mut acc_bytes) = (0u64, 0u64);
+        for t in 0..ntiles {
+            acc_nnz += occupancy[t] as u64;
+            acc_bytes += footprint[t] as u64;
+            pfx_nnz.push(acc_nnz);
+            pfx_bytes.push(acc_bytes);
+        }
+        let max_footprint = footprint.iter().copied().max().unwrap_or(0);
         Ok(MicroGrid {
             dims,
             micro,
@@ -212,6 +240,9 @@ impl MicroGrid {
             occupancy,
             footprint,
             dim0_seg,
+            pfx_nnz,
+            pfx_bytes,
+            max_footprint,
             total_nnz,
             size_model,
             format,
@@ -230,7 +261,8 @@ impl MicroGrid {
         }
         let occ = occ as usize;
         let inner = (micro.len() - 1).max(1);
-        let uc = (micro[0] as usize + 1) * sm.seg_bytes + occ * (inner * sm.coord_bytes + sm.value_bytes);
+        let uc = (micro[0] as usize + 1) * sm.seg_bytes
+            + occ * (inner * sm.coord_bytes + sm.value_bytes);
         // T-CC: one coordinate per dimension per non-zero plus a tiny
         // per-tile header (root segment).
         let cc = 2 * sm.seg_bytes + occ * (micro.len() * sm.coord_bytes + sm.value_bytes);
@@ -278,13 +310,13 @@ impl MicroGrid {
 
     /// Sum of all micro-tile footprints (the tensor's tiled footprint).
     pub fn total_data_bytes(&self) -> u64 {
-        self.footprint.iter().map(|&b| b as u64).sum()
+        *self.pfx_bytes.last().unwrap_or(&0)
     }
 
     /// Footprint of the densest occupied micro tile — the minimum buffer
     /// partition that lets any tiling make progress.
     pub fn max_tile_footprint(&self) -> u32 {
-        self.footprint.iter().copied().max().unwrap_or(0)
+        self.max_footprint
     }
 
     /// Occupancy and footprint of the micro tile at `point` (grid units),
@@ -327,13 +359,31 @@ impl MicroGrid {
     /// outer grid row touched, plus a coordinate word and a footprint word
     /// per occupied micro tile scanned in those rows (tiles outside the
     /// inner ranges still cost coordinate reads while scanning in raster
-    /// order, bounded by a binary-search window per row).
+    /// order, bounded by a binary-search window per row). That *modeled
+    /// cost* is unchanged from the original linear scan (see
+    /// [`MicroGrid::region_stats_naive`]); only the *host* cost differs:
+    /// per outer row the inner window is located by binary search and its
+    /// occupancy/footprint sums are read off cumulative prefix arrays, so
+    /// a box query costs `O(outer_rows × log(tiles_per_slab))` instead of
+    /// `O(occupied tiles in the slab)`.
+    ///
+    /// Clamping: the query box is intersected with the grid — any part of
+    /// a range at or beyond a dimension's grid extent contributes nothing
+    /// (but outer rows inside the grid are still charged their two segment
+    /// words, exactly as the scan charged them).
+    ///
+    /// Degenerate ranges (`start >= end` on any rank) return
+    /// [`RegionStats::default()`] immediately without touching the index —
+    /// an empty box reads nothing.
     ///
     /// # Panics
     ///
     /// Panics when `ranges.len() != self.ndim()`.
     pub fn region_stats(&self, ranges: &[Range<u32>]) -> RegionStats {
         assert_eq!(ranges.len(), self.ndim(), "one grid range per dimension");
+        if ranges.iter().any(|r| r.start >= r.end) {
+            return RegionStats::default();
+        }
         let ndim = self.ndim();
         let mut stats = RegionStats::default();
         let g_end = ranges[0].end.min(self.grid_dims[0]);
@@ -349,6 +399,46 @@ impl MicroGrid {
             // Narrow by the second dimension via binary search (rows are
             // sorted lexicographically on the remaining coordinates).
             let (lo, hi) = if ndim >= 2 {
+                (
+                    self.lower_bound(a, b, 1, ranges[1].start),
+                    self.lower_bound(a, b, 1, ranges[1].end),
+                )
+            } else {
+                (a, b)
+            };
+            stats.meta_words += 2 * (hi - lo) as u64; // coordinate + footprint words
+            if ndim <= 2 {
+                self.add_window(lo, hi, &mut stats);
+            } else {
+                self.sum_groups(lo, hi, 2, ranges, &mut stats);
+            }
+        }
+        debug_assert_eq!(stats, self.region_stats_naive(ranges), "prefix sums diverge from scan");
+        stats
+    }
+
+    /// The original linear-scan measurement — kept as the test oracle for
+    /// [`MicroGrid::region_stats`] (and as executable documentation of the
+    /// modeled `meta_words` cost). Identical output for identical ranges;
+    /// host cost is `O(occupied tiles in the outer slab)`.
+    pub fn region_stats_naive(&self, ranges: &[Range<u32>]) -> RegionStats {
+        assert_eq!(ranges.len(), self.ndim(), "one grid range per dimension");
+        if ranges.iter().any(|r| r.start >= r.end) {
+            return RegionStats::default();
+        }
+        let ndim = self.ndim();
+        let mut stats = RegionStats::default();
+        let g_end = ranges[0].end.min(self.grid_dims[0]);
+        for g in ranges[0].start..g_end {
+            let (a, b) = match self.dim0_row(g) {
+                Some(r) => r,
+                None => continue,
+            };
+            stats.meta_words += 2; // outer segment reads
+            if a == b {
+                continue;
+            }
+            let (lo, hi) = if ndim >= 2 {
                 let row = &self.coords[a * ndim..b * ndim];
                 let n = b - a;
                 let lo = partition(n, |t| row[t * ndim + 1] < ranges[1].start);
@@ -360,8 +450,7 @@ impl MicroGrid {
             for t in lo..hi {
                 stats.meta_words += 2; // coordinate + footprint words
                 let tc = &self.coords[t * ndim..(t + 1) * ndim];
-                let inside =
-                    (2..ndim).all(|d| tc[d] >= ranges[d].start && tc[d] < ranges[d].end);
+                let inside = (2..ndim).all(|d| tc[d] >= ranges[d].start && tc[d] < ranges[d].end);
                 if inside {
                     stats.nnz += self.occupancy[t] as u64;
                     stats.data_bytes += self.footprint[t] as u64;
@@ -370,6 +459,96 @@ impl MicroGrid {
             }
         }
         stats
+    }
+
+    /// Whether the region holds no non-zeros — a host-side predicate for
+    /// cheap empty-box skipping (e.g. the S-U-C task stream's probe).
+    ///
+    /// Unlike [`MicroGrid::region_stats`] this models no Aggregate cost
+    /// and short-circuits on the first occupied window, so sparse sweeps
+    /// that enumerate many empty boxes pay near-nothing per box.
+    pub fn region_is_empty(&self, ranges: &[Range<u32>]) -> bool {
+        assert_eq!(ranges.len(), self.ndim(), "one grid range per dimension");
+        if ranges.iter().any(|r| r.start >= r.end) {
+            return true;
+        }
+        let ndim = self.ndim();
+        let g_end = ranges[0].end.min(self.grid_dims[0]);
+        for g in ranges[0].start..g_end {
+            let (a, b) = match self.dim0_row(g) {
+                Some(r) => r,
+                None => continue,
+            };
+            if a == b {
+                continue;
+            }
+            let (lo, hi) = if ndim >= 2 {
+                (
+                    self.lower_bound(a, b, 1, ranges[1].start),
+                    self.lower_bound(a, b, 1, ranges[1].end),
+                )
+            } else {
+                (a, b)
+            };
+            if lo >= hi {
+                continue;
+            }
+            if ndim <= 2 {
+                return false;
+            }
+            let mut probe = RegionStats::default();
+            self.sum_groups(lo, hi, 2, ranges, &mut probe);
+            if probe.micro_tiles > 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// First tile index in `[a, b)` whose grid coordinate at dimension `d`
+    /// is `>= key` (the tiles in `[a, b)` must agree on dims `0..d`, so
+    /// they are sorted by dimension `d`).
+    fn lower_bound(&self, a: usize, b: usize, d: usize, key: u32) -> usize {
+        let ndim = self.ndim();
+        a + partition(b - a, |t| self.coords[(a + t) * ndim + d] < key)
+    }
+
+    /// Prefix-subtract the contiguous tile window `[lo, hi)` into `stats`.
+    fn add_window(&self, lo: usize, hi: usize, stats: &mut RegionStats) {
+        stats.nnz += self.pfx_nnz[hi] - self.pfx_nnz[lo];
+        stats.data_bytes += self.pfx_bytes[hi] - self.pfx_bytes[lo];
+        stats.micro_tiles += (hi - lo) as u64;
+    }
+
+    /// Sum tiles of `[lo, hi)` (which agree on dims `0..d-1` and are
+    /// sorted on dims `d-1..`) whose coordinates at dims `d..` fall inside
+    /// `ranges[d..]`, by splitting into equal-coordinate groups at `d - 1`
+    /// and binary-searching each group's window at `d`.
+    fn sum_groups(
+        &self,
+        lo: usize,
+        hi: usize,
+        d: usize,
+        ranges: &[Range<u32>],
+        stats: &mut RegionStats,
+    ) {
+        let ndim = self.ndim();
+        let mut t = lo;
+        while t < hi {
+            // The group of tiles sharing this tile's coordinate at d - 1.
+            let v = self.coords[t * ndim + d - 1];
+            let ge = t + partition(hi - t, |x| self.coords[(t + x) * ndim + d - 1] <= v);
+            let glo = self.lower_bound(t, ge, d, ranges[d].start);
+            let ghi = self.lower_bound(t, ge, d, ranges[d].end);
+            if glo < ghi {
+                if d + 1 == ndim {
+                    self.add_window(glo, ghi, stats);
+                } else {
+                    self.sum_groups(glo, ghi, d + 1, ranges, stats);
+                }
+            }
+            t = ge;
+        }
     }
 
     /// Bytes of *macro-tile* metadata needed to describe `micro_tiles` micro

@@ -46,10 +46,7 @@ impl OccupancyProbe {
                 continue;
             }
             let util = tile.footprint() as f64 / cap as f64;
-            self.samples
-                .entry(tile.name.clone())
-                .or_default()
-                .push((util, tile.nnz as f64));
+            self.samples.entry(tile.name.clone()).or_default().push((util, tile.nnz as f64));
         }
     }
 
@@ -59,9 +56,8 @@ impl OccupancyProbe {
             .iter()
             .map(|(name, xs)| {
                 let n = xs.len() as f64;
-                let mean = |sel: fn(&(f64, f64)) -> f64| -> f64 {
-                    xs.iter().map(sel).sum::<f64>() / n
-                };
+                let mean =
+                    |sel: fn(&(f64, f64)) -> f64| -> f64 { xs.iter().map(sel).sum::<f64>() / n };
                 let cv = |sel: fn(&(f64, f64)) -> f64, mu: f64| -> f64 {
                     if mu == 0.0 {
                         return 0.0;
@@ -146,7 +142,9 @@ mod tests {
         let kernel = Kernel::spmspm(&a, &a, (8, 8)).expect("kernel");
         let parts = Partitions::split(6 * 1024, &[("A", 0.3), ("B", 0.5), ("Z", 0.2)]);
         let mut probe = OccupancyProbe::new();
-        for t in TaskStream::drt(&kernel, &['j', 'k', 'i'], DrtConfig::new(parts.clone())).expect("drt") {
+        for t in
+            TaskStream::drt(&kernel, &['j', 'k', 'i'], DrtConfig::new(parts.clone())).expect("drt")
+        {
             probe.record(&t, &parts);
         }
         for (name, s) in probe.stats() {

@@ -50,11 +50,8 @@ pub fn validate_shape(
 ) -> Result<(), CoreError> {
     let sm = SizeModel::default();
     for b in kernel.inputs() {
-        let dims: Vec<u32> = b
-            .ranks
-            .iter()
-            .map(|r| tile_sizes.get(r).copied().unwrap_or(0))
-            .collect();
+        let dims: Vec<u32> =
+            b.ranks.iter().map(|r| tile_sizes.get(r).copied().unwrap_or(0)).collect();
         if dims.contains(&0) {
             return Err(CoreError::BadConfig {
                 detail: format!("tensor {} has a zero/missing tile dimension", b.name),
@@ -77,10 +74,7 @@ pub fn validate_shape(
 /// to rank extents) that satisfy the worst-case-dense rule. The paper's
 /// S-U-C baselines sweep these and keep the best-performing shape per
 /// workload (§5.2.1) — the sweep itself lives in the benchmark harness.
-pub fn candidate_shapes(
-    kernel: &Kernel,
-    partitions: &Partitions,
-) -> Vec<BTreeMap<RankId, u32>> {
+pub fn candidate_shapes(kernel: &Kernel, partitions: &Partitions) -> Vec<BTreeMap<RankId, u32>> {
     let ranks = kernel.ranks();
     let mut out = Vec::new();
     // Per-rank candidate sizes: powers of two from one micro step up to the

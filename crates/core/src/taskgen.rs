@@ -185,8 +185,10 @@ impl<'k> TaskStream<'k> {
     /// Plan the task for a fully pinned box.
     fn plan_box(&self, frame: &Frame) -> TilePlan {
         match &self.mode {
-            Mode::Drt => plan_tile(self.kernel, &self.order, &frame.region, &frame.pinned, &self.config)
-                .expect("preflight guaranteed a minimal tile fits"),
+            Mode::Drt => {
+                plan_tile(self.kernel, &self.order, &frame.region, &frame.pinned, &self.config)
+                    .expect("preflight guaranteed a minimal tile fits")
+            }
             Mode::Suc(_) => self.measure_suc(frame),
         }
     }
@@ -274,7 +276,10 @@ impl Iterator for TaskStream<'_> {
                     let b = &self.kernel.inputs()[0];
                     let ranges: Vec<Range<u32>> =
                         b.ranks.iter().map(|r| frame.region[r].clone()).collect();
-                    if b.grid.region_stats(&ranges).nnz == 0 {
+                    // `region_is_empty` short-circuits on the first occupied
+                    // window and models no Aggregate cost — the probe is a
+                    // host-side pruning step, not an extractor action.
+                    if b.grid.region_is_empty(&ranges) {
                         self.skipped_empty += 1;
                         continue;
                     }
@@ -327,9 +332,14 @@ impl Iterator for TaskStream<'_> {
                 Mode::Suc(sizes) => sizes[&r].min(frame.region[&r].len() as u32),
                 Mode::Drt => {
                     // Probe: let DRT choose r's size for this sweep chunk.
-                    let probe =
-                        plan_tile(self.kernel, &self.order, &frame.region, &frame.pinned, &self.config)
-                            .expect("preflight guaranteed a minimal tile fits");
+                    let probe = plan_tile(
+                        self.kernel,
+                        &self.order,
+                        &frame.region,
+                        &frame.pinned,
+                        &self.config,
+                    )
+                    .expect("preflight guaranteed a minimal tile fits");
                     probe.grid_ranges[&r].len() as u32
                 }
             };
@@ -376,10 +386,7 @@ mod tests {
             for a in r0 {
                 for b in r1.clone() {
                     for c in r2.clone() {
-                        assert!(
-                            covered.insert((a, b, c)),
-                            "grid cell ({a},{b},{c}) covered twice"
-                        );
+                        assert!(covered.insert((a, b, c)), "grid cell ({a},{b},{c}) covered twice");
                     }
                 }
             }
@@ -397,15 +404,10 @@ mod tests {
         let ranks = kernel.ranks();
         let mut count = 0u64;
         for t in tasks {
-            count += ranks
-                .iter()
-                .map(|r| t.plan.grid_ranges[r].len() as u64)
-                .product::<u64>();
+            count += ranks.iter().map(|r| t.plan.grid_ranges[r].len() as u64).product::<u64>();
         }
-        let total: u64 = ranks
-            .iter()
-            .map(|&r| kernel.extent(r).div_ceil(kernel.micro_step(r)) as u64)
-            .product();
+        let total: u64 =
+            ranks.iter().map(|&r| kernel.extent(r).div_ceil(kernel.micro_step(r)) as u64).product();
         assert_eq!(count, total, "tasks must tile the whole grid space");
     }
 
@@ -469,8 +471,7 @@ mod tests {
     fn suc_tasks_tile_space_with_fixed_shape() {
         let m = diamond_band(32, 600, 4);
         let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
-        let cfg =
-            DrtConfig::new(Partitions::from_bytes(&[("A", 4000), ("B", 4000), ("Z", 0)]));
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 4000), ("B", 4000), ("Z", 0)]));
         let sizes = BTreeMap::from([('i', 8u32), ('k', 8), ('j', 8)]);
         let mut stream = TaskStream::suc(&k, &['j', 'k', 'i'], cfg, &sizes).expect("stream");
         let tasks: Vec<Task> = (&mut stream).collect();
@@ -529,13 +530,15 @@ mod tests {
         let m = unstructured(128, 128, 600, 2.0, 8);
         let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
         let parts = Partitions::from_bytes(&[("A", 2048), ("B", 2048), ("Z", 0)]);
-        let drt_tasks =
-            TaskStream::drt(&k, &['j', 'k', 'i'], DrtConfig::new(parts.clone())).expect("stream").count();
+        let drt_tasks = TaskStream::drt(&k, &['j', 'k', 'i'], DrtConfig::new(parts.clone()))
+            .expect("stream")
+            .count();
         // Best dense-safe S-U-C shape for 2048 bytes is about 12x12; use 12
         // rounded to micro multiples (12 coords = 3 micro tiles).
         let sizes = BTreeMap::from([('i', 12u32), ('k', 12), ('j', 12)]);
-        let suc_tasks =
-            TaskStream::suc(&k, &['j', 'k', 'i'], DrtConfig::new(parts), &sizes).expect("stream").count();
+        let suc_tasks = TaskStream::suc(&k, &['j', 'k', 'i'], DrtConfig::new(parts), &sizes)
+            .expect("stream")
+            .count();
         assert!(
             drt_tasks < suc_tasks,
             "DRT ({drt_tasks}) should need fewer tasks than S-U-C ({suc_tasks})"
@@ -577,8 +580,7 @@ mod tests {
         let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
         let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 800), ("B", 800), ("Z", 0)]));
         let region = BTreeMap::from([('i', 2u32..10u32), ('k', 0..8), ('j', 4..12)]);
-        let stream =
-            TaskStream::drt_in_region(&k, &['j', 'k', 'i'], cfg, &region).expect("stream");
+        let stream = TaskStream::drt_in_region(&k, &['j', 'k', 'i'], cfg, &region).expect("stream");
         for t in stream {
             assert!(t.plan.grid_ranges[&'i'].start >= 2 && t.plan.grid_ranges[&'i'].end <= 10);
             assert!(t.plan.grid_ranges[&'k'].end <= 8);

@@ -2,10 +2,11 @@
 //! and full task-stream coverage, over random matrices and configurations.
 
 use drt_core::config::{DrtConfig, GrowthOrder, Partitions};
-use drt_core::drt::plan_tile;
+use drt_core::drt::{plan_tile, plan_tile_with_mode, MeasureMode};
 use drt_core::kernel::Kernel;
+use drt_core::micro::MicroGrid;
 use drt_core::taskgen::TaskStream;
-use drt_tensor::{CsMatrix, MajorAxis};
+use drt_tensor::{CsMatrix, CsfTensor, MajorAxis};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
@@ -15,10 +16,7 @@ fn arb_matrix(dim: u32, max_nnz: usize) -> impl Strategy<Value = CsMatrix> {
 }
 
 fn full_region(k: &Kernel) -> BTreeMap<char, std::ops::Range<u32>> {
-    k.ranks()
-        .into_iter()
-        .map(|r| (r, 0..k.extent(r).div_ceil(k.micro_step(r)).max(1)))
-        .collect()
+    k.ranks().into_iter().map(|r| (r, 0..k.extent(r).div_ceil(k.micro_step(r)).max(1))).collect()
 }
 
 proptest! {
@@ -107,6 +105,86 @@ proptest! {
                 "A nnz ({}, {}) uncovered although B row {} is non-empty",
                 r, c, c
             );
+        }
+    }
+
+    /// The prefix-sum region query agrees with the retained linear-scan
+    /// oracle on arbitrary 2-D boxes — including empty (start >= end)
+    /// ranges and ranges clamped at or beyond the grid bounds — and the
+    /// uncharged emptiness predicate agrees with both.
+    #[test]
+    fn region_stats_matches_naive_2d(
+        a in arb_matrix(64, 400),
+        q in proptest::collection::vec((0u32..40, 0u32..40, 0u32..40, 0u32..40), 1..12),
+    ) {
+        let grid = MicroGrid::from_matrix(&a, (4, 4)).unwrap();
+        for (r0, r1, c0, c1) in q {
+            let ranges = [r0..r1, c0..c1];
+            let fast = grid.region_stats(&ranges);
+            let naive = grid.region_stats_naive(&ranges);
+            prop_assert_eq!(fast, naive, "box {:?}", &ranges);
+            prop_assert_eq!(grid.region_is_empty(&ranges), naive.nnz == 0, "box {:?}", &ranges);
+        }
+        // Whole-grid query reproduces the precomputed totals.
+        let gd = grid.grid_dims().to_vec();
+        let full = grid.region_stats(&[0..gd[0], 0..gd[1]]);
+        prop_assert_eq!(full.nnz, grid.total_nnz());
+        prop_assert_eq!(full.data_bytes, grid.total_data_bytes());
+        prop_assert_eq!(full.micro_tiles, grid.occupied_tiles() as u64);
+    }
+
+    /// Same agreement on 3-D CSF grids, where the query recurses through
+    /// equal-coordinate groups below the binary-searched second dimension.
+    #[test]
+    fn region_stats_matches_naive_3d(
+        pts in proptest::collection::btree_set((0u32..24, 0u32..24, 0u32..24), 1..250),
+        q in proptest::collection::vec(
+            (0u32..10, 0u32..10, 0u32..10, 0u32..10, 0u32..10, 0u32..10), 1..10),
+    ) {
+        let points: Vec<([u32; 3], f64)> =
+            pts.into_iter().map(|(i, j, k)| ([i, j, k], 1.0)).collect();
+        let borrowed: Vec<(&[u32], f64)> =
+            points.iter().map(|(p, v)| (p.as_slice(), *v)).collect();
+        let t = CsfTensor::from_points(vec![24, 24, 24], &borrowed).unwrap();
+        let grid = MicroGrid::from_csf(&t, &[4, 4, 4]).unwrap();
+        for (a0, a1, b0, b1, c0, c1) in q {
+            let ranges = [a0..a1, b0..b1, c0..c1];
+            let fast = grid.region_stats(&ranges);
+            let naive = grid.region_stats_naive(&ranges);
+            prop_assert_eq!(fast, naive, "box {:?}", &ranges);
+            prop_assert_eq!(grid.region_is_empty(&ranges), naive.nnz == 0, "box {:?}", &ranges);
+        }
+    }
+
+    /// Incremental measurement caching reproduces the from-scratch plan
+    /// bit-for-bit: same ranges, same tile stats, same trace counters —
+    /// across growth orders, pinned ranks, and fallback subdivision (tight
+    /// partitions + pinned ranks force the fallback/invalidate paths).
+    #[test]
+    fn incremental_plan_matches_from_scratch(
+        a in arb_matrix(48, 240),
+        b in arb_matrix(48, 240),
+        llb in 300u64..12_000,
+        growth_alt in any::<bool>(),
+        pin_k in 0u32..8,
+        pin_j in 0u32..8,
+    ) {
+        let kernel = Kernel::spmspm(&a, &b, (4, 4)).unwrap();
+        let growth = if growth_alt { GrowthOrder::Alternating } else { GrowthOrder::ContractedFirst };
+        let cfg = DrtConfig::new(Partitions::split(llb, &[("A", 0.3), ("B", 0.5), ("Z", 0.2)]))
+            .with_growth(growth);
+        let mut pinned = BTreeMap::new();
+        if pin_k > 0 { pinned.insert('k', pin_k); }
+        if pin_j > 0 { pinned.insert('j', pin_j); }
+        let region = full_region(&kernel);
+        let inc = plan_tile_with_mode(
+            &kernel, &['j', 'k', 'i'], &region, &pinned, &cfg, MeasureMode::Incremental);
+        let scratch = plan_tile_with_mode(
+            &kernel, &['j', 'k', 'i'], &region, &pinned, &cfg, MeasureMode::FromScratch);
+        match (inc, scratch) {
+            (Ok(i), Ok(s)) => prop_assert_eq!(i, s),
+            (Err(_), Err(_)) => {} // both reject the infeasible partition
+            (i, s) => prop_assert!(false, "modes disagree on feasibility: {:?} vs {:?}", i, s),
         }
     }
 

@@ -14,18 +14,15 @@ use drt_tensor::{CsMatrix, MajorAxis};
 /// Panics when `f.ncols() != s.nrows()`.
 pub fn frontier_step(f: &CsMatrix, s: &CsMatrix) -> CsMatrix {
     let product = gustavson(f, s).z;
-    let entries: Vec<(u32, u32, f64)> =
-        product.iter().map(|(r, c, _)| (r, c, 1.0)).collect();
+    let entries: Vec<(u32, u32, f64)> = product.iter().map(|(r, c, _)| (r, c, 1.0)).collect();
     CsMatrix::from_entries(product.nrows(), product.ncols(), entries, MajorAxis::Row)
 }
 
 /// Filter visited vertices out of a frontier (the offline step): keeps
 /// only entries absent from `visited` (same shape as the frontier).
 pub fn filter_visited(frontier: &CsMatrix, visited: &CsMatrix) -> CsMatrix {
-    let entries: Vec<(u32, u32, f64)> = frontier
-        .iter()
-        .filter(|&(r, c, _)| visited.get(r, c) == 0.0)
-        .collect();
+    let entries: Vec<(u32, u32, f64)> =
+        frontier.iter().filter(|&(r, c, _)| visited.get(r, c) == 0.0).collect();
     CsMatrix::from_entries(frontier.nrows(), frontier.ncols(), entries, MajorAxis::Row)
 }
 

@@ -59,8 +59,7 @@ pub fn jaccard_rows(f: &CsMatrix) -> CsMatrix {
     let f_rows = f.to_major(MajorAxis::Row);
     let ft = f_rows.to_transposed().to_major(MajorAxis::Row);
     // Intersection sizes come from the Boolean product F · Fᵀ.
-    let bool_entries: Vec<(u32, u32, f64)> =
-        f_rows.iter().map(|(r, c, _)| (r, c, 1.0)).collect();
+    let bool_entries: Vec<(u32, u32, f64)> = f_rows.iter().map(|(r, c, _)| (r, c, 1.0)).collect();
     let fb = CsMatrix::from_entries(f.nrows(), f.ncols(), bool_entries, MajorAxis::Row);
     let ftb: Vec<(u32, u32, f64)> = ft.iter().map(|(r, c, _)| (r, c, 1.0)).collect();
     let ftb = CsMatrix::from_entries(ft.nrows(), ft.ncols(), ftb, MajorAxis::Row);

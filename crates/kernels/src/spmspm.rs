@@ -160,11 +160,8 @@ pub fn outer_product(a: &CsMatrix, b: &CsMatrix) -> SpmspmResult {
         }
     }
     // Drop exact cancellations to keep outputs comparable across dataflows.
-    let entries: Vec<(u32, u32, f64)> = acc
-        .into_iter()
-        .filter(|&(_, v)| v != 0.0)
-        .map(|((i, j), v)| (i, j, v))
-        .collect();
+    let entries: Vec<(u32, u32, f64)> =
+        acc.into_iter().filter(|&(_, v)| v != 0.0).map(|((i, j), v)| (i, j, v)).collect();
     let z = CsMatrix::from_entries(a_cols.nrows(), b_rows.ncols(), entries, MajorAxis::Row);
     SpmspmResult { z, maccs: n, partial_products: n }
 }
@@ -176,14 +173,10 @@ mod tests {
     use drt_workloads::patterns::{diamond_band, unstructured};
 
     fn check_against_dense(a: &CsMatrix, b: &CsMatrix) {
-        let oracle =
-            DenseMatrix::from_sparse(a).matmul(&DenseMatrix::from_sparse(b));
+        let oracle = DenseMatrix::from_sparse(a).matmul(&DenseMatrix::from_sparse(b));
         for r in [gustavson(a, b), inner_product(a, b), outer_product(a, b)] {
             let got = DenseMatrix::from_sparse(&r.z);
-            assert!(
-                got.max_abs_diff(&oracle) < 1e-9,
-                "dataflow output diverges from dense oracle"
-            );
+            assert!(got.max_abs_diff(&oracle) < 1e-9, "dataflow output diverges from dense oracle");
         }
     }
 

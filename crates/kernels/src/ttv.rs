@@ -50,12 +50,7 @@ pub fn ttm(x: &CsfTensor, m: &DenseMatrix) -> CsMatrix {
             }
         }
     }
-    let out = CsMatrix::from_entries(
-        x.shape()[0] * j_dim,
-        m.ncols(),
-        entries,
-        MajorAxis::Row,
-    );
+    let out = CsMatrix::from_entries(x.shape()[0] * j_dim, m.ncols(), entries, MajorAxis::Row);
     let nz: Vec<(u32, u32, f64)> = out.iter().filter(|&(_, _, v)| v != 0.0).collect();
     CsMatrix::from_entries(out.nrows(), out.ncols(), nz, MajorAxis::Row)
 }

@@ -87,7 +87,10 @@ impl EnergyModel {
             ("MACCs".to_string(), c.maccs as f64 * self.macc_pj * 1e-12),
             ("Intersection".to_string(), c.intersect_steps as f64 * self.intersect_step_pj * 1e-12),
             ("NoC".to_string(), c.noc_bytes as f64 * self.noc_pj_per_byte * 1e-12),
-            ("Tile Extractors".to_string(), c.extractor_words as f64 * self.extractor_word_pj * 1e-12),
+            (
+                "Tile Extractors".to_string(),
+                c.extractor_words as f64 * self.extractor_word_pj * 1e-12,
+            ),
         ])
     }
 }

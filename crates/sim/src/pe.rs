@@ -35,12 +35,8 @@ impl PeArray {
     /// sophisticated work-distribution strategy" the paper says would close
     /// the gap to ideal (§6.2).
     pub fn assign_least_loaded(&mut self, cycles: u64) {
-        let (i, _) = self
-            .loads
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &l)| l)
-            .expect("array is non-empty");
+        let (i, _) =
+            self.loads.iter().enumerate().min_by_key(|&(_, &l)| l).expect("array is non-empty");
         self.loads[i] += cycles;
         self.tasks += 1;
     }

@@ -55,8 +55,7 @@ impl TrafficCounter {
 
     /// All tensor names that appear in the counter.
     pub fn tensors(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.reads.keys().chain(self.writes.keys()).cloned().collect();
+        let mut names: Vec<String> = self.reads.keys().chain(self.writes.keys()).cloned().collect();
         names.sort();
         names.dedup();
         names

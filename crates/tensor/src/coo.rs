@@ -191,7 +191,10 @@ impl CooTensor {
             return Err(TensorError::RankMismatch { got: point.len(), expected: self.shape.len() });
         }
         if point.iter().zip(&self.shape).any(|(&p, &s)| p >= s) {
-            return Err(TensorError::OutOfBounds { point: point.to_vec(), shape: self.shape.clone() });
+            return Err(TensorError::OutOfBounds {
+                point: point.to_vec(),
+                shape: self.shape.clone(),
+            });
         }
         self.points.push(point.to_vec());
         self.vals.push(value);
@@ -263,10 +266,7 @@ mod tests {
     #[test]
     fn tensor_rank_mismatch() {
         let mut coo = CooTensor::new(vec![2, 2]);
-        assert_eq!(
-            coo.push(&[1], 1.0),
-            Err(TensorError::RankMismatch { got: 1, expected: 2 })
-        );
+        assert_eq!(coo.push(&[1], 1.0), Err(TensorError::RankMismatch { got: 1, expected: 2 }));
     }
 
     #[test]

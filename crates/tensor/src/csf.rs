@@ -173,7 +173,13 @@ impl CsfTensor {
         out.into_iter()
     }
 
-    fn walk(&self, level: usize, fiber: usize, stack: &mut Vec<Coord>, out: &mut Vec<(Vec<Coord>, Value)>) {
+    fn walk(
+        &self,
+        level: usize,
+        fiber: usize,
+        stack: &mut Vec<Coord>,
+        out: &mut Vec<(Vec<Coord>, Value)>,
+    ) {
         let (a, b) = (self.segs[level][fiber], self.segs[level][fiber + 1]);
         for pos in a..b {
             stack.push(self.coords[level][pos]);
@@ -218,9 +224,8 @@ impl CsfTensor {
     /// Panics when `box_ranges.len() != self.ndim()`.
     pub fn extract_box(&self, box_ranges: &[CoordRange]) -> CsfTensor {
         assert_eq!(box_ranges.len(), self.ndim(), "one range per dimension");
-        let mut coo = CooTensor::new(
-            box_ranges.iter().map(|r| r.end.saturating_sub(r.start)).collect(),
-        );
+        let mut coo =
+            CooTensor::new(box_ranges.iter().map(|r| r.end.saturating_sub(r.start)).collect());
         for (p, v) in self.iter_points() {
             if p.iter().zip(box_ranges).all(|(&c, r)| r.contains(&c)) {
                 let rebased: Vec<Coord> =
@@ -314,9 +319,14 @@ mod tests {
     fn matrix_as_2d_csf_matches_csr_fibers() {
         // CSF of a matrix is CSR with a compressed row dimension.
         let mut coo = CooTensor::new(vec![4, 4]);
-        for &(p, v) in
-            &[([0, 1], 7.0), ([0, 2], 1.0), ([2, 0], 6.0), ([2, 2], 12.0), ([2, 3], 3.0), ([3, 1], 10.0)]
-        {
+        for &(p, v) in &[
+            ([0, 1], 7.0),
+            ([0, 2], 1.0),
+            ([2, 0], 6.0),
+            ([2, 2], 12.0),
+            ([2, 3], 3.0),
+            ([3, 1], 10.0),
+        ] {
             coo.push(&p, v).expect("ok");
         }
         let t = CsfTensor::from_coo(coo);

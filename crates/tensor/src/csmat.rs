@@ -140,7 +140,14 @@ impl CsMatrix {
             MajorAxis::Row => nrows,
             MajorAxis::Col => ncols,
         } as usize;
-        CsMatrix { nrows, ncols, major, seg: vec![0; major_dim + 1], coords: Vec::new(), vals: Vec::new() }
+        CsMatrix {
+            nrows,
+            ncols,
+            major,
+            seg: vec![0; major_dim + 1],
+            coords: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Builds directly from compressed parts.
@@ -169,7 +176,11 @@ impl CsMatrix {
         };
         let fail = |detail: String| Err(TensorError::ShapeMismatch { detail });
         if seg.len() != major_dim + 1 {
-            return fail(format!("segment array has {} entries, expected {}", seg.len(), major_dim + 1));
+            return fail(format!(
+                "segment array has {} entries, expected {}",
+                seg.len(),
+                major_dim + 1
+            ));
         }
         if seg[0] != 0 || *seg.last().expect("nonempty") != coords.len() {
             return fail("segment array must start at 0 and end at nnz".into());
@@ -362,10 +373,8 @@ impl CsMatrix {
             }
             seg.push(coords.len());
         }
-        let (nrows, ncols) = (
-            rows.end.saturating_sub(rows.start),
-            cols.end.saturating_sub(cols.start),
-        );
+        let (nrows, ncols) =
+            (rows.end.saturating_sub(rows.start), cols.end.saturating_sub(cols.start));
         CsMatrix { nrows, ncols, major: self.major, seg, coords, vals }
     }
 
@@ -553,15 +562,42 @@ mod tests {
     #[test]
     fn from_parts_validates() {
         // Valid.
-        assert!(CsMatrix::from_parts(2, 2, MajorAxis::Row, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        assert!(CsMatrix::from_parts(
+            2,
+            2,
+            MajorAxis::Row,
+            vec![0, 1, 2],
+            vec![0, 1],
+            vec![1.0, 2.0]
+        )
+        .is_ok());
         // Bad segment length.
-        assert!(CsMatrix::from_parts(2, 2, MajorAxis::Row, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+        assert!(CsMatrix::from_parts(2, 2, MajorAxis::Row, vec![0, 2], vec![0, 1], vec![1.0, 2.0])
+            .is_err());
         // Unsorted fiber.
-        assert!(CsMatrix::from_parts(2, 2, MajorAxis::Row, vec![0, 2, 2], vec![1, 0], vec![1.0, 2.0]).is_err());
+        assert!(CsMatrix::from_parts(
+            2,
+            2,
+            MajorAxis::Row,
+            vec![0, 2, 2],
+            vec![1, 0],
+            vec![1.0, 2.0]
+        )
+        .is_err());
         // Coordinate out of range.
-        assert!(CsMatrix::from_parts(2, 2, MajorAxis::Row, vec![0, 1, 1], vec![7], vec![1.0]).is_err());
+        assert!(
+            CsMatrix::from_parts(2, 2, MajorAxis::Row, vec![0, 1, 1], vec![7], vec![1.0]).is_err()
+        );
         // Non-monotone segments.
-        assert!(CsMatrix::from_parts(2, 2, MajorAxis::Row, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]).is_err());
+        assert!(CsMatrix::from_parts(
+            2,
+            2,
+            MajorAxis::Row,
+            vec![0, 2, 1],
+            vec![0, 1],
+            vec![1.0, 2.0]
+        )
+        .is_err());
     }
 
     #[test]

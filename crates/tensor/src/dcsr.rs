@@ -9,7 +9,7 @@
 //! of `drt-core` picks it per tile.
 
 use crate::format::SizeModel;
-use crate::{CsMatrix, Coord, MajorAxis, Value};
+use crate::{Coord, CsMatrix, MajorAxis, Value};
 
 /// A doubly compressed (`T-CC`) sparse matrix: coordinate/segment lists on
 /// *both* dimensions, so empty rows cost nothing.

@@ -1,4 +1,4 @@
-use crate::{CsMatrix, Coord, Value};
+use crate::{Coord, CsMatrix, Value};
 
 /// A small dense row-major matrix, used as the oracle in functional
 /// validation (simulated accelerator output vs. dense triple-loop multiply).
@@ -114,11 +114,7 @@ impl DenseMatrix {
     /// Panics when shapes differ.
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
         assert_eq!((self.nrows, self.ncols), (other.nrows, other.ncols));
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 }
 

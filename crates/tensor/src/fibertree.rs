@@ -116,8 +116,14 @@ impl<'a> Fiber<'a> {
                 }
             }
             Source::Csf(t) => {
-                let (a, b) = (t.seg_at(self.level, self.fiber), t.seg_at(self.level, self.fiber + 1));
-                FiberIter { source: self.source, level: self.level, positions: (a..b).collect(), next: 0 }
+                let (a, b) =
+                    (t.seg_at(self.level, self.fiber), t.seg_at(self.level, self.fiber + 1));
+                FiberIter {
+                    source: self.source,
+                    level: self.level,
+                    positions: (a..b).collect(),
+                    next: 0,
+                }
             }
         }
     }
@@ -162,7 +168,14 @@ impl<'a> Iterator for FiberIter<'a> {
                 if self.level + 1 == t.ndim() {
                     (c, Payload::Value(t.values()[pos]))
                 } else {
-                    (c, Payload::Fiber(Fiber { source: self.source, level: self.level + 1, fiber: pos }))
+                    (
+                        c,
+                        Payload::Fiber(Fiber {
+                            source: self.source,
+                            level: self.level + 1,
+                            fiber: pos,
+                        }),
+                    )
                 }
             }
         })
@@ -223,8 +236,7 @@ mod tests {
         let coo = CooMatrix::from_triplets(3, 3, vec![(1, 0, 2.0), (2, 2, 3.0)]).expect("ok");
         let m = CsMatrix::from_coo(&coo, MajorAxis::Row);
         let flat = flatten(&m);
-        let direct: Vec<(Vec<Coord>, f64)> =
-            m.iter().map(|(r, c, v)| (vec![r, c], v)).collect();
+        let direct: Vec<(Vec<Coord>, f64)> = m.iter().map(|(r, c, v)| (vec![r, c], v)).collect();
         assert_eq!(flat, direct);
     }
 

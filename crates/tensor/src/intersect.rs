@@ -224,7 +224,8 @@ mod tests {
 
     #[test]
     fn intersect_values_multiplies_matches() {
-        let got = intersect_values(&[1, 2, 5], &[1.0, 2.0, 3.0], &[2, 5], &[10.0, 100.0], |a, b| a * b);
+        let got =
+            intersect_values(&[1, 2, 5], &[1.0, 2.0, 3.0], &[2, 5], &[10.0, 100.0], |a, b| a * b);
         assert_eq!(got, vec![(2, 20.0), (5, 300.0)]);
     }
 

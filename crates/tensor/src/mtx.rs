@@ -44,9 +44,8 @@ pub fn to_string(m: &CsMatrix) -> String {
 /// declared shape.
 pub fn from_str(text: &str) -> Result<CsMatrix, TensorError> {
     let mut lines = text.lines().enumerate();
-    let (first_no, first) = lines
-        .next()
-        .ok_or(TensorError::ParseMatrix { line: 1, detail: "empty input".into() })?;
+    let (first_no, first) =
+        lines.next().ok_or(TensorError::ParseMatrix { line: 1, detail: "empty input".into() })?;
     if !first.starts_with("%%MatrixMarket") {
         return Err(TensorError::ParseMatrix {
             line: first_no + 1,
@@ -76,8 +75,11 @@ pub fn from_str(text: &str) -> Result<CsMatrix, TensorError> {
                         detail: format!("invalid {what}: {f:?}"),
                     })
                 };
-                let (r, c, n) =
-                    (parse(fields[0], "rows")?, parse(fields[1], "cols")?, parse(fields[2], "nnz")?);
+                let (r, c, n) = (
+                    parse(fields[0], "rows")?,
+                    parse(fields[1], "cols")?,
+                    parse(fields[2], "nnz")?,
+                );
                 size = Some((r as u32, c as u32, n as usize));
                 coo = CooMatrix::with_capacity(r as u32, c as u32, n as usize);
                 remaining = n as usize;

@@ -5,18 +5,12 @@
 //! pattern masking (the `A² ∘ A` of triangle counting), scaling, and
 //! filtering. All operations are layout-preserving on the left operand.
 
-use crate::{CsMatrix, Coord, MajorAxis, TensorError, Value};
+use crate::{Coord, CsMatrix, MajorAxis, TensorError, Value};
 
 fn check_same_shape(a: &CsMatrix, b: &CsMatrix) -> Result<(), TensorError> {
     if a.nrows() != b.nrows() || a.ncols() != b.ncols() {
         return Err(TensorError::ShapeMismatch {
-            detail: format!(
-                "{}x{} vs {}x{}",
-                a.nrows(),
-                a.ncols(),
-                b.nrows(),
-                b.ncols()
-            ),
+            detail: format!("{}x{} vs {}x{}", a.nrows(), a.ncols(), b.nrows(), b.ncols()),
         });
     }
     Ok(())
@@ -70,11 +64,8 @@ pub fn mask(a: &CsMatrix, pattern: &CsMatrix) -> Result<CsMatrix, TensorError> {
 /// Scale every value by `factor` (dropping the matrix to empty when
 /// `factor == 0`).
 pub fn scale(a: &CsMatrix, factor: Value) -> CsMatrix {
-    let entries: Vec<(Coord, Coord, Value)> = a
-        .iter()
-        .map(|(r, c, v)| (r, c, v * factor))
-        .filter(|&(_, _, v)| v != 0.0)
-        .collect();
+    let entries: Vec<(Coord, Coord, Value)> =
+        a.iter().map(|(r, c, v)| (r, c, v * factor)).filter(|&(_, _, v)| v != 0.0).collect();
     CsMatrix::from_entries(a.nrows(), a.ncols(), entries, a.major())
 }
 
@@ -84,8 +75,7 @@ pub fn filter<F>(a: &CsMatrix, mut keep: F) -> CsMatrix
 where
     F: FnMut(Coord, Coord, Value) -> bool,
 {
-    let entries: Vec<(Coord, Coord, Value)> =
-        a.iter().filter(|&(r, c, v)| keep(r, c, v)).collect();
+    let entries: Vec<(Coord, Coord, Value)> = a.iter().filter(|&(r, c, v)| keep(r, c, v)).collect();
     CsMatrix::from_entries(a.nrows(), a.ncols(), entries, a.major())
 }
 
@@ -98,9 +88,7 @@ pub fn tril_strict(a: &CsMatrix) -> CsMatrix {
 /// Per-row value sums (length `nrows`).
 pub fn row_sums(a: &CsMatrix) -> Vec<Value> {
     let rows = a.to_major(MajorAxis::Row);
-    (0..rows.nrows())
-        .map(|r| rows.fiber(r).values.iter().sum())
-        .collect()
+    (0..rows.nrows()).map(|r| rows.fiber(r).values.iter().sum()).collect()
 }
 
 #[cfg(test)]

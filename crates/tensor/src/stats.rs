@@ -103,7 +103,11 @@ pub fn occupancy_cv(grid: &[usize]) -> f64 {
     let n = occupied.len() as f64;
     let mean = occupied.iter().sum::<usize>() as f64 / n;
     let var = occupied.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
-    if mean > 0.0 { var.sqrt() / mean } else { 0.0 }
+    if mean > 0.0 {
+        var.sqrt() / mean
+    } else {
+        0.0
+    }
 }
 
 #[cfg(test)]

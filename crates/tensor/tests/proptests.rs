@@ -8,7 +8,10 @@ use proptest::prelude::*;
 
 /// Strategy: a random sparse matrix up to `max_dim` square with up to
 /// `max_nnz` entries (duplicates allowed — they must sum).
-fn arb_matrix(max_dim: u32, max_nnz: usize) -> impl Strategy<Value = (u32, u32, Vec<(u32, u32, f64)>)> {
+fn arb_matrix(
+    max_dim: u32,
+    max_nnz: usize,
+) -> impl Strategy<Value = (u32, u32, Vec<(u32, u32, f64)>)> {
     (2..=max_dim, 2..=max_dim).prop_flat_map(move |(r, c)| {
         let entry = (0..r, 0..c, -10.0..10.0f64);
         (Just(r), Just(c), proptest::collection::vec(entry, 0..max_nnz))

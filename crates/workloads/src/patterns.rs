@@ -109,7 +109,7 @@ pub fn unstructured(nrows: u32, ncols: u32, nnz: usize, alpha: f64, seed: u64) -
 pub fn rmat(n: u32, nnz: usize, a: f64, b: f64, c: f64, seed: u64) -> CsMatrix {
     assert!(n.is_power_of_two(), "R-MAT needs a power-of-two dimension");
     assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "invalid quadrant probabilities");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x0DDB_A11);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00DD_BA11);
     let levels = n.trailing_zeros();
     let mut entries = Vec::with_capacity(nnz + nnz / 4);
     while entries.len() < nnz + nnz / 8 {
@@ -172,8 +172,11 @@ fn trim_to_nnz(
     if let Some(rng) = pad_rng {
         let mut attempts = 0usize;
         while entries.len() < target && attempts < target * 4 {
-            let e =
-                (rng.random_range(0..nrows), rng.random_range(0..ncols), rng.random_range(-1.0..1.0));
+            let e = (
+                rng.random_range(0..nrows),
+                rng.random_range(0..ncols),
+                rng.random_range(-1.0..1.0),
+            );
             entries.push(e);
             attempts += 1;
             if attempts.is_multiple_of(1024) {
@@ -218,11 +221,7 @@ mod tests {
         let m = diamond_band(256, 4096, 1);
         assert!(m.nnz() > 3000, "close to requested nnz, got {}", m.nnz());
         // All non-zeros near the diagonal.
-        let max_off = m
-            .iter()
-            .map(|(r, c, _)| (r as i64 - c as i64).unsigned_abs())
-            .max()
-            .unwrap();
+        let max_off = m.iter().map(|(r, c, _)| (r as i64 - c as i64).unsigned_abs()).max().unwrap();
         assert!(max_off < 256 / 2, "band stays near diagonal, max offset {max_off}");
         // Diagonal fully populated.
         for i in 0..256 {

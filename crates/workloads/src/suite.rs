@@ -47,11 +47,7 @@ impl CatalogEntry {
     /// report the scale used.)
     pub fn scaled_dims(&self, scale: u32) -> (u32, u32, usize) {
         let s = scale.max(1);
-        (
-            (self.nrows / s).max(16),
-            (self.ncols / s).max(16),
-            (self.nnz / s as usize).max(64),
-        )
+        ((self.nrows / s).max(16), (self.ncols / s).max(16), (self.nnz / s as usize).max(64))
     }
 
     /// Generate the surrogate matrix at the given scale, deterministically
@@ -60,7 +56,8 @@ impl CatalogEntry {
         let (r, c, nnz) = self.scaled_dims(scale);
         // Stable per-matrix seed so different entries differ even with the
         // same user seed.
-        let name_hash = self.name.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+        let name_hash =
+            self.name.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
         let seed = seed ^ name_hash;
         match self.class {
             PatternClass::DiamondBand => patterns::diamond_band(r, nnz, seed),
@@ -79,7 +76,8 @@ impl Catalog {
     /// The full Table 3 catalog (20 matrices).
     pub fn paper_table3() -> Catalog {
         use PatternClass::*;
-        let e = |name, n: u32, nnz: usize, class| CatalogEntry { name, nrows: n, ncols: n, nnz, class };
+        let e =
+            |name, n: u32, nnz: usize, class| CatalogEntry { name, nrows: n, ncols: n, nnz, class };
         Catalog {
             entries: vec![
                 // HB / Bova / DNVS / Hamm / Williams / LAW — diamond-band group.

@@ -108,8 +108,7 @@ mod tests {
     #[test]
     fn mode0_is_skewed() {
         let t = skewed_tensor(32, 32, 32, 4000, 2);
-        let counts: Vec<usize> =
-            (0..32).map(|s| t.nnz_in_box(&[s..s + 1, 0..32, 0..32])).collect();
+        let counts: Vec<usize> = (0..32).map(|s| t.nnz_in_box(&[s..s + 1, 0..32, 0..32])).collect();
         let max = *counts.iter().max().expect("nonempty");
         let mean = counts.iter().sum::<usize>() as f64 / 32.0;
         assert!(max as f64 > mean * 2.0, "heaviest slice ({max}) should exceed 2× mean ({mean})");

@@ -40,7 +40,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
     }
     println!("functional check: TACO, S-U-C, and DRT all match the reference Gram ✓");
-    println!("Gram matrix: {}x{}, {} nnz, {} effectual MACCs\n", reference.nrows(), reference.ncols(), reference.nnz(), drt.maccs);
+    println!(
+        "Gram matrix: {}x{}, {} nnz, {} effectual MACCs\n",
+        reference.nrows(),
+        reference.ncols(),
+        reference.nnz(),
+        drt.maccs
+    );
 
     println!("{:<18} {:>12} {:>10} {:>12}", "config", "traffic (KB)", "AI", "AI vs TACO");
     for r in [&taco, &suc, &drt] {

@@ -1,0 +1,360 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! small timing-loop harness exposing the API subset its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Throughput`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up for a fixed wall-clock
+//! budget, then sampled `sample_size` times; each sample runs enough
+//! iterations to exceed a minimum sample duration. The reported statistic
+//! is the median of per-iteration sample means, printed as
+//! `name  time: [median] thrpt: [...]` — the same shape criterion prints,
+//! so humans and scripts can diff runs. Honors `$CRITERION_SAMPLE_MS` and
+//! `--bench`-style substring filters in `argv` the way `cargo bench --
+//! <filter>` passes them.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches here import
+/// `std::hint::black_box` directly, but the re-export keeps parity).
+pub use std::hint::black_box;
+
+/// Work-volume annotation for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter component.
+    pub fn new(function_id: impl ToString, parameter: impl ToString) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_id.to_string(), parameter.to_string()) }
+    }
+
+    /// An id that is only a parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl ToString) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+    min_sample: Duration,
+    warmup: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record per-iteration timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and calibrate the per-sample iteration count.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(warm_iters.max(1) as u32)
+            .unwrap_or(Duration::from_nanos(1));
+        let per_iter = per_iter.max(Duration::from_nanos(1));
+        self.iters_per_sample = (self.min_sample.as_nanos() / per_iter.as_nanos()).max(1) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Median per-iteration time over the recorded samples.
+    fn median_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample.max(1) as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let n = per_iter.len();
+        if n % 2 == 1 {
+            per_iter[n / 2]
+        } else {
+            (per_iter[n / 2 - 1] + per_iter[n / 2]) / 2.0
+        }
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a work volume for throughput
+    /// reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the target measurement time (accepted for API parity; the
+    /// timing loop derives sample duration from the environment instead).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches_filter(&full) {
+            return self;
+        }
+        let mut b = self.criterion.bencher(self.sample_size);
+        f(&mut b, input);
+        self.criterion.report(&full, &b, self.throughput);
+        self
+    }
+
+    /// Benchmark a no-input closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches_filter(&full) {
+            return self;
+        }
+        let mut b = self.criterion.bencher(self.sample_size);
+        f(&mut b);
+        self.criterion.report(&full, &b, self.throughput);
+        self
+    }
+
+    /// Finish the group (prints nothing extra; parity with criterion).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    min_sample: Duration,
+    warmup: Duration,
+    results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms =
+            std::env::var("CRITERION_SAMPLE_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(40u64);
+        Criterion {
+            filter: None,
+            min_sample: Duration::from_millis(ms),
+            warmup: Duration::from_millis(ms.max(20) / 2),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply `cargo bench -- <filter>` style arguments: the first
+    /// non-flag argument is a substring filter on benchmark names.
+    pub fn configure_from_args(mut self) -> Self {
+        let args = std::env::args().skip(1);
+        for a in args {
+            if a == "--bench" || a.starts_with('-') {
+                continue;
+            }
+            self.filter = Some(a);
+            break;
+        }
+        self
+    }
+
+    fn matches_filter(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn bencher(&self, sample_size: usize) -> Bencher {
+        Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_size,
+            min_sample: self.min_sample,
+            warmup: self.warmup,
+        }
+    }
+
+    fn report(&mut self, name: &str, b: &Bencher, throughput: Option<Throughput>) {
+        let ns = b.median_ns();
+        let thrpt = match throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  thrpt: [{}]", fmt_rate(n as f64 / (ns * 1e-9), "elem"))
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                format!("  thrpt: [{}]", fmt_rate(n as f64 / (ns * 1e-9), "B"))
+            }
+            _ => String::new(),
+        };
+        println!("{name:<50} time: [{}]{thrpt}", fmt_time(ns));
+        self.results.push((name.to_string(), ns));
+    }
+
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20, throughput: None }
+    }
+
+    /// Benchmark a standalone function (no group).
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches_filter(name) {
+            return self;
+        }
+        let mut b = self.bencher(20);
+        f(&mut b);
+        let name = name.to_string();
+        self.report(&name, &b, None);
+        self
+    }
+
+    /// Print the run's summary (called by [`criterion_main!`]).
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            println!("(no benchmarks matched the filter)");
+        }
+    }
+}
+
+/// Define a benchmark group function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Define `main` running one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_reports_sane_medians() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "2");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("f", 1), &42u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].0.contains("g/f/1"));
+        assert!(c.results[0].1 > 0.0 && c.results[0].1 < 1e7, "ns/iter: {}", c.results[0].1);
+    }
+
+    #[test]
+    fn filters_skip_nonmatching() {
+        let mut c = Criterion { filter: Some("wanted".into()), ..Criterion::default() };
+        let mut ran = false;
+        c.bench_function("other", |_b| ran = true);
+        assert!(!ran);
+        assert!(c.results.is_empty());
+    }
+}
