@@ -8,7 +8,8 @@
 //! once; `B` rows hit in the LLC with probability proportional to how much
 //! of `B` fits.
 
-use crate::report::RunReport;
+use crate::report::{PhaseBreakdown, RunReport};
+use drt_core::probe::{Event, Probe};
 use drt_sim::energy::ActionCounts;
 use drt_sim::traffic::TrafficCounter;
 use drt_tensor::format::SizeModel;
@@ -66,14 +67,33 @@ impl CpuSpec {
 ///
 /// Panics when inner dimensions disagree.
 pub fn run_mkl_like(a: &CsMatrix, b: &CsMatrix, spec: &CpuSpec) -> RunReport {
-    let sm = SizeModel::default();
+    run_mkl_like_with(a, b, spec, &SizeModel::default(), &Probe::disabled())
+}
+
+/// [`run_mkl_like`] with an explicit size model and instrumentation probe.
+///
+/// # Panics
+///
+/// Panics when inner dimensions disagree.
+pub fn run_mkl_like_with(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    spec: &CpuSpec,
+    sm: &SizeModel,
+    probe: &Probe,
+) -> RunReport {
     let a_rows = a.to_major(MajorAxis::Row);
     let b_rows = b.to_major(MajorAxis::Row);
     let prod = drt_kernels::spmspm::gustavson(&a_rows, &b_rows);
 
     let mut traffic = TrafficCounter::new();
-    traffic.read("A", sm.cs_matrix_bytes(&a_rows) as u64);
-    traffic.write("Z", sm.cs_matrix_bytes(&prod.z) as u64);
+    let mut phases = PhaseBreakdown::default();
+    let a_bytes = sm.cs_matrix_bytes(&a_rows) as u64;
+    traffic.read("A", a_bytes);
+    probe.emit(|| Event::Fetch { tensor: "A", bytes: a_bytes });
+    let z_bytes = sm.cs_matrix_bytes(&prod.z) as u64;
+    traffic.write("Z", z_bytes);
+    phases.writeback.bytes += z_bytes;
 
     // B reuse through the LLC: the first touch of each row is compulsory;
     // repeat touches hit with probability ≈ (LLC share available to B) /
@@ -105,6 +125,11 @@ pub fn run_mkl_like(a: &CsMatrix, b: &CsMatrix, spec: &CpuSpec) -> RunReport {
     }
     let b_traffic = compulsory + (repeats as f64 * (1.0 - hit_rate)) as u64;
     traffic.read("B", b_traffic);
+    phases.load.bytes += a_bytes + b_traffic;
+    probe.emit(|| Event::Fetch { tensor: "B", bytes: b_traffic });
+    for (phase, stats) in phases.named() {
+        probe.emit(|| Event::Phase { phase, cycles: stats.cycles, bytes: stats.bytes });
+    }
 
     let effective_bw = spec.bandwidth_bytes_per_sec * spec.bandwidth_efficiency;
     let mem_seconds = traffic.total() as f64 / effective_bw;
@@ -123,6 +148,7 @@ pub fn run_mkl_like(a: &CsMatrix, b: &CsMatrix, spec: &CpuSpec) -> RunReport {
         tasks: a_rows.nrows() as u64,
         skipped_tasks: 0,
         actions,
+        phases,
     }
 }
 

@@ -17,14 +17,16 @@
 //!   spill writes and refill reads ("multiply-and-merge").
 //! * The final output is written once in compressed form.
 
-use crate::report::RunReport;
+use crate::report::{PhaseBreakdown, RunReport};
 use crate::zcache::OutputCache;
 use drt_core::config::DrtConfig;
 use drt_core::extractor::ExtractorModel;
 use drt_core::kernel::Kernel;
 use drt_core::micro::MicroFormat;
-use drt_core::taskgen::TaskStream;
+use drt_core::probe::{Event, Probe};
+use drt_core::taskgen::{Task, TaskStream};
 use drt_core::{CoreError, RankId};
+use drt_kernels::spmspm::SpmspmResult;
 use drt_sim::energy::ActionCounts;
 use drt_sim::intersect_unit::IntersectUnit;
 use drt_sim::memory::HierarchySpec;
@@ -103,122 +105,245 @@ impl EngineConfig {
 /// Propagates tiling configuration errors from `drt-core` (bad loop order,
 /// impossible partitions, S-U-C shapes violating the dense rule).
 pub fn run_spmspm(a: &CsMatrix, b: &CsMatrix, cfg: &EngineConfig) -> Result<RunReport, CoreError> {
+    run_spmspm_probed(a, b, cfg, &Probe::disabled())
+}
+
+/// [`run_spmspm`] with an instrumentation probe attached: the task stream
+/// reports tile plans and task emission, and the engine reports fetches,
+/// reuse hits, spills/refills, and per-phase totals.
+///
+/// # Errors
+///
+/// Same conditions as [`run_spmspm`].
+pub fn run_spmspm_probed(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    cfg: &EngineConfig,
+    probe: &Probe,
+) -> Result<RunReport, CoreError> {
     let kernel = Kernel::spmspm_fmt(a, b, cfg.micro, cfg.micro_format)?;
-    let stream = match &cfg.tiling {
+    let mut stream = match &cfg.tiling {
         Tiling::Suc(sizes) => TaskStream::suc(&kernel, &cfg.loop_order, cfg.drt.clone(), sizes)?,
         Tiling::Drt => TaskStream::drt(&kernel, &cfg.loop_order, cfg.drt.clone())?,
-    };
+    }
+    .with_probe(probe.clone());
 
-    let sm = SizeModel::default();
-    let a_rows = a.to_major(MajorAxis::Row);
-    let b_rows = b.to_major(MajorAxis::Row);
-
-    let mut traffic = TrafficCounter::new();
-    let mut actions = ActionCounts::default();
-    let mut pes = PeArray::new(cfg.hier.num_pes);
-    let mut zcache = OutputCache::new(cfg.drt.partitions.get("Z"));
-    let mut out_entries: Vec<(u32, u32, f64)> = Vec::new();
-    let mut maccs = 0u64;
-    let mut exposed_extract = 0u64;
-    let mut last_ranges: BTreeMap<String, Vec<u32>> = BTreeMap::new();
-
-    let mut stream = stream;
+    let mut run = EngineRun::new(a, b, cfg, probe.clone());
+    // The pipeline per task: load the tiles whose ranges changed, compute
+    // (intersect + multiply) on them, merge the partial outputs through
+    // the Z cache, then account the tile-extraction latency that produced
+    // the task in the first place (DRT only — extraction overlaps the
+    // previous task's compute, so only the excess is exposed).
     for task in &mut stream {
-        let ir = task.plan.coord_ranges[&'i'].clone();
-        let kr = task.plan.coord_ranges[&'k'].clone();
-        let jr = task.plan.coord_ranges[&'j'].clone();
+        let ranges = TaskRanges::of(&task);
+        run.phase_load(&task, &ranges);
+        let (prod, isect_cycles) = run.phase_compute(&ranges);
+        let on_chip = run.phase_merge(&task, &ranges, &prod, isect_cycles);
+        run.phase_extract(&task, on_chip);
+    }
+    Ok(run.phase_writeback(a.nrows(), b.ncols(), stream.emitted(), stream.skipped_empty()))
+}
 
-        // --- Input traffic: fetch tiles whose ranges changed. ---
+/// The three coordinate ranges of one SpMSpM task.
+struct TaskRanges {
+    ir: std::ops::Range<u32>,
+    kr: std::ops::Range<u32>,
+    jr: std::ops::Range<u32>,
+}
+
+impl TaskRanges {
+    fn of(task: &Task) -> TaskRanges {
+        TaskRanges {
+            ir: task.plan.coord_ranges[&'i'].clone(),
+            kr: task.plan.coord_ranges[&'k'].clone(),
+            jr: task.plan.coord_ranges[&'j'].clone(),
+        }
+    }
+}
+
+/// Mutable state of one engine run, advanced phase-by-phase per task.
+struct EngineRun<'c> {
+    cfg: &'c EngineConfig,
+    sm: SizeModel,
+    a_rows: CsMatrix,
+    b_rows: CsMatrix,
+    traffic: TrafficCounter,
+    actions: ActionCounts,
+    pes: PeArray,
+    zcache: OutputCache,
+    out_entries: Vec<(u32, u32, f64)>,
+    maccs: u64,
+    exposed_extract: u64,
+    last_ranges: BTreeMap<String, Vec<u32>>,
+    phases: PhaseBreakdown,
+    probe: Probe,
+}
+
+impl<'c> EngineRun<'c> {
+    fn new(a: &CsMatrix, b: &CsMatrix, cfg: &'c EngineConfig, probe: Probe) -> EngineRun<'c> {
+        EngineRun {
+            cfg,
+            sm: cfg.drt.size_model,
+            a_rows: a.to_major(MajorAxis::Row),
+            b_rows: b.to_major(MajorAxis::Row),
+            traffic: TrafficCounter::new(),
+            actions: ActionCounts::default(),
+            pes: PeArray::new(cfg.hier.num_pes),
+            zcache: OutputCache::new(cfg.drt.partitions.get("Z")),
+            out_entries: Vec::new(),
+            maccs: 0,
+            exposed_extract: 0,
+            last_ranges: BTreeMap::new(),
+            phases: PhaseBreakdown::default(),
+            probe,
+        }
+    }
+
+    /// Load phase: fetch input tiles whose coordinate ranges changed —
+    /// consecutive tasks sharing a stationary tile fetch it once.
+    fn phase_load(&mut self, task: &Task, r: &TaskRanges) {
         for tile in &task.plan.tiles {
             let ranges: Vec<u32> = match tile.name.as_str() {
-                "A" => vec![ir.start, ir.end, kr.start, kr.end],
-                _ => vec![kr.start, kr.end, jr.start, jr.end],
+                "A" => vec![r.ir.start, r.ir.end, r.kr.start, r.kr.end],
+                _ => vec![r.kr.start, r.kr.end, r.jr.start, r.jr.end],
             };
             let bytes = tile.footprint();
-            if last_ranges.get(&tile.name) != Some(&ranges) {
-                traffic.read(&tile.name, bytes);
-                last_ranges.insert(tile.name.clone(), ranges);
+            if self.last_ranges.get(&tile.name) != Some(&ranges) {
+                self.traffic.read(&tile.name, bytes);
+                self.last_ranges.insert(tile.name.clone(), ranges);
+                self.phases.load.bytes += bytes;
+                self.probe.emit(|| Event::Fetch { tensor: &tile.name, bytes });
+            } else {
+                self.probe.emit(|| Event::Hit { tensor: &tile.name, bytes });
             }
             // The tile streams over the NoC to PEs regardless of whether
             // DRAM supplied it or the LLB already held it.
-            actions.noc_bytes += bytes;
-            actions.llb_bytes += bytes;
-            actions.pe_buf_bytes += bytes;
+            self.actions.noc_bytes += bytes;
+            self.actions.llb_bytes += bytes;
+            self.actions.pe_buf_bytes += bytes;
         }
+    }
 
-        // --- Functional compute on the task's tiles. ---
-        let ta = a_rows.extract_rect(ir.clone(), kr.clone());
-        let tb = b_rows.extract_rect(kr.clone(), jr.clone());
+    /// Compute phase: functional product on the task's tiles plus the
+    /// intersection-scan cycle cost.
+    ///
+    /// Inner-product co-iteration intersects each occupied A row with
+    /// each occupied B column of the task, so the scan volume is
+    /// operand-nnz × co-iterated-fiber-count (this is exactly the work
+    /// a skip-based unit skips through and a parallel unit divides —
+    /// Figure 12's lever).
+    fn phase_compute(&mut self, r: &TaskRanges) -> (SpmspmResult, u64) {
+        let ta = self.a_rows.extract_rect(r.ir.clone(), r.kr.clone());
+        let tb = self.b_rows.extract_rect(r.kr.clone(), r.jr.clone());
         let prod = drt_kernels::spmspm::gustavson(&ta, &tb);
-        maccs += prod.maccs;
-        actions.maccs += prod.maccs;
-        for (r, c, v) in prod.z.iter() {
-            out_entries.push((r + ir.start, c + jr.start, v));
+        self.maccs += prod.maccs;
+        self.actions.maccs += prod.maccs;
+        for (row, col, v) in prod.z.iter() {
+            self.out_entries.push((row + r.ir.start, col + r.jr.start, v));
         }
-
-        // --- On-chip cycles: intersection + merge, round-robin to a PE. ---
-        // Inner-product co-iteration intersects each occupied A row with
-        // each occupied B column of the task, so the scan volume is
-        // operand-nnz × co-iterated-fiber-count (this is exactly the work
-        // a skip-based unit skips through and a parallel unit divides —
-        // Figure 12's lever).
-        let occ_i = (ta.nnz() as u64).min(ir.len() as u64).max(1);
-        let occ_j = (tb.nnz() as u64).min(jr.len() as u64).max(1);
+        let occ_i = (ta.nnz() as u64).min(r.ir.len() as u64).max(1);
+        let occ_j = (tb.nnz() as u64).min(r.jr.len() as u64).max(1);
         let scan = ta.nnz() as u64 * occ_j + tb.nnz() as u64 * occ_i;
-        let isect_cycles = cfg.intersect.cycles_from_counts(scan, prod.maccs);
-        let merge_cycles = (prod.z.nnz() as u64).div_ceil(cfg.merge_lanes.max(1) as u64);
-        actions.intersect_steps += scan;
+        let isect_cycles = self.cfg.intersect.cycles_from_counts(scan, prod.maccs);
+        self.actions.intersect_steps += scan;
+        self.phases.compute.cycles += isect_cycles;
+        (prod, isect_cycles)
+    }
+
+    /// Merge phase: combine partial outputs on chip and push them through
+    /// the LRU Z cache (spill writes / refill reads on eviction), then
+    /// hand the task's on-chip work to a PE. Returns the task's total
+    /// on-chip cycles (intersection + merge).
+    fn phase_merge(
+        &mut self,
+        task: &Task,
+        r: &TaskRanges,
+        prod: &SpmspmResult,
+        isect_cycles: u64,
+    ) -> u64 {
+        let merge_cycles = (prod.z.nnz() as u64).div_ceil(self.cfg.merge_lanes.max(1) as u64);
+        self.phases.merge.cycles += merge_cycles;
         // The LLB-level distributor schedules micro-tile pairs to PEs
         // (paper Figure 5's task list), so one LLB task's work spreads
         // over up to `micro-tile pairs` PEs, round-robin.
         let subtasks: u64 = task.plan.tiles.iter().map(|t| t.micro_tiles).max().unwrap_or(1).max(1);
-        pes.assign_parallel(isect_cycles + merge_cycles, subtasks);
+        self.pes.assign_parallel(isect_cycles + merge_cycles, subtasks);
 
-        // --- Output partials through the Z cache. ---
-        let key = vec![ir.start, ir.end, jr.start, jr.end];
-        let added = sm.coo_bytes(prod.z.nnz(), 2) as u64;
-        let charge = zcache.access(&key, added);
-        traffic.write("Z", charge.spill_writes);
-        traffic.read("Z", charge.refill_reads);
+        let key = vec![r.ir.start, r.ir.end, r.jr.start, r.jr.end];
+        let added = self.sm.coo_bytes(prod.z.nnz(), 2) as u64;
+        let charge = self.zcache.access(&key, added);
+        self.traffic.write("Z", charge.spill_writes);
+        self.traffic.read("Z", charge.refill_reads);
+        self.phases.merge.bytes += charge.spill_writes + charge.refill_reads;
+        if charge.spill_writes > 0 {
+            self.probe.emit(|| Event::Spill { bytes: charge.spill_writes });
+        }
+        if charge.refill_reads > 0 {
+            self.probe.emit(|| Event::Refill { bytes: charge.refill_reads });
+        }
+        isect_cycles + merge_cycles
+    }
 
-        // --- Tile-extraction latency (DRT only; S-U-C traces are zero). ---
-        if matches!(cfg.tiling, Tiling::Drt) {
-            let cost = cfg.extractor.tile_cost(&task.plan.trace, &task.plan.tiles);
-            actions.extractor_words += task.plan.trace.meta_words;
-            exposed_extract +=
-                cfg.extractor.effective_cycles(&cost).saturating_sub(isect_cycles + merge_cycles);
+    /// Extract phase: tile-extraction latency (DRT only; S-U-C traces are
+    /// zero). Extraction of the next task overlaps this task's on-chip
+    /// work, so only the excess is exposed.
+    fn phase_extract(&mut self, task: &Task, on_chip_cycles: u64) {
+        if matches!(self.cfg.tiling, Tiling::Drt) {
+            let cost = self.cfg.extractor.tile_cost_probed(
+                &task.plan.trace,
+                &task.plan.tiles,
+                &self.probe,
+            );
+            self.actions.extractor_words += task.plan.trace.meta_words;
+            let effective = self.cfg.extractor.effective_cycles(&cost);
+            self.phases.extract.cycles += effective;
+            self.exposed_extract += effective.saturating_sub(on_chip_cycles);
         }
     }
 
-    // Final output pass: resident tiles stream out, multi-segment spills
-    // merge (single-segment spills were already final).
-    let fin = zcache.finish();
-    traffic.read("Z", fin.merge_reads);
-    traffic.write("Z", fin.final_writes);
-    let z = finalize_output(a.nrows(), b.ncols(), out_entries);
+    /// Writeback phase: flush the Z cache (resident tiles stream out,
+    /// multi-segment spills merge) and assemble the final report.
+    fn phase_writeback(
+        mut self,
+        nrows: u32,
+        ncols: u32,
+        tasks: u64,
+        skipped_tasks: u64,
+    ) -> RunReport {
+        let fin = self.zcache.finish();
+        self.traffic.read("Z", fin.merge_reads);
+        self.traffic.write("Z", fin.final_writes);
+        self.phases.writeback.bytes += fin.merge_reads + fin.final_writes;
+        let z = finalize_output(nrows, ncols, self.out_entries);
 
-    actions.dram_bytes = traffic.total();
-    let compute_cycles = pes.makespan();
-    let mem_seconds = cfg.hier.dram.seconds_for(traffic.total());
-    let seconds = if cfg.ideal_on_chip {
-        mem_seconds
-    } else {
-        mem_seconds.max(compute_cycles as f64 / cfg.hier.clock_hz)
-            + exposed_extract as f64 / cfg.hier.clock_hz
-    };
+        self.actions.dram_bytes = self.traffic.total();
+        let compute_cycles = self.pes.makespan();
+        let mem_seconds = self.cfg.hier.dram.seconds_for(self.traffic.total());
+        let seconds = if self.cfg.ideal_on_chip {
+            mem_seconds
+        } else {
+            mem_seconds.max(compute_cycles as f64 / self.cfg.hier.clock_hz)
+                + self.exposed_extract as f64 / self.cfg.hier.clock_hz
+        };
 
-    Ok(RunReport {
-        name: cfg.name.clone(),
-        traffic,
-        maccs,
-        compute_cycles,
-        exposed_extract_cycles: exposed_extract,
-        seconds,
-        output: Some(z),
-        tasks: stream.emitted(),
-        skipped_tasks: stream.skipped_empty(),
-        actions,
-    })
+        for (phase, stats) in self.phases.named() {
+            self.probe.emit(|| Event::Phase { phase, cycles: stats.cycles, bytes: stats.bytes });
+        }
+
+        RunReport {
+            name: self.cfg.name.clone(),
+            traffic: self.traffic,
+            maccs: self.maccs,
+            compute_cycles,
+            exposed_extract_cycles: self.exposed_extract,
+            seconds,
+            output: Some(z),
+            tasks,
+            skipped_tasks,
+            actions: self.actions,
+            phases: self.phases,
+        }
+    }
 }
 
 /// Merge accumulated per-task partial entries into the final output.
@@ -263,7 +388,7 @@ pub fn run_spmspm_best_suc_with_shape(
     // pick any coordinate shape (it pre-tiles offline). Quantize the sweep
     // to the largest power-of-two square whose worst-case-dense tile fits
     // the smallest input partition, capped at the configured micro shape.
-    let sm = SizeModel::default();
+    let sm = base.drt.size_model;
     let min_part = base.drt.partitions.get("A").min(base.drt.partitions.get("B"));
     let mut quantum = 1u32;
     while quantum * 2 <= base.micro.0.max(base.micro.1)
@@ -274,7 +399,7 @@ pub fn run_spmspm_best_suc_with_shape(
     let base = EngineConfig { micro: (quantum, quantum), ..base.clone() };
     let base = &base;
     let kernel = Kernel::spmspm(a, b, base.micro)?;
-    let mut candidates = drt_core::suc::candidate_shapes(&kernel, &base.drt.partitions);
+    let mut candidates = drt_core::suc::candidate_shapes(&kernel, &base.drt.partitions, &sm);
     // Prune shapes whose task-box count explodes (tiny tiles over a large
     // iteration space visit billions of empty boxes — never competitive,
     // and the paper's offline sweep would discard them immediately). Keep
@@ -331,7 +456,7 @@ mod tests {
     }
 
     fn drt_cfg(llb: u64) -> DrtConfig {
-        DrtConfig::new(Partitions::split(llb, &[("A", 0.25), ("B", 0.45), ("Z", 0.3)]))
+        DrtConfig::new(crate::spec::PartitionPreset::Balanced.partitions(llb))
     }
 
     fn engine_cfg(name: &str, tiling: Tiling, llb: u64) -> EngineConfig {
@@ -372,7 +497,7 @@ mod tests {
         let cfg = engine_cfg("drt", Tiling::Drt, 16 * 1024);
         let r = run_spmspm(&a, &a, &cfg).expect("run");
         let z = r.output.as_ref().expect("functional");
-        let lb = drt_sim::traffic::spmspm_lower_bound(&a, &a, z);
+        let lb = drt_sim::traffic::spmspm_lower_bound(&a, &a, z, &SizeModel::default());
         // Inputs: at least one full read each (micro-tiled representations
         // carry extra metadata, so ≥ the plain compressed bound).
         assert!(r.traffic.reads_of("A") >= lb.reads_of("A"));

@@ -17,8 +17,9 @@
 //! configuration: static partitions shared by all workloads and 32 × 32
 //! micro tiles (micro-tile shape only matters to the DRT variant).
 
-use crate::engine::{run_spmspm, run_spmspm_best_suc, EngineConfig, Tiling};
+use crate::engine::{run_spmspm, EngineConfig, Tiling};
 use crate::report::RunReport;
+use crate::spec::{AccelSpec, PartitionPreset, RunCtx, SpecKind, TilingSpec};
 use drt_core::config::{DrtConfig, Partitions};
 use drt_core::extractor::ExtractorModel;
 use drt_core::CoreError;
@@ -30,16 +31,7 @@ use std::collections::BTreeMap;
 /// The paper's static LLB partitioning (§6.6 / Figure 14: a small A
 /// partition, B around 45%, the rest for output partials).
 pub fn paper_partitions(llb_bytes: u64) -> Partitions {
-    Partitions::split(llb_bytes, &[("A", 0.05), ("B", 0.45), ("Z", 0.5)])
-}
-
-fn base_config(name: &str, tiling: Tiling, hier: &HierarchySpec) -> EngineConfig {
-    let drt = DrtConfig::new(paper_partitions(hier.llb.capacity_bytes));
-    EngineConfig {
-        loop_order: vec!['j', 'k', 'i'],
-        hier: *hier,
-        ..EngineConfig::new(name, tiling, drt)
-    }
+    PartitionPreset::ExtensorPaper.partitions(llb_bytes)
 }
 
 /// Number of S-U-C candidate shapes swept per workload (the paper sweeps
@@ -56,10 +48,7 @@ pub fn run_extensor(
     b: &CsMatrix,
     hier: &HierarchySpec,
 ) -> Result<RunReport, CoreError> {
-    let mut cfg = base_config("ExTensor", Tiling::Suc(BTreeMap::new()), hier);
-    cfg.intersect = IntersectUnit::SkipBased;
-    cfg.merge_lanes = 1;
-    run_spmspm_best_suc(a, b, &cfg, SUC_SWEEP_CANDIDATES)
+    AccelSpec::extensor().run(a, b, &RunCtx::new(hier))
 }
 
 /// Original ExTensor, returning the best swept shape alongside the report
@@ -74,9 +63,9 @@ pub fn run_extensor_with_shape(
     b: &CsMatrix,
     hier: &HierarchySpec,
 ) -> Result<(RunReport, BTreeMap<char, u32>), CoreError> {
-    let mut cfg = base_config("ExTensor", Tiling::Suc(BTreeMap::new()), hier);
-    cfg.intersect = IntersectUnit::SkipBased;
-    cfg.merge_lanes = 1;
+    let spec = AccelSpec::extensor();
+    let SpecKind::Engine(es) = &spec.kind else { unreachable!("extensor is engine-simulated") };
+    let cfg = spec.engine_config(es, hier);
     crate::engine::run_spmspm_best_suc_with_shape(a, b, &cfg, SUC_SWEEP_CANDIDATES)
 }
 
@@ -92,14 +81,15 @@ pub fn run_extensor_fixed(
     hier: &HierarchySpec,
     sizes: &BTreeMap<char, u32>,
 ) -> Result<RunReport, CoreError> {
-    let mut cfg = base_config("ExTensor", Tiling::Suc(sizes.clone()), hier);
-    cfg.intersect = IntersectUnit::SkipBased;
-    cfg.merge_lanes = 1;
-    // Quantize the kernel like the sweep does so sub-micro shapes remain
-    // representable.
-    let q = sizes.values().copied().min().unwrap_or(32).clamp(1, 32);
-    cfg.micro = (q, q);
-    run_spmspm(a, b, &cfg)
+    let mut spec = AccelSpec::extensor();
+    if let SpecKind::Engine(es) = &mut spec.kind {
+        es.tiling = TilingSpec::SucFixed(sizes.clone());
+        // Quantize the kernel like the sweep does so sub-micro shapes
+        // remain representable.
+        let q = sizes.values().copied().min().unwrap_or(32).clamp(1, 32);
+        es.micro = (q, q);
+    }
+    spec.run(a, b, &RunCtx::new(hier))
 }
 
 /// ExTensor-OP: best-swept S-U-C shape, parallel intersection,
@@ -113,10 +103,7 @@ pub fn run_extensor_op(
     b: &CsMatrix,
     hier: &HierarchySpec,
 ) -> Result<RunReport, CoreError> {
-    let mut cfg = base_config("ExTensor-OP", Tiling::Suc(BTreeMap::new()), hier);
-    cfg.intersect = IntersectUnit::Parallel(32);
-    cfg.merge_lanes = 16;
-    run_spmspm_best_suc(a, b, &cfg, SUC_SWEEP_CANDIDATES)
+    AccelSpec::extensor_op().run(a, b, &RunCtx::new(hier))
 }
 
 /// ExTensor-OP-DRT (TACTile): ExTensor-OP with DRT tile extraction.
@@ -129,7 +116,7 @@ pub fn run_tactile(
     b: &CsMatrix,
     hier: &HierarchySpec,
 ) -> Result<RunReport, CoreError> {
-    run_tactile_with(a, b, hier, IntersectUnit::Parallel(32), ExtractorModel::parallel())
+    AccelSpec::extensor_op_drt().run(a, b, &RunCtx::new(hier))
 }
 
 /// ExTensor-OP-DRT with an explicit intersection unit and extractor model
@@ -145,25 +132,12 @@ pub fn run_tactile_with(
     intersect: IntersectUnit,
     extractor: ExtractorModel,
 ) -> Result<RunReport, CoreError> {
-    let mut cfg = base_config("ExTensor-OP-DRT", Tiling::Drt, hier);
-    cfg.intersect = intersect;
-    cfg.merge_lanes = 16;
-    cfg.extractor = extractor;
-    // Configuration-time micro-shape adjustment (§5.2.4 picks the micro
-    // shape by sweep): when a buffer partition cannot hold even one dense
-    // 32×32 micro tile — possible at scaled-down buffer sizes — halve the
-    // micro shape until the preflight passes.
-    let mut last = Err(CoreError::BadConfig { detail: "no feasible micro shape".into() });
-    let mut m = cfg.micro.0.max(cfg.micro.1);
-    while m >= 2 {
-        cfg.micro = (m, m);
-        last = run_spmspm(a, b, &cfg);
-        match &last {
-            Err(CoreError::TileTooLarge { .. }) => m /= 2,
-            _ => return last,
-        }
+    let mut spec = AccelSpec::extensor_op_drt();
+    if let SpecKind::Engine(es) = &mut spec.kind {
+        es.intersect = intersect;
+        es.extractor = extractor;
     }
-    last
+    spec.run(a, b, &RunCtx::new(hier))
 }
 
 /// ExTensor-OP-DRT with custom partitions, growth order, and micro-tile

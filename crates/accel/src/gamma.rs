@@ -9,7 +9,8 @@
 //! (no `B` reuse) and DRT-tiled designs (explicit co-tiled reuse), which
 //! is exactly where the paper's Table 2 places it.
 
-use crate::report::RunReport;
+use crate::report::{PhaseBreakdown, RunReport};
+use drt_core::probe::{Event, Probe};
 use drt_sim::energy::ActionCounts;
 use drt_sim::memory::HierarchySpec;
 use drt_sim::traffic::TrafficCounter;
@@ -24,15 +25,35 @@ use std::collections::HashMap;
 ///
 /// Panics when inner dimensions disagree.
 pub fn run_gamma_like(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> RunReport {
+    run_gamma_like_with(a, b, hier, &SizeModel::default(), &Probe::disabled())
+}
+
+/// [`run_gamma_like`] with an explicit size model and instrumentation
+/// probe (FiberCache misses surface as `fetch` events, hits as `hit`).
+///
+/// # Panics
+///
+/// Panics when inner dimensions disagree.
+pub fn run_gamma_like_with(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    hier: &HierarchySpec,
+    sm: &SizeModel,
+    probe: &Probe,
+) -> RunReport {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
-    let sm = SizeModel::default();
     let a_rows = a.to_major(MajorAxis::Row);
     let b_rows = b.to_major(MajorAxis::Row);
     let prod = drt_kernels::spmspm::gustavson(&a_rows, &b_rows);
 
     let mut traffic = TrafficCounter::new();
-    traffic.read("A", sm.cs_matrix_bytes(&a_rows) as u64);
-    traffic.write("Z", sm.cs_matrix_bytes(&prod.z) as u64);
+    let mut phases = PhaseBreakdown::default();
+    let a_bytes = sm.cs_matrix_bytes(&a_rows) as u64;
+    traffic.read("A", a_bytes);
+    probe.emit(|| Event::Fetch { tensor: "A", bytes: a_bytes });
+    let z_bytes = sm.cs_matrix_bytes(&prod.z) as u64;
+    traffic.write("Z", z_bytes);
+    phases.writeback.bytes += z_bytes;
 
     // FiberCache: LRU over B rows with most of the on-chip capacity.
     let capacity = hier.llb.capacity_bytes * 3 / 4;
@@ -47,9 +68,11 @@ pub fn run_gamma_like(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> RunRe
         clock += 1;
         if let Some(stamp) = resident.get_mut(&k) {
             *stamp = clock;
+            probe.emit(|| Event::Hit { tensor: "B", bytes: row_bytes(k) });
             continue; // FiberCache hit
         }
         let bytes = row_bytes(k);
+        probe.emit(|| Event::Fetch { tensor: "B", bytes });
         b_traffic += bytes;
         used += bytes;
         resident.insert(k, clock);
@@ -65,6 +88,10 @@ pub fn run_gamma_like(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> RunRe
         }
     }
     traffic.read("B", b_traffic);
+    phases.load.bytes += a_bytes + b_traffic;
+    for (phase, stats) in phases.named() {
+        probe.emit(|| Event::Phase { phase, cycles: stats.cycles, bytes: stats.bytes });
+    }
 
     let seconds = hier.dram.seconds_for(traffic.total());
     let actions =
@@ -80,6 +107,7 @@ pub fn run_gamma_like(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> RunRe
         tasks: a_rows.nrows() as u64,
         skipped_tasks: 0,
         actions,
+        phases,
     }
 }
 

@@ -8,16 +8,17 @@
 //! while `l` sweeps, with the contracted `(j, k)` ranges co-tiled between
 //! the operands.
 
-use crate::report::RunReport;
+use crate::report::{PhaseBreakdown, RunReport};
+use crate::spec::PartitionPreset;
 use crate::zcache::OutputCache;
 use drt_core::config::{DrtConfig, Partitions};
 use drt_core::kernel::Kernel;
+use drt_core::probe::{Event, Probe};
 use drt_core::taskgen::TaskStream;
 use drt_core::{CoreError, RankId};
 use drt_sim::energy::ActionCounts;
 use drt_sim::memory::HierarchySpec;
 use drt_sim::traffic::TrafficCounter;
-use drt_tensor::format::SizeModel;
 use drt_tensor::CsfTensor;
 use std::collections::BTreeMap;
 
@@ -70,7 +71,7 @@ impl GramCounter {
 }
 
 fn partitions(hier: &HierarchySpec) -> Partitions {
-    Partitions::split(hier.llb.capacity_bytes, &[("X", 0.3), ("Y", 0.3), ("G", 0.4)])
+    PartitionPreset::Gram3.partitions(hier.llb.capacity_bytes)
 }
 
 /// Run the Gram kernel with DRT tiling (ExTensor-OP-DRT).
@@ -115,8 +116,8 @@ pub fn run_gram_suc(
 ) -> Result<RunReport, CoreError> {
     let kernel = Kernel::gram(x, &micro)?;
     let cfg = DrtConfig::new(partitions(hier));
-    drt_core::suc::validate_shape(&kernel, tile_sizes, &cfg.partitions)?;
-    let sm = SizeModel::default();
+    drt_core::suc::validate_shape(&kernel, tile_sizes, &cfg.partitions, &cfg.size_model)?;
+    let sm = cfg.size_model;
     let (si, sl, sj, sk) = (tile_sizes[&'i'], tile_sizes[&'l'], tile_sizes[&'j'], tile_sizes[&'k']);
     // Tiled footprints from S-U-C grids at the tile shapes themselves
     // (plain T-UC tiles, as the static scheme stores them).
@@ -134,10 +135,14 @@ pub fn run_gram_suc(
     let n_i = shape[0].div_ceil(si) as u64;
     let n_l = shape[0].div_ceil(sl) as u64;
     let mut traffic = TrafficCounter::new();
+    let mut phases = PhaseBreakdown::default();
     traffic.read("X", gx.total_data_bytes() * n_l);
     traffic.read("Y", gy.total_data_bytes() * n_i);
+    phases.load.bytes += gx.total_data_bytes() * n_l + gy.total_data_bytes() * n_i;
     let result = drt_kernels::gram::gram(x);
-    traffic.write("G", sm.cs_matrix_bytes(&result.g) as u64);
+    let g_bytes = sm.cs_matrix_bytes(&result.g) as u64;
+    traffic.write("G", g_bytes);
+    phases.writeback.bytes += g_bytes;
     let maccs = result.maccs;
     let seconds = hier.dram.seconds_for(traffic.total());
     let actions = ActionCounts { dram_bytes: traffic.total(), maccs, ..Default::default() };
@@ -152,6 +157,7 @@ pub fn run_gram_suc(
         tasks: n_i * n_l,
         skipped_tasks: 0,
         actions,
+        phases,
     })
 }
 
@@ -190,9 +196,11 @@ fn run_stream(
     mut stream: TaskStream<'_>,
     name: &str,
 ) -> Result<RunReport, CoreError> {
-    let sm = SizeModel::default();
+    let sm = cfg.size_model;
+    let probe = Probe::disabled();
     let counter = GramCounter::new(x);
     let mut traffic = TrafficCounter::new();
+    let mut phases = PhaseBreakdown::default();
     let mut zcache = OutputCache::new(cfg.partitions.get("G"));
     let mut maccs = 0u64;
     let mut last_ranges: BTreeMap<String, Vec<u32>> = BTreeMap::new();
@@ -209,6 +217,7 @@ fn run_stream(
             };
             if last_ranges.get(&tile.name) != Some(&ranges) {
                 traffic.read(&tile.name, tile.footprint());
+                phases.load.bytes += tile.footprint();
                 last_ranges.insert(tile.name.clone(), ranges);
             }
         }
@@ -218,10 +227,15 @@ fn run_stream(
         let charge = zcache.access(&key, sm.coo_bytes(out_pairs as usize, 2) as u64);
         traffic.write("G", charge.spill_writes);
         traffic.read("G", charge.refill_reads);
+        phases.merge.bytes += charge.spill_writes + charge.refill_reads;
     }
     let fin = zcache.finish();
     traffic.read("G", fin.merge_reads);
     traffic.write("G", fin.final_writes);
+    phases.writeback.bytes += fin.merge_reads + fin.final_writes;
+    for (phase, stats) in phases.named() {
+        probe.emit(|| Event::Phase { phase, cycles: stats.cycles, bytes: stats.bytes });
+    }
     let g = drt_kernels::gram::gram(x).g;
 
     let seconds = hier.dram.seconds_for(traffic.total());
@@ -237,6 +251,7 @@ fn run_stream(
         tasks: stream.emitted(),
         skipped_tasks: stream.skipped_empty(),
         actions,
+        phases,
     })
 }
 

@@ -7,6 +7,7 @@
 //! second-level benefit: one LLB-resident macro tile feeds many PE
 //! sub-tasks without re-touching DRAM.
 
+use crate::spec::PartitionPreset;
 use drt_core::config::DrtConfig;
 use drt_core::hier::TwoLevelStream;
 use drt_core::kernel::Kernel;
@@ -52,14 +53,9 @@ pub fn analyze_two_level(
     let kernel = Kernel::spmspm(a, b, micro)?;
     // LLB shares follow §5.2.4; PE buffers split A/B evenly as in
     // Figure 5's walkthrough (80 B / 80 B of a 160 B buffer).
-    let outer = DrtConfig::new(drt_core::config::Partitions::split(
-        hier.llb.capacity_bytes,
-        &[("A", 0.05), ("B", 0.45), ("Z", 0.5)],
-    ));
-    let inner = DrtConfig::new(drt_core::config::Partitions::split(
-        hier.pe_buffer.capacity_bytes,
-        &[("A", 0.4), ("B", 0.4), ("Z", 0.2)],
-    ));
+    let outer = DrtConfig::new(PartitionPreset::ExtensorPaper.partitions(hier.llb.capacity_bytes));
+    let inner =
+        DrtConfig::new(PartitionPreset::SoftwareLlc.partitions(hier.pe_buffer.capacity_bytes));
     let stream = TwoLevelStream::drt(&kernel, &['j', 'k', 'i'], outer, &['k', 'i', 'j'], inner)?;
     let noc = NocModel::default();
 

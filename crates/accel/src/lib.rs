@@ -20,6 +20,9 @@
 //! * [`taco`] — the TACO-like CPU baseline for the Gram kernel (Figure 9).
 //! * [`gram`] — ExTensor-OP(-DRT) running the 3-D Gram contraction.
 //! * [`sw`] — Study 3's software S-U-C/DRT memory-traffic oracle.
+//! * [`spec`] — declarative accelerator specs ([`spec::AccelSpec`]), the
+//!   §5.2.4 partition presets, and the name → variant [`spec::Registry`]
+//!   every bench driver selects machines through.
 //! * [`engine`] — the shared SpMSpM simulation engine: task streams from
 //!   `drt-core`, stationarity-aware input reuse, an LRU output-tile cache
 //!   for partial-sum spilling, intersection/PE cycle models, and functional
@@ -38,6 +41,7 @@ pub mod matraptor;
 pub mod outerspace;
 pub mod report;
 pub mod sparch;
+pub mod spec;
 pub mod sw;
 pub mod taco;
 pub mod zcache;

@@ -8,16 +8,15 @@
 //! resident. Tiling `B` (S-U-C or DRT) is what restores its input reuse.
 //! Study 2 idealizes on-chip behaviour: DRAM-bound runtimes.
 
-use crate::engine::{run_spmspm, run_spmspm_best_suc, EngineConfig, Tiling};
-use crate::report::RunReport;
-use drt_core::config::{DrtConfig, Partitions};
+use crate::report::{PhaseBreakdown, RunReport};
+use crate::spec::{AccelSpec, RunCtx};
+use drt_core::probe::{Event, Probe};
 use drt_core::CoreError;
 use drt_sim::energy::ActionCounts;
 use drt_sim::memory::HierarchySpec;
 use drt_sim::traffic::TrafficCounter;
 use drt_tensor::format::SizeModel;
 use drt_tensor::{CsMatrix, MajorAxis};
-use std::collections::BTreeMap;
 
 /// Untiled MatRaptor: `A` and `Z` once; `B` row `k` re-streamed per
 /// touching `A` non-zero, except rows still resident in the (small) B
@@ -28,12 +27,29 @@ use std::collections::BTreeMap;
 ///
 /// Panics when inner dimensions disagree.
 pub fn run_untiled(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> RunReport {
-    let sm = SizeModel::default();
+    run_untiled_with(a, b, hier, &SizeModel::default(), &Probe::disabled())
+}
+
+/// [`run_untiled`] with an explicit size model and instrumentation probe.
+///
+/// # Panics
+///
+/// Panics when inner dimensions disagree.
+pub fn run_untiled_with(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    hier: &HierarchySpec,
+    sm: &SizeModel,
+    probe: &Probe,
+) -> RunReport {
     let a_rows = a.to_major(MajorAxis::Row);
     let b_rows = b.to_major(MajorAxis::Row);
     let prod = drt_kernels::spmspm::gustavson(&a_rows, &b_rows);
     let mut traffic = TrafficCounter::new();
-    traffic.read("A", sm.cs_matrix_bytes(&a_rows) as u64);
+    let mut phases = PhaseBreakdown::default();
+    let a_bytes = sm.cs_matrix_bytes(&a_rows) as u64;
+    traffic.read("A", a_bytes);
+    probe.emit(|| Event::Fetch { tensor: "A", bytes: a_bytes });
     // Row-wise streaming: each A non-zero pulls B's row k. Within one A
     // row the PE holds fetched B rows, but across A rows nothing persists
     // (the paper's "poor reuse on B").
@@ -48,8 +64,16 @@ pub fn run_untiled(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> RunRepor
             b_bytes += row_bytes(k);
         }
     }
-    traffic.read("B", b_bytes + b_rows.seg().len() as u64 * sm.seg_bytes as u64);
-    traffic.write("Z", sm.cs_matrix_bytes(&prod.z) as u64);
+    let b_total = b_bytes + b_rows.seg().len() as u64 * sm.seg_bytes as u64;
+    traffic.read("B", b_total);
+    probe.emit(|| Event::Fetch { tensor: "B", bytes: b_total });
+    phases.load.bytes += a_bytes + b_total;
+    let z_bytes = sm.cs_matrix_bytes(&prod.z) as u64;
+    traffic.write("Z", z_bytes);
+    phases.writeback.bytes += z_bytes;
+    for (phase, stats) in phases.named() {
+        probe.emit(|| Event::Phase { phase, cycles: stats.cycles, bytes: stats.bytes });
+    }
     let seconds = hier.dram.seconds_for(traffic.total());
     let actions =
         ActionCounts { dram_bytes: traffic.total(), maccs: prod.maccs, ..Default::default() };
@@ -64,18 +88,7 @@ pub fn run_untiled(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> RunRepor
         tasks: a_rows.nrows() as u64,
         skipped_tasks: 0,
         actions,
-    }
-}
-
-fn base(name: &str, tiling: Tiling, hier: &HierarchySpec) -> EngineConfig {
-    // Row-wise dataflow: A row-chunk stationary, K middle, J inner; the
-    // output row band stays resident (Gustavson's partial reuse on Z).
-    let parts = Partitions::split(hier.llb.capacity_bytes, &[("A", 0.2), ("B", 0.5), ("Z", 0.3)]);
-    EngineConfig {
-        loop_order: vec!['i', 'k', 'j'],
-        hier: *hier,
-        ideal_on_chip: true,
-        ..EngineConfig::new(name, tiling, DrtConfig::new(parts))
+        phases,
     }
 }
 
@@ -85,14 +98,7 @@ fn base(name: &str, tiling: Tiling, hier: &HierarchySpec) -> EngineConfig {
 ///
 /// Propagates engine/tiling configuration errors.
 pub fn run_suc(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> Result<RunReport, CoreError> {
-    let mut r = run_spmspm_best_suc(
-        a,
-        b,
-        &base("MatRaptor-SUC", Tiling::Suc(BTreeMap::new()), hier),
-        crate::extensor::SUC_SWEEP_CANDIDATES,
-    )?;
-    r.name = "MatRaptor-SUC".into();
-    Ok(r)
+    AccelSpec::matraptor_suc().run(a, b, &RunCtx::new(hier))
 }
 
 /// MatRaptor with DRT tiling.
@@ -101,7 +107,7 @@ pub fn run_suc(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> Result<RunRe
 ///
 /// Propagates engine/tiling configuration errors.
 pub fn run_drt(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> Result<RunReport, CoreError> {
-    run_spmspm(a, b, &base("MatRaptor-DRT", Tiling::Drt, hier))
+    AccelSpec::matraptor_drt().run(a, b, &RunCtx::new(hier))
 }
 
 #[cfg(test)]

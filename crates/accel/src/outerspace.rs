@@ -10,16 +10,15 @@
 //! from. Study 2 idealizes on-chip behaviour: all variants report
 //! DRAM-bound runtime.
 
-use crate::engine::{run_spmspm, run_spmspm_best_suc, EngineConfig, Tiling};
-use crate::report::RunReport;
-use drt_core::config::{DrtConfig, Partitions};
+use crate::report::{PhaseBreakdown, RunReport};
+use crate::spec::{AccelSpec, RunCtx};
+use drt_core::probe::{Event, Probe};
 use drt_core::CoreError;
 use drt_sim::energy::ActionCounts;
 use drt_sim::memory::HierarchySpec;
 use drt_sim::traffic::TrafficCounter;
 use drt_tensor::format::SizeModel;
 use drt_tensor::CsMatrix;
-use std::collections::BTreeMap;
 
 /// Untiled OuterSPACE: inputs once, all partial products spilled and
 /// re-read, final output written once.
@@ -28,17 +27,45 @@ use std::collections::BTreeMap;
 ///
 /// Panics when inner dimensions disagree.
 pub fn run_untiled(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> RunReport {
-    let sm = SizeModel::default();
+    run_untiled_with(a, b, hier, &SizeModel::default(), &Probe::disabled())
+}
+
+/// [`run_untiled`] with an explicit size model and instrumentation probe.
+///
+/// # Panics
+///
+/// Panics when inner dimensions disagree.
+pub fn run_untiled_with(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    hier: &HierarchySpec,
+    sm: &SizeModel,
+    probe: &Probe,
+) -> RunReport {
     let prod = drt_kernels::spmspm::outer_product(a, b);
     let mut traffic = TrafficCounter::new();
-    traffic.read("A", sm.cs_matrix_bytes(a) as u64);
-    traffic.read("B", sm.cs_matrix_bytes(b) as u64);
+    let mut phases = PhaseBreakdown::default();
+    let a_bytes = sm.cs_matrix_bytes(a) as u64;
+    let b_bytes = sm.cs_matrix_bytes(b) as u64;
+    traffic.read("A", a_bytes);
+    traffic.read("B", b_bytes);
+    phases.load.bytes += a_bytes + b_bytes;
+    probe.emit(|| Event::Fetch { tensor: "A", bytes: a_bytes });
+    probe.emit(|| Event::Fetch { tensor: "B", bytes: b_bytes });
     // Multiply phase writes every partial product (COO-like linked lists);
     // merge phase reads them all back and writes the final result.
     let partial_bytes = sm.coo_bytes(prod.partial_products as usize, 2) as u64;
     traffic.write("Z", partial_bytes);
     traffic.read("Z", partial_bytes);
-    traffic.write("Z", sm.cs_matrix_bytes(&prod.z) as u64);
+    phases.merge.bytes += 2 * partial_bytes;
+    probe.emit(|| Event::Spill { bytes: partial_bytes });
+    probe.emit(|| Event::Refill { bytes: partial_bytes });
+    let final_bytes = sm.cs_matrix_bytes(&prod.z) as u64;
+    traffic.write("Z", final_bytes);
+    phases.writeback.bytes += final_bytes;
+    for (phase, stats) in phases.named() {
+        probe.emit(|| Event::Phase { phase, cycles: stats.cycles, bytes: stats.bytes });
+    }
     let seconds = hier.dram.seconds_for(traffic.total());
     let actions =
         ActionCounts { dram_bytes: traffic.total(), maccs: prod.maccs, ..Default::default() };
@@ -53,22 +80,7 @@ pub fn run_untiled(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> RunRepor
         tasks: 1,
         skipped_tasks: 0,
         actions,
-    }
-}
-
-fn partitions(hier: &HierarchySpec) -> Partitions {
-    // Outer-product tiling favors the output working set.
-    Partitions::split(hier.llb.capacity_bytes, &[("A", 0.2), ("B", 0.2), ("Z", 0.6)])
-}
-
-fn base(name: &str, tiling: Tiling, hier: &HierarchySpec) -> EngineConfig {
-    EngineConfig {
-        // Outer-product dataflow: the contracted rank is the outer loop;
-        // the A column chunk is the stationary tensor.
-        loop_order: vec!['k', 'i', 'j'],
-        hier: *hier,
-        ideal_on_chip: true,
-        ..EngineConfig::new(name, tiling, DrtConfig::new(partitions(hier)))
+        phases,
     }
 }
 
@@ -78,14 +90,7 @@ fn base(name: &str, tiling: Tiling, hier: &HierarchySpec) -> EngineConfig {
 ///
 /// Propagates engine/tiling configuration errors.
 pub fn run_suc(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> Result<RunReport, CoreError> {
-    let mut r = run_spmspm_best_suc(
-        a,
-        b,
-        &base("OuterSPACE-SUC", Tiling::Suc(BTreeMap::new()), hier),
-        crate::extensor::SUC_SWEEP_CANDIDATES,
-    )?;
-    r.name = "OuterSPACE-SUC".into();
-    Ok(r)
+    AccelSpec::outerspace_suc().run(a, b, &RunCtx::new(hier))
 }
 
 /// OuterSPACE with DRT tiling.
@@ -94,7 +99,7 @@ pub fn run_suc(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> Result<RunRe
 ///
 /// Propagates engine/tiling configuration errors.
 pub fn run_drt(a: &CsMatrix, b: &CsMatrix, hier: &HierarchySpec) -> Result<RunReport, CoreError> {
-    run_spmspm(a, b, &base("OuterSPACE-DRT", Tiling::Drt, hier))
+    AccelSpec::outerspace_drt().run(a, b, &RunCtx::new(hier))
 }
 
 #[cfg(test)]

@@ -5,6 +5,76 @@ use drt_sim::memory::HierarchySpec;
 use drt_sim::traffic::TrafficCounter;
 use drt_tensor::CsMatrix;
 
+/// Byte and cycle totals attributed to one pipeline phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// DRAM bytes moved by the phase.
+    pub bytes: u64,
+    /// Cycles attributed to the phase (pre-overlap; phases overlap on
+    /// real hardware, so these sum to more than the critical path).
+    pub cycles: u64,
+}
+
+impl PhaseStats {
+    /// Accumulate another phase's totals (used when merging sub-runs).
+    pub fn add(&mut self, other: PhaseStats) {
+        self.bytes += other.bytes;
+        self.cycles += other.cycles;
+    }
+}
+
+/// Per-phase breakdown of a run through the shared accelerator pipeline:
+/// load → extract → intersect/compute → merge → writeback.
+///
+/// Analytic (untiled) models fill these coarsely — e.g. all input traffic
+/// under `load`, all partial-product traffic under `merge` — so the same
+/// report fields are comparable across every registered variant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Input-tile fetches from the level above.
+    pub load: PhaseStats,
+    /// Tile-extraction work (DRT's Aggregate/Build/Distribute; zero for
+    /// static tilings).
+    pub extract: PhaseStats,
+    /// Intersection + multiply work on the PEs.
+    pub compute: PhaseStats,
+    /// Partial-output merging, including output-cache spills and refills.
+    pub merge: PhaseStats,
+    /// Final compressed-output writeback.
+    pub writeback: PhaseStats,
+}
+
+impl PhaseBreakdown {
+    /// Sum of bytes across all phases.
+    pub fn total_bytes(&self) -> u64 {
+        self.load.bytes
+            + self.extract.bytes
+            + self.compute.bytes
+            + self.merge.bytes
+            + self.writeback.bytes
+    }
+
+    /// Accumulate another breakdown phase-by-phase.
+    pub fn add(&mut self, other: &PhaseBreakdown) {
+        self.load.add(other.load);
+        self.extract.add(other.extract);
+        self.compute.add(other.compute);
+        self.merge.add(other.merge);
+        self.writeback.add(other.writeback);
+    }
+
+    /// The phases as `(name, stats)` rows, pipeline order.
+    pub fn named(&self) -> [(&'static str, PhaseStats); 5] {
+        [
+            ("load", self.load),
+            ("extract", self.extract),
+            ("compute", self.compute),
+            ("merge", self.merge),
+            ("writeback", self.writeback),
+        ]
+    }
+}
+
 /// The outcome of simulating one workload on one accelerator
 /// configuration.
 #[derive(Debug, Clone)]
@@ -30,6 +100,8 @@ pub struct RunReport {
     pub skipped_tasks: u64,
     /// Action counts for energy estimation.
     pub actions: ActionCounts,
+    /// Per-phase byte/cycle breakdown of the pipeline.
+    pub phases: PhaseBreakdown,
 }
 
 impl RunReport {
@@ -71,6 +143,7 @@ mod tests {
             tasks: 1,
             skipped_tasks: 0,
             actions: ActionCounts::default(),
+            phases: PhaseBreakdown::default(),
         }
     }
 

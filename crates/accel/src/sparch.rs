@@ -9,7 +9,8 @@
 //! This sits between OuterSPACE's write-all-read-all and a tiled design's
 //! on-chip reduction, which is exactly Table 2's placement.
 
-use crate::report::RunReport;
+use crate::report::{PhaseBreakdown, RunReport};
+use drt_core::probe::{Event, Probe};
 use drt_sim::energy::ActionCounts;
 use drt_sim::memory::HierarchySpec;
 use drt_sim::traffic::TrafficCounter;
@@ -29,12 +30,34 @@ pub fn run_sparch_like(
     hier: &HierarchySpec,
     merge_ways: u32,
 ) -> RunReport {
+    run_sparch_like_with(a, b, hier, merge_ways, &SizeModel::default(), &Probe::disabled())
+}
+
+/// [`run_sparch_like`] with an explicit size model and instrumentation
+/// probe.
+///
+/// # Panics
+///
+/// Panics when inner dimensions disagree or `merge_ways < 2`.
+pub fn run_sparch_like_with(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    hier: &HierarchySpec,
+    merge_ways: u32,
+    sm: &SizeModel,
+    probe: &Probe,
+) -> RunReport {
     assert!(merge_ways >= 2, "merge tree needs fan-in of at least 2");
-    let sm = SizeModel::default();
     let prod = drt_kernels::spmspm::outer_product(a, b);
     let mut traffic = TrafficCounter::new();
-    traffic.read("A", sm.cs_matrix_bytes(a) as u64);
-    traffic.read("B", sm.cs_matrix_bytes(b) as u64);
+    let mut phases = PhaseBreakdown::default();
+    let a_bytes = sm.cs_matrix_bytes(a) as u64;
+    let b_bytes = sm.cs_matrix_bytes(b) as u64;
+    traffic.read("A", a_bytes);
+    traffic.read("B", b_bytes);
+    phases.load.bytes += a_bytes + b_bytes;
+    probe.emit(|| Event::Fetch { tensor: "A", bytes: a_bytes });
+    probe.emit(|| Event::Fetch { tensor: "B", bytes: b_bytes });
     // Partial matrices: one per S-N-P chunk (a buffer's worth of partial
     // products). The merge tree combines `merge_ways` per pass.
     let partial_bytes = sm.coo_bytes(prod.partial_products as usize, 2) as u64;
@@ -46,15 +69,25 @@ pub fn run_sparch_like(
     // shrinking stream (bounded below by the final output footprint).
     let final_bytes = sm.cs_matrix_bytes(&prod.z) as u64;
     traffic.write("Z", partial_bytes);
+    phases.merge.bytes += partial_bytes;
+    probe.emit(|| Event::Spill { bytes: partial_bytes });
     for _ in 0..merge_passes {
-        traffic.read("Z", partial_bytes.max(final_bytes));
-        traffic.write("Z", partial_bytes.max(final_bytes));
+        let pass = partial_bytes.max(final_bytes);
+        traffic.read("Z", pass);
+        traffic.write("Z", pass);
+        phases.merge.bytes += 2 * pass;
+        probe.emit(|| Event::Refill { bytes: pass });
+        probe.emit(|| Event::Spill { bytes: pass });
     }
     if merge_passes == 0 {
         // Everything merged on chip: rewrite as the final form.
         traffic.read("Z", 0);
     }
     traffic.write("Z", final_bytes);
+    phases.writeback.bytes += final_bytes;
+    for (phase, stats) in phases.named() {
+        probe.emit(|| Event::Phase { phase, cycles: stats.cycles, bytes: stats.bytes });
+    }
 
     let seconds = hier.dram.seconds_for(traffic.total());
     let actions =
@@ -70,6 +103,7 @@ pub fn run_sparch_like(
         tasks: chunks,
         skipped_tasks: 0,
         actions,
+        phases,
     }
 }
 

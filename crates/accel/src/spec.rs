@@ -1,0 +1,614 @@
+//! Declarative accelerator specifications and the variant registry.
+//!
+//! Every machine the paper evaluates is described by an [`AccelSpec`]: a
+//! name, a [`SpecKind`] (either a configuration of the shared simulation
+//! [`crate::engine`] or one of the closed-form analytic models), and a
+//! byte-accounting [`SizeModel`]. [`Registry::standard`] maps stable
+//! variant names (`"extensor-op-drt"`, `"outerspace"`, …) to specs so
+//! bench drivers and tests can select machines by name instead of
+//! hard-wiring per-module `run_*` calls; those `run_*` entry points are
+//! now thin wrappers over [`AccelSpec::run`].
+//!
+//! The spec layer is also where the paper's static buffer-partition
+//! tables live ([`PartitionPreset`], §5.2.4 / §6.6) — previously each
+//! accelerator module carried its own `Partitions::split` literal.
+
+use crate::cpu::{run_mkl_like_with, CpuSpec};
+use crate::engine::{run_spmspm_best_suc_with_shape, run_spmspm_probed, EngineConfig, Tiling};
+use crate::report::RunReport;
+use drt_core::config::{DrtConfig, GrowthOrder, Partitions};
+use drt_core::extractor::ExtractorModel;
+use drt_core::micro::MicroFormat;
+use drt_core::probe::Probe;
+use drt_core::{CoreError, RankId};
+use drt_sim::intersect_unit::IntersectUnit;
+use drt_sim::memory::{BufferSpec, HierarchySpec};
+use drt_tensor::format::SizeModel;
+use drt_tensor::CsMatrix;
+use std::collections::BTreeMap;
+
+/// Named static buffer-partition tables (paper §5.2.4: every on-chip
+/// buffer is statically split across tensors; §6.6 / Figure 14 sweep the
+/// shares). Each accelerator family references a preset instead of
+/// carrying its own share literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionPreset {
+    /// The ExTensor paper's LLB split: a small A partition, B around
+    /// 45%, half for output partials (§6.6, Figure 14's baseline).
+    ExtensorPaper,
+    /// Outer-product designs (OuterSPACE): favor the output working set.
+    OuterProduct,
+    /// Row-wise Gustavson designs (MatRaptor): B dominates, the output
+    /// row band stays modest.
+    RowWise,
+    /// The software study's LLC split: inputs evenly, inner-product
+    /// dataflow keeps the output resident (§6.3).
+    SoftwareLlc,
+    /// The 3-tensor Gram contraction: both operand views plus the G
+    /// output partials.
+    Gram3,
+    /// A balanced split used by engine-level unit tests.
+    Balanced,
+}
+
+impl PartitionPreset {
+    /// The preset's fractional shares, `(tensor, share)` pairs.
+    pub fn shares(self) -> &'static [(&'static str, f64)] {
+        match self {
+            PartitionPreset::ExtensorPaper => &[("A", 0.05), ("B", 0.45), ("Z", 0.5)],
+            PartitionPreset::OuterProduct => &[("A", 0.2), ("B", 0.2), ("Z", 0.6)],
+            PartitionPreset::RowWise => &[("A", 0.2), ("B", 0.5), ("Z", 0.3)],
+            PartitionPreset::SoftwareLlc => &[("A", 0.4), ("B", 0.4), ("Z", 0.2)],
+            PartitionPreset::Gram3 => &[("X", 0.3), ("Y", 0.3), ("G", 0.4)],
+            PartitionPreset::Balanced => &[("A", 0.25), ("B", 0.45), ("Z", 0.3)],
+        }
+    }
+
+    /// Split a buffer capacity by this preset's shares.
+    pub fn partitions(self, total_bytes: u64) -> Partitions {
+        Partitions::split(total_bytes, self.shares())
+    }
+}
+
+/// Tiling scheme selected by a spec — the engine's [`Tiling`] plus the
+/// offline S-U-C shape sweep the paper grants static baselines (§5.2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TilingSpec {
+    /// Dynamic reflexive tiling.
+    Drt,
+    /// Best-of-N swept static uniform coordinate shapes.
+    SucSweep {
+        /// Candidate shapes tried per workload.
+        candidates: usize,
+    },
+    /// A fixed (already swept) static shape, coordinates per rank.
+    SucFixed(BTreeMap<RankId, u32>),
+}
+
+/// Declarative configuration of an engine-simulated variant. Resolved
+/// against a [`RunCtx`]'s hierarchy into an [`EngineConfig`] by
+/// [`AccelSpec::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSpec {
+    /// Report label (the paper's machine name, e.g. `"ExTensor-OP-DRT"`).
+    pub display: String,
+    /// Dataflow loop order, outermost first.
+    pub loop_order: Vec<RankId>,
+    /// Tiling scheme.
+    pub tiling: TilingSpec,
+    /// Buffer-partition preset, applied to the LLB capacity.
+    pub partitions: PartitionPreset,
+    /// Micro-tile shape (paper default 32 × 32, §5.2.4).
+    pub micro: (u32, u32),
+    /// Micro-tile representation.
+    pub micro_format: MicroFormat,
+    /// PE intersection unit.
+    pub intersect: IntersectUnit,
+    /// Merge lanes for combining partial outputs on chip.
+    pub merge_lanes: u32,
+    /// Tile-extractor model (ignored for S-U-C).
+    pub extractor: ExtractorModel,
+    /// When `true`, runtime is DRAM-bound only (Study 2 idealization).
+    pub ideal_on_chip: bool,
+    /// Dimension-growth strategy for DRT.
+    pub growth: GrowthOrder,
+    /// Halve the micro shape until the capacity preflight passes
+    /// (configuration-time micro-shape adjustment, §5.2.4).
+    pub adapt_micro: bool,
+    /// Derive the hierarchy from the context's CPU (LLC-sized LLB) —
+    /// the software study runs on the CPU's memory system (§5.2.3).
+    pub hier_from_cpu: bool,
+}
+
+impl EngineSpec {
+    /// A spec with the engine's defaults around the given dataflow.
+    pub fn new(
+        display: impl Into<String>,
+        loop_order: &[RankId],
+        tiling: TilingSpec,
+        partitions: PartitionPreset,
+    ) -> EngineSpec {
+        EngineSpec {
+            display: display.into(),
+            loop_order: loop_order.to_vec(),
+            tiling,
+            partitions,
+            micro: (32, 32),
+            micro_format: MicroFormat::default(),
+            intersect: IntersectUnit::SkipBased,
+            merge_lanes: 1,
+            extractor: ExtractorModel::parallel(),
+            ideal_on_chip: false,
+            growth: GrowthOrder::default(),
+            adapt_micro: false,
+            hier_from_cpu: false,
+        }
+    }
+}
+
+/// What kind of model a spec resolves to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecKind {
+    /// The shared task-stream simulation engine.
+    Engine(EngineSpec),
+    /// Untiled OuterSPACE's closed-form traffic model.
+    OuterSpaceUntiled,
+    /// Untiled MatRaptor's closed-form traffic model.
+    MatRaptorUntiled,
+    /// The GAMMA-like FiberCache model.
+    GammaLike,
+    /// The SpArch-like merge-tree model.
+    SpArchLike {
+        /// Merge-tree fan-in (SpArch uses a 64-way tree).
+        merge_ways: u32,
+    },
+    /// The MKL-like CPU roofline (uses the context's [`CpuSpec`]).
+    CpuRoofline,
+}
+
+/// One registered accelerator variant: everything needed to run it on a
+/// workload given a [`RunCtx`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelSpec {
+    /// Stable registry name (lower-case, hyphenated).
+    pub name: String,
+    /// The model this spec resolves to.
+    pub kind: SpecKind,
+    /// Byte-accounting parameters used for every footprint and traffic
+    /// measurement under this spec.
+    pub size_model: SizeModel,
+}
+
+/// Shared run context: the memory hierarchy for accelerator models, the
+/// CPU for roofline/software variants, and the instrumentation probe.
+#[derive(Debug, Clone)]
+pub struct RunCtx {
+    /// Accelerator memory hierarchy (LLB capacity sizes partitions).
+    pub hier: HierarchySpec,
+    /// CPU parameters for `cpu-mkl` and the `sw-*` variants.
+    pub cpu: CpuSpec,
+    /// Instrumentation probe threaded through taskgen and the engine.
+    pub probe: Probe,
+}
+
+impl Default for RunCtx {
+    fn default() -> RunCtx {
+        RunCtx { hier: HierarchySpec::default(), cpu: CpuSpec::default(), probe: Probe::disabled() }
+    }
+}
+
+impl RunCtx {
+    /// A context around the given hierarchy, default CPU, no probe.
+    pub fn new(hier: &HierarchySpec) -> RunCtx {
+        RunCtx { hier: *hier, ..RunCtx::default() }
+    }
+
+    /// Builder-style: set the CPU spec.
+    pub fn with_cpu(mut self, cpu: CpuSpec) -> RunCtx {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Builder-style: attach an instrumentation probe.
+    pub fn with_probe(mut self, probe: Probe) -> RunCtx {
+        self.probe = probe;
+        self
+    }
+}
+
+/// The hierarchy the software study runs on: an LLB the size of the
+/// CPU's LLC in front of the CPU's DRAM (§5.2.3).
+pub fn llc_hierarchy(spec: &CpuSpec) -> HierarchySpec {
+    HierarchySpec {
+        llb: BufferSpec { capacity_bytes: spec.llc_bytes, ports: 2 },
+        dram: drt_sim::memory::DramModel {
+            bandwidth_bytes_per_sec: spec.bandwidth_bytes_per_sec,
+            burst_bytes: 64,
+        },
+        ..HierarchySpec::default()
+    }
+}
+
+impl AccelSpec {
+    /// Run this variant on `Z = A · B`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine/tiling configuration errors; analytic models are
+    /// infallible and always return `Ok`.
+    pub fn run(&self, a: &CsMatrix, b: &CsMatrix, ctx: &RunCtx) -> Result<RunReport, CoreError> {
+        match &self.kind {
+            SpecKind::Engine(es) => self.run_engine(es, a, b, ctx),
+            SpecKind::OuterSpaceUntiled => Ok(crate::outerspace::run_untiled_with(
+                a,
+                b,
+                &ctx.hier,
+                &self.size_model,
+                &ctx.probe,
+            )),
+            SpecKind::MatRaptorUntiled => Ok(crate::matraptor::run_untiled_with(
+                a,
+                b,
+                &ctx.hier,
+                &self.size_model,
+                &ctx.probe,
+            )),
+            SpecKind::GammaLike => {
+                Ok(crate::gamma::run_gamma_like_with(a, b, &ctx.hier, &self.size_model, &ctx.probe))
+            }
+            SpecKind::SpArchLike { merge_ways } => Ok(crate::sparch::run_sparch_like_with(
+                a,
+                b,
+                &ctx.hier,
+                *merge_ways,
+                &self.size_model,
+                &ctx.probe,
+            )),
+            SpecKind::CpuRoofline => {
+                Ok(run_mkl_like_with(a, b, &ctx.cpu, &self.size_model, &ctx.probe))
+            }
+        }
+    }
+
+    /// Resolve an [`EngineSpec`] against a hierarchy into the engine's
+    /// concrete configuration. Public so design-space sweeps can start
+    /// from a registered spec and perturb one knob.
+    pub fn engine_config(&self, es: &EngineSpec, hier: &HierarchySpec) -> EngineConfig {
+        let drt = DrtConfig::new(es.partitions.partitions(hier.llb.capacity_bytes))
+            .with_growth(es.growth)
+            .with_size_model(self.size_model);
+        let tiling = match &es.tiling {
+            TilingSpec::Drt => Tiling::Drt,
+            TilingSpec::SucSweep { .. } => Tiling::Suc(BTreeMap::new()),
+            TilingSpec::SucFixed(sizes) => Tiling::Suc(sizes.clone()),
+        };
+        EngineConfig {
+            name: es.display.clone(),
+            loop_order: es.loop_order.clone(),
+            tiling,
+            drt,
+            micro: es.micro,
+            micro_format: es.micro_format,
+            intersect: es.intersect,
+            merge_lanes: es.merge_lanes,
+            hier: *hier,
+            extractor: es.extractor,
+            ideal_on_chip: es.ideal_on_chip,
+        }
+    }
+
+    fn run_engine(
+        &self,
+        es: &EngineSpec,
+        a: &CsMatrix,
+        b: &CsMatrix,
+        ctx: &RunCtx,
+    ) -> Result<RunReport, CoreError> {
+        let hier = if es.hier_from_cpu { llc_hierarchy(&ctx.cpu) } else { ctx.hier };
+        let mut cfg = self.engine_config(es, &hier);
+        match &es.tiling {
+            TilingSpec::SucSweep { candidates } => {
+                let (report, shape) = run_spmspm_best_suc_with_shape(a, b, &cfg, *candidates)?;
+                if !ctx.probe.is_enabled() {
+                    return Ok(report);
+                }
+                // Re-run the winning shape with the probe attached so the
+                // trace reflects the reported run (the sweep itself is an
+                // offline search the paper doesn't charge, §5.2.1). The
+                // sweep quantizes the kernel's micro shape the same way.
+                let q = shape.values().copied().min().unwrap_or(32).clamp(1, 32);
+                cfg.micro = (q, q);
+                cfg.tiling = Tiling::Suc(shape);
+                run_spmspm_probed(a, b, &cfg, &ctx.probe)
+            }
+            TilingSpec::Drt if es.adapt_micro => {
+                // Configuration-time micro-shape adjustment (§5.2.4): when
+                // a partition cannot hold even one dense micro tile —
+                // possible at scaled-down buffer sizes — halve the shape
+                // until the preflight passes.
+                let mut last =
+                    Err(CoreError::BadConfig { detail: "no feasible micro shape".into() });
+                let mut m = cfg.micro.0.max(cfg.micro.1);
+                while m >= 2 {
+                    cfg.micro = (m, m);
+                    last = run_spmspm_probed(a, b, &cfg, &ctx.probe);
+                    match &last {
+                        Err(CoreError::TileTooLarge { .. }) => m /= 2,
+                        _ => return last,
+                    }
+                }
+                last
+            }
+            _ => run_spmspm_probed(a, b, &cfg, &ctx.probe),
+        }
+    }
+
+    // ---- standard variants ------------------------------------------------
+
+    fn engine_spec(name: &str, es: EngineSpec) -> AccelSpec {
+        AccelSpec {
+            name: name.into(),
+            kind: SpecKind::Engine(es),
+            size_model: SizeModel::default(),
+        }
+    }
+
+    fn analytic(name: &str, kind: SpecKind) -> AccelSpec {
+        AccelSpec { name: name.into(), kind, size_model: SizeModel::default() }
+    }
+
+    /// Original ExTensor: best-swept S-U-C, serial skip intersection.
+    pub fn extensor() -> AccelSpec {
+        let mut es = EngineSpec::new(
+            "ExTensor",
+            &['j', 'k', 'i'],
+            TilingSpec::SucSweep { candidates: crate::extensor::SUC_SWEEP_CANDIDATES },
+            PartitionPreset::ExtensorPaper,
+        );
+        es.intersect = IntersectUnit::SkipBased;
+        es.merge_lanes = 1;
+        AccelSpec::engine_spec("extensor", es)
+    }
+
+    /// ExTensor-OP: parallel intersection, multiply-and-merge.
+    pub fn extensor_op() -> AccelSpec {
+        let mut es = EngineSpec::new(
+            "ExTensor-OP",
+            &['j', 'k', 'i'],
+            TilingSpec::SucSweep { candidates: crate::extensor::SUC_SWEEP_CANDIDATES },
+            PartitionPreset::ExtensorPaper,
+        );
+        es.intersect = IntersectUnit::Parallel(32);
+        es.merge_lanes = 16;
+        AccelSpec::engine_spec("extensor-op", es)
+    }
+
+    /// ExTensor-OP-DRT (TACTile): ExTensor-OP with DRT tile extraction.
+    pub fn extensor_op_drt() -> AccelSpec {
+        let mut es = EngineSpec::new(
+            "ExTensor-OP-DRT",
+            &['j', 'k', 'i'],
+            TilingSpec::Drt,
+            PartitionPreset::ExtensorPaper,
+        );
+        es.intersect = IntersectUnit::Parallel(32);
+        es.merge_lanes = 16;
+        es.adapt_micro = true;
+        AccelSpec::engine_spec("extensor-op-drt", es)
+    }
+
+    /// Untiled OuterSPACE.
+    pub fn outerspace() -> AccelSpec {
+        AccelSpec::analytic("outerspace", SpecKind::OuterSpaceUntiled)
+    }
+
+    /// OuterSPACE with best-swept S-U-C tiling.
+    pub fn outerspace_suc() -> AccelSpec {
+        let mut es = EngineSpec::new(
+            "OuterSPACE-SUC",
+            &['k', 'i', 'j'],
+            TilingSpec::SucSweep { candidates: crate::extensor::SUC_SWEEP_CANDIDATES },
+            PartitionPreset::OuterProduct,
+        );
+        es.ideal_on_chip = true;
+        AccelSpec::engine_spec("outerspace-suc", es)
+    }
+
+    /// OuterSPACE with DRT tiling.
+    pub fn outerspace_drt() -> AccelSpec {
+        let mut es = EngineSpec::new(
+            "OuterSPACE-DRT",
+            &['k', 'i', 'j'],
+            TilingSpec::Drt,
+            PartitionPreset::OuterProduct,
+        );
+        es.ideal_on_chip = true;
+        AccelSpec::engine_spec("outerspace-drt", es)
+    }
+
+    /// Untiled MatRaptor.
+    pub fn matraptor() -> AccelSpec {
+        AccelSpec::analytic("matraptor", SpecKind::MatRaptorUntiled)
+    }
+
+    /// MatRaptor with best-swept S-U-C tiling.
+    pub fn matraptor_suc() -> AccelSpec {
+        let mut es = EngineSpec::new(
+            "MatRaptor-SUC",
+            &['i', 'k', 'j'],
+            TilingSpec::SucSweep { candidates: crate::extensor::SUC_SWEEP_CANDIDATES },
+            PartitionPreset::RowWise,
+        );
+        es.ideal_on_chip = true;
+        AccelSpec::engine_spec("matraptor-suc", es)
+    }
+
+    /// MatRaptor with DRT tiling.
+    pub fn matraptor_drt() -> AccelSpec {
+        let mut es = EngineSpec::new(
+            "MatRaptor-DRT",
+            &['i', 'k', 'j'],
+            TilingSpec::Drt,
+            PartitionPreset::RowWise,
+        );
+        es.ideal_on_chip = true;
+        AccelSpec::engine_spec("matraptor-drt", es)
+    }
+
+    /// The GAMMA-like FiberCache design.
+    pub fn gamma() -> AccelSpec {
+        AccelSpec::analytic("gamma", SpecKind::GammaLike)
+    }
+
+    /// The SpArch-like merge-tree design (64-way).
+    pub fn sparch() -> AccelSpec {
+        AccelSpec::analytic("sparch", SpecKind::SpArchLike { merge_ways: 64 })
+    }
+
+    /// The MKL-like CPU roofline baseline.
+    pub fn cpu_mkl() -> AccelSpec {
+        AccelSpec::analytic("cpu-mkl", SpecKind::CpuRoofline)
+    }
+
+    /// Software S-U-C on the CPU's memory system (Study 3), with the
+    /// given static tile size and micro shape.
+    pub fn sw_suc(suc_tile: u32, micro: (u32, u32)) -> AccelSpec {
+        let sizes = BTreeMap::from([('i', suc_tile), ('k', suc_tile), ('j', suc_tile)]);
+        let mut es = EngineSpec::new(
+            "SW-SUC",
+            &['i', 'j', 'k'],
+            TilingSpec::SucFixed(sizes),
+            PartitionPreset::SoftwareLlc,
+        );
+        es.micro = micro;
+        es.micro_format = MicroFormat::Uc;
+        es.ideal_on_chip = true;
+        es.growth = GrowthOrder::Alternating;
+        es.hier_from_cpu = true;
+        AccelSpec::engine_spec("sw-suc", es)
+    }
+
+    /// Software DRT (alternating growth) on the CPU's memory system.
+    pub fn sw_dnc(micro: (u32, u32)) -> AccelSpec {
+        let mut es = EngineSpec::new(
+            "SW-DNC",
+            &['i', 'j', 'k'],
+            TilingSpec::Drt,
+            PartitionPreset::SoftwareLlc,
+        );
+        es.micro = micro;
+        es.micro_format = MicroFormat::Uc;
+        es.ideal_on_chip = true;
+        es.growth = GrowthOrder::Alternating;
+        es.hier_from_cpu = true;
+        AccelSpec::engine_spec("sw-dnc", es)
+    }
+}
+
+/// Name → spec mapping for every modelled variant.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    specs: Vec<AccelSpec>,
+}
+
+impl Registry {
+    /// All standard variants under their stable names.
+    pub fn standard() -> Registry {
+        Registry {
+            specs: vec![
+                AccelSpec::cpu_mkl(),
+                AccelSpec::extensor(),
+                AccelSpec::extensor_op(),
+                AccelSpec::extensor_op_drt(),
+                AccelSpec::outerspace(),
+                AccelSpec::outerspace_suc(),
+                AccelSpec::outerspace_drt(),
+                AccelSpec::matraptor(),
+                AccelSpec::matraptor_suc(),
+                AccelSpec::matraptor_drt(),
+                AccelSpec::gamma(),
+                AccelSpec::sparch(),
+                AccelSpec::sw_suc(16, (8, 8)),
+                AccelSpec::sw_dnc((8, 8)),
+            ],
+        }
+    }
+
+    /// Look up a variant by name (`"tactile"` aliases `"extensor-op-drt"`).
+    pub fn get(&self, name: &str) -> Option<&AccelSpec> {
+        let name = if name == "tactile" { "extensor-op-drt" } else { name };
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.specs.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Iterate over all registered specs.
+    pub fn iter(&self) -> impl Iterator<Item = &AccelSpec> {
+        self.specs.iter()
+    }
+
+    /// Add (or replace) a spec under its own name.
+    pub fn register(&mut self, spec: AccelSpec) {
+        self.specs.retain(|s| s.name != spec.name);
+        self.specs.push(spec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_shares() {
+        let p = PartitionPreset::ExtensorPaper.partitions(1000);
+        assert_eq!((p.get("A"), p.get("B"), p.get("Z")), (50, 450, 500));
+        for preset in [
+            PartitionPreset::ExtensorPaper,
+            PartitionPreset::OuterProduct,
+            PartitionPreset::RowWise,
+            PartitionPreset::SoftwareLlc,
+            PartitionPreset::Gram3,
+            PartitionPreset::Balanced,
+        ] {
+            let sum: f64 = preset.shares().iter().map(|&(_, s)| s).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{preset:?} shares must cover the buffer");
+        }
+    }
+
+    #[test]
+    fn registry_resolves_all_standard_names() {
+        let reg = Registry::standard();
+        for name in [
+            "cpu-mkl",
+            "extensor",
+            "extensor-op",
+            "extensor-op-drt",
+            "tactile",
+            "outerspace",
+            "outerspace-suc",
+            "outerspace-drt",
+            "matraptor",
+            "matraptor-suc",
+            "matraptor-drt",
+            "gamma",
+            "sparch",
+            "sw-suc",
+            "sw-dnc",
+        ] {
+            assert!(reg.get(name).is_some(), "missing registry entry {name}");
+        }
+        assert!(reg.get("no-such-machine").is_none());
+        assert_eq!(reg.names().len(), 14);
+    }
+
+    #[test]
+    fn register_replaces_by_name() {
+        let mut reg = Registry::standard();
+        let n = reg.names().len();
+        reg.register(AccelSpec::sparch());
+        assert_eq!(reg.names().len(), n);
+    }
+}

@@ -8,13 +8,10 @@
 //! promote reuse on the inputs (§6.3).
 
 use crate::cpu::{run_mkl_like, CpuSpec};
-use crate::engine::{run_spmspm, EngineConfig, Tiling};
 use crate::report::RunReport;
-use drt_core::config::{DrtConfig, GrowthOrder, Partitions};
+use crate::spec::{AccelSpec, RunCtx};
 use drt_core::CoreError;
-use drt_sim::memory::{BufferSpec, HierarchySpec};
 use drt_tensor::CsMatrix;
-use std::collections::BTreeMap;
 
 /// Figure 11's y-axis: memory-traffic improvement of a tiled scheme over
 /// the untiled CPU implementation.
@@ -40,39 +37,15 @@ impl SwComparison {
     }
 }
 
-fn llc_hierarchy(spec: &CpuSpec) -> HierarchySpec {
-    HierarchySpec {
-        llb: BufferSpec { capacity_bytes: spec.llc_bytes, ports: 2 },
-        dram: drt_sim::memory::DramModel {
-            bandwidth_bytes_per_sec: spec.bandwidth_bytes_per_sec,
-            burst_bytes: 64,
-        },
-        ..HierarchySpec::default()
-    }
-}
-
-fn sw_config(name: &str, tiling: Tiling, spec: &CpuSpec, micro: (u32, u32)) -> EngineConfig {
-    // Inner-product dataflow on LLC macro tiles: output-stationary loop
-    // order (i, j outer; k inner) — Z tiles never spill; inputs stream.
-    let parts = Partitions::split(spec.llc_bytes, &[("A", 0.4), ("B", 0.4), ("Z", 0.2)]);
-    let drt = DrtConfig::new(parts).with_growth(GrowthOrder::Alternating);
-    EngineConfig {
-        loop_order: vec!['i', 'j', 'k'],
-        micro,
-        // The software implementation stores micro tiles as plain CSR
-        // (T-UC), which is what produces Figure 11's metadata-overhead
-        // outliers on hypersparse inputs.
-        micro_format: drt_core::micro::MicroFormat::Uc,
-        hier: llc_hierarchy(spec),
-        ideal_on_chip: true,
-        ..EngineConfig::new(name, tiling, drt)
-    }
-}
-
 /// Run the full Study 3 comparison for one matrix (`Z = A · A`).
 ///
 /// `suc_tile` is the static tile's coordinate size per rank (the bench
-/// sweeps it); `micro` is the micro-tile shape used by software DRT.
+/// sweeps it); `micro` is the micro-tile shape used by software DRT. The
+/// variants are the registry's `sw-suc` / `sw-dnc` specs: an inner-product
+/// dataflow (`i, j` outer, `k` inner — Z tiles never spill) on an
+/// LLC-sized buffer, with micro tiles stored as plain CSR (T-UC), which is
+/// what produces Figure 11's metadata-overhead outliers on hypersparse
+/// inputs.
 ///
 /// # Errors
 ///
@@ -84,9 +57,9 @@ pub fn run_comparison(
     micro: (u32, u32),
 ) -> Result<SwComparison, CoreError> {
     let untiled = run_mkl_like(a, a, spec);
-    let sizes = BTreeMap::from([('i', suc_tile), ('k', suc_tile), ('j', suc_tile)]);
-    let suc = run_spmspm(a, a, &sw_config("SW-SUC", Tiling::Suc(sizes), spec, micro))?;
-    let dnc = run_spmspm(a, a, &sw_config("SW-DNC", Tiling::Drt, spec, micro))?;
+    let ctx = RunCtx::default().with_cpu(*spec);
+    let suc = AccelSpec::sw_suc(suc_tile, micro).run(a, a, &ctx)?;
+    let dnc = AccelSpec::sw_dnc(micro).run(a, a, &ctx)?;
     Ok(SwComparison { untiled, suc, dnc })
 }
 

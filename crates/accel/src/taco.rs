@@ -9,7 +9,8 @@
 //! baseline, which this model computes from the CSF footprint.
 
 use crate::cpu::CpuSpec;
-use crate::report::RunReport;
+use crate::report::{PhaseBreakdown, RunReport};
+use drt_core::probe::{Event, Probe};
 use drt_sim::energy::ActionCounts;
 use drt_sim::traffic::TrafficCounter;
 use drt_tensor::format::SizeModel;
@@ -21,8 +22,16 @@ use drt_tensor::CsfTensor;
 ///
 /// Panics when `x` is not a 3-tensor.
 pub fn run_gram(x: &CsfTensor, spec: &CpuSpec) -> RunReport {
+    run_gram_with(x, spec, &SizeModel::default(), &Probe::disabled())
+}
+
+/// [`run_gram`] with an explicit size model and instrumentation probe.
+///
+/// # Panics
+///
+/// Panics when `x` is not a 3-tensor.
+pub fn run_gram_with(x: &CsfTensor, spec: &CpuSpec, sm: &SizeModel, probe: &Probe) -> RunReport {
     assert_eq!(x.ndim(), 3, "gram expects a 3-tensor");
-    let sm = SizeModel::default();
     let result = drt_kernels::gram::gram(x);
 
     let x_bytes = sm.csf_bytes(x) as u64;
@@ -33,9 +42,19 @@ pub fn run_gram(x: &CsfTensor, spec: &CpuSpec) -> RunReport {
     let hit_rate = ((spec.llc_bytes as f64) * 0.9 / x_bytes as f64).min(1.0);
     let repeat_passes = occupied_slices.saturating_sub(1) as f64 * (1.0 - hit_rate);
     let mut traffic = TrafficCounter::new();
+    let mut phases = PhaseBreakdown::default();
     traffic.read("X", x_bytes);
-    traffic.read("Y", x_bytes + (x_bytes as f64 * repeat_passes) as u64);
-    traffic.write("G", sm.cs_matrix_bytes(&result.g) as u64);
+    probe.emit(|| Event::Fetch { tensor: "X", bytes: x_bytes });
+    let y_bytes = x_bytes + (x_bytes as f64 * repeat_passes) as u64;
+    traffic.read("Y", y_bytes);
+    probe.emit(|| Event::Fetch { tensor: "Y", bytes: y_bytes });
+    phases.load.bytes += x_bytes + y_bytes;
+    let g_bytes = sm.cs_matrix_bytes(&result.g) as u64;
+    traffic.write("G", g_bytes);
+    phases.writeback.bytes += g_bytes;
+    for (phase, stats) in phases.named() {
+        probe.emit(|| Event::Phase { phase, cycles: stats.cycles, bytes: stats.bytes });
+    }
 
     let mem_seconds =
         traffic.total() as f64 / (spec.bandwidth_bytes_per_sec * spec.bandwidth_efficiency);
@@ -53,6 +72,7 @@ pub fn run_gram(x: &CsfTensor, spec: &CpuSpec) -> RunReport {
         tasks: occupied_slices,
         skipped_tasks: 0,
         actions,
+        phases,
     }
 }
 

@@ -1,0 +1,137 @@
+//! Cross-accelerator conformance: every SpMSpM variant in the standard
+//! registry must compute the same product as the reference Gustavson
+//! kernel (the paper's §5.2.1 MKL cross-check, applied uniformly), and
+//! every report must satisfy the task-count and traffic invariants.
+//!
+//! Also pins the registry refactor's bit-identity contract: resolving a
+//! variant by name through [`Registry`] yields the same `RunReport`
+//! numbers as the legacy `run_*` wrapper entry points, and attaching an
+//! instrumentation probe never changes the simulated numbers.
+
+use drt_accel::report::RunReport;
+use drt_accel::spec::{AccelSpec, Registry, RunCtx};
+use drt_core::probe::{CountingSink, Probe};
+use drt_kernels::spmspm::gustavson;
+use drt_sim::memory::HierarchySpec;
+use drt_tensor::CsMatrix;
+use drt_workloads::patterns::{diamond_band, rmat};
+use std::sync::Arc;
+
+/// A hierarchy small enough that the tiny test workloads actually
+/// exercise tiling decisions (multiple macro tiles, spills).
+fn test_hier() -> HierarchySpec {
+    HierarchySpec::default().scaled_down(256)
+}
+
+fn test_workloads() -> Vec<(&'static str, CsMatrix)> {
+    vec![
+        ("rmat-skewed", rmat(128, 2_000, 0.57, 0.19, 0.19, 7)),
+        ("rmat-mild", rmat(64, 800, 0.45, 0.25, 0.2, 11)),
+        ("diamond", diamond_band(96, 1_500, 13)),
+    ]
+}
+
+/// The invariants every variant's report must satisfy on a non-trivial
+/// product: positive work, consistent task accounting, positive traffic.
+fn check_invariants(name: &str, wl: &str, r: &RunReport) {
+    assert!(r.maccs > 0, "{wl}/{name}: no multiplies performed");
+    assert!(r.seconds > 0.0 && r.seconds.is_finite(), "{wl}/{name}: bad runtime {}", r.seconds);
+    assert!(r.traffic.total() > 0, "{wl}/{name}: no DRAM traffic charged");
+    // Task accounting: every variant reports at least one emitted task,
+    // and skipped (empty-intersection) tasks are always a separate,
+    // non-overlapping tally.
+    assert!(r.tasks >= 1, "{wl}/{name}: no tasks emitted");
+    let total = r.tasks.checked_add(r.skipped_tasks);
+    assert!(total.is_some(), "{wl}/{name}: task counters overflow");
+}
+
+#[test]
+fn every_registered_variant_matches_gustavson() {
+    let registry = Registry::standard();
+    let ctx = RunCtx::new(&test_hier());
+    for (wl, a) in test_workloads() {
+        let reference = gustavson(&a, &a).z;
+        for spec in registry.iter() {
+            let r = spec
+                .run(&a, &a, &ctx)
+                .unwrap_or_else(|err| panic!("{wl}/{}: run failed: {err:?}", spec.name));
+            check_invariants(&spec.name, wl, &r);
+            let z = r
+                .output
+                .as_ref()
+                .unwrap_or_else(|| panic!("{wl}/{}: no functional output", spec.name));
+            assert!(
+                z.approx_eq(&reference, 1e-6),
+                "{wl}/{}: output diverges from Gustavson reference",
+                spec.name
+            );
+        }
+    }
+}
+
+/// Registry-resolved runs must be bit-identical to the legacy wrapper
+/// entry points — the refactor moved the drivers, not the numbers.
+#[test]
+fn registry_matches_legacy_wrappers() {
+    let hier = test_hier();
+    let ctx = RunCtx::new(&hier);
+    let a = rmat(128, 2_000, 0.57, 0.19, 0.19, 7);
+    let registry = Registry::standard();
+    let legacy: Vec<(&str, RunReport)> = vec![
+        ("extensor", drt_accel::extensor::run_extensor(&a, &a, &hier).expect("extensor")),
+        ("extensor-op", drt_accel::extensor::run_extensor_op(&a, &a, &hier).expect("op")),
+        ("extensor-op-drt", drt_accel::extensor::run_tactile(&a, &a, &hier).expect("drt")),
+        ("outerspace-drt", drt_accel::outerspace::run_drt(&a, &a, &hier).expect("os-drt")),
+        ("matraptor-drt", drt_accel::matraptor::run_drt(&a, &a, &hier).expect("mr-drt")),
+    ];
+    for (name, want) in legacy {
+        let got = registry
+            .get(name)
+            .expect("registered")
+            .run(&a, &a, &ctx)
+            .unwrap_or_else(|err| panic!("{name}: {err:?}"));
+        assert_eq!(got.traffic, want.traffic, "{name}: traffic diverged");
+        assert_eq!(got.compute_cycles, want.compute_cycles, "{name}: cycles diverged");
+        assert_eq!(got.seconds.to_bits(), want.seconds.to_bits(), "{name}: seconds diverged");
+        assert_eq!(got.tasks, want.tasks, "{name}: task count diverged");
+        assert_eq!(got.skipped_tasks, want.skipped_tasks, "{name}: skip count diverged");
+    }
+}
+
+/// Attaching a probe observes the run — it must never perturb it.
+#[test]
+fn probe_does_not_perturb_reports() {
+    let hier = test_hier();
+    let a = diamond_band(96, 1_500, 13);
+    let spec = AccelSpec::extensor_op_drt();
+    let plain = spec.run(&a, &a, &RunCtx::new(&hier)).expect("plain");
+    let sink = Arc::new(CountingSink::new());
+    let probed_ctx = RunCtx::new(&hier).with_probe(Probe::new(sink.clone()));
+    let probed = spec.run(&a, &a, &probed_ctx).expect("probed");
+    assert_eq!(plain.traffic, probed.traffic);
+    assert_eq!(plain.seconds.to_bits(), probed.seconds.to_bits());
+    assert_eq!(plain.tasks, probed.tasks);
+    // The sink saw the run: emitted-task events match the report's count,
+    // and per-phase byte totals were reported.
+    use std::sync::atomic::Ordering;
+    assert_eq!(sink.tasks_emitted.load(Ordering::Relaxed), probed.tasks);
+    assert_eq!(sink.tasks_skipped.load(Ordering::Relaxed), probed.skipped_tasks);
+    assert!(sink.events.load(Ordering::Relaxed) > probed.tasks, "expected fetch/phase events too");
+}
+
+/// The per-phase breakdown partitions the run's traffic: phase bytes must
+/// sum to the total DRAM traffic for every engine-simulated variant.
+#[test]
+fn phase_bytes_sum_to_traffic() {
+    let hier = test_hier();
+    let ctx = RunCtx::new(&hier);
+    let a = rmat(64, 800, 0.45, 0.25, 0.2, 11);
+    for name in ["extensor", "extensor-op", "extensor-op-drt"] {
+        let r = Registry::standard().get(name).expect("registered").run(&a, &a, &ctx).expect("run");
+        assert_eq!(
+            r.phases.total_bytes(),
+            r.traffic.total(),
+            "{name}: phase bytes must partition total traffic"
+        );
+    }
+}

@@ -45,7 +45,7 @@ fn main() {
             Err(_) => continue,
         }
         // Best dense-safe shape from the candidate menu (largest volume).
-        let mut candidates = drt_core::suc::candidate_shapes(&kernel, &parts);
+        let mut candidates = drt_core::suc::candidate_shapes(&kernel, &parts, &Default::default());
         candidates.sort_by_key(|s| s.values().map(|&v| v as u64).product::<u64>());
         let sizes: BTreeMap<char, u32> = match candidates.pop() {
             Some(s) => s,

@@ -32,7 +32,7 @@ fn main() {
             drt_accel::extensor::run_tactile(&a, &a, &hier).expect("tactile run"),
         ];
         let z = runs[2].output.as_ref().expect("functional output");
-        lower.merge(&drt_sim::traffic::spmspm_lower_bound(&a, &a, z));
+        lower.merge(&drt_sim::traffic::spmspm_lower_bound(&a, &a, z, &Default::default()));
         for (slot, run) in totals.iter_mut().zip(runs.iter()) {
             slot.1.merge(&run.traffic);
         }

@@ -7,7 +7,7 @@
 //! (`DRT_BENCH_THREADS` overrides the worker count); rows print in the
 //! paper's order regardless of scheduling.
 
-use drt_bench::{banner, emit_json, geomean, par, run_suite_cells, BenchOpts, JsonVal};
+use drt_bench::{banner, emit_json, geomean, par, run_suite_cells_probed, BenchOpts, JsonVal};
 use drt_workloads::suite::{Catalog, PatternClass};
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
         let a = entry.generate(opts.scale, opts.seed);
         (entry.name.to_string(), a.clone(), a)
     });
-    let cells = run_suite_cells(&pairs, &hier, &cpu);
+    let cells = run_suite_cells_probed(&pairs, &hier, &cpu, &opts.probe());
 
     println!(
         "\n{:<18} {:>9} {:>12} {:>14} {:>17} {:>14}",

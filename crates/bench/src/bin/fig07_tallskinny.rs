@@ -2,7 +2,7 @@
 //! the short-long product `Fᵀ·F` then the tall-skinny product `F·Fᵀ`
 //! (paper §6.1.1, "Tall-skinny matrices").
 
-use drt_bench::{banner, emit_json, geomean, par, run_suite_cells, BenchOpts, JsonVal};
+use drt_bench::{banner, emit_json, geomean, par, run_suite_cells_probed, BenchOpts, JsonVal};
 use drt_workloads::suite::Catalog;
 use drt_workloads::tallskinny::figure7_pair;
 
@@ -54,7 +54,7 @@ fn main() {
     .into_iter()
     .flatten()
     .collect();
-    let cells = run_suite_cells(&pairs, &hier, &cpu);
+    let cells = run_suite_cells_probed(&pairs, &hier, &cpu, &opts.probe());
 
     let mut speedups = Vec::new();
     let (mut over_ext, mut over_op) = (Vec::new(), Vec::new());

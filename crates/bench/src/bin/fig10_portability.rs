@@ -3,18 +3,20 @@
 //! Speedups are over each untiled baseline, with DRAM-bound behaviour
 //! idealized (per the paper's §5.2.2 methodology).
 
+use drt_accel::spec::Registry;
 use drt_bench::{banner, emit_json, geomean, BenchOpts, JsonVal};
 use drt_workloads::suite::Catalog;
 
 fn main() {
     let opts = BenchOpts::from_args();
     banner("Figure 10: OuterSPACE and MatRaptor with S-U-C / DRT tiling (S^2)", &opts);
-    let hier = opts.hierarchy();
+    let registry = Registry::standard();
+    let ctx = opts.run_ctx();
 
     let workloads: Vec<_> =
         if opts.quick { Catalog::sweep_subset() } else { Catalog::figure6_order() };
 
-    for family in ["OuterSPACE", "MatRaptor"] {
+    for (family, base) in [("OuterSPACE", "outerspace"), ("MatRaptor", "matraptor")] {
         println!("\n--- {family} ---");
         println!(
             "{:<18} {:>12} {:>12} {:>14} {:>14}",
@@ -24,18 +26,12 @@ fn main() {
             (Vec::new(), Vec::new(), Vec::new(), Vec::new());
         for entry in &workloads {
             let a = entry.generate(opts.scale, opts.seed);
-            let (untiled, suc, drt) = match family {
-                "OuterSPACE" => (
-                    drt_accel::outerspace::run_untiled(&a, &a, &hier),
-                    drt_accel::outerspace::run_suc(&a, &a, &hier).expect("suc"),
-                    drt_accel::outerspace::run_drt(&a, &a, &hier).expect("drt"),
-                ),
-                _ => (
-                    drt_accel::matraptor::run_untiled(&a, &a, &hier),
-                    drt_accel::matraptor::run_suc(&a, &a, &hier).expect("suc"),
-                    drt_accel::matraptor::run_drt(&a, &a, &hier).expect("drt"),
-                ),
+            let run = |variant: &str| {
+                let spec = registry.get(variant).expect("registered variant");
+                spec.run(&a, &a, &ctx).unwrap_or_else(|err| panic!("{variant}: {err:?}"))
             };
+            let (untiled, suc, drt) =
+                (run(base), run(&format!("{base}-suc")), run(&format!("{base}-drt")));
             let row = (
                 suc.speedup_over(&untiled),
                 drt.speedup_over(&untiled),

@@ -1,6 +1,7 @@
 //! Figure 14: LLB buffer-partition sweep — geomean runtime as the A/B/O
 //! allocation shares vary (B-stationary dataflow; O gets the remainder).
 
+use drt_accel::spec::PartitionPreset;
 use drt_bench::{banner, emit_json, geomean, BenchOpts, JsonVal};
 use drt_core::config::{DrtConfig, Partitions};
 use drt_workloads::suite::Catalog;
@@ -23,6 +24,45 @@ fn main() {
     } else {
         vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
     };
+
+    // The sweep's reference point: the paper's static §6.6 shares, taken
+    // from the registry's named preset rather than re-typed here.
+    let preset = PartitionPreset::ExtensorPaper;
+    let baseline: Vec<f64> = matrices
+        .iter()
+        .filter_map(|a| {
+            drt_accel::extensor::run_tactile_custom(
+                a,
+                a,
+                &hier,
+                DrtConfig::new(preset.partitions(llb)),
+                (32, 32),
+            )
+            .ok()
+            .map(|r| r.seconds * 1e3)
+        })
+        .collect();
+    let baseline_ms = geomean(&baseline);
+    let shares = preset.shares();
+    println!(
+        "\npreset {:?} (A {:.0}% / B {:.0}% / O {:.0}%): {:.4} ms",
+        preset,
+        shares[0].1 * 100.0,
+        shares[1].1 * 100.0,
+        shares[2].1 * 100.0,
+        baseline_ms
+    );
+    emit_json(
+        &opts,
+        &[
+            ("figure", JsonVal::S("fig14".into())),
+            ("preset", JsonVal::S(format!("{preset:?}"))),
+            ("a_share", JsonVal::F(shares[0].1)),
+            ("b_share", JsonVal::F(shares[1].1)),
+            ("o_share", JsonVal::F(shares[2].1)),
+            ("runtime_ms", JsonVal::F(baseline_ms)),
+        ],
+    );
 
     println!("\n{:>6} {:>6} {:>6} {:>14}", "A %", "B %", "O %", "runtime (ms)");
     let mut best: Option<(f64, f64, f64, f64)> = None;
@@ -79,11 +119,12 @@ fn main() {
     }
     if let Some((fa, fb, fo, g)) = best {
         println!(
-            "\nbest: A {:.0}% / B {:.0}% / O {:.0}% at {:.4} ms",
+            "\nbest: A {:.0}% / B {:.0}% / O {:.0}% at {:.4} ms ({:.2}x vs paper preset)",
             fa * 100.0,
             fb * 100.0,
             fo * 100.0,
-            g
+            g,
+            baseline_ms / g
         );
         println!("(paper: small A allocations with B >= 30% and enough O space perform best)");
     }

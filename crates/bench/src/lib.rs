@@ -15,13 +15,19 @@
 //! * `--seed S` — workload-generation seed.
 //! * `--json` — additionally emit machine-readable JSON rows.
 //! * `--quick` — shrink workload lists for smoke runs.
+//! * `--trace FILE` — append a JSONL event trace (one JSON object per
+//!   instrumentation event — tile plans, fetches, spills, per-phase
+//!   totals) to `FILE` via [`drt_core::probe::JsonlSink`]. Trace rows and
+//!   `--json` rows share one formatter, so one parser handles both.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use drt_accel::cpu::CpuSpec;
+use drt_accel::spec::{Registry, RunCtx};
+use drt_core::probe::{JsonValue, JsonlSink, Probe};
 use drt_sim::memory::HierarchySpec;
-use std::fmt::Write as _;
+use std::sync::Arc;
 
 pub mod par;
 
@@ -36,11 +42,13 @@ pub struct BenchOpts {
     pub json: bool,
     /// Smoke-run mode: fewer workloads / sweep points.
     pub quick: bool,
+    /// Append a JSONL event trace to this path.
+    pub trace: Option<String>,
 }
 
 impl Default for BenchOpts {
     fn default() -> Self {
-        BenchOpts { scale: 16, seed: 42, json: false, quick: false }
+        BenchOpts { scale: 16, seed: 42, json: false, quick: false, trace: None }
     }
 }
 
@@ -66,6 +74,12 @@ impl BenchOpts {
                 }
                 "--json" => opts.json = true,
                 "--quick" => opts.quick = true,
+                "--trace" => {
+                    if let Some(v) = args.get(i + 1) {
+                        opts.trace = Some(v.clone());
+                        i += 1;
+                    }
+                }
                 _ => {}
             }
             i += 1;
@@ -83,6 +97,26 @@ impl BenchOpts {
     pub fn cpu(&self) -> CpuSpec {
         CpuSpec::default().scaled_down(self.scale as u64)
     }
+
+    /// The instrumentation probe for this run: disabled unless `--trace
+    /// FILE` was passed, in which case events append to `FILE` as JSONL.
+    pub fn probe(&self) -> Probe {
+        match &self.trace {
+            None => Probe::disabled(),
+            Some(path) => match JsonlSink::append_to(path) {
+                Ok(sink) => Probe::new(Arc::new(sink)),
+                Err(err) => {
+                    eprintln!("warning: cannot open trace file {path}: {err}");
+                    Probe::disabled()
+                }
+            },
+        }
+    }
+
+    /// The shared run context at this scale: hierarchy, CPU, and probe.
+    pub fn run_ctx(&self) -> RunCtx {
+        RunCtx { hier: self.hierarchy(), cpu: self.cpu(), probe: self.probe() }
+    }
 }
 
 /// Results of the standard four-engine suite on one operand pair.
@@ -98,8 +132,12 @@ pub struct SuiteCell {
     pub drt: drt_accel::report::RunReport,
 }
 
-/// Run the standard four-engine suite over independent operand pairs
-/// (`(label, A, B)`), fanning the (engine config × dataset) cells out over
+/// The registry names of the standard four-variant suite, in cell order.
+pub const SUITE_VARIANTS: [&str; 4] = ["cpu-mkl", "extensor", "extensor-op", "extensor-op-drt"];
+
+/// Run the standard four-variant suite ([`SUITE_VARIANTS`], resolved
+/// through the accelerator [`Registry`]) over independent operand pairs
+/// (`(label, A, B)`), fanning the (variant × dataset) cells out over
 /// worker threads via [`par::par_map`]. Each cell builds its own
 /// micro-tile grids and runs its own simulation; the §5.2.1 functional
 /// cross-check of every DRT output against its CPU reference also runs in
@@ -115,19 +153,30 @@ pub fn run_suite_cells(
     hier: &HierarchySpec,
     cpu: &CpuSpec,
 ) -> Vec<SuiteCell> {
-    let cells: Vec<(usize, u8)> =
-        (0..pairs.len()).flat_map(|w| (0..4u8).map(move |e| (w, e))).collect();
+    run_suite_cells_probed(pairs, hier, cpu, &Probe::disabled())
+}
+
+/// [`run_suite_cells`] with an instrumentation probe shared by every cell
+/// (sinks are thread-safe, so parallel cells interleave their events).
+///
+/// # Panics
+///
+/// Same conditions as [`run_suite_cells`].
+pub fn run_suite_cells_probed(
+    pairs: &[(String, drt_tensor::CsMatrix, drt_tensor::CsMatrix)],
+    hier: &HierarchySpec,
+    cpu: &CpuSpec,
+    probe: &Probe,
+) -> Vec<SuiteCell> {
+    let registry = Registry::standard();
+    let ctx = RunCtx { hier: *hier, cpu: *cpu, probe: probe.clone() };
+    let cells: Vec<(usize, usize)> =
+        (0..pairs.len()).flat_map(|w| (0..SUITE_VARIANTS.len()).map(move |e| (w, e))).collect();
     let reports = par::par_map(&cells, |_, &(w, e)| {
         let (label, a, b) = &pairs[w];
-        match e {
-            0 => drt_accel::cpu::run_mkl_like(a, b, cpu),
-            1 => drt_accel::extensor::run_extensor(a, b, hier)
-                .unwrap_or_else(|err| panic!("{label}: extensor failed: {err:?}")),
-            2 => drt_accel::extensor::run_extensor_op(a, b, hier)
-                .unwrap_or_else(|err| panic!("{label}: extensor-op failed: {err:?}")),
-            _ => drt_accel::extensor::run_tactile(a, b, hier)
-                .unwrap_or_else(|err| panic!("{label}: tactile failed: {err:?}")),
-        }
+        let name = SUITE_VARIANTS[e];
+        let spec = registry.get(name).expect("suite variant registered");
+        spec.run(a, b, &ctx).unwrap_or_else(|err| panic!("{label}: {name} failed: {err:?}"))
     });
     let mut it = reports.into_iter();
     let out: Vec<SuiteCell> = (0..pairs.len())
@@ -180,7 +229,8 @@ pub fn banner(title: &str, opts: &BenchOpts) {
 }
 
 /// A JSON scalar for machine-readable rows (hand-rolled so the harness
-/// stays dependency-free).
+/// stays dependency-free). Owned variant of the core probe layer's
+/// [`JsonValue`]; both render through the same formatter.
 #[derive(Debug, Clone)]
 pub enum JsonVal {
     /// A string value.
@@ -191,24 +241,33 @@ pub enum JsonVal {
     U(u64),
 }
 
+/// Render one machine-readable row (without the `JSON ` prefix), using the
+/// same formatter — [`drt_core::probe::write_json_fields`] — as the JSONL
+/// event traces, so bench rows and trace rows share escaping and number
+/// formatting.
+pub fn json_row(fields: &[(&str, JsonVal)]) -> String {
+    let borrowed: Vec<(&str, JsonValue<'_>)> = fields
+        .iter()
+        .map(|(k, v)| {
+            let jv = match v {
+                JsonVal::S(x) => JsonValue::S(x.as_str()),
+                JsonVal::F(x) => JsonValue::F(*x),
+                JsonVal::U(x) => JsonValue::U(*x),
+            };
+            (*k, jv)
+        })
+        .collect();
+    let mut s = String::new();
+    drt_core::probe::write_json_fields(&mut s, &borrowed);
+    s
+}
+
 /// Emit one machine-readable row when `--json` was passed.
 pub fn emit_json(opts: &BenchOpts, fields: &[(&str, JsonVal)]) {
     if !opts.json {
         return;
     }
-    let mut s = String::from("JSON {");
-    for (i, (k, v)) in fields.iter().enumerate() {
-        if i > 0 {
-            s.push_str(", ");
-        }
-        let _ = match v {
-            JsonVal::S(x) => write!(s, "\"{k}\": \"{}\"", x.replace('"', "\\\"")),
-            JsonVal::F(x) => write!(s, "\"{k}\": {x}"),
-            JsonVal::U(x) => write!(s, "\"{k}\": {x}"),
-        };
-    }
-    s.push('}');
-    println!("{s}");
+    println!("JSON {}", json_row(fields));
 }
 
 #[cfg(test)]
@@ -237,5 +296,28 @@ mod tests {
         let o = BenchOpts::default();
         assert!(o.scale >= 1);
         assert!(!o.json);
+        assert!(o.trace.is_none());
+        assert!(!o.probe().is_enabled());
+    }
+
+    #[test]
+    fn json_rows_escape_strings() {
+        let row = json_row(&[
+            ("figure", JsonVal::S("fig\"06\\x".into())),
+            ("speedup", JsonVal::F(1.5)),
+            ("tasks", JsonVal::U(3)),
+        ]);
+        assert_eq!(row, "{\"figure\": \"fig\\\"06\\\\x\", \"speedup\": 1.5, \"tasks\": 3}");
+        // Control characters become \uXXXX like the trace sink's rows.
+        let ctrl = json_row(&[("s", JsonVal::S("a\nb\u{1}".into()))]);
+        assert_eq!(ctrl, "{\"s\": \"a\\nb\\u0001\"}");
+    }
+
+    #[test]
+    fn suite_variants_all_registered() {
+        let reg = Registry::standard();
+        for name in SUITE_VARIANTS {
+            assert!(reg.get(name).is_some(), "{name} must be in the registry");
+        }
     }
 }

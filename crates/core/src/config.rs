@@ -1,6 +1,7 @@
 //! Tiling configuration: buffer partitions, growth strategy, initial sizes.
 
 use crate::RankId;
+use drt_tensor::format::SizeModel;
 use std::collections::BTreeMap;
 
 /// Order in which `growDims` visits a tensor's dimensions (Algorithm 2's
@@ -81,6 +82,9 @@ pub struct DrtConfig {
     pub initial_sizes: BTreeMap<RankId, u32>,
     /// Micro tiles added per grow attempt (Algorithm 2's `n`; default 1).
     pub grow_step: u32,
+    /// Byte-accounting parameters (coordinate / segment / value widths)
+    /// used for every footprint measurement under this configuration.
+    pub size_model: SizeModel,
 }
 
 impl DrtConfig {
@@ -92,6 +96,7 @@ impl DrtConfig {
             growth: GrowthOrder::default(),
             initial_sizes: BTreeMap::new(),
             grow_step: 1,
+            size_model: SizeModel::default(),
         }
     }
 
@@ -115,6 +120,12 @@ impl DrtConfig {
     pub fn with_grow_step(mut self, step: u32) -> DrtConfig {
         assert!(step > 0, "grow step must be positive");
         self.grow_step = step;
+        self
+    }
+
+    /// Builder-style: set the byte-accounting size model.
+    pub fn with_size_model(mut self, sm: SizeModel) -> DrtConfig {
+        self.size_model = sm;
         self
     }
 }

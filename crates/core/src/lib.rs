@@ -64,6 +64,7 @@ pub mod hier;
 pub mod kernel;
 pub mod micro;
 pub mod occupancy;
+pub mod probe;
 pub mod suc;
 pub mod taskgen;
 

@@ -47,8 +47,8 @@ pub fn validate_shape(
     kernel: &Kernel,
     tile_sizes: &BTreeMap<RankId, u32>,
     partitions: &Partitions,
+    sm: &SizeModel,
 ) -> Result<(), CoreError> {
-    let sm = SizeModel::default();
     for b in kernel.inputs() {
         let dims: Vec<u32> =
             b.ranks.iter().map(|r| tile_sizes.get(r).copied().unwrap_or(0)).collect();
@@ -57,7 +57,7 @@ pub fn validate_shape(
                 detail: format!("tensor {} has a zero/missing tile dimension", b.name),
             });
         }
-        let dense = dense_footprint(&dims, &sm);
+        let dense = dense_footprint(&dims, sm);
         let partition = partitions.get(&b.name);
         if dense > partition {
             return Err(CoreError::ShapeOverflowsBuffer {
@@ -74,7 +74,11 @@ pub fn validate_shape(
 /// to rank extents) that satisfy the worst-case-dense rule. The paper's
 /// S-U-C baselines sweep these and keep the best-performing shape per
 /// workload (§5.2.1) — the sweep itself lives in the benchmark harness.
-pub fn candidate_shapes(kernel: &Kernel, partitions: &Partitions) -> Vec<BTreeMap<RankId, u32>> {
+pub fn candidate_shapes(
+    kernel: &Kernel,
+    partitions: &Partitions,
+    sm: &SizeModel,
+) -> Vec<BTreeMap<RankId, u32>> {
     let ranks = kernel.ranks();
     let mut out = Vec::new();
     // Per-rank candidate sizes: powers of two from one micro step up to the
@@ -104,7 +108,7 @@ pub fn candidate_shapes(kernel: &Kernel, partitions: &Partitions) -> Vec<BTreeMa
     'outer: loop {
         let shape: BTreeMap<RankId, u32> =
             ranks.iter().enumerate().map(|(d, &r)| (r, per_rank[d][idx[d]])).collect();
-        if validate_shape(kernel, &shape, partitions).is_ok() {
+        if validate_shape(kernel, &shape, partitions, sm).is_ok() {
             out.push(shape);
         }
         // Advance the mixed-radix counter.
@@ -148,11 +152,11 @@ mod tests {
         let parts = Partitions::from_bytes(&[("A", 100), ("B", 100), ("Z", 100)]);
         // 2x2 dense tile = 60 bytes → fits 100.
         let ok = BTreeMap::from([('i', 2u32), ('k', 2), ('j', 2)]);
-        assert!(validate_shape(&k, &ok, &parts).is_ok());
+        assert!(validate_shape(&k, &ok, &parts, &SizeModel::default()).is_ok());
         // 8x8 dense tile = 804 bytes → rejected even if the region is sparse.
         let too_big = BTreeMap::from([('i', 8u32), ('k', 8), ('j', 8)]);
         assert!(matches!(
-            validate_shape(&k, &too_big, &parts),
+            validate_shape(&k, &too_big, &parts, &SizeModel::default()),
             Err(CoreError::ShapeOverflowsBuffer { .. })
         ));
     }
@@ -162,10 +166,10 @@ mod tests {
         let m = unstructured(64, 64, 200, 2.0, 2);
         let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
         let parts = Partitions::from_bytes(&[("A", 2048), ("B", 2048), ("Z", 2048)]);
-        let shapes = candidate_shapes(&k, &parts);
+        let shapes = candidate_shapes(&k, &parts, &SizeModel::default());
         assert!(!shapes.is_empty());
         for s in &shapes {
-            assert!(validate_shape(&k, s, &parts).is_ok());
+            assert!(validate_shape(&k, s, &parts, &SizeModel::default()).is_ok());
         }
         // The all-minimal shape is always a candidate when it fits.
         assert!(shapes.iter().any(|s| s.values().all(|&v| v == 4)));
@@ -178,7 +182,7 @@ mod tests {
         let parts = Partitions::from_bytes(&[("A", 1000), ("B", 1000)]);
         let incomplete = BTreeMap::from([('i', 4u32), ('k', 4)]);
         assert!(matches!(
-            validate_shape(&k, &incomplete, &parts),
+            validate_shape(&k, &incomplete, &parts, &SizeModel::default()),
             Err(CoreError::BadConfig { .. })
         ));
     }
@@ -198,7 +202,7 @@ mod short_rank_tests {
         let k = Kernel::spmspm(&a, &b, (32, 32)).expect("valid");
         let parts =
             crate::config::Partitions::from_bytes(&[("A", 1 << 20), ("B", 1 << 20), ("Z", 0)]);
-        let shapes = candidate_shapes(&k, &parts);
+        let shapes = candidate_shapes(&k, &parts, &SizeModel::default());
         assert!(!shapes.is_empty());
         assert!(shapes.iter().all(|s| s[&'i'] <= 5));
     }

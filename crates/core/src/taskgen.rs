@@ -21,8 +21,8 @@
 use crate::config::DrtConfig;
 use crate::drt::{plan_tile, ExtractionTrace, TilePlan, TileStats};
 use crate::kernel::Kernel;
+use crate::probe::{Event, Probe};
 use crate::{suc, CoreError, RankId};
-use drt_tensor::format::SizeModel;
 use std::collections::BTreeMap;
 use std::ops::Range;
 
@@ -85,6 +85,7 @@ pub struct TaskStream<'k> {
     stack: Vec<Frame>,
     emitted: u64,
     skipped_empty: u64,
+    probe: Probe,
 }
 
 impl<'k> TaskStream<'k> {
@@ -137,6 +138,7 @@ impl<'k> TaskStream<'k> {
             stack: vec![Frame { region: region.clone(), pinned: BTreeMap::new() }],
             emitted: 0,
             skipped_empty: 0,
+            probe: Probe::disabled(),
         })
     }
 
@@ -156,7 +158,7 @@ impl<'k> TaskStream<'k> {
         tile_sizes: &BTreeMap<RankId, u32>,
     ) -> Result<TaskStream<'k>, CoreError> {
         kernel.validate_loop_order(loop_order)?;
-        suc::validate_shape(kernel, tile_sizes, &config.partitions)?;
+        suc::validate_shape(kernel, tile_sizes, &config.partitions, &config.size_model)?;
         let grid_sizes: BTreeMap<RankId, u32> = tile_sizes
             .iter()
             .map(|(&r, &coords)| (r, (coords / kernel.micro_step(r)).max(1)))
@@ -169,7 +171,16 @@ impl<'k> TaskStream<'k> {
             stack: vec![Frame { region: full_region(kernel), pinned: BTreeMap::new() }],
             emitted: 0,
             skipped_empty: 0,
+            probe: Probe::disabled(),
         })
+    }
+
+    /// Builder-style: attach an instrumentation probe. Tile plans, emitted
+    /// tasks, skipped-empty tasks, and fallback subdivisions are reported
+    /// through it; the default (disabled) probe adds no work.
+    pub fn with_probe(mut self, probe: Probe) -> TaskStream<'k> {
+        self.probe = probe;
+        self
     }
 
     /// Tasks emitted so far.
@@ -195,7 +206,7 @@ impl<'k> TaskStream<'k> {
 
     /// S-U-C "plan": just measure the fixed-shape box.
     fn measure_suc(&self, frame: &Frame) -> TilePlan {
-        let sm = SizeModel::default();
+        let sm = self.config.size_model;
         let mut grid_ranges = BTreeMap::new();
         let mut coord_ranges = BTreeMap::new();
         for &r in &self.kernel.ranks() {
@@ -281,10 +292,22 @@ impl Iterator for TaskStream<'_> {
                     // host-side pruning step, not an extractor action.
                     if b.grid.region_is_empty(&ranges) {
                         self.skipped_empty += 1;
+                        self.probe
+                            .emit(|| Event::TaskSkipped { total_skipped: self.skipped_empty });
                         continue;
                     }
                 }
                 let plan = self.plan_box(&frame);
+                self.probe.emit(|| Event::TilePlanned {
+                    task: self.emitted,
+                    grow_steps: plan.trace.grow_steps,
+                    rejected_grows: plan.trace.rejected_grows,
+                    fallbacks: plan.trace.fallbacks,
+                    meta_words: plan.trace.meta_words,
+                });
+                if let Some(rank) = plan.partial_rank {
+                    self.probe.emit(|| Event::FallbackSubdivision { task: self.emitted, rank });
+                }
                 // The fallback path may have subdivided one or more pinned
                 // ranks: the plan covers a prefix box P of the frame's
                 // region R. Decompose R \ P into disjoint boxes — one per
@@ -312,10 +335,12 @@ impl Iterator for TaskStream<'_> {
                 }
                 if plan.is_empty_task() {
                     self.skipped_empty += 1;
+                    self.probe.emit(|| Event::TaskSkipped { total_skipped: self.skipped_empty });
                     continue;
                 }
                 let t = Task { index: self.emitted, plan };
                 self.emitted += 1;
+                self.probe.emit(|| Event::TaskEmitted { index: t.index });
                 return Some(t);
             }
             // Open the outermost unpinned loop level.

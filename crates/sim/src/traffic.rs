@@ -77,8 +77,12 @@ impl TrafficCounter {
 ///
 /// `z` is the actual product (needed for its footprint); pass the result of
 /// a reference kernel.
-pub fn spmspm_lower_bound(a: &CsMatrix, b: &CsMatrix, z: &CsMatrix) -> TrafficCounter {
-    let sm = SizeModel::default();
+pub fn spmspm_lower_bound(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    z: &CsMatrix,
+    sm: &SizeModel,
+) -> TrafficCounter {
     let mut t = TrafficCounter::new();
     t.read("A", sm.cs_matrix_bytes(a) as u64);
     t.read("B", sm.cs_matrix_bytes(b) as u64);
@@ -129,7 +133,7 @@ mod tests {
             &CooMatrix::from_triplets(4, 4, vec![(0, 0, 1.0), (1, 2, 2.0)]).expect("ok"),
             MajorAxis::Row,
         );
-        let lb = spmspm_lower_bound(&m, &m, &m);
+        let lb = spmspm_lower_bound(&m, &m, &m, &SizeModel::default());
         let sm = SizeModel::default();
         let one = sm.cs_matrix_bytes(&m) as u64;
         assert_eq!(lb.reads_of("A"), one);

@@ -80,16 +80,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     let third = 1.0 / 3.0;
     let suc_config =
         DrtConfig::new(Partitions::split(32 * 1024, &[("A", third), ("B", third), ("Z", third)]));
-    let (sizes, suc_tasks) = candidate_shapes(&kernel, &suc_config.partitions)
-        .into_iter()
-        .map(|s| {
-            let n = TaskStream::suc(&kernel, &order, suc_config.clone(), &s)
-                .map(Iterator::count)
-                .unwrap_or(usize::MAX);
-            (s, n)
-        })
-        .min_by_key(|&(_, n)| n)
-        .expect("an even split admits at least one dense-safe shape");
+    let (sizes, suc_tasks) =
+        candidate_shapes(&kernel, &suc_config.partitions, &suc_config.size_model)
+            .into_iter()
+            .map(|s| {
+                let n = TaskStream::suc(&kernel, &order, suc_config.clone(), &s)
+                    .map(Iterator::count)
+                    .unwrap_or(usize::MAX);
+                (s, n)
+            })
+            .min_by_key(|&(_, n)| n)
+            .expect("an even split admits at least one dense-safe shape");
     println!(
         "\nbest S-U-C (dense-safe {}x{}x{} tiles, even buffer split) needs {suc_tasks} tasks; DRT needed {}.",
         sizes[&'i'],

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validate a JSONL instrumentation trace produced by `--trace FILE`.
+
+Every line must be a standalone JSON object with an `event` key naming a
+known event kind and carrying that kind's required fields with the right
+types. Used by CI as a schema smoke test so the trace format stays
+parseable by downstream tooling.
+
+Usage: validate_trace.py TRACE.jsonl [--require-kinds k1,k2,...]
+"""
+
+import json
+import sys
+
+# event kind -> {field: required_type}
+SCHEMA = {
+    "tile_planned": {
+        "task": int,
+        "grow_steps": int,
+        "rejected_grows": int,
+        "fallbacks": int,
+        "meta_words": int,
+    },
+    "fallback": {"task": int, "rank": int},
+    "task_emitted": {"index": int},
+    "task_skipped": {"total_skipped": int},
+    "fetch": {"tensor": str, "bytes": int},
+    "hit": {"tensor": str, "bytes": int},
+    "spill": {"bytes": int},
+    "refill": {"bytes": int},
+    "extraction": {"aggregate": int, "md_build": int, "distribute": int},
+    "phase": {"phase": str, "cycles": int, "bytes": int},
+}
+
+PHASES = {"load", "extract", "compute", "merge", "writeback"}
+
+
+def fail(lineno, msg):
+    print(f"error: line {lineno}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    require = set()
+    if len(sys.argv) > 3 and sys.argv[2] == "--require-kinds":
+        require = set(sys.argv[3].split(","))
+
+    seen = {}
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(lineno, f"not valid JSON: {e}")
+            if not isinstance(row, dict):
+                fail(lineno, "row is not a JSON object")
+            kind = row.get("event")
+            if kind not in SCHEMA:
+                fail(lineno, f"unknown event kind {kind!r}")
+            for field, typ in SCHEMA[kind].items():
+                if field not in row:
+                    fail(lineno, f"{kind}: missing field {field!r}")
+                val = row[field]
+                # bool is an int subclass in Python; reject it explicitly.
+                if not isinstance(val, typ) or isinstance(val, bool):
+                    fail(lineno, f"{kind}.{field}: expected {typ.__name__}, got {val!r}")
+            if kind == "phase" and row["phase"] not in PHASES:
+                fail(lineno, f"unknown phase name {row['phase']!r}")
+            seen[kind] = seen.get(kind, 0) + 1
+
+    total = sum(seen.values())
+    if total == 0:
+        fail(0, "trace is empty")
+    missing = require - set(seen)
+    if missing:
+        print(f"error: required event kinds absent: {sorted(missing)}", file=sys.stderr)
+        sys.exit(1)
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(seen.items()))
+    print(f"ok: {total} events ({counts})")
+
+
+if __name__ == "__main__":
+    main()

@@ -50,7 +50,7 @@ fn traffic_never_below_lower_bound() {
     let h = hier(64);
     let drt = drt_accel::extensor::run_tactile(&a, &a, &h).expect("tactile");
     let z = drt.output.as_ref().expect("functional");
-    let lb = drt_sim::traffic::spmspm_lower_bound(&a, &a, z);
+    let lb = drt_sim::traffic::spmspm_lower_bound(&a, &a, z, &Default::default());
     assert!(drt.traffic.reads_of("A") >= lb.reads_of("A"));
     assert!(drt.traffic.reads_of("B") >= lb.reads_of("B"));
     // The engine's COO partial-write model can undercut the compressed
@@ -90,7 +90,7 @@ fn figure1_ordering_holds_in_aggregate() {
         totals[0] += os.traffic.total();
         totals[1] += ext.traffic.total();
         totals[2] += drt.traffic.total();
-        bound += drt_sim::traffic::spmspm_lower_bound(&a, &a, z).total();
+        bound += drt_sim::traffic::spmspm_lower_bound(&a, &a, z, &Default::default()).total();
     }
     assert!(totals[2] < totals[1], "DRT {} < ExTensor {}", totals[2], totals[1]);
     assert!(totals[2] < totals[0], "DRT {} < OuterSPACE {}", totals[2], totals[0]);

@@ -41,7 +41,7 @@ fn occupancy_claim_holds_on_catalog_surrogates() {
         for t in TaskStream::drt(&kernel, &['j', 'k', 'i'], cfg.clone()).expect("drt") {
             drt_probe.record(&t, &parts);
         }
-        let mut candidates = drt_core::suc::candidate_shapes(&kernel, &parts);
+        let mut candidates = drt_core::suc::candidate_shapes(&kernel, &parts, &Default::default());
         candidates.sort_by_key(|s| s.values().map(|&v| v as u64).product::<u64>());
         let sizes = candidates.pop().expect("some dense-safe shape exists");
         let mut suc_probe = OccupancyProbe::new();
