@@ -16,15 +16,33 @@
 //!   sized by the Z buffer partition: revisited-after-eviction tiles pay
 //!   spill writes and refill reads ("multiply-and-merge").
 //! * The final output is written once in compressed form.
+//!
+//! ## Sharded execution
+//!
+//! [`run_spmspm_exec`] splits the materialized task list into contiguous
+//! shards (an [`ExecPolicy`] picks the schedule) and runs each shard's
+//! load/compute/extract phases on its own worker. Order-dependent state —
+//! the Z output cache, PE round-robin assignment, and the final output
+//! assembly — is replayed by a single reducer in global task order, so
+//! every report and every probe trace is **bit-identical** across thread
+//! counts. Workers can run load/compute independently because residency
+//! after task *t* depends only on task *t* itself: each worker seeds its
+//! resident-tile table from the task immediately preceding its shard.
+//!
+//! The preferred entry point is [`crate::session::Session`]; the `run_*`
+//! free functions are deprecated shims kept for source compatibility.
 
 use crate::report::{PhaseBreakdown, RunReport};
+use crate::spec::{AccelSpec, SpecKind};
 use crate::zcache::OutputCache;
 use drt_core::config::DrtConfig;
+use drt_core::drt::TileStats;
 use drt_core::extractor::ExtractorModel;
 use drt_core::kernel::Kernel;
 use drt_core::micro::MicroFormat;
-use drt_core::probe::{Event, Probe};
-use drt_core::taskgen::{Task, TaskStream};
+use drt_core::par::par_map_threads;
+use drt_core::probe::{lane, replay_sorted, Event, Probe, TaggedEvent, TaggingSink};
+use drt_core::taskgen::{shard_bounds, Task, TaskGenOptions, TaskStream};
 use drt_core::{CoreError, RankId};
 use drt_kernels::spmspm::SpmspmResult;
 use drt_sim::energy::ActionCounts;
@@ -35,6 +53,8 @@ use drt_sim::traffic::TrafficCounter;
 use drt_tensor::format::SizeModel;
 use drt_tensor::{CsMatrix, MajorAxis};
 use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// Tiling scheme the engine drives.
 #[derive(Debug, Clone)]
@@ -44,6 +64,54 @@ pub enum Tiling {
     Suc(BTreeMap<RankId, u32>),
     /// Dynamic reflexive tiling.
     Drt,
+}
+
+/// How a run's materialized task list is split into contiguous shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardSchedule {
+    /// One contiguous chunk per worker, balanced to within one task.
+    Static,
+    /// Fixed-size shards pulled off an atomic cursor: with more shards
+    /// than workers, fast workers steal the stragglers' leftover shards.
+    WorkStealing {
+        /// Tasks per shard (clamped to ≥ 1).
+        tasks_per_shard: usize,
+    },
+    /// Explicit shard cut points (task indices, ascending). Mainly for
+    /// tests that pin pathological boundaries — empty shards included.
+    Explicit(Vec<usize>),
+}
+
+/// Execution policy for one engine run: worker count plus shard schedule.
+///
+/// `threads == 1` with a non-[`ShardSchedule::Explicit`] schedule takes
+/// the classic serial path; everything else shards. Either way the report
+/// and trace are bit-identical — the determinism contract tested by
+/// `conformance.rs` and `shard_props.rs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Worker threads (clamped to ≥ 1).
+    pub threads: usize,
+    /// Shard schedule.
+    pub schedule: ShardSchedule,
+}
+
+impl ExecPolicy {
+    /// Single-threaded execution (the default).
+    pub fn serial() -> ExecPolicy {
+        ExecPolicy { threads: 1, schedule: ShardSchedule::Static }
+    }
+
+    /// Statically sharded execution over `n` worker threads.
+    pub fn threads(n: usize) -> ExecPolicy {
+        ExecPolicy { threads: n.max(1), schedule: ShardSchedule::Static }
+    }
+}
+
+impl Default for ExecPolicy {
+    fn default() -> ExecPolicy {
+        ExecPolicy::serial()
+    }
 }
 
 /// Engine configuration for one accelerator variant.
@@ -79,21 +147,36 @@ pub struct EngineConfig {
 }
 
 impl EngineConfig {
-    /// A reasonable default around the given tiling/partitions, using the
-    /// paper's defaults elsewhere.
-    pub fn new(name: impl Into<String>, tiling: Tiling, drt: DrtConfig) -> EngineConfig {
-        EngineConfig {
-            name: name.into(),
-            loop_order: vec!['j', 'k', 'i'],
-            tiling,
-            drt,
-            micro: (32, 32),
-            micro_format: MicroFormat::default(),
-            intersect: IntersectUnit::SkipBased,
-            merge_lanes: 1,
-            hier: HierarchySpec::default(),
-            extractor: ExtractorModel::parallel(),
-            ideal_on_chip: false,
+    /// Resolve anything spec-like into a concrete engine configuration:
+    /// a registered engine-backed [`AccelSpec`], or an ad-hoc
+    /// `(name, Tiling, DrtConfig)` triple (the old three-argument form,
+    /// now an `Into<AccelSpec>` conversion):
+    ///
+    /// ```rust
+    /// use drt_accel::engine::{EngineConfig, Tiling};
+    /// use drt_core::config::{DrtConfig, Partitions};
+    ///
+    /// let parts = Partitions::split(8192, &[("A", 0.25), ("B", 0.45), ("Z", 0.3)]);
+    /// let cfg = EngineConfig::new(("demo", Tiling::Drt, DrtConfig::new(parts)));
+    /// assert_eq!(cfg.name, "demo");
+    /// ```
+    ///
+    /// The spec is resolved against [`HierarchySpec::default`]; override
+    /// `hier` (or any other field) with struct-update syntax afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec resolves to a closed-form analytic model —
+    /// those have no engine configuration; run them via
+    /// [`AccelSpec::run`] or [`crate::session::Session`] instead.
+    pub fn new(spec: impl Into<AccelSpec>) -> EngineConfig {
+        let spec = spec.into();
+        match &spec.kind {
+            SpecKind::Engine(es) => spec.engine_config(es, &HierarchySpec::default()),
+            _ => panic!(
+                "EngineConfig::new needs an engine-backed spec; `{}` is an analytic model",
+                spec.name
+            ),
         }
     }
 }
@@ -104,51 +187,216 @@ impl EngineConfig {
 ///
 /// Propagates tiling configuration errors from `drt-core` (bad loop order,
 /// impossible partitions, S-U-C shapes violating the dense rule).
+#[deprecated(note = "use drt_accel::session::Session::run_spmspm or run_spmspm_exec")]
 pub fn run_spmspm(a: &CsMatrix, b: &CsMatrix, cfg: &EngineConfig) -> Result<RunReport, CoreError> {
-    run_spmspm_probed(a, b, cfg, &Probe::disabled())
+    run_spmspm_exec(a, b, cfg, &Probe::disabled(), &ExecPolicy::serial())
 }
 
-/// [`run_spmspm`] with an instrumentation probe attached: the task stream
-/// reports tile plans and task emission, and the engine reports fetches,
-/// reuse hits, spills/refills, and per-phase totals.
+/// `run_spmspm` with an instrumentation probe attached.
 ///
 /// # Errors
 ///
-/// Same conditions as [`run_spmspm`].
+/// Same conditions as `run_spmspm`.
+#[deprecated(note = "use drt_accel::session::Session::probe or run_spmspm_exec")]
 pub fn run_spmspm_probed(
     a: &CsMatrix,
     b: &CsMatrix,
     cfg: &EngineConfig,
     probe: &Probe,
 ) -> Result<RunReport, CoreError> {
-    let kernel = Kernel::spmspm_fmt(a, b, cfg.micro, cfg.micro_format)?;
-    let mut stream = match &cfg.tiling {
-        Tiling::Suc(sizes) => TaskStream::suc(&kernel, &cfg.loop_order, cfg.drt.clone(), sizes)?,
-        Tiling::Drt => TaskStream::drt(&kernel, &cfg.loop_order, cfg.drt.clone())?,
-    }
-    .with_probe(probe.clone());
+    run_spmspm_exec(a, b, cfg, probe, &ExecPolicy::serial())
+}
 
-    let mut run = EngineRun::new(a, b, cfg, probe.clone());
-    // The pipeline per task: load the tiles whose ranges changed, compute
-    // (intersect + multiply) on them, merge the partial outputs through
-    // the Z cache, then account the tile-extraction latency that produced
-    // the task in the first place (DRT only — extraction overlaps the
-    // previous task's compute, so only the excess is exposed).
-    for task in &mut stream {
-        let ranges = TaskRanges::of(&task);
-        run.phase_load(&task, &ranges);
-        let (prod, isect_cycles) = run.phase_compute(&ranges);
-        let on_chip = run.phase_merge(&task, &ranges, &prod, isect_cycles);
-        run.phase_extract(&task, on_chip);
+/// Simulate `Z = A · B` under `cfg` with an instrumentation probe and an
+/// execution policy. The one real engine entry point — everything else
+/// forwards here ([`crate::session::Session`] is the ergonomic front).
+///
+/// The task stream reports tile plans and task emission; the engine
+/// reports fetches, reuse hits, spills/refills, extraction costs, and
+/// per-phase totals. Reports and traces are bit-identical for every
+/// `exec` — sharding changes wall-clock time, never the numbers.
+///
+/// # Errors
+///
+/// Propagates tiling configuration errors from `drt-core` (bad loop order,
+/// impossible partitions, S-U-C shapes violating the dense rule).
+pub fn run_spmspm_exec(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    cfg: &EngineConfig,
+    probe: &Probe,
+    exec: &ExecPolicy,
+) -> Result<RunReport, CoreError> {
+    let kernel = Kernel::spmspm_fmt(a, b, cfg.micro, cfg.micro_format)?;
+    let opts = match &cfg.tiling {
+        Tiling::Suc(sizes) => TaskGenOptions::suc(&cfg.loop_order, cfg.drt.clone(), sizes),
+        Tiling::Drt => TaskGenOptions::drt(&cfg.loop_order, cfg.drt.clone()),
+    };
+    let a_rows = a.to_major(MajorAxis::Row);
+    let b_rows = b.to_major(MajorAxis::Row);
+
+    if exec.threads <= 1 && !matches!(exec.schedule, ShardSchedule::Explicit(_)) {
+        // Serial fast path: generate and execute task-by-task, events
+        // flowing straight to the probe — the pre-sharding code path,
+        // bit-identical to historical goldens by construction.
+        let mut stream = TaskStream::build(&kernel, opts.with_probe(probe.clone()))?;
+        let mut run = EngineRun::new(&a_rows, &b_rows, cfg, probe.clone());
+        // The pipeline per task: load the tiles whose ranges changed,
+        // compute (intersect + multiply) on them, merge the partial
+        // outputs through the Z cache, then account the tile-extraction
+        // latency that produced the task in the first place (DRT only —
+        // extraction overlaps the previous task's compute, so only the
+        // excess is exposed).
+        for task in &mut stream {
+            let ranges = TaskRanges::of(&task);
+            run.phase_load(&task, &ranges);
+            let (prod, isect_cycles) = run.phase_compute(&ranges);
+            let on_chip = run.phase_merge(&task, &ranges, &prod, isect_cycles);
+            run.phase_extract(&task, on_chip);
+        }
+        return Ok(run.phase_writeback(
+            a.nrows(),
+            b.ncols(),
+            stream.emitted(),
+            stream.skipped_empty(),
+        ));
     }
-    Ok(run.phase_writeback(a.nrows(), b.ncols(), stream.emitted(), stream.skipped_empty()))
+
+    // ---- sharded path -----------------------------------------------------
+
+    // 1. Materialize the task list. Generation is inherently sequential —
+    //    each plan's base advances by the previous plan's extent — so only
+    //    engine execution shards. Generator events buffer into a tagging
+    //    sink, to be re-interleaved with engine events at the end.
+    let gen_sink = probe.is_enabled().then(|| Arc::new(TaggingSink::auto_gen()));
+    let gen_probe = match &gen_sink {
+        Some(s) => Probe::new(s.clone()),
+        None => Probe::disabled(),
+    };
+    let mut stream = TaskStream::build(&kernel, opts.with_probe(gen_probe))?;
+    let tasks: Vec<Task> = (&mut stream).collect();
+    let (emitted, skipped) = (stream.emitted(), stream.skipped_empty());
+
+    // 2. Shard bounds over the task list, per the schedule.
+    let bounds = shard_ranges(tasks.len(), exec);
+
+    // 3. Workers: each shard runs load/compute/extract with its own state
+    //    and probe buffer. Merge effects are recorded, not applied — the
+    //    Z cache and PE assignment are order-dependent, so they belong to
+    //    the reducer.
+    let traced = probe.is_enabled();
+    let shard_outs = par_map_threads(exec.threads, &bounds, |_, range| {
+        let sink = traced.then(|| Arc::new(TaggingSink::manual()));
+        let wprobe = match &sink {
+            Some(s) => Probe::new(s.clone()),
+            None => Probe::disabled(),
+        };
+        let mut run = EngineRun::new(&a_rows, &b_rows, cfg, wprobe);
+        // Seed resident-tile ranges from the task just before the shard:
+        // residency after task t−1 is fully determined by task t−1 alone
+        // (every plan carries tiles for all inputs), so the worker makes
+        // exactly the serial hit/fetch decisions.
+        if !range.is_empty() && range.start > 0 {
+            run.seed_residency(&tasks[range.start - 1]);
+        }
+        let mut recs = Vec::with_capacity(range.len());
+        for task in &tasks[range.clone()] {
+            let ranges = TaskRanges::of(task);
+            if let Some(s) = &sink {
+                s.set_position(task.index, lane::LOAD);
+            }
+            run.phase_load(task, &ranges);
+            let (prod, isect_cycles) = run.phase_compute(&ranges);
+            let rec = run.merge_prep(task, &ranges, &prod, isect_cycles);
+            if let Some(s) = &sink {
+                s.set_position(task.index, lane::EXTRACT);
+            }
+            run.phase_extract(task, rec.on_chip_cycles);
+            recs.push(rec);
+        }
+        let events = sink.map(|s| s.drain()).unwrap_or_default();
+        (run, recs, events)
+    });
+
+    // 4. Deterministic reduction. Shards come back in input order, and
+    //    each shard's records are in task order, so iterating shards then
+    //    records replays the Z cache, PE round-robin, and output assembly
+    //    in exactly the global serial order. Commutative counters are
+    //    summed; everything is independent of how many workers ran.
+    let red_sink = traced.then(|| Arc::new(TaggingSink::manual()));
+    let red_probe = match &red_sink {
+        Some(s) => Probe::new(s.clone()),
+        None => Probe::disabled(),
+    };
+    let mut main = EngineRun::new(&a_rows, &b_rows, cfg, red_probe);
+    let mut events: Vec<TaggedEvent> = gen_sink.map(|s| s.drain()).unwrap_or_default();
+    for (wrun, recs, wevents) in shard_outs {
+        events.extend(wevents);
+        for rec in &recs {
+            if let Some(s) = &red_sink {
+                s.set_position(rec.pos, lane::MERGE);
+            }
+            main.merge_commit(rec);
+        }
+        main.absorb(wrun);
+    }
+    if let Some(s) = &red_sink {
+        s.set_position(u64::MAX, lane::FINISH);
+    }
+    let report = main.phase_writeback(a.nrows(), b.ncols(), emitted, skipped);
+    debug_assert_eq!(
+        report.phases.total_bytes(),
+        report.traffic.total(),
+        "shard reduction must preserve the phase-byte partition of DRAM traffic"
+    );
+    if let Some(s) = &red_sink {
+        events.extend(s.drain());
+    }
+    // 5. Replay the merged event log in (task, phase-lane, seq) order —
+    //    bit-identical to the serial trace for any shard layout.
+    replay_sorted(events, probe);
+    Ok(report)
+}
+
+/// Contiguous shard bounds over `n_tasks` tasks under `exec`'s schedule.
+fn shard_ranges(n_tasks: usize, exec: &ExecPolicy) -> Vec<Range<usize>> {
+    match &exec.schedule {
+        ShardSchedule::Static => shard_bounds(n_tasks, exec.threads),
+        ShardSchedule::WorkStealing { tasks_per_shard } => {
+            let per = (*tasks_per_shard).max(1);
+            if n_tasks == 0 {
+                vec![Range { start: 0, end: 0 }]
+            } else {
+                (0..n_tasks).step_by(per).map(|s| s..(s + per).min(n_tasks)).collect()
+            }
+        }
+        ShardSchedule::Explicit(cuts) => {
+            let mut bounds = Vec::with_capacity(cuts.len() + 1);
+            let mut start = 0usize;
+            for &c in cuts {
+                let c = c.clamp(start, n_tasks);
+                bounds.push(start..c);
+                start = c;
+            }
+            bounds.push(start..n_tasks);
+            bounds
+        }
+    }
+}
+
+/// Micro-tile parallelism of one task: how many PEs the LLB-level
+/// distributor can spread the task's work over (paper Figure 5's task
+/// list). Saturates at 1 for empty plans and all-zero micro-tile counts
+/// so PE assignment always has at least one lane.
+fn subtask_parallelism(tiles: &[TileStats]) -> u64 {
+    tiles.iter().map(|t| t.micro_tiles).fold(1, u64::max)
 }
 
 /// The three coordinate ranges of one SpMSpM task.
 struct TaskRanges {
-    ir: std::ops::Range<u32>,
-    kr: std::ops::Range<u32>,
-    jr: std::ops::Range<u32>,
+    ir: Range<u32>,
+    kr: Range<u32>,
+    jr: Range<u32>,
 }
 
 impl TaskRanges {
@@ -161,12 +409,32 @@ impl TaskRanges {
     }
 }
 
+/// Order-dependent effects of one task's merge phase, recorded by a
+/// worker ([`EngineRun::merge_prep`]) and applied in global task order by
+/// the reducer ([`EngineRun::merge_commit`]).
+struct MergeRec {
+    /// Global task index (the probe-trace position).
+    pos: u64,
+    /// Z-cache key of the task's output tile.
+    key: Vec<u32>,
+    /// Compressed bytes the task adds to its output tile.
+    added: u64,
+    /// On-chip merge cycles.
+    merge_cycles: u64,
+    /// Total on-chip cycles (intersection + merge) handed to a PE.
+    on_chip_cycles: u64,
+    /// Micro-tile parallelism for the PE distributor.
+    subtasks: u64,
+}
+
 /// Mutable state of one engine run, advanced phase-by-phase per task.
+/// Workers advance load/compute/extract state; the Z cache, PE array, and
+/// output assembly only ever advance on the reducer's instance.
 struct EngineRun<'c> {
     cfg: &'c EngineConfig,
     sm: SizeModel,
-    a_rows: CsMatrix,
-    b_rows: CsMatrix,
+    a_rows: &'c CsMatrix,
+    b_rows: &'c CsMatrix,
     traffic: TrafficCounter,
     actions: ActionCounts,
     pes: PeArray,
@@ -180,12 +448,17 @@ struct EngineRun<'c> {
 }
 
 impl<'c> EngineRun<'c> {
-    fn new(a: &CsMatrix, b: &CsMatrix, cfg: &'c EngineConfig, probe: Probe) -> EngineRun<'c> {
+    fn new(
+        a_rows: &'c CsMatrix,
+        b_rows: &'c CsMatrix,
+        cfg: &'c EngineConfig,
+        probe: Probe,
+    ) -> EngineRun<'c> {
         EngineRun {
             cfg,
             sm: cfg.drt.size_model,
-            a_rows: a.to_major(MajorAxis::Row),
-            b_rows: b.to_major(MajorAxis::Row),
+            a_rows,
+            b_rows,
             traffic: TrafficCounter::new(),
             actions: ActionCounts::default(),
             pes: PeArray::new(cfg.hier.num_pes),
@@ -199,14 +472,29 @@ impl<'c> EngineRun<'c> {
         }
     }
 
+    /// The coordinate ranges that identify one tensor's resident tile.
+    fn tile_ranges(name: &str, r: &TaskRanges) -> Vec<u32> {
+        match name {
+            "A" => vec![r.ir.start, r.ir.end, r.kr.start, r.kr.end],
+            _ => vec![r.kr.start, r.kr.end, r.jr.start, r.jr.end],
+        }
+    }
+
+    /// Mark `task`'s tiles resident without charging traffic — a shard
+    /// worker seeds from the task preceding its first so its hit/fetch
+    /// decisions match the serial run's.
+    fn seed_residency(&mut self, task: &Task) {
+        let r = TaskRanges::of(task);
+        for tile in &task.plan.tiles {
+            self.last_ranges.insert(tile.name.clone(), Self::tile_ranges(&tile.name, &r));
+        }
+    }
+
     /// Load phase: fetch input tiles whose coordinate ranges changed —
     /// consecutive tasks sharing a stationary tile fetch it once.
     fn phase_load(&mut self, task: &Task, r: &TaskRanges) {
         for tile in &task.plan.tiles {
-            let ranges: Vec<u32> = match tile.name.as_str() {
-                "A" => vec![r.ir.start, r.ir.end, r.kr.start, r.kr.end],
-                _ => vec![r.kr.start, r.kr.end, r.jr.start, r.jr.end],
-            };
+            let ranges = Self::tile_ranges(&tile.name, r);
             let bytes = tile.footprint();
             if self.last_ranges.get(&tile.name) != Some(&ranges) {
                 self.traffic.read(&tile.name, bytes);
@@ -250,28 +538,37 @@ impl<'c> EngineRun<'c> {
         (prod, isect_cycles)
     }
 
-    /// Merge phase: combine partial outputs on chip and push them through
-    /// the LRU Z cache (spill writes / refill reads on eviction), then
-    /// hand the task's on-chip work to a PE. Returns the task's total
-    /// on-chip cycles (intersection + merge).
-    fn phase_merge(
-        &mut self,
+    /// Worker half of the merge phase: pure measurement of the task's
+    /// merge work and Z-cache delta. No order-dependent state moves.
+    fn merge_prep(
+        &self,
         task: &Task,
         r: &TaskRanges,
         prod: &SpmspmResult,
         isect_cycles: u64,
-    ) -> u64 {
+    ) -> MergeRec {
         let merge_cycles = (prod.z.nnz() as u64).div_ceil(self.cfg.merge_lanes.max(1) as u64);
-        self.phases.merge.cycles += merge_cycles;
+        MergeRec {
+            pos: task.index,
+            key: vec![r.ir.start, r.ir.end, r.jr.start, r.jr.end],
+            added: self.sm.coo_bytes(prod.z.nnz(), 2) as u64,
+            merge_cycles,
+            on_chip_cycles: isect_cycles + merge_cycles,
+            subtasks: subtask_parallelism(&task.plan.tiles),
+        }
+    }
+
+    /// Reducer half of the merge phase: push the recorded delta through
+    /// the LRU Z cache (spill writes / refill reads on eviction) and hand
+    /// the task's on-chip work to a PE, both in global task order.
+    fn merge_commit(&mut self, rec: &MergeRec) {
+        self.phases.merge.cycles += rec.merge_cycles;
         // The LLB-level distributor schedules micro-tile pairs to PEs
         // (paper Figure 5's task list), so one LLB task's work spreads
         // over up to `micro-tile pairs` PEs, round-robin.
-        let subtasks: u64 = task.plan.tiles.iter().map(|t| t.micro_tiles).max().unwrap_or(1).max(1);
-        self.pes.assign_parallel(isect_cycles + merge_cycles, subtasks);
+        self.pes.assign_parallel(rec.on_chip_cycles, rec.subtasks);
 
-        let key = vec![r.ir.start, r.ir.end, r.jr.start, r.jr.end];
-        let added = self.sm.coo_bytes(prod.z.nnz(), 2) as u64;
-        let charge = self.zcache.access(&key, added);
+        let charge = self.zcache.access(&rec.key, rec.added);
         self.traffic.write("Z", charge.spill_writes);
         self.traffic.read("Z", charge.refill_reads);
         self.phases.merge.bytes += charge.spill_writes + charge.refill_reads;
@@ -281,7 +578,22 @@ impl<'c> EngineRun<'c> {
         if charge.refill_reads > 0 {
             self.probe.emit(|| Event::Refill { bytes: charge.refill_reads });
         }
-        isect_cycles + merge_cycles
+    }
+
+    /// Merge phase (serial path): combine partial outputs on chip and
+    /// push them through the Z cache. Returns the task's total on-chip
+    /// cycles (intersection + merge).
+    fn phase_merge(
+        &mut self,
+        task: &Task,
+        r: &TaskRanges,
+        prod: &SpmspmResult,
+        isect_cycles: u64,
+    ) -> u64 {
+        let rec = self.merge_prep(task, r, prod, isect_cycles);
+        let on_chip = rec.on_chip_cycles;
+        self.merge_commit(&rec);
+        on_chip
     }
 
     /// Extract phase: tile-extraction latency (DRT only; S-U-C traces are
@@ -299,6 +611,19 @@ impl<'c> EngineRun<'c> {
             self.phases.extract.cycles += effective;
             self.exposed_extract += effective.saturating_sub(on_chip_cycles);
         }
+    }
+
+    /// Fold a finished shard run into the reducer's state. Every field
+    /// here is a commutative sum except `out_entries`, which concatenates
+    /// in shard order — identical to the serial emission order because
+    /// shards are contiguous and come back in input order.
+    fn absorb(&mut self, other: EngineRun<'_>) {
+        self.traffic.merge(&other.traffic);
+        self.actions.add(&other.actions);
+        self.maccs += other.maccs;
+        self.exposed_extract += other.exposed_extract;
+        self.out_entries.extend(other.out_entries);
+        self.phases.add(&other.phases);
     }
 
     /// Writeback phase: flush the Z cache (resident tiles stream out,
@@ -361,28 +686,49 @@ pub(crate) fn finalize_output(nrows: u32, ncols: u32, entries: Vec<(u32, u32, f6
 ///
 /// Propagates engine errors; returns `BadConfig` when no candidate shape
 /// satisfies the capacity rule.
+#[deprecated(note = "use drt_accel::session::Session or run_spmspm_best_suc_exec")]
 pub fn run_spmspm_best_suc(
     a: &CsMatrix,
     b: &CsMatrix,
     base: &EngineConfig,
     max_candidates: usize,
 ) -> Result<RunReport, CoreError> {
-    run_spmspm_best_suc_with_shape(a, b, base, max_candidates).map(|(r, _)| r)
+    run_spmspm_best_suc_exec(a, b, base, max_candidates, &ExecPolicy::serial()).map(|(r, _)| r)
 }
 
-/// [`run_spmspm_best_suc`], additionally returning the winning tile shape
-/// (in coordinates) so repeated runs on similar operands — e.g. the BFS
-/// levels of one workload — can reuse the sweep's result via
-/// [`run_spmspm`] with [`Tiling::Suc`].
+/// `run_spmspm_best_suc`, additionally returning the winning tile shape.
 ///
 /// # Errors
 ///
-/// Same conditions as [`run_spmspm_best_suc`].
+/// Same conditions as `run_spmspm_best_suc`.
+#[deprecated(note = "use drt_accel::session::Session or run_spmspm_best_suc_exec")]
 pub fn run_spmspm_best_suc_with_shape(
     a: &CsMatrix,
     b: &CsMatrix,
     base: &EngineConfig,
     max_candidates: usize,
+) -> Result<(RunReport, BTreeMap<RankId, u32>), CoreError> {
+    run_spmspm_best_suc_exec(a, b, base, max_candidates, &ExecPolicy::serial())
+}
+
+/// Sweep S-U-C candidate shapes under `exec` and return the winner's
+/// report and tile shape (in coordinates), so repeated runs on similar
+/// operands — e.g. the BFS levels of one workload — can reuse the sweep's
+/// result via [`Tiling::Suc`]. The sweep itself runs unprobed (it is the
+/// paper's offline search, §5.2.1); re-run the winner with a probe if a
+/// trace is wanted. The winning shape is independent of `exec` because
+/// every candidate's report is.
+///
+/// # Errors
+///
+/// Propagates engine errors; returns `BadConfig` when no candidate shape
+/// satisfies the capacity rule.
+pub fn run_spmspm_best_suc_exec(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    base: &EngineConfig,
+    max_candidates: usize,
+    exec: &ExecPolicy,
 ) -> Result<(RunReport, BTreeMap<RankId, u32>), CoreError> {
     // S-U-C tiles are not bound to DRT's micro-tile grid: the scheme may
     // pick any coordinate shape (it pre-tiles offline). Quantize the sweep
@@ -428,7 +774,7 @@ pub fn run_spmspm_best_suc_with_shape(
     let mut best: Option<(RunReport, BTreeMap<RankId, u32>)> = None;
     for sizes in candidates {
         let cfg = EngineConfig { tiling: Tiling::Suc(sizes.clone()), ..base.clone() };
-        let report = run_spmspm(a, b, &cfg)?;
+        let report = run_spmspm_exec(a, b, &cfg, &Probe::disabled(), exec)?;
         if best.as_ref().is_none_or(|(b, _)| report.seconds < b.seconds) {
             best = Some((report, sizes));
         }
@@ -442,9 +788,11 @@ pub fn run_spmspm_best_suc_with_shape(
 mod tests {
     use super::*;
     use drt_core::config::Partitions;
+    use drt_core::probe::JsonlSink;
     use drt_kernels::spmspm::gustavson;
     use drt_sim::memory::BufferSpec;
     use drt_workloads::patterns::{diamond_band, unstructured};
+    use std::sync::Mutex;
 
     fn small_hier() -> HierarchySpec {
         HierarchySpec {
@@ -463,8 +811,12 @@ mod tests {
         EngineConfig {
             micro: (8, 8),
             hier: small_hier(),
-            ..EngineConfig::new(name, tiling, drt_cfg(llb))
+            ..EngineConfig::new((name, tiling, drt_cfg(llb)))
         }
+    }
+
+    fn run(a: &CsMatrix, b: &CsMatrix, cfg: &EngineConfig) -> Result<RunReport, CoreError> {
+        run_spmspm_exec(a, b, cfg, &Probe::disabled(), &ExecPolicy::serial())
     }
 
     #[test]
@@ -472,7 +824,7 @@ mod tests {
         let a = unstructured(96, 96, 700, 2.0, 1);
         let b = unstructured(96, 96, 700, 2.0, 2);
         let cfg = engine_cfg("drt", Tiling::Drt, 8192);
-        let r = run_spmspm(&a, &b, &cfg).expect("run");
+        let r = run(&a, &b, &cfg).expect("run");
         let reference = gustavson(&a, &b).z;
         assert!(
             r.output.as_ref().expect("functional").approx_eq(&reference, 1e-9),
@@ -486,7 +838,7 @@ mod tests {
         let a = diamond_band(64, 1200, 3);
         let sizes = BTreeMap::from([('i', 16u32), ('k', 16), ('j', 16)]);
         let cfg = engine_cfg("suc", Tiling::Suc(sizes), 128 * 1024);
-        let r = run_spmspm(&a, &a, &cfg).expect("run");
+        let r = run(&a, &a, &cfg).expect("run");
         let reference = gustavson(&a, &a).z;
         assert!(r.output.as_ref().expect("functional").approx_eq(&reference, 1e-9));
     }
@@ -495,7 +847,7 @@ mod tests {
     fn traffic_at_least_lower_bound() {
         let a = unstructured(128, 128, 900, 2.0, 4);
         let cfg = engine_cfg("drt", Tiling::Drt, 16 * 1024);
-        let r = run_spmspm(&a, &a, &cfg).expect("run");
+        let r = run(&a, &a, &cfg).expect("run");
         let z = r.output.as_ref().expect("functional");
         let lb = drt_sim::traffic::spmspm_lower_bound(&a, &a, z, &SizeModel::default());
         // Inputs: at least one full read each (micro-tiled representations
@@ -509,12 +861,13 @@ mod tests {
     fn drt_beats_suc_traffic_on_irregular_matrix() {
         // The paper's core claim at engine level.
         let a = unstructured(192, 192, 1400, 2.0, 5);
-        let drt = run_spmspm(&a, &a, &engine_cfg("drt", Tiling::Drt, 6 * 1024)).expect("run");
-        let best_suc = run_spmspm_best_suc(
+        let drt = run(&a, &a, &engine_cfg("drt", Tiling::Drt, 6 * 1024)).expect("run");
+        let (best_suc, _) = run_spmspm_best_suc_exec(
             &a,
             &a,
             &engine_cfg("suc", Tiling::Suc(BTreeMap::new()), 6 * 1024),
             6,
+            &ExecPolicy::serial(),
         )
         .expect("run");
         assert!(
@@ -537,7 +890,7 @@ mod tests {
         // input read exactly once (plus tiled metadata).
         let a = unstructured(64, 64, 300, 2.0, 6);
         let cfg = engine_cfg("drt", Tiling::Drt, 1 << 20);
-        let r = run_spmspm(&a, &a, &cfg).expect("run");
+        let r = run(&a, &a, &cfg).expect("run");
         assert_eq!(r.tasks, 1, "everything fits in one task");
         let sm = SizeModel::default();
         // One task → B read once; its bytes are bounded by ~2× the plain
@@ -552,7 +905,7 @@ mod tests {
         let ft = f.to_transposed().to_major(drt_tensor::MajorAxis::Row);
         for (a, b) in [(&f, &ft), (&ft, &f)] {
             let cfg = engine_cfg("rect", Tiling::Drt, 8192);
-            let r = run_spmspm(a, b, &cfg).expect("run");
+            let r = run(a, b, &cfg).expect("run");
             let reference = gustavson(a, b).z;
             assert!(r.output.as_ref().expect("functional").approx_eq(&reference, 1e-9));
             assert_eq!(r.maccs, gustavson(a, b).maccs);
@@ -564,7 +917,7 @@ mod tests {
         let a = drt_tensor::CsMatrix::zero(64, 64, drt_tensor::MajorAxis::Row);
         let b = unstructured(64, 64, 200, 2.0, 16);
         let cfg = engine_cfg("empty", Tiling::Drt, 8192);
-        let r = run_spmspm(&a, &b, &cfg).expect("run");
+        let r = run(&a, &b, &cfg).expect("run");
         assert_eq!(r.output.as_ref().expect("functional").nnz(), 0);
         assert_eq!(r.maccs, 0);
         assert_eq!(r.tasks, 0, "all tasks skip on an empty operand");
@@ -575,7 +928,7 @@ mod tests {
         let a = unstructured(96, 96, 500, 2.0, 7);
         let mut cfg = engine_cfg("ideal", Tiling::Drt, 8192);
         cfg.ideal_on_chip = true;
-        let r = run_spmspm(&a, &a, &cfg).expect("run");
+        let r = run(&a, &a, &cfg).expect("run");
         // Burst rounding on the aggregate differs from the unrounded
         // oracle by at most one burst.
         assert!((r.seconds - r.dram_bound_seconds(&cfg.hier)).abs() / r.seconds < 1e-2);
@@ -591,15 +944,154 @@ mod tests {
         let mk = |drt: DrtConfig, name: &str| EngineConfig {
             micro: (8, 8),
             hier: small_hier(),
-            ..EngineConfig::new(name, Tiling::Drt, drt)
+            ..EngineConfig::new((name, Tiling::Drt, drt))
         };
-        let r_big = run_spmspm(&a, &a, &mk(big, "bigZ")).expect("run");
-        let r_tiny = run_spmspm(&a, &a, &mk(tiny, "tinyZ")).expect("run");
+        let r_big = run(&a, &a, &mk(big, "bigZ")).expect("run");
+        let r_tiny = run(&a, &a, &mk(tiny, "tinyZ")).expect("run");
         assert!(
             r_tiny.traffic.of("Z") >= r_big.traffic.of("Z"),
             "tiny Z partition ({}) should spill at least as much as big ({})",
             r_tiny.traffic.of("Z"),
             r_big.traffic.of("Z")
         );
+    }
+
+    // ---- sharded execution ------------------------------------------------
+
+    #[test]
+    fn subtask_parallelism_saturates_at_one() {
+        assert_eq!(subtask_parallelism(&[]), 1, "empty plan still occupies one PE lane");
+        let zero = TileStats {
+            name: "A".into(),
+            nnz: 0,
+            data_bytes: 0,
+            macro_meta_bytes: 0,
+            micro_tiles: 0,
+            outer_rows: 0,
+        };
+        let some = TileStats { name: "B".into(), micro_tiles: 7, ..zero.clone() };
+        assert_eq!(
+            subtask_parallelism(std::slice::from_ref(&zero)),
+            1,
+            "zero micro tiles must not stall"
+        );
+        assert_eq!(subtask_parallelism(&[zero, some]), 7, "max over tensors");
+    }
+
+    #[test]
+    fn shard_ranges_cover_schedules() {
+        let ws = |per| ExecPolicy {
+            threads: 3,
+            schedule: ShardSchedule::WorkStealing { tasks_per_shard: per },
+        };
+        assert_eq!(shard_ranges(7, &ws(3)), vec![0..3, 3..6, 6..7]);
+        assert_eq!(shard_ranges(0, &ws(3)), vec![0..0]);
+        assert_eq!(shard_ranges(4, &ws(0)), vec![0..1, 1..2, 2..3, 3..4], "per-shard clamps to 1");
+        let ex = |cuts: &[usize]| ExecPolicy {
+            threads: 2,
+            schedule: ShardSchedule::Explicit(cuts.to_vec()),
+        };
+        assert_eq!(shard_ranges(5, &ex(&[0, 2, 2, 9])), vec![0..0, 0..2, 2..2, 2..5, 5..5]);
+        assert_eq!(shard_ranges(6, &ExecPolicy::threads(2)), vec![0..3, 3..6]);
+    }
+
+    fn report_bits_eq(name: &str, serial: &RunReport, sharded: &RunReport) {
+        assert!(
+            serial.bit_diff(sharded).is_none(),
+            "{name}: sharded report diverged: {}",
+            serial.bit_diff(sharded).unwrap()
+        );
+    }
+
+    #[test]
+    fn sharded_reports_bit_identical_to_serial() {
+        let a = unstructured(96, 96, 900, 2.0, 21);
+        let suc_sizes = BTreeMap::from([('i', 16u32), ('k', 16), ('j', 16)]);
+        for (label, tiling, llb) in
+            [("drt", Tiling::Drt, 6 * 1024), ("suc", Tiling::Suc(suc_sizes), 64 * 1024)]
+        {
+            let cfg = engine_cfg(label, tiling, llb);
+            let serial = run(&a, &a, &cfg).expect("serial");
+            assert!(serial.tasks > 1, "{label}: workload must span several tasks");
+            for exec in [
+                ExecPolicy::threads(2),
+                ExecPolicy::threads(4),
+                ExecPolicy::threads(64),
+                ExecPolicy {
+                    threads: 3,
+                    schedule: ShardSchedule::WorkStealing { tasks_per_shard: 2 },
+                },
+                ExecPolicy { threads: 2, schedule: ShardSchedule::Explicit(vec![0, 0, 3, 3, 5]) },
+            ] {
+                let sharded =
+                    run_spmspm_exec(&a, &a, &cfg, &Probe::disabled(), &exec).expect("sharded");
+                report_bits_eq(label, &serial, &sharded);
+            }
+        }
+    }
+
+    /// A `Write` that appends into a shared buffer, so a JSONL trace can
+    /// be read back after the run.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn traced_run(a: &CsMatrix, cfg: &EngineConfig, exec: &ExecPolicy) -> (RunReport, String) {
+        let buf = SharedBuf::default();
+        let sink = Arc::new(JsonlSink::new(Box::new(buf.clone())));
+        let r = run_spmspm_exec(a, a, cfg, &Probe::new(sink), exec).expect("run");
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf8");
+        (r, text)
+    }
+
+    #[test]
+    fn sharded_trace_bit_identical_to_serial() {
+        let a = unstructured(96, 96, 900, 2.0, 22);
+        let cfg = engine_cfg("trace", Tiling::Drt, 6 * 1024);
+        let (serial_r, serial_t) = traced_run(&a, &cfg, &ExecPolicy::serial());
+        assert!(serial_t.lines().count() > 10, "trace must have substance");
+        for exec in [
+            ExecPolicy::threads(2),
+            ExecPolicy::threads(4),
+            ExecPolicy { threads: 2, schedule: ShardSchedule::WorkStealing { tasks_per_shard: 1 } },
+            ExecPolicy { threads: 1, schedule: ShardSchedule::Explicit(vec![2, 4]) },
+        ] {
+            let (r, t) = traced_run(&a, &cfg, &exec);
+            report_bits_eq("trace", &serial_r, &r);
+            assert_eq!(serial_t, t, "trace diverged under {exec:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_handles_empty_task_list() {
+        let a = drt_tensor::CsMatrix::zero(64, 64, drt_tensor::MajorAxis::Row);
+        let b = unstructured(64, 64, 200, 2.0, 16);
+        let cfg = engine_cfg("empty", Tiling::Drt, 8192);
+        let serial = run(&a, &b, &cfg).expect("serial");
+        let sharded = run_spmspm_exec(&a, &b, &cfg, &Probe::disabled(), &ExecPolicy::threads(4))
+            .expect("run");
+        report_bits_eq("empty", &serial, &sharded);
+        assert_eq!(sharded.tasks, 0);
+    }
+
+    #[test]
+    fn best_suc_winner_independent_of_exec() {
+        let a = unstructured(128, 128, 1000, 2.0, 23);
+        let base = engine_cfg("suc", Tiling::Suc(BTreeMap::new()), 6 * 1024);
+        let (r1, s1) =
+            run_spmspm_best_suc_exec(&a, &a, &base, 4, &ExecPolicy::serial()).expect("serial");
+        let (r4, s4) =
+            run_spmspm_best_suc_exec(&a, &a, &base, 4, &ExecPolicy::threads(4)).expect("threads");
+        assert_eq!(s1, s4, "winning shape must not depend on the execution policy");
+        report_bits_eq("best-suc", &r1, &r4);
     }
 }

@@ -17,11 +17,12 @@
 //! configuration: static partitions shared by all workloads and 32 × 32
 //! micro tiles (micro-tile shape only matters to the DRT variant).
 
-use crate::engine::{run_spmspm, EngineConfig, Tiling};
+use crate::engine::{run_spmspm_best_suc_exec, run_spmspm_exec, EngineConfig, ExecPolicy, Tiling};
 use crate::report::RunReport;
 use crate::spec::{AccelSpec, PartitionPreset, RunCtx, SpecKind, TilingSpec};
 use drt_core::config::{DrtConfig, Partitions};
 use drt_core::extractor::ExtractorModel;
+use drt_core::probe::Probe;
 use drt_core::CoreError;
 use drt_sim::intersect_unit::IntersectUnit;
 use drt_sim::memory::HierarchySpec;
@@ -66,7 +67,7 @@ pub fn run_extensor_with_shape(
     let spec = AccelSpec::extensor();
     let SpecKind::Engine(es) = &spec.kind else { unreachable!("extensor is engine-simulated") };
     let cfg = spec.engine_config(es, hier);
-    crate::engine::run_spmspm_best_suc_with_shape(a, b, &cfg, SUC_SWEEP_CANDIDATES)
+    run_spmspm_best_suc_exec(a, b, &cfg, SUC_SWEEP_CANDIDATES, &ExecPolicy::serial())
 }
 
 /// Original ExTensor with a fixed (already swept) tile shape.
@@ -157,11 +158,11 @@ pub fn run_tactile_custom(
         loop_order: vec!['j', 'k', 'i'],
         hier: *hier,
         micro,
-        ..EngineConfig::new("ExTensor-OP-DRT", Tiling::Drt, drt)
+        ..EngineConfig::new(("ExTensor-OP-DRT", Tiling::Drt, drt))
     };
     cfg.intersect = IntersectUnit::Parallel(32);
     cfg.merge_lanes = 16;
-    run_spmspm(a, b, &cfg)
+    run_spmspm_exec(a, b, &cfg, &Probe::disabled(), &ExecPolicy::serial())
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ use crate::zcache::OutputCache;
 use drt_core::config::{DrtConfig, Partitions};
 use drt_core::kernel::Kernel;
 use drt_core::probe::{Event, Probe};
-use drt_core::taskgen::TaskStream;
+use drt_core::taskgen::{TaskGenOptions, TaskStream};
 use drt_core::{CoreError, RankId};
 use drt_sim::energy::ActionCounts;
 use drt_sim::memory::HierarchySpec;
@@ -86,7 +86,7 @@ pub fn run_gram_drt(
 ) -> Result<RunReport, CoreError> {
     let kernel = Kernel::gram(x, &micro)?;
     let cfg = DrtConfig::new(partitions(hier));
-    let stream = TaskStream::drt(&kernel, &LOOP_ORDER, cfg.clone())?;
+    let stream = TaskStream::build(&kernel, TaskGenOptions::drt(&LOOP_ORDER, cfg.clone()))?;
     run_stream(x, hier, &cfg, stream, "ExTensor-OP-DRT")
 }
 

@@ -26,7 +26,11 @@
 //! * [`engine`] — the shared SpMSpM simulation engine: task streams from
 //!   `drt-core`, stationarity-aware input reuse, an LRU output-tile cache
 //!   for partial-sum spilling, intersection/PE cycle models, and functional
-//!   output collection for validation.
+//!   output collection for validation. Supports sharded parallel execution
+//!   with a deterministic reduction — reports and traces are bit-identical
+//!   across thread counts.
+//! * [`session`] — the unified run API ([`session::Session`]): the one
+//!   blessed entry point fronting the engine and every registered variant.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -40,6 +44,7 @@ pub mod hier2;
 pub mod matraptor;
 pub mod outerspace;
 pub mod report;
+pub mod session;
 pub mod sparch;
 pub mod spec;
 pub mod sw;

@@ -123,6 +123,57 @@ impl RunReport {
     pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
         baseline.seconds / self.seconds
     }
+
+    /// First field (if any) on which two reports differ at the bit level;
+    /// `None` means bit-identical (floats compared via `to_bits`, outputs
+    /// entry-for-entry). This is the parallel determinism contract: a
+    /// sharded run must satisfy `serial.bit_diff(&sharded).is_none()` for
+    /// every thread count and shard schedule.
+    pub fn bit_diff(&self, other: &RunReport) -> Option<String> {
+        if self.name != other.name {
+            return Some(format!("name: {:?} vs {:?}", self.name, other.name));
+        }
+        if self.traffic != other.traffic {
+            return Some(format!("traffic: {:?} vs {:?}", self.traffic, other.traffic));
+        }
+        if self.maccs != other.maccs {
+            return Some(format!("maccs: {} vs {}", self.maccs, other.maccs));
+        }
+        if self.compute_cycles != other.compute_cycles {
+            return Some(format!(
+                "compute_cycles: {} vs {}",
+                self.compute_cycles, other.compute_cycles
+            ));
+        }
+        if self.exposed_extract_cycles != other.exposed_extract_cycles {
+            return Some(format!(
+                "exposed_extract_cycles: {} vs {}",
+                self.exposed_extract_cycles, other.exposed_extract_cycles
+            ));
+        }
+        if self.seconds.to_bits() != other.seconds.to_bits() {
+            return Some(format!("seconds: {:e} vs {:e}", self.seconds, other.seconds));
+        }
+        if self.tasks != other.tasks {
+            return Some(format!("tasks: {} vs {}", self.tasks, other.tasks));
+        }
+        if self.skipped_tasks != other.skipped_tasks {
+            return Some(format!(
+                "skipped_tasks: {} vs {}",
+                self.skipped_tasks, other.skipped_tasks
+            ));
+        }
+        if self.actions != other.actions {
+            return Some(format!("actions: {:?} vs {:?}", self.actions, other.actions));
+        }
+        if self.phases != other.phases {
+            return Some(format!("phases: {:?} vs {:?}", self.phases, other.phases));
+        }
+        if self.output != other.output {
+            return Some("output: functional results differ".into());
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +205,18 @@ mod tests {
         assert_eq!(fast.arithmetic_intensity(), 4.0);
         assert_eq!(slow.arithmetic_intensity(), 1.0);
         assert_eq!(fast.speedup_over(&slow), 4.0);
+    }
+
+    #[test]
+    fn bit_diff_detects_single_ulp_and_counter_changes() {
+        let a = report(1.0, 100, 400);
+        assert!(a.bit_diff(&a.clone()).is_none());
+        let mut ulp = a.clone();
+        ulp.seconds = f64::from_bits(ulp.seconds.to_bits() + 1);
+        assert!(a.bit_diff(&ulp).unwrap().contains("seconds"));
+        let mut cnt = a.clone();
+        cnt.maccs += 1;
+        assert!(a.bit_diff(&cnt).unwrap().contains("maccs"));
     }
 
     #[test]

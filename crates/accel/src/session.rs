@@ -1,0 +1,176 @@
+//! The unified run API: build a [`Session`] around a spec, configure
+//! threads/probe/hierarchy with builders, run.
+//!
+//! ```rust
+//! use drt_accel::session::Session;
+//! use drt_accel::spec::AccelSpec;
+//! use drt_workloads::patterns::unstructured;
+//!
+//! # fn main() -> Result<(), drt_core::CoreError> {
+//! let a = unstructured(96, 96, 700, 2.0, 1);
+//! let serial = Session::new(AccelSpec::extensor_op_drt()).run_spmspm(&a, &a)?;
+//! let sharded = Session::new(AccelSpec::extensor_op_drt()).threads(4).run_spmspm(&a, &a)?;
+//! // The determinism contract: thread count never changes the numbers.
+//! assert!(serial.bit_diff(&sharded).is_none());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! A session accepts anything `Into<AccelSpec>` — a registered spec, or
+//! the ad-hoc `(name, Tiling, DrtConfig)` triple — or a hand-built
+//! [`EngineConfig`] via [`Session::from_engine_config`]. The legacy
+//! `run_spmspm*` free functions in [`crate::engine`] are deprecated shims
+//! over this API.
+
+use crate::cpu::CpuSpec;
+use crate::engine::{run_spmspm_exec, EngineConfig, ExecPolicy, ShardSchedule};
+use crate::report::RunReport;
+use crate::spec::{AccelSpec, Registry, RunCtx};
+use drt_core::probe::Probe;
+use drt_core::CoreError;
+use drt_sim::memory::HierarchySpec;
+use drt_tensor::CsMatrix;
+
+/// What a session runs: a declarative spec (resolved against the
+/// session's hierarchy at run time) or a fully concrete engine
+/// configuration (used verbatim).
+#[derive(Debug, Clone)]
+enum Target {
+    Spec(AccelSpec),
+    Config(EngineConfig),
+}
+
+/// One configured simulation run: target variant + run context, with
+/// builder-style knobs. The single blessed entry point for SpMSpM runs —
+/// serial and sharded-parallel execution, probed and unprobed, registry
+/// variants and ad-hoc configurations all go through [`Session::run_spmspm`].
+#[derive(Debug, Clone)]
+pub struct Session {
+    target: Target,
+    ctx: RunCtx,
+}
+
+impl Session {
+    /// A session around anything spec-like: a registered [`AccelSpec`],
+    /// or an ad-hoc `(name, Tiling, DrtConfig)` triple.
+    pub fn new(spec: impl Into<AccelSpec>) -> Session {
+        Session { target: Target::Spec(spec.into()), ctx: RunCtx::default() }
+    }
+
+    /// A session around a registered variant name (see
+    /// [`Registry::standard`]; `"tactile"` aliases `"extensor-op-drt"`).
+    /// `None` when the name is not registered.
+    pub fn from_registry(name: &str) -> Option<Session> {
+        Registry::standard().get(name).cloned().map(Session::new)
+    }
+
+    /// A session around a hand-built engine configuration, used verbatim
+    /// (its embedded hierarchy included).
+    pub fn from_engine_config(cfg: EngineConfig) -> Session {
+        let ctx = RunCtx::new(&cfg.hier);
+        Session { target: Target::Config(cfg), ctx }
+    }
+
+    /// Run on `n` worker threads (statically sharded; 1 = serial).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Session {
+        self.ctx.exec.threads = n.max(1);
+        self
+    }
+
+    /// Select a shard schedule (static chunks, work stealing, or explicit
+    /// cut points).
+    #[must_use]
+    pub fn schedule(mut self, schedule: ShardSchedule) -> Session {
+        self.ctx.exec.schedule = schedule;
+        self
+    }
+
+    /// Set the full execution policy at once.
+    #[must_use]
+    pub fn exec(mut self, exec: ExecPolicy) -> Session {
+        self.ctx.exec = exec;
+        self
+    }
+
+    /// Attach an instrumentation probe. Traces are bit-identical across
+    /// thread counts and shard schedules.
+    #[must_use]
+    pub fn probe(mut self, probe: Probe) -> Session {
+        self.ctx.probe = probe;
+        self
+    }
+
+    /// Set the memory hierarchy specs resolve against. Ignored by
+    /// [`Session::from_engine_config`] sessions, whose configuration
+    /// already embeds one.
+    #[must_use]
+    pub fn hierarchy(mut self, hier: &HierarchySpec) -> Session {
+        self.ctx.hier = *hier;
+        self
+    }
+
+    /// Set the CPU model used by roofline and software-study variants.
+    #[must_use]
+    pub fn cpu(mut self, cpu: CpuSpec) -> Session {
+        self.ctx.cpu = cpu;
+        self
+    }
+
+    /// Simulate `Z = A · B` under this session's target and context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine/tiling configuration errors; analytic models are
+    /// infallible.
+    pub fn run_spmspm(&self, a: &CsMatrix, b: &CsMatrix) -> Result<RunReport, CoreError> {
+        match &self.target {
+            Target::Spec(spec) => spec.run(a, b, &self.ctx),
+            Target::Config(cfg) => run_spmspm_exec(a, b, cfg, &self.ctx.probe, &self.ctx.exec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Tiling;
+    use drt_core::config::DrtConfig;
+    use drt_workloads::patterns::unstructured;
+
+    #[test]
+    fn registry_session_matches_direct_spec_run() {
+        let a = unstructured(96, 96, 700, 2.0, 3);
+        let hier = HierarchySpec::default().scaled_down(256);
+        let direct = AccelSpec::extensor_op_drt().run(&a, &a, &RunCtx::new(&hier)).expect("direct");
+        let via_session = Session::from_registry("tactile")
+            .expect("alias resolves")
+            .hierarchy(&hier)
+            .run_spmspm(&a, &a)
+            .expect("session");
+        assert!(direct.bit_diff(&via_session).is_none(), "session must not change numbers");
+    }
+
+    #[test]
+    fn engine_config_session_runs_serial_and_sharded_identically() {
+        let a = unstructured(96, 96, 800, 2.0, 4);
+        let parts = crate::spec::PartitionPreset::Balanced.partitions(6 * 1024);
+        let cfg = EngineConfig {
+            micro: (8, 8),
+            hier: HierarchySpec::default().scaled_down(256),
+            ..EngineConfig::new(("session", Tiling::Drt, DrtConfig::new(parts)))
+        };
+        let serial = Session::from_engine_config(cfg.clone()).run_spmspm(&a, &a).expect("serial");
+        let sharded = Session::from_engine_config(cfg)
+            .threads(4)
+            .schedule(ShardSchedule::WorkStealing { tasks_per_shard: 2 })
+            .run_spmspm(&a, &a)
+            .expect("sharded");
+        assert!(serial.bit_diff(&sharded).is_none(), "{:?}", serial.bit_diff(&sharded));
+    }
+
+    #[test]
+    fn unknown_registry_name_is_none() {
+        assert!(Session::from_registry("no-such-machine").is_none());
+    }
+}

@@ -14,7 +14,7 @@
 //! accelerator module carried its own `Partitions::split` literal.
 
 use crate::cpu::{run_mkl_like_with, CpuSpec};
-use crate::engine::{run_spmspm_best_suc_with_shape, run_spmspm_probed, EngineConfig, Tiling};
+use crate::engine::{run_spmspm_best_suc_exec, run_spmspm_exec, EngineConfig, ExecPolicy, Tiling};
 use crate::report::RunReport;
 use drt_core::config::{DrtConfig, GrowthOrder, Partitions};
 use drt_core::extractor::ExtractorModel;
@@ -118,6 +118,12 @@ pub struct EngineSpec {
     /// Derive the hierarchy from the context's CPU (LLC-sized LLB) —
     /// the software study runs on the CPU's memory system (§5.2.3).
     pub hier_from_cpu: bool,
+    /// When set, this exact `DrtConfig` (partitions, growth, size model)
+    /// is used verbatim instead of deriving one from `partitions` and the
+    /// hierarchy's LLB capacity. This is how ad-hoc
+    /// `(name, Tiling, DrtConfig)` triples convert into specs without
+    /// losing their hand-built partition tables.
+    pub drt_override: Option<DrtConfig>,
 }
 
 impl EngineSpec {
@@ -142,7 +148,27 @@ impl EngineSpec {
             growth: GrowthOrder::default(),
             adapt_micro: false,
             hier_from_cpu: false,
+            drt_override: None,
         }
+    }
+}
+
+impl<S: Into<String>> From<(S, Tiling, DrtConfig)> for AccelSpec {
+    /// The old `EngineConfig::new(name, tiling, drt)` triple as a spec:
+    /// the given `DrtConfig` is carried verbatim (as `drt_override`), the
+    /// remaining knobs take the engine defaults.
+    fn from((name, tiling, drt): (S, Tiling, DrtConfig)) -> AccelSpec {
+        let tiling_spec = match tiling {
+            Tiling::Drt => TilingSpec::Drt,
+            Tiling::Suc(sizes) => TilingSpec::SucFixed(sizes),
+        };
+        let name = name.into();
+        let mut es =
+            EngineSpec::new(name.clone(), &['j', 'k', 'i'], tiling_spec, PartitionPreset::Balanced);
+        es.growth = drt.growth;
+        let size_model = drt.size_model;
+        es.drt_override = Some(drt);
+        AccelSpec { name, kind: SpecKind::Engine(es), size_model }
     }
 }
 
@@ -189,11 +215,20 @@ pub struct RunCtx {
     pub cpu: CpuSpec,
     /// Instrumentation probe threaded through taskgen and the engine.
     pub probe: Probe,
+    /// Execution policy for engine-simulated variants (thread count and
+    /// shard schedule); analytic models ignore it. Reports and traces are
+    /// bit-identical for every policy.
+    pub exec: ExecPolicy,
 }
 
 impl Default for RunCtx {
     fn default() -> RunCtx {
-        RunCtx { hier: HierarchySpec::default(), cpu: CpuSpec::default(), probe: Probe::disabled() }
+        RunCtx {
+            hier: HierarchySpec::default(),
+            cpu: CpuSpec::default(),
+            probe: Probe::disabled(),
+            exec: ExecPolicy::serial(),
+        }
     }
 }
 
@@ -212,6 +247,12 @@ impl RunCtx {
     /// Builder-style: attach an instrumentation probe.
     pub fn with_probe(mut self, probe: Probe) -> RunCtx {
         self.probe = probe;
+        self
+    }
+
+    /// Builder-style: set the execution policy (sharded parallel runs).
+    pub fn with_exec(mut self, exec: ExecPolicy) -> RunCtx {
+        self.exec = exec;
         self
     }
 }
@@ -274,9 +315,11 @@ impl AccelSpec {
     /// concrete configuration. Public so design-space sweeps can start
     /// from a registered spec and perturb one knob.
     pub fn engine_config(&self, es: &EngineSpec, hier: &HierarchySpec) -> EngineConfig {
-        let drt = DrtConfig::new(es.partitions.partitions(hier.llb.capacity_bytes))
-            .with_growth(es.growth)
-            .with_size_model(self.size_model);
+        let drt = es.drt_override.clone().unwrap_or_else(|| {
+            DrtConfig::new(es.partitions.partitions(hier.llb.capacity_bytes))
+                .with_growth(es.growth)
+                .with_size_model(self.size_model)
+        });
         let tiling = match &es.tiling {
             TilingSpec::Drt => Tiling::Drt,
             TilingSpec::SucSweep { .. } => Tiling::Suc(BTreeMap::new()),
@@ -308,7 +351,7 @@ impl AccelSpec {
         let mut cfg = self.engine_config(es, &hier);
         match &es.tiling {
             TilingSpec::SucSweep { candidates } => {
-                let (report, shape) = run_spmspm_best_suc_with_shape(a, b, &cfg, *candidates)?;
+                let (report, shape) = run_spmspm_best_suc_exec(a, b, &cfg, *candidates, &ctx.exec)?;
                 if !ctx.probe.is_enabled() {
                     return Ok(report);
                 }
@@ -319,7 +362,7 @@ impl AccelSpec {
                 let q = shape.values().copied().min().unwrap_or(32).clamp(1, 32);
                 cfg.micro = (q, q);
                 cfg.tiling = Tiling::Suc(shape);
-                run_spmspm_probed(a, b, &cfg, &ctx.probe)
+                run_spmspm_exec(a, b, &cfg, &ctx.probe, &ctx.exec)
             }
             TilingSpec::Drt if es.adapt_micro => {
                 // Configuration-time micro-shape adjustment (§5.2.4): when
@@ -331,7 +374,7 @@ impl AccelSpec {
                 let mut m = cfg.micro.0.max(cfg.micro.1);
                 while m >= 2 {
                     cfg.micro = (m, m);
-                    last = run_spmspm_probed(a, b, &cfg, &ctx.probe);
+                    last = run_spmspm_exec(a, b, &cfg, &ctx.probe, &ctx.exec);
                     match &last {
                         Err(CoreError::TileTooLarge { .. }) => m /= 2,
                         _ => return last,
@@ -339,7 +382,7 @@ impl AccelSpec {
                 }
                 last
             }
-            _ => run_spmspm_probed(a, b, &cfg, &ctx.probe),
+            _ => run_spmspm_exec(a, b, &cfg, &ctx.probe, &ctx.exec),
         }
     }
 

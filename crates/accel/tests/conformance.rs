@@ -8,14 +8,16 @@
 //! numbers as the legacy `run_*` wrapper entry points, and attaching an
 //! instrumentation probe never changes the simulated numbers.
 
+use drt_accel::engine::{ExecPolicy, ShardSchedule};
 use drt_accel::report::RunReport;
+use drt_accel::session::Session;
 use drt_accel::spec::{AccelSpec, Registry, RunCtx};
-use drt_core::probe::{CountingSink, Probe};
+use drt_core::probe::{CountingSink, JsonlSink, Probe};
 use drt_kernels::spmspm::gustavson;
 use drt_sim::memory::HierarchySpec;
 use drt_tensor::CsMatrix;
 use drt_workloads::patterns::{diamond_band, rmat};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A hierarchy small enough that the tiny test workloads actually
 /// exercise tiling decisions (multiple macro tiles, spills).
@@ -117,6 +119,83 @@ fn probe_does_not_perturb_reports() {
     assert_eq!(sink.tasks_emitted.load(Ordering::Relaxed), probed.tasks);
     assert_eq!(sink.tasks_skipped.load(Ordering::Relaxed), probed.skipped_tasks);
     assert!(sink.events.load(Ordering::Relaxed) > probed.tasks, "expected fetch/phase events too");
+}
+
+/// The parallel determinism contract, across the whole registry: running
+/// any variant on 2, 4, or 8 threads (and under work stealing) must
+/// produce a report bit-identical to the single-threaded run.
+#[test]
+fn every_variant_bit_identical_across_thread_counts() {
+    let hier = test_hier();
+    let a = rmat(128, 1_400, 0.57, 0.19, 0.19, 17);
+    for spec in Registry::standard().iter() {
+        let serial = Session::new(spec.clone())
+            .hierarchy(&hier)
+            .run_spmspm(&a, &a)
+            .unwrap_or_else(|err| panic!("{}: serial run failed: {err:?}", spec.name));
+        for exec in [
+            ExecPolicy::threads(2),
+            ExecPolicy::threads(4),
+            ExecPolicy::threads(8),
+            ExecPolicy { threads: 3, schedule: ShardSchedule::WorkStealing { tasks_per_shard: 2 } },
+        ] {
+            let sharded = Session::new(spec.clone())
+                .hierarchy(&hier)
+                .exec(exec.clone())
+                .run_spmspm(&a, &a)
+                .unwrap_or_else(|err| panic!("{}: {exec:?} run failed: {err:?}", spec.name));
+            assert!(
+                serial.bit_diff(&sharded).is_none(),
+                "{} under {exec:?}: {}",
+                spec.name,
+                serial.bit_diff(&sharded).unwrap()
+            );
+        }
+    }
+}
+
+/// A `Write` that appends into a shared buffer, so a JSONL trace can be
+/// read back after the run.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// `--trace` output is part of the determinism contract too: the JSONL
+/// event stream must be byte-identical across thread counts for every
+/// registered variant.
+#[test]
+fn every_variant_trace_identical_across_thread_counts() {
+    let hier = test_hier();
+    let a = diamond_band(96, 1_500, 13);
+    let traced = |spec: &AccelSpec, threads: usize| -> String {
+        let buf = SharedBuf::default();
+        let sink = Arc::new(JsonlSink::new(Box::new(buf.clone())));
+        Session::new(spec.clone())
+            .hierarchy(&hier)
+            .threads(threads)
+            .probe(Probe::new(sink))
+            .run_spmspm(&a, &a)
+            .unwrap_or_else(|err| panic!("{}: traced run failed: {err:?}", spec.name));
+        let bytes = buf.0.lock().unwrap().clone();
+        String::from_utf8(bytes).expect("utf8 trace")
+    };
+    for spec in Registry::standard().iter() {
+        let serial = traced(spec, 1);
+        assert!(!serial.is_empty(), "{}: probe saw no events", spec.name);
+        for threads in [2, 4] {
+            let sharded = traced(spec, threads);
+            assert_eq!(serial, sharded, "{}: trace diverged at {threads} threads", spec.name);
+        }
+    }
 }
 
 /// The per-phase breakdown partitions the run's traffic: phase bytes must

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drt_core::config::{DrtConfig, GrowthOrder, Partitions};
 use drt_core::drt::{plan_tile, plan_tile_with_mode, MeasureMode};
 use drt_core::kernel::Kernel;
-use drt_core::taskgen::TaskStream;
+use drt_core::taskgen::{TaskGenOptions, TaskStream};
 use drt_workloads::patterns::{diamond_band, unstructured};
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -83,9 +83,12 @@ fn bench_task_stream(c: &mut Criterion) {
     let parts = Partitions::split(512 * 1024, &[("A", 0.05), ("B", 0.45), ("Z", 0.5)]);
     group.bench_function("full_kernel_drt", |b| {
         b.iter(|| {
-            TaskStream::drt(black_box(&kernel), &['j', 'k', 'i'], DrtConfig::new(parts.clone()))
-                .expect("stream")
-                .count()
+            TaskStream::build(
+                black_box(&kernel),
+                TaskGenOptions::drt(&['j', 'k', 'i'], DrtConfig::new(parts.clone())),
+            )
+            .expect("stream")
+            .count()
         })
     });
     group.finish();

@@ -8,7 +8,7 @@ use drt_bench::{banner, emit_json, BenchOpts, JsonVal};
 use drt_core::config::DrtConfig;
 use drt_core::kernel::Kernel;
 use drt_core::occupancy::OccupancyProbe;
-use drt_core::taskgen::TaskStream;
+use drt_core::taskgen::{TaskGenOptions, TaskStream};
 use drt_workloads::suite::Catalog;
 use std::collections::BTreeMap;
 
@@ -36,7 +36,7 @@ fn main() {
         };
         let cfg = DrtConfig::new(parts.clone());
         let mut drt_probe = OccupancyProbe::new();
-        match TaskStream::drt(&kernel, &['j', 'k', 'i'], cfg.clone()) {
+        match TaskStream::build(&kernel, TaskGenOptions::drt(&['j', 'k', 'i'], cfg.clone())) {
             Ok(stream) => {
                 for t in stream {
                     drt_probe.record(&t, &parts);
@@ -52,7 +52,9 @@ fn main() {
             None => continue,
         };
         let mut suc_probe = OccupancyProbe::new();
-        if let Ok(stream) = TaskStream::suc(&kernel, &['j', 'k', 'i'], cfg, &sizes) {
+        if let Ok(stream) =
+            TaskStream::build(&kernel, TaskGenOptions::suc(&['j', 'k', 'i'], cfg, &sizes))
+        {
             for t in stream {
                 suc_probe.record(&t, &parts);
             }

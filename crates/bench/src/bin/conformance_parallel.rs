@@ -1,0 +1,97 @@
+//! Parallel-vs-serial conformance bench: runs every registered variant on
+//! a small workload suite at 1, 2, and 4 worker threads, asserts the
+//! sharded reports are bit-identical to the serial ones (the engine's
+//! deterministic-reduction contract), and reports the wall-clock speedup
+//! of the sharded runs.
+//!
+//! Exits non-zero on any divergence, so CI can use it as a gate.
+
+use drt_accel::session::Session;
+use drt_accel::spec::Registry;
+use drt_bench::{banner, emit_json, geomean, BenchOpts, JsonVal};
+use drt_tensor::CsMatrix;
+use drt_workloads::patterns::{diamond_band, rmat, unstructured};
+use std::time::Instant;
+
+fn workloads(quick: bool) -> Vec<(&'static str, CsMatrix)> {
+    let mut wl = vec![
+        ("rmat-skewed", rmat(128, 2_000, 0.57, 0.19, 0.19, 7)),
+        ("diamond", diamond_band(96, 1_500, 13)),
+    ];
+    if !quick {
+        wl.push(("unstructured", unstructured(160, 160, 2_200, 2.0, 11)));
+        wl.push(("rmat-mild", rmat(256, 4_000, 0.45, 0.25, 0.2, 21)));
+    }
+    wl
+}
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    banner("Parallel conformance: sharded == serial, bit for bit", &opts);
+    let hier = opts.hierarchy();
+    let thread_counts: &[usize] = &[2, 4];
+
+    println!(
+        "\n{:<18} {:<18} {:>10} {:>12} {:>12}",
+        "workload", "variant", "serial ms", "2T speedup", "4T speedup"
+    );
+    let mut divergences = 0usize;
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); thread_counts.len()];
+    for (wl, a) in workloads(opts.quick) {
+        for spec in Registry::standard().iter() {
+            let t0 = Instant::now();
+            let serial = Session::new(spec.clone())
+                .hierarchy(&hier)
+                .run_spmspm(&a, &a)
+                .unwrap_or_else(|err| panic!("{wl}/{}: serial failed: {err:?}", spec.name));
+            let serial_s = t0.elapsed().as_secs_f64();
+
+            let mut row = Vec::new();
+            for (slot, &threads) in thread_counts.iter().enumerate() {
+                let t0 = Instant::now();
+                let sharded = Session::new(spec.clone())
+                    .hierarchy(&hier)
+                    .threads(threads)
+                    .run_spmspm(&a, &a)
+                    .unwrap_or_else(|err| {
+                        panic!("{wl}/{}: {threads}-thread run failed: {err:?}", spec.name)
+                    });
+                let speedup = serial_s / t0.elapsed().as_secs_f64().max(1e-9);
+                if let Some(diff) = serial.bit_diff(&sharded) {
+                    eprintln!("DIVERGED {wl}/{} at {threads} threads: {diff}", spec.name);
+                    divergences += 1;
+                } else {
+                    speedups[slot].push(speedup);
+                }
+                row.push(speedup);
+            }
+            println!(
+                "{:<18} {:<18} {:>10.2} {:>11.2}x {:>11.2}x",
+                wl,
+                spec.name,
+                serial_s * 1e3,
+                row[0],
+                row[1]
+            );
+            emit_json(
+                &opts,
+                &[
+                    ("figure", JsonVal::S("conformance_parallel".into())),
+                    ("workload", JsonVal::S(wl.into())),
+                    ("variant", JsonVal::S(spec.name.clone())),
+                    ("serial_ms", JsonVal::F(serial_s * 1e3)),
+                    ("speedup_2t", JsonVal::F(row[0])),
+                    ("speedup_4t", JsonVal::F(row[1])),
+                ],
+            );
+        }
+    }
+    for (slot, &threads) in thread_counts.iter().enumerate() {
+        println!("geomean speedup at {threads} threads: {:.2}x", geomean(&speedups[slot]));
+    }
+    if divergences > 0 {
+        eprintln!("{divergences} divergence(s) — determinism contract violated");
+        std::process::exit(1);
+    }
+    println!("all variants bit-identical across thread counts");
+}

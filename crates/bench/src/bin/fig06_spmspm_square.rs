@@ -7,14 +7,14 @@
 //! (`DRT_BENCH_THREADS` overrides the worker count); rows print in the
 //! paper's order regardless of scheduling.
 
-use drt_bench::{banner, emit_json, geomean, par, run_suite_cells_probed, BenchOpts, JsonVal};
+use drt_bench::{banner, emit_json, geomean, par, run_suite_cells_in, BenchOpts, JsonVal};
 use drt_workloads::suite::{Catalog, PatternClass};
 
 fn main() {
     let opts = BenchOpts::from_args();
     banner("Figure 6: speedup over CPU (S^2)", &opts);
     let hier = opts.hierarchy();
-    let cpu = opts.cpu();
+    let ctx = opts.run_ctx();
 
     let workloads: Vec<_> =
         if opts.quick { Catalog::sweep_subset() } else { Catalog::figure6_order() };
@@ -25,7 +25,7 @@ fn main() {
         let a = entry.generate(opts.scale, opts.seed);
         (entry.name.to_string(), a.clone(), a)
     });
-    let cells = run_suite_cells_probed(&pairs, &hier, &cpu, &opts.probe());
+    let cells = run_suite_cells_in(&pairs, &ctx);
 
     println!(
         "\n{:<18} {:>9} {:>12} {:>14} {:>17} {:>14}",

@@ -2,7 +2,7 @@
 //! the short-long product `Fᵀ·F` then the tall-skinny product `F·Fᵀ`
 //! (paper §6.1.1, "Tall-skinny matrices").
 
-use drt_bench::{banner, emit_json, geomean, par, run_suite_cells_probed, BenchOpts, JsonVal};
+use drt_bench::{banner, emit_json, geomean, par, run_suite_cells_in, BenchOpts, JsonVal};
 use drt_workloads::suite::Catalog;
 use drt_workloads::tallskinny::figure7_pair;
 
@@ -10,7 +10,7 @@ fn main() {
     let opts = BenchOpts::from_args();
     banner("Figure 7: speedup over CPU (F^T*F short-long, F*F^T tall-skinny)", &opts);
     let hier = opts.hierarchy();
-    let cpu = opts.cpu();
+    let ctx = opts.run_ctx();
     let aspect = 16;
 
     let names: &[&str] = if opts.quick {
@@ -54,7 +54,7 @@ fn main() {
     .into_iter()
     .flatten()
     .collect();
-    let cells = run_suite_cells_probed(&pairs, &hier, &cpu, &opts.probe());
+    let cells = run_suite_cells_in(&pairs, &ctx);
 
     let mut speedups = Vec::new();
     let (mut over_ext, mut over_op) = (Vec::new(), Vec::new());

@@ -15,6 +15,10 @@
 //! * `--seed S` — workload-generation seed.
 //! * `--json` — additionally emit machine-readable JSON rows.
 //! * `--quick` — shrink workload lists for smoke runs.
+//! * `--threads N` — shard each engine run over `N` worker threads
+//!   (default 1). Reports and traces are bit-identical for every `N` —
+//!   the engine's deterministic-reduction contract — so `--threads` only
+//!   changes wall-clock time.
 //! * `--trace FILE` — append a JSONL event trace (one JSON object per
 //!   instrumentation event — tile plans, fetches, spills, per-phase
 //!   totals) to `FILE` via [`drt_core::probe::JsonlSink`]. Trace rows and
@@ -24,6 +28,7 @@
 #![warn(missing_debug_implementations)]
 
 use drt_accel::cpu::CpuSpec;
+use drt_accel::engine::ExecPolicy;
 use drt_accel::spec::{Registry, RunCtx};
 use drt_core::probe::{JsonValue, JsonlSink, Probe};
 use drt_sim::memory::HierarchySpec;
@@ -44,11 +49,13 @@ pub struct BenchOpts {
     pub quick: bool,
     /// Append a JSONL event trace to this path.
     pub trace: Option<String>,
+    /// Worker threads per engine run (sharded execution; 1 = serial).
+    pub threads: usize,
 }
 
 impl Default for BenchOpts {
     fn default() -> Self {
-        BenchOpts { scale: 16, seed: 42, json: false, quick: false, trace: None }
+        BenchOpts { scale: 16, seed: 42, json: false, quick: false, trace: None, threads: 1 }
     }
 }
 
@@ -77,6 +84,12 @@ impl BenchOpts {
                 "--trace" => {
                     if let Some(v) = args.get(i + 1) {
                         opts.trace = Some(v.clone());
+                        i += 1;
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.threads = v;
                         i += 1;
                     }
                 }
@@ -113,9 +126,22 @@ impl BenchOpts {
         }
     }
 
-    /// The shared run context at this scale: hierarchy, CPU, and probe.
+    /// The shared run context at this scale: hierarchy, CPU, probe, and
+    /// the `--threads` execution policy. `DRT_BENCH_THREADS` overrides a
+    /// default (unset) `--threads`, mirroring the host-parallelism knob of
+    /// [`drt_core::par::thread_count`].
     pub fn run_ctx(&self) -> RunCtx {
-        RunCtx { hier: self.hierarchy(), cpu: self.cpu(), probe: self.probe() }
+        let threads = if self.threads > 1 {
+            self.threads
+        } else {
+            std::env::var("DRT_BENCH_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+        };
+        RunCtx {
+            hier: self.hierarchy(),
+            cpu: self.cpu(),
+            probe: self.probe(),
+            exec: ExecPolicy::threads(threads),
+        }
     }
 }
 
@@ -168,15 +194,29 @@ pub fn run_suite_cells_probed(
     cpu: &CpuSpec,
     probe: &Probe,
 ) -> Vec<SuiteCell> {
+    let ctx = RunCtx { hier: *hier, cpu: *cpu, probe: probe.clone(), exec: ExecPolicy::serial() };
+    run_suite_cells_in(pairs, &ctx)
+}
+
+/// [`run_suite_cells`] against a fully caller-built [`RunCtx`] — the entry
+/// the fig binaries use so `--threads` (sharded engine execution) and
+/// `--trace` compose with the suite's own cell-level fan-out.
+///
+/// # Panics
+///
+/// Same conditions as [`run_suite_cells`].
+pub fn run_suite_cells_in(
+    pairs: &[(String, drt_tensor::CsMatrix, drt_tensor::CsMatrix)],
+    ctx: &RunCtx,
+) -> Vec<SuiteCell> {
     let registry = Registry::standard();
-    let ctx = RunCtx { hier: *hier, cpu: *cpu, probe: probe.clone() };
     let cells: Vec<(usize, usize)> =
         (0..pairs.len()).flat_map(|w| (0..SUITE_VARIANTS.len()).map(move |e| (w, e))).collect();
     let reports = par::par_map(&cells, |_, &(w, e)| {
         let (label, a, b) = &pairs[w];
         let name = SUITE_VARIANTS[e];
         let spec = registry.get(name).expect("suite variant registered");
-        spec.run(a, b, &ctx).unwrap_or_else(|err| panic!("{label}: {name} failed: {err:?}"))
+        spec.run(a, b, ctx).unwrap_or_else(|err| panic!("{label}: {name} failed: {err:?}"))
     });
     let mut it = reports.into_iter();
     let out: Vec<SuiteCell> = (0..pairs.len())

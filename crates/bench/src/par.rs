@@ -1,107 +1,9 @@
-//! A small scoped-thread parallel map for the bench harness.
+//! Re-export of the shared scoped-thread parallel map.
 //!
-//! The bench binaries evaluate many independent (engine config × dataset)
-//! cells; each cell builds its own micro-tile grids, runs its own
-//! simulation, and validates against the CPU reference — no shared mutable
-//! state. This module fans those cells out over OS threads (the offline
-//! build has no rayon) while keeping results **deterministically ordered
-//! by input index**, so `--json` output and table rows are byte-identical
-//! across runs regardless of scheduling.
-//!
-//! Thread count comes from `std::thread::available_parallelism`, clamped
-//! to the item count, and can be overridden with the `DRT_BENCH_THREADS`
-//! environment variable (`DRT_BENCH_THREADS=1` forces sequential runs,
-//! useful when timing a single cell).
+//! The harness originally lived here; it moved to [`drt_core::par`] so the
+//! engine's sharded execution layer (`drt_accel::session`) can use the same
+//! vendored thread pool without a dependency cycle (drt-bench depends on
+//! drt-accel, not the other way around). Bench binaries keep importing
+//! `drt_bench::par::{par_map, thread_count}` unchanged.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Number of worker threads a parallel map will use for `n` items.
-pub fn thread_count(n: usize) -> usize {
-    let hw = std::env::var("DRT_BENCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&t| t >= 1)
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
-    hw.min(n).max(1)
-}
-
-/// Apply `f` to every item on a pool of scoped threads and return the
-/// results **in input order**.
-///
-/// `f` receives `(index, &item)`. Work is distributed dynamically (an
-/// atomic cursor), so cells with very different costs still load-balance.
-/// A panic in any invocation propagates to the caller, so validation
-/// asserts inside cells still abort the bench run.
-pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let threads = thread_count(items.len());
-    if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            handles.push(scope.spawn(|| {
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    local.push((i, f(i, &items[i])));
-                }
-                local
-            }));
-        }
-        for h in handles {
-            // join() propagates worker panics.
-            tagged.extend(h.join().expect("bench worker panicked"));
-        }
-    });
-    tagged.sort_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, r)| r).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_input_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = par_map(&items, |i, &x| {
-            // Uneven work so completion order differs from input order.
-            let spin = (x % 7) * 1000;
-            let mut acc = 0u64;
-            for k in 0..spin {
-                acc = acc.wrapping_add(std::hint::black_box(k));
-            }
-            std::hint::black_box(acc);
-            (i as u64) * 10 + x
-        });
-        let expected: Vec<u64> = (0..100).map(|x| x * 11).collect();
-        assert_eq!(out, expected);
-    }
-
-    #[test]
-    fn empty_and_single() {
-        let none: Vec<u32> = Vec::new();
-        assert!(par_map(&none, |_, &x| x).is_empty());
-        assert_eq!(par_map(&[5u32], |_, &x| x * 2), vec![10]);
-    }
-
-    #[test]
-    fn thread_count_env_override() {
-        // Can't mutate the environment safely under parallel tests, so
-        // just sanity-check the clamping logic.
-        assert_eq!(thread_count(0), 1);
-        assert!(thread_count(1) == 1);
-        assert!(thread_count(1000) >= 1);
-    }
-}
+pub use drt_core::par::{par_map, par_map_threads, thread_count};

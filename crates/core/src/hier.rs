@@ -14,7 +14,7 @@
 
 use crate::config::DrtConfig;
 use crate::kernel::Kernel;
-use crate::taskgen::{Task, TaskStream};
+use crate::taskgen::{Task, TaskGenOptions, TaskStream};
 use crate::{CoreError, RankId};
 
 /// One outer task together with the inner tasks that subdivide it.
@@ -55,7 +55,7 @@ impl<'k> TwoLevelStream<'k> {
     ///
     /// # Errors
     ///
-    /// Propagates the preflight errors of [`TaskStream::drt`] for either
+    /// Propagates the preflight errors of [`TaskStream::build`] for either
     /// level (a micro tile must fit the *inner* partitions too).
     pub fn drt(
         kernel: &'k Kernel,
@@ -78,7 +78,7 @@ impl<'k> TwoLevelStream<'k> {
                 });
             }
         }
-        let outer = TaskStream::drt(kernel, outer_order, outer_config)?;
+        let outer = TaskStream::build(kernel, TaskGenOptions::drt(outer_order, outer_config))?;
         Ok(TwoLevelStream {
             kernel,
             outer,
@@ -110,11 +110,10 @@ impl Iterator for TwoLevelStream<'_> {
 
     fn next(&mut self) -> Option<Self::Item> {
         let outer = self.outer.next()?;
-        let mut inner_stream = match TaskStream::drt_in_region(
+        let mut inner_stream = match TaskStream::build(
             self.kernel,
-            &self.inner_order,
-            self.inner_config.clone(),
-            &outer.plan.grid_ranges,
+            TaskGenOptions::drt(&self.inner_order, self.inner_config.clone())
+                .in_region(&outer.plan.grid_ranges),
         ) {
             Ok(s) => s,
             Err(e) => return Some(Err(e)),

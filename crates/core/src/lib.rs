@@ -36,7 +36,7 @@
 //! ```rust
 //! use drt_core::kernel::Kernel;
 //! use drt_core::config::{DrtConfig, Partitions};
-//! use drt_core::taskgen::TaskStream;
+//! use drt_core::taskgen::{TaskGenOptions, TaskStream};
 //! use drt_workloads::patterns::unstructured;
 //!
 //! # fn main() -> Result<(), drt_core::CoreError> {
@@ -46,7 +46,8 @@
 //! let kernel = Kernel::spmspm(&a, &b, (8, 8))?;
 //! let config =
 //!     DrtConfig::new(Partitions::split(16 * 1024, &[("A", 0.25), ("B", 0.5), ("Z", 0.25)]));
-//! let tasks: Vec<_> = TaskStream::drt(&kernel, &['j', 'k', 'i'], config)?.collect();
+//! let tasks: Vec<_> =
+//!     TaskStream::build(&kernel, TaskGenOptions::drt(&['j', 'k', 'i'], config))?.collect();
 //! assert!(!tasks.is_empty());
 //! # Ok(())
 //! # }
@@ -64,6 +65,7 @@ pub mod hier;
 pub mod kernel;
 pub mod micro;
 pub mod occupancy;
+pub mod par;
 pub mod probe;
 pub mod suc;
 pub mod taskgen;

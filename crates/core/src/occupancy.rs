@@ -87,7 +87,7 @@ mod tests {
     use super::*;
     use crate::config::DrtConfig;
     use crate::kernel::Kernel;
-    use crate::taskgen::TaskStream;
+    use crate::taskgen::{TaskGenOptions, TaskStream};
     use drt_workloads::patterns::unstructured;
     use std::collections::BTreeMap as Map;
 
@@ -110,7 +110,8 @@ mod tests {
         let cfg = DrtConfig::new(parts.clone());
 
         let drt = probe_stream(
-            TaskStream::drt(&kernel, &['j', 'k', 'i'], cfg.clone()).expect("drt"),
+            TaskStream::build(&kernel, TaskGenOptions::drt(&['j', 'k', 'i'], cfg.clone()))
+                .expect("drt"),
             &parts,
         );
         // Largest dense-safe static shape: A's 2048-byte partition caps
@@ -118,7 +119,8 @@ mod tests {
         // j = 16 alongside k = 8 (dense 1572 B).
         let sizes = Map::from([('i', 8u32), ('k', 8), ('j', 16)]);
         let suc = probe_stream(
-            TaskStream::suc(&kernel, &['j', 'k', 'i'], cfg, &sizes).expect("suc"),
+            TaskStream::build(&kernel, TaskGenOptions::suc(&['j', 'k', 'i'], cfg, &sizes))
+                .expect("suc"),
             &parts,
         );
         let (db, sb) = (&drt["B"], &suc["B"]);
@@ -142,8 +144,11 @@ mod tests {
         let kernel = Kernel::spmspm(&a, &a, (8, 8)).expect("kernel");
         let parts = Partitions::split(6 * 1024, &[("A", 0.3), ("B", 0.5), ("Z", 0.2)]);
         let mut probe = OccupancyProbe::new();
-        for t in
-            TaskStream::drt(&kernel, &['j', 'k', 'i'], DrtConfig::new(parts.clone())).expect("drt")
+        for t in TaskStream::build(
+            &kernel,
+            TaskGenOptions::drt(&['j', 'k', 'i'], DrtConfig::new(parts.clone())),
+        )
+        .expect("drt")
         {
             probe.record(&t, &parts);
         }

@@ -1,0 +1,132 @@
+//! A small scoped-thread parallel map shared by the engine and the bench
+//! harness.
+//!
+//! Callers fan independent work items (bench cells, engine task shards)
+//! out over OS threads — the offline build has no rayon — while keeping
+//! results **deterministically ordered by input index**, so reduced
+//! reports, `--json` output, and table rows are byte-identical across runs
+//! regardless of scheduling.
+//!
+//! Two entry points:
+//!
+//! * [`par_map`] sizes its pool from `std::thread::available_parallelism`,
+//!   overridable with the `DRT_BENCH_THREADS` environment variable
+//!   (`DRT_BENCH_THREADS=1` forces sequential runs, useful when timing a
+//!   single cell).
+//! * [`par_map_threads`] takes an explicit worker count — the engine's
+//!   sharded execution layer uses this so a `Session`'s `threads(n)` knob
+//!   is authoritative rather than environment-dependent.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads [`par_map`] will use for `n` items.
+pub fn thread_count(n: usize) -> usize {
+    let hw = std::env::var("DRT_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+    hw.min(n).max(1)
+}
+
+/// Apply `f` to every item on a pool of scoped threads and return the
+/// results **in input order**. Pool size comes from [`thread_count`].
+///
+/// `f` receives `(index, &item)`. Work is distributed dynamically (an
+/// atomic cursor), so cells with very different costs still load-balance.
+/// A panic in any invocation propagates to the caller, so validation
+/// asserts inside cells still abort the bench run.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_threads(thread_count(items.len()), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (clamped to the item count;
+/// `threads <= 1` runs inline on the calling thread).
+pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            // join() propagates worker panics.
+            tagged.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, |i, &x| {
+            // Uneven work so completion order differs from input order.
+            let spin = (x % 7) * 1000;
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(std::hint::black_box(k));
+            }
+            std::hint::black_box(acc);
+            (i as u64) * 10 + x
+        });
+        let expected: Vec<u64> = (0..100).map(|x| x * 11).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map(&none, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[5u32], |_, &x| x * 2), vec![10]);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree_with_serial() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = par_map_threads(1, &items, |i, &x| i as u64 + x * 3);
+        for threads in [2, 4, 8] {
+            let par = par_map_threads(threads, &items, |i, &x| i as u64 + x * 3);
+            assert_eq!(par, serial, "threads={threads} must not change results");
+        }
+    }
+
+    #[test]
+    fn thread_count_env_override() {
+        // Can't mutate the environment safely under parallel tests, so
+        // just sanity-check the clamping logic.
+        assert_eq!(thread_count(0), 1);
+        assert!(thread_count(1) == 1);
+        assert!(thread_count(1000) >= 1);
+    }
+}

@@ -23,7 +23,7 @@
 
 use std::fmt;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// One instrumented action inside a simulated run.
@@ -431,6 +431,267 @@ impl EventSink for JsonlSink {
     }
 }
 
+/// Ordering lanes for deterministic trace reduction.
+///
+/// When a run is sharded across workers, every buffered event is tagged
+/// with `(pos, lane, seq)` — `pos` is the global emitted-task index the
+/// event belongs to, `lane` orders the event groups *within* one task the
+/// same way the serial engine interleaves them, and `seq` preserves
+/// emission order within a group. A stable sort on that key followed by
+/// [`replay_sorted`] reproduces the serial trace bit for bit.
+pub mod lane {
+    /// Task-generation events (tile planned / fallback / emitted / skipped).
+    pub const GEN: u8 = 0;
+    /// Input-load phase events (fetch / hit).
+    pub const LOAD: u8 = 1;
+    /// Merge-phase events (spill / refill), replayed by the reducer.
+    pub const MERGE: u8 = 2;
+    /// Extraction-cost events.
+    pub const EXTRACT: u8 = 3;
+    /// End-of-run phase-summary events (`pos` = `u64::MAX`).
+    pub const FINISH: u8 = 4;
+}
+
+/// An [`Event`] with its borrowed strings copied out, so it can outlive
+/// the emission site and be buffered for later replay.
+///
+/// `Phase` keeps its `&'static str` name — it is already `'static`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedEvent {
+    /// See [`Event::TilePlanned`].
+    TilePlanned {
+        /// Emitted-task sequence number the plan belongs to.
+        task: u64,
+        /// Successful dimension-grow steps in the plan.
+        grow_steps: u32,
+        /// Rejected (reverted) grow attempts.
+        rejected_grows: u32,
+        /// Fallback subdivisions.
+        fallbacks: u32,
+        /// Metadata words the Aggregate step scanned.
+        meta_words: u64,
+    },
+    /// See [`Event::FallbackSubdivision`].
+    FallbackSubdivision {
+        /// Task whose plan was shortened.
+        task: u64,
+        /// The subdivided rank.
+        rank: char,
+    },
+    /// See [`Event::TaskEmitted`].
+    TaskEmitted {
+        /// Sequence number among emitted tasks.
+        index: u64,
+    },
+    /// See [`Event::TaskSkipped`].
+    TaskSkipped {
+        /// Skipped tasks so far (running count).
+        total_skipped: u64,
+    },
+    /// See [`Event::Fetch`].
+    Fetch {
+        /// Tensor name.
+        tensor: String,
+        /// Fetched bytes.
+        bytes: u64,
+    },
+    /// See [`Event::Hit`].
+    Hit {
+        /// Tensor name.
+        tensor: String,
+        /// Bytes served without a DRAM fetch.
+        bytes: u64,
+    },
+    /// See [`Event::Spill`].
+    Spill {
+        /// Spilled bytes.
+        bytes: u64,
+    },
+    /// See [`Event::Refill`].
+    Refill {
+        /// Re-read bytes.
+        bytes: u64,
+    },
+    /// See [`Event::Extraction`].
+    Extraction {
+        /// Aggregate-step cycles.
+        aggregate: u64,
+        /// Metadata-build cycles.
+        md_build: u64,
+        /// Distribution cycles.
+        distribute: u64,
+    },
+    /// See [`Event::Phase`].
+    Phase {
+        /// Phase name.
+        phase: &'static str,
+        /// Cycles attributed to the phase.
+        cycles: u64,
+        /// Bytes attributed to the phase.
+        bytes: u64,
+    },
+}
+
+impl OwnedEvent {
+    /// Copy a borrowed event into an owned one.
+    pub fn from_event(event: &Event<'_>) -> OwnedEvent {
+        match *event {
+            Event::TilePlanned { task, grow_steps, rejected_grows, fallbacks, meta_words } => {
+                OwnedEvent::TilePlanned { task, grow_steps, rejected_grows, fallbacks, meta_words }
+            }
+            Event::FallbackSubdivision { task, rank } => {
+                OwnedEvent::FallbackSubdivision { task, rank }
+            }
+            Event::TaskEmitted { index } => OwnedEvent::TaskEmitted { index },
+            Event::TaskSkipped { total_skipped } => OwnedEvent::TaskSkipped { total_skipped },
+            Event::Fetch { tensor, bytes } => OwnedEvent::Fetch { tensor: tensor.into(), bytes },
+            Event::Hit { tensor, bytes } => OwnedEvent::Hit { tensor: tensor.into(), bytes },
+            Event::Spill { bytes } => OwnedEvent::Spill { bytes },
+            Event::Refill { bytes } => OwnedEvent::Refill { bytes },
+            Event::Extraction { aggregate, md_build, distribute } => {
+                OwnedEvent::Extraction { aggregate, md_build, distribute }
+            }
+            Event::Phase { phase, cycles, bytes } => OwnedEvent::Phase { phase, cycles, bytes },
+        }
+    }
+
+    /// Borrow this owned event back as an [`Event`] for re-emission.
+    pub fn as_event(&self) -> Event<'_> {
+        match *self {
+            OwnedEvent::TilePlanned { task, grow_steps, rejected_grows, fallbacks, meta_words } => {
+                Event::TilePlanned { task, grow_steps, rejected_grows, fallbacks, meta_words }
+            }
+            OwnedEvent::FallbackSubdivision { task, rank } => {
+                Event::FallbackSubdivision { task, rank }
+            }
+            OwnedEvent::TaskEmitted { index } => Event::TaskEmitted { index },
+            OwnedEvent::TaskSkipped { total_skipped } => Event::TaskSkipped { total_skipped },
+            OwnedEvent::Fetch { ref tensor, bytes } => Event::Fetch { tensor, bytes },
+            OwnedEvent::Hit { ref tensor, bytes } => Event::Hit { tensor, bytes },
+            OwnedEvent::Spill { bytes } => Event::Spill { bytes },
+            OwnedEvent::Refill { bytes } => Event::Refill { bytes },
+            OwnedEvent::Extraction { aggregate, md_build, distribute } => {
+                Event::Extraction { aggregate, md_build, distribute }
+            }
+            OwnedEvent::Phase { phase, cycles, bytes } => Event::Phase { phase, cycles, bytes },
+        }
+    }
+}
+
+/// A buffered event plus its deterministic ordering key (see [`lane`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedEvent {
+    /// Global emitted-task index the event belongs to (`u64::MAX` for
+    /// end-of-run events).
+    pub pos: u64,
+    /// Within-task lane (see [`lane`]).
+    pub lane: u8,
+    /// Emission order within the owning sink.
+    pub seq: u64,
+    /// The event itself.
+    pub event: OwnedEvent,
+}
+
+impl TaggedEvent {
+    /// The `(pos, lane, seq)` sort key.
+    pub fn key(&self) -> (u64, u8, u64) {
+        (self.pos, self.lane, self.seq)
+    }
+}
+
+/// An [`EventSink`] that buffers events with `(pos, lane, seq)` tags
+/// instead of forwarding them, so sharded workers can each record into
+/// their own sink and the reducer can merge-sort the buffers into the real
+/// sink afterwards ([`replay_sorted`]).
+///
+/// Two tagging modes:
+///
+/// * [`TaggingSink::auto_gen`] — for the task-generation pass. Events are
+///   tagged at lane [`lane::GEN`] with `pos` = the index of the *next*
+///   emitted task; each [`Event::TaskEmitted`] advances `pos` after being
+///   tagged, so a task's plan/skip/emit events share its index and
+///   trailing skips sort after the last task (but before end-of-run
+///   events).
+/// * [`TaggingSink::manual`] — for engine workers and the reducer. The
+///   caller pins `(pos, lane)` with [`TaggingSink::set_position`] before
+///   each event group.
+#[derive(Debug)]
+pub struct TaggingSink {
+    auto_task_position: bool,
+    pos: AtomicU64,
+    lane: AtomicU8,
+    seq: AtomicU64,
+    events: Mutex<Vec<TaggedEvent>>,
+}
+
+impl TaggingSink {
+    /// A sink for the task-generation pass (see type docs).
+    pub fn auto_gen() -> TaggingSink {
+        TaggingSink {
+            auto_task_position: true,
+            pos: AtomicU64::new(0),
+            lane: AtomicU8::new(lane::GEN),
+            seq: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A sink whose `(pos, lane)` tag is set explicitly via
+    /// [`TaggingSink::set_position`].
+    pub fn manual() -> TaggingSink {
+        TaggingSink {
+            auto_task_position: false,
+            pos: AtomicU64::new(0),
+            lane: AtomicU8::new(lane::LOAD),
+            seq: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pin the `(pos, lane)` tag for subsequently recorded events.
+    pub fn set_position(&self, pos: u64, lane: u8) {
+        self.pos.store(pos, Ordering::Relaxed);
+        self.lane.store(lane, Ordering::Relaxed);
+    }
+
+    /// Take the buffered events (the sink is left empty but reusable).
+    pub fn drain(&self) -> Vec<TaggedEvent> {
+        std::mem::take(&mut *self.events.lock().expect("tagging sink poisoned"))
+    }
+}
+
+impl EventSink for TaggingSink {
+    fn record(&self, event: &Event<'_>) {
+        let pos = self.pos.load(Ordering::Relaxed);
+        let tagged = TaggedEvent {
+            pos,
+            lane: self.lane.load(Ordering::Relaxed),
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            event: OwnedEvent::from_event(event),
+        };
+        if self.auto_task_position {
+            if let Event::TaskEmitted { .. } = event {
+                self.pos.store(pos + 1, Ordering::Relaxed);
+            }
+        }
+        self.events.lock().expect("tagging sink poisoned").push(tagged);
+    }
+}
+
+/// Stable-sort `events` by `(pos, lane, seq)` and re-emit them through
+/// `probe` — the final step of deterministic trace reduction. With tags
+/// assigned as described on [`TaggingSink`], the replayed stream is
+/// bit-identical to what a serial run would have written.
+pub fn replay_sorted(mut events: Vec<TaggedEvent>, probe: &Probe) {
+    if !probe.is_enabled() {
+        return;
+    }
+    events.sort_by_key(TaggedEvent::key);
+    for e in &events {
+        probe.emit(|| e.event.as_event());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -518,5 +779,119 @@ mod tests {
             assert!(l.starts_with("{\"event\": \""));
             assert!(l.ends_with("\"run\": \"t\"}"));
         }
+    }
+
+    #[test]
+    fn owned_event_round_trips() {
+        let events = [
+            Event::TilePlanned {
+                task: 3,
+                grow_steps: 2,
+                rejected_grows: 1,
+                fallbacks: 0,
+                meta_words: 9,
+            },
+            Event::FallbackSubdivision { task: 3, rank: 'k' },
+            Event::TaskEmitted { index: 3 },
+            Event::TaskSkipped { total_skipped: 2 },
+            Event::Fetch { tensor: "A", bytes: 64 },
+            Event::Hit { tensor: "B", bytes: 32 },
+            Event::Spill { bytes: 8 },
+            Event::Refill { bytes: 8 },
+            Event::Extraction { aggregate: 1, md_build: 2, distribute: 3 },
+            Event::Phase { phase: "load", cycles: 4, bytes: 5 },
+        ];
+        for e in &events {
+            let owned = OwnedEvent::from_event(e);
+            assert_eq!(&owned.as_event(), e, "round trip must preserve the event");
+        }
+    }
+
+    #[test]
+    fn auto_gen_sink_advances_position_on_task_emitted() {
+        let sink = Arc::new(TaggingSink::auto_gen());
+        let p = Probe::new(sink.clone());
+        p.emit(|| Event::TilePlanned {
+            task: 0,
+            grow_steps: 0,
+            rejected_grows: 0,
+            fallbacks: 0,
+            meta_words: 0,
+        });
+        p.emit(|| Event::TaskEmitted { index: 0 });
+        p.emit(|| Event::TaskSkipped { total_skipped: 1 });
+        p.emit(|| Event::TaskEmitted { index: 1 });
+        p.emit(|| Event::TaskSkipped { total_skipped: 2 });
+        let tags: Vec<(u64, u8)> = sink.drain().iter().map(|t| (t.pos, t.lane)).collect();
+        // Plan + emit of task 0 share pos 0; the inter-task skip and emit of
+        // task 1 share pos 1; the trailing skip sorts after both tasks.
+        assert_eq!(
+            tags,
+            vec![(0, lane::GEN), (0, lane::GEN), (1, lane::GEN), (1, lane::GEN), (2, lane::GEN)]
+        );
+    }
+
+    #[test]
+    fn replay_sorted_restores_serial_interleaving() {
+        // Simulate: gen events for 2 tasks in one sink, engine events for
+        // task 1 before task 0 across two "workers", merge events from a
+        // reducer sink. The replayed order must interleave per task:
+        // gen(0), load(0), merge(0), extract(0), gen(1), load(1), ...
+        let gen = Arc::new(TaggingSink::auto_gen());
+        let pg = Probe::new(gen.clone());
+        pg.emit(|| Event::TaskEmitted { index: 0 });
+        pg.emit(|| Event::TaskEmitted { index: 1 });
+
+        let w1 = Arc::new(TaggingSink::manual());
+        let p1 = Probe::new(w1.clone());
+        w1.set_position(1, lane::LOAD);
+        p1.emit(|| Event::Fetch { tensor: "A", bytes: 1 });
+        w1.set_position(1, lane::EXTRACT);
+        p1.emit(|| Event::Extraction { aggregate: 1, md_build: 0, distribute: 0 });
+
+        let w0 = Arc::new(TaggingSink::manual());
+        let p0 = Probe::new(w0.clone());
+        w0.set_position(0, lane::LOAD);
+        p0.emit(|| Event::Fetch { tensor: "A", bytes: 0 });
+        w0.set_position(0, lane::EXTRACT);
+        p0.emit(|| Event::Extraction { aggregate: 0, md_build: 0, distribute: 0 });
+
+        let red = Arc::new(TaggingSink::manual());
+        let pr = Probe::new(red.clone());
+        red.set_position(0, lane::MERGE);
+        pr.emit(|| Event::Spill { bytes: 0 });
+        red.set_position(1, lane::MERGE);
+        pr.emit(|| Event::Spill { bytes: 1 });
+        red.set_position(u64::MAX, lane::FINISH);
+        pr.emit(|| Event::Phase { phase: "writeback", cycles: 0, bytes: 0 });
+
+        let mut all = gen.drain();
+        all.extend(w1.drain());
+        all.extend(w0.drain());
+        all.extend(red.drain());
+
+        let out = Arc::new(Mutex::new(Vec::new()));
+        struct Collect(Arc<Mutex<Vec<String>>>);
+        impl EventSink for Collect {
+            fn record(&self, event: &Event<'_>) {
+                self.0.lock().expect("lock").push(event.kind().to_string());
+            }
+        }
+        replay_sorted(all, &Probe::new(Arc::new(Collect(out.clone()))));
+        let kinds = out.lock().expect("lock").clone();
+        assert_eq!(
+            kinds,
+            vec![
+                "task_emitted", // gen 0
+                "fetch",        // load 0
+                "spill",        // merge 0
+                "extraction",   // extract 0
+                "task_emitted", // gen 1
+                "fetch",
+                "spill",
+                "extraction",
+                "phase", // end-of-run
+            ]
+        );
     }
 }

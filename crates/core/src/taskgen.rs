@@ -48,6 +48,116 @@ struct Frame {
     pinned: BTreeMap<RankId, u32>,
 }
 
+/// Which tiling scheme a [`TaskStream`] uses to size each task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TileScheme {
+    /// Dynamic reflexive tiling: sizes chosen online per task (paper §3).
+    Drt,
+    /// Static S-U-C tiling with fixed coordinate tile sizes per rank.
+    Suc(BTreeMap<RankId, u32>),
+}
+
+/// Everything [`TaskStream::build`] needs besides the kernel: the one
+/// construction path shared by DRT, S-U-C, whole-space, and
+/// region-restricted streams.
+///
+/// ```rust
+/// # use drt_core::config::{DrtConfig, Partitions};
+/// # use drt_core::kernel::Kernel;
+/// # use drt_core::taskgen::{TaskGenOptions, TaskStream};
+/// # use drt_workloads::patterns::diamond_band;
+/// # fn main() -> Result<(), drt_core::CoreError> {
+/// let a = diamond_band(64, 1200, 3);
+/// let kernel = Kernel::spmspm(&a, &a, (8, 8))?;
+/// let cfg = DrtConfig::new(Partitions::split(8192, &[("A", 0.3), ("B", 0.5), ("Z", 0.2)]));
+/// let stream = TaskStream::build(&kernel, TaskGenOptions::drt(&['j', 'k', 'i'], cfg))?;
+/// assert!(stream.count() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskGenOptions {
+    /// Dataflow loop order, outermost first.
+    pub loop_order: Vec<RankId>,
+    /// Buffer partitions, growth policy, and size model.
+    pub config: DrtConfig,
+    /// Tiling scheme (DRT or fixed-shape S-U-C).
+    pub scheme: TileScheme,
+    /// Grid-unit sub-region to cover; `None` = the whole kernel space.
+    pub region: Option<BTreeMap<RankId, Range<u32>>>,
+    /// Instrumentation probe (disabled by default).
+    pub probe: Probe,
+}
+
+impl TaskGenOptions {
+    /// Options for a DRT stream over the whole kernel.
+    pub fn drt(loop_order: &[RankId], config: DrtConfig) -> TaskGenOptions {
+        TaskGenOptions {
+            loop_order: loop_order.to_vec(),
+            config,
+            scheme: TileScheme::Drt,
+            region: None,
+            probe: Probe::disabled(),
+        }
+    }
+
+    /// Options for a fixed-shape S-U-C stream (tile sizes in coordinates).
+    pub fn suc(
+        loop_order: &[RankId],
+        config: DrtConfig,
+        tile_sizes: &BTreeMap<RankId, u32>,
+    ) -> TaskGenOptions {
+        TaskGenOptions {
+            loop_order: loop_order.to_vec(),
+            config,
+            scheme: TileScheme::Suc(tile_sizes.clone()),
+            region: None,
+            probe: Probe::disabled(),
+        }
+    }
+
+    /// Restrict the stream to a grid-unit sub-region (the hierarchical
+    /// case, paper §3.2.1).
+    #[must_use]
+    pub fn in_region(mut self, region: &BTreeMap<RankId, Range<u32>>) -> TaskGenOptions {
+        self.region = Some(region.clone());
+        self
+    }
+
+    /// Attach an instrumentation probe.
+    #[must_use]
+    pub fn with_probe(mut self, probe: Probe) -> TaskGenOptions {
+        self.probe = probe;
+        self
+    }
+}
+
+/// Split `n_tasks` into `shards` contiguous index ranges whose union is
+/// `0..n_tasks`, balanced to within one task. Used by the sharded engine
+/// to statically chunk a materialized task list; the result depends only
+/// on the two inputs, so shard layout is deterministic.
+///
+/// Fewer than `shards` ranges are returned when there aren't enough tasks
+/// (never an empty range); `shards == 0` is treated as 1.
+pub fn shard_bounds(n_tasks: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1).min(n_tasks.max(1));
+    if n_tasks == 0 {
+        // One empty shard (not "a Vec of the range 0..0" — lint is wrong here).
+        return vec![Range { start: 0, end: 0 }];
+    }
+    let base = n_tasks / shards;
+    let extra = n_tasks % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n_tasks);
+    out
+}
+
 /// Lazy stream of tasks covering a kernel's full iteration space (or a
 /// sub-region, for hierarchical tiling).
 ///
@@ -56,7 +166,7 @@ struct Frame {
 /// ```rust
 /// use drt_core::config::{DrtConfig, Partitions};
 /// use drt_core::kernel::Kernel;
-/// use drt_core::taskgen::TaskStream;
+/// use drt_core::taskgen::{TaskGenOptions, TaskStream};
 /// use drt_workloads::patterns::diamond_band;
 ///
 /// # fn main() -> Result<(), drt_core::CoreError> {
@@ -64,7 +174,7 @@ struct Frame {
 /// let kernel = Kernel::spmspm(&a, &a, (8, 8))?;
 /// let cfg = DrtConfig::new(Partitions::split(8192, &[("A", 0.3), ("B", 0.5), ("Z", 0.2)]));
 /// let mut covered = 0u64;
-/// for task in TaskStream::drt(&kernel, &['j', 'k', 'i'], cfg)? {
+/// for task in TaskStream::build(&kernel, TaskGenOptions::drt(&['j', 'k', 'i'], cfg))? {
 ///     covered += task
 ///         .plan
 ///         .grid_ranges
@@ -89,90 +199,106 @@ pub struct TaskStream<'k> {
 }
 
 impl<'k> TaskStream<'k> {
+    /// The one construction path for every stream flavor: DRT or S-U-C,
+    /// whole-space or region-restricted, probed or not — all selected via
+    /// [`TaskGenOptions`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::BadLoopOrder`] for invalid loop orders.
+    /// * DRT: [`CoreError::TileTooLarge`] when some tensor's densest micro
+    ///   tile cannot fit its partition (no tiling could make progress).
+    /// * S-U-C: [`CoreError::ShapeOverflowsBuffer`] when the fixed shape
+    ///   violates the worst-case-dense capacity rule.
+    pub fn build(kernel: &'k Kernel, opts: TaskGenOptions) -> Result<TaskStream<'k>, CoreError> {
+        let TaskGenOptions { loop_order, config, scheme, region, probe } = opts;
+        kernel.validate_loop_order(&loop_order)?;
+        let mode = match scheme {
+            TileScheme::Drt => {
+                for b in kernel.inputs() {
+                    let minimal =
+                        b.grid.max_tile_footprint() as u64 + b.grid.macro_meta_bytes(1, 1);
+                    let partition = config.partitions.get(&b.name);
+                    if minimal > partition {
+                        return Err(CoreError::TileTooLarge {
+                            tensor: b.name.clone(),
+                            needed: minimal,
+                            partition,
+                        });
+                    }
+                }
+                Mode::Drt
+            }
+            TileScheme::Suc(tile_sizes) => {
+                suc::validate_shape(kernel, &tile_sizes, &config.partitions, &config.size_model)?;
+                // Fixed sizes are given in coordinates; round down to whole
+                // micro tiles (at least one).
+                let grid_sizes: BTreeMap<RankId, u32> = tile_sizes
+                    .iter()
+                    .map(|(&r, &coords)| (r, (coords / kernel.micro_step(r)).max(1)))
+                    .collect();
+                Mode::Suc(grid_sizes)
+            }
+        };
+        let region = region.unwrap_or_else(|| full_region(kernel));
+        Ok(TaskStream {
+            kernel,
+            order: loop_order,
+            config,
+            mode,
+            stack: vec![Frame { region, pinned: BTreeMap::new() }],
+            emitted: 0,
+            skipped_empty: 0,
+            probe,
+        })
+    }
+
     /// A DRT task stream over the whole kernel.
     ///
     /// # Errors
     ///
-    /// Fails fast with [`CoreError::TileTooLarge`] when some tensor's
-    /// densest micro tile cannot fit its partition (no tiling could make
-    /// progress), or [`CoreError::BadLoopOrder`] for invalid orders.
+    /// See [`TaskStream::build`].
+    #[deprecated(note = "use TaskStream::build(kernel, TaskGenOptions::drt(loop_order, config))")]
     pub fn drt(
         kernel: &'k Kernel,
         loop_order: &[RankId],
         config: DrtConfig,
     ) -> Result<TaskStream<'k>, CoreError> {
-        Self::drt_in_region(kernel, loop_order, config, &full_region(kernel))
+        Self::build(kernel, TaskGenOptions::drt(loop_order, config))
     }
 
-    /// A DRT task stream restricted to a grid-unit sub-region — the
-    /// hierarchical case (paper §3.2.1): an outer-level task's ranges
-    /// become the region an inner-level stream subdivides with smaller
-    /// partitions.
+    /// A DRT task stream restricted to a grid-unit sub-region.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`TaskStream::drt`].
+    /// See [`TaskStream::build`].
+    #[deprecated(
+        note = "use TaskStream::build(kernel, TaskGenOptions::drt(loop_order, config).in_region(region))"
+    )]
     pub fn drt_in_region(
         kernel: &'k Kernel,
         loop_order: &[RankId],
         config: DrtConfig,
         region: &BTreeMap<RankId, Range<u32>>,
     ) -> Result<TaskStream<'k>, CoreError> {
-        kernel.validate_loop_order(loop_order)?;
-        for b in kernel.inputs() {
-            let minimal = b.grid.max_tile_footprint() as u64 + b.grid.macro_meta_bytes(1, 1);
-            let partition = config.partitions.get(&b.name);
-            if minimal > partition {
-                return Err(CoreError::TileTooLarge {
-                    tensor: b.name.clone(),
-                    needed: minimal,
-                    partition,
-                });
-            }
-        }
-        Ok(TaskStream {
-            kernel,
-            order: loop_order.to_vec(),
-            config,
-            mode: Mode::Drt,
-            stack: vec![Frame { region: region.clone(), pinned: BTreeMap::new() }],
-            emitted: 0,
-            skipped_empty: 0,
-            probe: Probe::disabled(),
-        })
+        Self::build(kernel, TaskGenOptions::drt(loop_order, config).in_region(region))
     }
 
     /// An S-U-C task stream with fixed tile sizes (in coordinates).
     ///
-    /// Sizes are rounded down to whole micro tiles (at least one). The
-    /// worst-case-dense capacity rule is enforced up front.
-    ///
     /// # Errors
     ///
-    /// Returns [`CoreError::ShapeOverflowsBuffer`] when the shape violates
-    /// the dense rule, plus the conditions of [`TaskStream::drt`].
+    /// See [`TaskStream::build`].
+    #[deprecated(
+        note = "use TaskStream::build(kernel, TaskGenOptions::suc(loop_order, config, tile_sizes))"
+    )]
     pub fn suc(
         kernel: &'k Kernel,
         loop_order: &[RankId],
         config: DrtConfig,
         tile_sizes: &BTreeMap<RankId, u32>,
     ) -> Result<TaskStream<'k>, CoreError> {
-        kernel.validate_loop_order(loop_order)?;
-        suc::validate_shape(kernel, tile_sizes, &config.partitions, &config.size_model)?;
-        let grid_sizes: BTreeMap<RankId, u32> = tile_sizes
-            .iter()
-            .map(|(&r, &coords)| (r, (coords / kernel.micro_step(r)).max(1)))
-            .collect();
-        Ok(TaskStream {
-            kernel,
-            order: loop_order.to_vec(),
-            config,
-            mode: Mode::Suc(grid_sizes),
-            stack: vec![Frame { region: full_region(kernel), pinned: BTreeMap::new() }],
-            emitted: 0,
-            skipped_empty: 0,
-            probe: Probe::disabled(),
-        })
+        Self::build(kernel, TaskGenOptions::suc(loop_order, config, tile_sizes))
     }
 
     /// Builder-style: attach an instrumentation probe. Tile plans, emitted
@@ -443,7 +569,8 @@ mod tests {
         let m = diamond_band(48, 1800, 1);
         let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
         let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 4000), ("B", 4000), ("Z", 0)]));
-        let mut stream = TaskStream::drt(&k, &['j', 'k', 'i'], cfg).expect("stream");
+        let mut stream =
+            TaskStream::build(&k, TaskGenOptions::drt(&['j', 'k', 'i'], cfg)).expect("stream");
         let tasks: Vec<Task> = (&mut stream).collect();
         assert!(!tasks.is_empty());
         coverage_check(&k, &tasks, true);
@@ -457,7 +584,8 @@ mod tests {
         let m = unstructured(96, 96, 400, 2.0, 2);
         let k = Kernel::spmspm(&m, &m, (8, 8)).expect("valid");
         let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 2048), ("B", 2048), ("Z", 0)]));
-        let mut stream = TaskStream::drt(&k, &['j', 'k', 'i'], cfg).expect("stream");
+        let mut stream =
+            TaskStream::build(&k, TaskGenOptions::drt(&['j', 'k', 'i'], cfg)).expect("stream");
         let tasks: Vec<Task> = (&mut stream).collect();
         coverage_check(&k, &tasks, true);
         // All emitted tasks are non-empty.
@@ -476,7 +604,8 @@ mod tests {
         let m = diamond_band(40, 1200, 3);
         let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
         let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 3000), ("B", 3000), ("Z", 0)]));
-        let mut stream = TaskStream::drt(&k, &['j', 'k', 'i'], cfg).expect("stream");
+        let mut stream =
+            TaskStream::build(&k, TaskGenOptions::drt(&['j', 'k', 'i'], cfg)).expect("stream");
         let tasks: Vec<Task> = (&mut stream).collect();
         // Sum of per-task A-tile nnz over all (i,k) boxes, for a fixed j
         // sweep, equals A's nnz once per distinct j chunk.
@@ -498,7 +627,8 @@ mod tests {
         let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
         let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 4000), ("B", 4000), ("Z", 0)]));
         let sizes = BTreeMap::from([('i', 8u32), ('k', 8), ('j', 8)]);
-        let mut stream = TaskStream::suc(&k, &['j', 'k', 'i'], cfg, &sizes).expect("stream");
+        let mut stream = TaskStream::build(&k, TaskGenOptions::suc(&['j', 'k', 'i'], cfg, &sizes))
+            .expect("stream");
         let tasks: Vec<Task> = (&mut stream).collect();
         // All emitted S-U-C tasks have the same shape (except edge tiles).
         for t in &tasks {
@@ -516,7 +646,7 @@ mod tests {
         let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 100), ("B", 100), ("Z", 0)]));
         let sizes = BTreeMap::from([('i', 64u32), ('k', 64), ('j', 64)]);
         assert!(matches!(
-            TaskStream::suc(&k, &['j', 'k', 'i'], cfg, &sizes),
+            TaskStream::build(&k, TaskGenOptions::suc(&['j', 'k', 'i'], cfg, &sizes)),
             Err(CoreError::ShapeOverflowsBuffer { .. })
         ));
     }
@@ -527,7 +657,7 @@ mod tests {
         let k = Kernel::spmspm(&m, &m, (8, 8)).expect("valid");
         let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 8), ("B", 8), ("Z", 0)]));
         assert!(matches!(
-            TaskStream::drt(&k, &['j', 'k', 'i'], cfg),
+            TaskStream::build(&k, TaskGenOptions::drt(&['j', 'k', 'i'], cfg)),
             Err(CoreError::TileTooLarge { .. })
         ));
     }
@@ -539,7 +669,8 @@ mod tests {
         let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
         let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 600), ("B", 600), ("Z", 0)]));
         let sizes = BTreeMap::from([('i', 4u32), ('k', 4), ('j', 4)]);
-        let mut stream = TaskStream::suc(&k, &['j', 'k', 'i'], cfg, &sizes).expect("stream");
+        let mut stream = TaskStream::build(&k, TaskGenOptions::suc(&['j', 'k', 'i'], cfg, &sizes))
+            .expect("stream");
         let tasks: Vec<Task> = (&mut stream).collect();
         assert!(stream.skipped_empty() > 0, "sparse grid must have empty tasks");
         for t in &tasks {
@@ -555,15 +686,21 @@ mod tests {
         let m = unstructured(128, 128, 600, 2.0, 8);
         let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
         let parts = Partitions::from_bytes(&[("A", 2048), ("B", 2048), ("Z", 0)]);
-        let drt_tasks = TaskStream::drt(&k, &['j', 'k', 'i'], DrtConfig::new(parts.clone()))
-            .expect("stream")
-            .count();
+        let drt_tasks = TaskStream::build(
+            &k,
+            TaskGenOptions::drt(&['j', 'k', 'i'], DrtConfig::new(parts.clone())),
+        )
+        .expect("stream")
+        .count();
         // Best dense-safe S-U-C shape for 2048 bytes is about 12x12; use 12
         // rounded to micro multiples (12 coords = 3 micro tiles).
         let sizes = BTreeMap::from([('i', 12u32), ('k', 12), ('j', 12)]);
-        let suc_tasks = TaskStream::suc(&k, &['j', 'k', 'i'], DrtConfig::new(parts), &sizes)
-            .expect("stream")
-            .count();
+        let suc_tasks = TaskStream::build(
+            &k,
+            TaskGenOptions::suc(&['j', 'k', 'i'], DrtConfig::new(parts), &sizes),
+        )
+        .expect("stream")
+        .count();
         assert!(
             drt_tasks < suc_tasks,
             "DRT ({drt_tasks}) should need fewer tasks than S-U-C ({suc_tasks})"
@@ -583,7 +720,8 @@ mod tests {
             ("B", 100_000), // effectively unlimited: k and j grow huge
             ("Z", 0),
         ]));
-        let mut stream = TaskStream::drt(&k, &['j', 'k', 'i'], cfg).expect("stream");
+        let mut stream =
+            TaskStream::build(&k, TaskGenOptions::drt(&['j', 'k', 'i'], cfg)).expect("stream");
         let tasks: Vec<Task> = (&mut stream).collect();
         assert!(
             tasks.iter().any(|t| t.plan.trace.fallbacks > 0 || t.plan.partial_rank.is_some()),
@@ -600,12 +738,35 @@ mod tests {
     }
 
     #[test]
+    fn shard_bounds_partition_exactly() {
+        for (n, s) in [(0usize, 4usize), (1, 4), (7, 3), (8, 4), (100, 7), (5, 1), (3, 0)] {
+            let bounds = shard_bounds(n, s);
+            assert!(!bounds.is_empty());
+            let mut expect = 0usize;
+            for r in &bounds {
+                assert_eq!(r.start, expect, "shards must be contiguous");
+                assert!(n == 0 || !r.is_empty(), "no empty shards for nonempty task lists");
+                expect = r.end;
+            }
+            assert_eq!(expect, n, "shards must cover 0..{n}");
+            if n > 0 {
+                let sizes: Vec<usize> = bounds.iter().map(Range::len).collect();
+                let (min, max) =
+                    (sizes.iter().min().expect("min"), sizes.iter().max().expect("max"));
+                assert!(max - min <= 1, "shards balanced to within one task: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
     fn region_restricted_stream_stays_in_region() {
         let m = unstructured(64, 64, 300, 2.0, 9);
         let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
         let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 800), ("B", 800), ("Z", 0)]));
         let region = BTreeMap::from([('i', 2u32..10u32), ('k', 0..8), ('j', 4..12)]);
-        let stream = TaskStream::drt_in_region(&k, &['j', 'k', 'i'], cfg, &region).expect("stream");
+        let stream =
+            TaskStream::build(&k, TaskGenOptions::drt(&['j', 'k', 'i'], cfg).in_region(&region))
+                .expect("stream");
         for t in stream {
             assert!(t.plan.grid_ranges[&'i'].start >= 2 && t.plan.grid_ranges[&'i'].end <= 10);
             assert!(t.plan.grid_ranges[&'k'].end <= 8);

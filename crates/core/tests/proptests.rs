@@ -5,7 +5,7 @@ use drt_core::config::{DrtConfig, GrowthOrder, Partitions};
 use drt_core::drt::{plan_tile, plan_tile_with_mode, MeasureMode};
 use drt_core::kernel::Kernel;
 use drt_core::micro::MicroGrid;
-use drt_core::taskgen::TaskStream;
+use drt_core::taskgen::{TaskGenOptions, TaskStream};
 use drt_tensor::{CsMatrix, CsfTensor, MajorAxis};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -80,7 +80,7 @@ proptest! {
         let growth = if growth_alt { GrowthOrder::Alternating } else { GrowthOrder::ContractedFirst };
         let cfg = DrtConfig::new(Partitions::split(6_000, &[("A", 0.35), ("B", 0.45), ("Z", 0.2)]))
             .with_growth(growth);
-        let stream = match TaskStream::drt(&kernel, &['j', 'k', 'i'], cfg) {
+        let stream = match TaskStream::build(&kernel, TaskGenOptions::drt(&['j', 'k', 'i'], cfg)) {
             Ok(s) => s,
             Err(_) => return Ok(()),
         };

@@ -65,6 +65,20 @@ pub struct ActionCounts {
     pub extractor_words: u64,
 }
 
+impl ActionCounts {
+    /// Accumulate another run's counts; every field is a commutative sum,
+    /// so shard reports can be merged in any order.
+    pub fn add(&mut self, other: &ActionCounts) {
+        self.dram_bytes += other.dram_bytes;
+        self.llb_bytes += other.llb_bytes;
+        self.pe_buf_bytes += other.pe_buf_bytes;
+        self.maccs += other.maccs;
+        self.intersect_steps += other.intersect_steps;
+        self.noc_bytes += other.noc_bytes;
+        self.extractor_words += other.extractor_words;
+    }
+}
+
 impl EnergyModel {
     /// Total energy in joules for the given action counts.
     pub fn energy_joules(&self, c: &ActionCounts) -> f64 {
@@ -156,6 +170,18 @@ impl AreaModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn action_counts_add_is_fieldwise_sum() {
+        let mut a = ActionCounts { dram_bytes: 1, llb_bytes: 2, maccs: 3, ..Default::default() };
+        let b = ActionCounts { dram_bytes: 10, noc_bytes: 5, extractor_words: 7, ..a };
+        a.add(&b);
+        assert_eq!(a.dram_bytes, 11);
+        assert_eq!(a.llb_bytes, 4);
+        assert_eq!(a.maccs, 6);
+        assert_eq!(a.noc_bytes, 5);
+        assert_eq!(a.extractor_words, 7);
+    }
 
     #[test]
     fn dram_dominates_energy_for_memory_bound_runs() {

@@ -5,10 +5,13 @@
 //! cargo run -p drt-examples --release --bin quickstart
 //! ```
 
+use drt_accel::session::Session;
+use drt_accel::spec::AccelSpec;
 use drt_core::config::{DrtConfig, Partitions};
 use drt_core::kernel::Kernel;
 use drt_core::suc::candidate_shapes;
-use drt_core::taskgen::TaskStream;
+use drt_core::taskgen::{TaskGenOptions, TaskStream};
+use drt_sim::memory::HierarchySpec;
 use drt_tensor::stats::{occupancy_cv, tile_occupancy_grid};
 use drt_workloads::patterns::unstructured;
 use std::error::Error;
@@ -41,7 +44,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         DrtConfig::new(Partitions::split(32 * 1024, &[("A", 0.05), ("B", 0.45), ("Z", 0.5)]));
     let order = ['j', 'k', 'i'];
     let mut drt_tasks = Vec::new();
-    let mut stream = TaskStream::drt(&kernel, &order, config.clone())?;
+    let mut stream = TaskStream::build(&kernel, TaskGenOptions::drt(&order, config.clone()))?;
     for task in &mut stream {
         drt_tasks.push(task);
     }
@@ -84,9 +87,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         candidate_shapes(&kernel, &suc_config.partitions, &suc_config.size_model)
             .into_iter()
             .map(|s| {
-                let n = TaskStream::suc(&kernel, &order, suc_config.clone(), &s)
-                    .map(Iterator::count)
-                    .unwrap_or(usize::MAX);
+                let n =
+                    TaskStream::build(&kernel, TaskGenOptions::suc(&order, suc_config.clone(), &s))
+                        .map(Iterator::count)
+                        .unwrap_or(usize::MAX);
                 (s, n)
             })
             .min_by_key(|&(_, n)| n)
@@ -100,6 +104,25 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     println!(
         "fewer tasks = fewer buffer fills = less DRAM traffic — that is the paper's headline."
+    );
+
+    // 5. Simulate a full accelerator run through the unified Session API —
+    //    the one blessed entry point for SpMSpM runs. `threads(n)` shards
+    //    the engine across workers; the deterministic reduction guarantees
+    //    the report is bit-identical to the serial run.
+    let hier = HierarchySpec::default().scaled_down(64);
+    let serial = Session::new(AccelSpec::extensor_op_drt()).hierarchy(&hier).run_spmspm(&a, &a)?;
+    let sharded = Session::new(AccelSpec::extensor_op_drt())
+        .hierarchy(&hier)
+        .threads(4)
+        .run_spmspm(&a, &a)?;
+    assert!(serial.bit_diff(&sharded).is_none(), "thread count must not change the numbers");
+    println!(
+        "\nExTensor-OP-DRT simulation: {} tasks, {} B DRAM traffic, {:.3} ms simulated \
+         (bit-identical on 1 and 4 threads)",
+        serial.tasks,
+        serial.traffic.total(),
+        serial.seconds * 1e3
     );
     Ok(())
 }

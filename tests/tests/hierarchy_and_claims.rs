@@ -4,7 +4,7 @@
 use drt_core::config::{DrtConfig, Partitions};
 use drt_core::kernel::Kernel;
 use drt_core::occupancy::OccupancyProbe;
-use drt_core::taskgen::TaskStream;
+use drt_core::taskgen::{TaskGenOptions, TaskStream};
 use drt_sim::memory::{BufferSpec, HierarchySpec};
 use drt_workloads::suite::Catalog;
 
@@ -38,14 +38,18 @@ fn occupancy_claim_holds_on_catalog_surrogates() {
         let cfg = DrtConfig::new(parts.clone());
 
         let mut drt_probe = OccupancyProbe::new();
-        for t in TaskStream::drt(&kernel, &['j', 'k', 'i'], cfg.clone()).expect("drt") {
+        for t in TaskStream::build(&kernel, TaskGenOptions::drt(&['j', 'k', 'i'], cfg.clone()))
+            .expect("drt")
+        {
             drt_probe.record(&t, &parts);
         }
         let mut candidates = drt_core::suc::candidate_shapes(&kernel, &parts, &Default::default());
         candidates.sort_by_key(|s| s.values().map(|&v| v as u64).product::<u64>());
         let sizes = candidates.pop().expect("some dense-safe shape exists");
         let mut suc_probe = OccupancyProbe::new();
-        for t in TaskStream::suc(&kernel, &['j', 'k', 'i'], cfg, &sizes).expect("suc") {
+        for t in TaskStream::build(&kernel, TaskGenOptions::suc(&['j', 'k', 'i'], cfg, &sizes))
+            .expect("suc")
+        {
             suc_probe.record(&t, &parts);
         }
         let d = drt_probe.stats()["B"];

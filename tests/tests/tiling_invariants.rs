@@ -3,10 +3,11 @@
 //! capacity limits hold, co-tiling is exact, and the engine's functional
 //! output is independent of every tiling knob.
 
-use drt_accel::engine::{run_spmspm, EngineConfig, Tiling};
+use drt_accel::engine::{EngineConfig, Tiling};
+use drt_accel::session::Session;
 use drt_core::config::{DrtConfig, GrowthOrder, Partitions};
 use drt_core::kernel::Kernel;
-use drt_core::taskgen::TaskStream;
+use drt_core::taskgen::{TaskGenOptions, TaskStream};
 use drt_kernels::spmspm::gustavson;
 use drt_sim::memory::{BufferSpec, HierarchySpec};
 use drt_tensor::{CsMatrix, MajorAxis};
@@ -16,6 +17,14 @@ use std::collections::BTreeMap;
 fn arb_matrix(dim: u32, max_nnz: usize) -> impl Strategy<Value = CsMatrix> {
     proptest::collection::vec((0..dim, 0..dim, 0.1..1.0f64), 1..max_nnz)
         .prop_map(move |entries| CsMatrix::from_entries(dim, dim, entries, MajorAxis::Row))
+}
+
+fn run(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    cfg: &EngineConfig,
+) -> Result<drt_accel::report::RunReport, drt_core::CoreError> {
+    Session::from_engine_config(cfg.clone()).run_spmspm(a, b)
 }
 
 fn small_hier() -> HierarchySpec {
@@ -36,7 +45,7 @@ proptest! {
         let cfg = DrtConfig::new(parts.clone());
         // A partition too small for one micro tile is rejected up front;
         // skip those inputs.
-        if let Ok(mut stream) = TaskStream::drt(&kernel, &['j', 'k', 'i'], cfg) {
+        if let Ok(mut stream) = TaskStream::build(&kernel, TaskGenOptions::drt(&['j', 'k', 'i'], cfg)) {
             let tasks: Vec<_> = (&mut stream).collect();
             let mut covered = std::collections::HashSet::new();
             for t in &tasks {
@@ -77,14 +86,14 @@ proptest! {
             let cfg = EngineConfig {
                 micro: (micro, micro),
                 hier: small_hier(),
-                ..EngineConfig::new(
+                ..EngineConfig::new((
                     "prop",
                     Tiling::Drt,
                     DrtConfig::new(parts.clone()).with_growth(growth),
-                )
+                ))
             };
             // Infeasible partitions for this micro shape are skipped.
-            if let Ok(r) = run_spmspm(&a, &a, &cfg) {
+            if let Ok(r) = run(&a, &a, &cfg) {
                 prop_assert!(
                     r.output.as_ref().unwrap().approx_eq(&reference, 1e-9),
                     "output changed under micro={micro}, growth={growth:?}"
@@ -102,10 +111,10 @@ proptest! {
         let mk = |tiling| EngineConfig {
             micro: (8, 8),
             hier: small_hier(),
-            ..EngineConfig::new("prop", tiling, DrtConfig::new(parts.clone()))
+            ..EngineConfig::new(("prop", tiling, DrtConfig::new(parts.clone())))
         };
-        let suc = run_spmspm(&a, &a, &mk(Tiling::Suc(sizes))).unwrap();
-        let drt = run_spmspm(&a, &a, &mk(Tiling::Drt)).unwrap();
+        let suc = run(&a, &a, &mk(Tiling::Suc(sizes))).unwrap();
+        let drt = run(&a, &a, &mk(Tiling::Drt)).unwrap();
         prop_assert!(suc.output.as_ref().unwrap().approx_eq(&reference, 1e-9));
         prop_assert!(drt.output.as_ref().unwrap().approx_eq(&reference, 1e-9));
         prop_assert_eq!(suc.maccs, drt.maccs);
@@ -120,9 +129,9 @@ proptest! {
                 micro: (8, 8),
                 loop_order: order.to_vec(),
                 hier: small_hier(),
-                ..EngineConfig::new("prop", Tiling::Drt, DrtConfig::new(parts.clone()))
+                ..EngineConfig::new(("prop", Tiling::Drt, DrtConfig::new(parts.clone())))
             };
-            if let Ok(r) = run_spmspm(&a, &a, &cfg) { prop_assert!(
+            if let Ok(r) = run(&a, &a, &cfg) { prop_assert!(
                 r.output.as_ref().unwrap().approx_eq(&reference, 1e-9),
                 "output changed under loop order {order:?}"
             ) }
