@@ -1037,7 +1037,9 @@ mod tests {
 
     impl std::io::Write for SharedBuf {
         fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-            self.0.lock().unwrap().extend_from_slice(buf);
+            // Recover a poisoned guard: a panicking worker must not cascade
+            // into a second panic in whoever reads the trace back.
+            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).extend_from_slice(buf);
             Ok(buf.len())
         }
         fn flush(&mut self) -> std::io::Result<()> {
@@ -1049,7 +1051,10 @@ mod tests {
         let buf = SharedBuf::default();
         let sink = Arc::new(JsonlSink::new(Box::new(buf.clone())));
         let r = run_spmspm_exec(a, a, cfg, &Probe::new(sink), exec).expect("run");
-        let text = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf8");
+        let text = String::from_utf8(
+            buf.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone(),
+        )
+        .expect("utf8");
         (r, text)
     }
 

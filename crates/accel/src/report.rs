@@ -124,6 +124,21 @@ impl RunReport {
         baseline.seconds / self.seconds
     }
 
+    /// The phase-partition invariant: per-phase bytes must partition the
+    /// total DRAM traffic — every counted byte attributed to exactly one
+    /// pipeline phase. `None` when it holds; otherwise a description of
+    /// the imbalance.
+    pub fn phase_partition_violation(&self) -> Option<String> {
+        let phase_bytes = self.phases.total_bytes();
+        let traffic_bytes = self.traffic.total();
+        (phase_bytes != traffic_bytes).then(|| {
+            format!(
+                "{}: phase bytes {} != traffic total {} (breakdown {:?})",
+                self.name, phase_bytes, traffic_bytes, self.phases
+            )
+        })
+    }
+
     /// First field (if any) on which two reports differ at the bit level;
     /// `None` means bit-identical (floats compared via `to_bits`, outputs
     /// entry-for-entry). This is the parallel determinism contract: a

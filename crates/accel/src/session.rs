@@ -129,6 +129,35 @@ impl Session {
             Target::Config(cfg) => run_spmspm_exec(a, b, cfg, &self.ctx.probe, &self.ctx.exec),
         }
     }
+
+    /// The declarative spec this session targets, when built from one
+    /// (`None` for [`Session::from_engine_config`] sessions).
+    pub fn spec(&self) -> Option<&AccelSpec> {
+        match &self.target {
+            Target::Spec(spec) => Some(spec),
+            Target::Config(_) => None,
+        }
+    }
+
+    /// The concrete engine configuration a `run_spmspm(a, b)` call would
+    /// execute, with data-dependent knobs (S-U-C sweep winner, adapt-micro
+    /// halving) resolved the same way the run resolves them. `None` for
+    /// analytic variants. External checkers use this to rebuild the run's
+    /// task stream and audit it against the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tiling configuration errors, exactly as the run would.
+    pub fn resolved_engine_config(
+        &self,
+        a: &CsMatrix,
+        b: &CsMatrix,
+    ) -> Result<Option<EngineConfig>, CoreError> {
+        match &self.target {
+            Target::Spec(spec) => spec.resolved_engine_config(a, b, &self.ctx),
+            Target::Config(cfg) => Ok(Some(cfg.clone())),
+        }
+    }
 }
 
 #[cfg(test)]

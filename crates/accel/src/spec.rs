@@ -270,6 +270,20 @@ pub fn llc_hierarchy(spec: &CpuSpec) -> HierarchySpec {
     }
 }
 
+/// The engine's configuration-time feasibility check, without running:
+/// build the kernel and task stream (whose constructors enforce the
+/// micro-tile and worst-case-dense capacity rules) and discard them.
+fn engine_preflight(a: &CsMatrix, b: &CsMatrix, cfg: &EngineConfig) -> Result<(), CoreError> {
+    use drt_core::kernel::Kernel;
+    use drt_core::taskgen::{TaskGenOptions, TaskStream};
+    let kernel = Kernel::spmspm_fmt(a, b, cfg.micro, cfg.micro_format)?;
+    let opts = match &cfg.tiling {
+        Tiling::Suc(sizes) => TaskGenOptions::suc(&cfg.loop_order, cfg.drt.clone(), sizes),
+        Tiling::Drt => TaskGenOptions::drt(&cfg.loop_order, cfg.drt.clone()),
+    };
+    TaskStream::build(&kernel, opts).map(|_| ())
+}
+
 impl AccelSpec {
     /// Run this variant on `Z = A · B`.
     ///
@@ -338,6 +352,53 @@ impl AccelSpec {
             extractor: es.extractor,
             ideal_on_chip: es.ideal_on_chip,
         }
+    }
+
+    /// The concrete [`EngineConfig`] a `run(a, b, ctx)` call would
+    /// execute, with every data-dependent knob resolved: the S-U-C sweep's
+    /// winning shape (found by running the sweep, as `run` does) and the
+    /// adapt-micro halving (resolved by the same capacity preflight the
+    /// engine applies). `None` for analytic (non-engine) variants.
+    ///
+    /// This is the introspection hook external checkers (`drt-verify`)
+    /// use to rebuild a run's task stream and audit tile footprints and
+    /// output-space coverage against the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tiling configuration errors, exactly as `run` would.
+    pub fn resolved_engine_config(
+        &self,
+        a: &CsMatrix,
+        b: &CsMatrix,
+        ctx: &RunCtx,
+    ) -> Result<Option<EngineConfig>, CoreError> {
+        let SpecKind::Engine(es) = &self.kind else {
+            return Ok(None);
+        };
+        let hier = if es.hier_from_cpu { llc_hierarchy(&ctx.cpu) } else { ctx.hier };
+        let mut cfg = self.engine_config(es, &hier);
+        match &es.tiling {
+            TilingSpec::SucSweep { candidates } => {
+                let (_, shape) = run_spmspm_best_suc_exec(a, b, &cfg, *candidates, &ctx.exec)?;
+                let q = shape.values().copied().min().unwrap_or(32).clamp(1, 32);
+                cfg.micro = (q, q);
+                cfg.tiling = Tiling::Suc(shape);
+            }
+            TilingSpec::Drt if es.adapt_micro => {
+                let mut m = cfg.micro.0.max(cfg.micro.1);
+                loop {
+                    cfg.micro = (m, m);
+                    match engine_preflight(a, b, &cfg) {
+                        Err(CoreError::TileTooLarge { .. }) if m >= 4 => m /= 2,
+                        Err(e) => return Err(e),
+                        Ok(()) => break,
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(Some(cfg))
     }
 
     fn run_engine(

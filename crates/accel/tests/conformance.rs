@@ -161,7 +161,9 @@ struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl std::io::Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.lock().unwrap().extend_from_slice(buf);
+        // Recover a poisoned guard so one worker's panic reports cleanly
+        // instead of cascading when the trace is read back.
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).extend_from_slice(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -185,7 +187,7 @@ fn every_variant_trace_identical_across_thread_counts() {
             .probe(Probe::new(sink))
             .run_spmspm(&a, &a)
             .unwrap_or_else(|err| panic!("{}: traced run failed: {err:?}", spec.name));
-        let bytes = buf.0.lock().unwrap().clone();
+        let bytes = buf.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
         String::from_utf8(bytes).expect("utf8 trace")
     };
     for spec in Registry::standard().iter() {

@@ -11,6 +11,7 @@ use crate::micro::{MicroFormat, MicroGrid};
 use crate::{CoreError, RankId};
 use drt_tensor::{CsMatrix, CsfTensor};
 use std::collections::BTreeMap;
+use std::ops::Range;
 
 /// One input tensor bound to ranks.
 #[derive(Debug, Clone)]
@@ -200,6 +201,25 @@ impl Kernel {
     /// Panics when the rank is not part of this kernel.
     pub fn micro_step(&self, r: RankId) -> u32 {
         self.micro_steps[&r]
+    }
+
+    /// Grid extent of a rank: how many micro-tile units span it (at least
+    /// one, even for zero-extent ranks, so degenerate shapes still form a
+    /// non-empty iteration space).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rank is not part of this kernel.
+    pub fn grid_extent(&self, r: RankId) -> u32 {
+        self.extent(r).div_ceil(self.micro_step(r)).max(1)
+    }
+
+    /// The kernel's full iteration space in grid units: each rank mapped
+    /// to `0..grid_extent`. Task streams tile exactly this space, so
+    /// external invariant checkers (`drt-verify`) compare task coverage
+    /// against it.
+    pub fn full_grid_region(&self) -> BTreeMap<RankId, Range<u32>> {
+        self.ranks().into_iter().map(|r| (r, 0..self.grid_extent(r))).collect()
     }
 
     /// Whether a rank is contracted (appears in inputs but not the output).

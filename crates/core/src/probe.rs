@@ -404,11 +404,11 @@ impl JsonlSink {
         Ok(JsonlSink::new(Box::new(std::io::BufWriter::new(f))))
     }
 
-    /// Flush the underlying writer.
+    /// Flush the underlying writer. Poisoned guards are recovered so a
+    /// panicking worker cannot silently drop buffered trace rows.
     pub fn flush(&self) {
-        if let Ok(mut w) = self.writer.lock() {
-            let _ = w.flush();
-        }
+        let mut w = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = w.flush();
     }
 }
 
@@ -425,9 +425,8 @@ impl EventSink for JsonlSink {
             None => Vec::new(),
         };
         let row = event_json(event, &extra);
-        if let Ok(mut w) = self.writer.lock() {
-            let _ = writeln!(w, "{row}");
-        }
+        let mut w = self.writer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = writeln!(w, "{row}");
     }
 }
 
@@ -655,8 +654,12 @@ impl TaggingSink {
     }
 
     /// Take the buffered events (the sink is left empty but reusable).
+    ///
+    /// Recovers a poisoned guard: if a worker panicked mid-run, the
+    /// reducer still drains whatever was recorded instead of turning one
+    /// failure into a cascading poisoned-lock panic.
     pub fn drain(&self) -> Vec<TaggedEvent> {
-        std::mem::take(&mut *self.events.lock().expect("tagging sink poisoned"))
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 }
 
@@ -674,7 +677,7 @@ impl EventSink for TaggingSink {
                 self.pos.store(pos + 1, Ordering::Relaxed);
             }
         }
-        self.events.lock().expect("tagging sink poisoned").push(tagged);
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(tagged);
     }
 }
 
@@ -695,6 +698,58 @@ pub fn replay_sorted(mut events: Vec<TaggedEvent>, probe: &Probe) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tagging_sink_survives_poisoned_lock() {
+        let sink = Arc::new(TaggingSink::manual());
+        let probe = Probe::new(sink.clone());
+        sink.set_position(0, lane::LOAD);
+        probe.emit(|| Event::Fetch { tensor: "A", bytes: 8 });
+        // Poison the events mutex the way a panicking worker would: die
+        // while holding the guard.
+        let poisoner = sink.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.events.lock().expect("first lock");
+            panic!("worker dies holding the trace lock");
+        })
+        .join();
+        assert!(sink.events.is_poisoned(), "setup must actually poison");
+        // The reducer must still record and drain instead of cascading.
+        probe.emit(|| Event::Fetch { tensor: "B", bytes: 16 });
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 2, "events recorded before and after the poison survive");
+    }
+
+    #[test]
+    fn jsonl_sink_survives_poisoned_lock() {
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).extend(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Buf::default();
+        let sink = Arc::new(JsonlSink::new(Box::new(buf.clone())));
+        let poisoner = sink.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.writer.lock().expect("first lock");
+            panic!("worker dies holding the writer lock");
+        })
+        .join();
+        assert!(sink.writer.is_poisoned(), "setup must actually poison");
+        sink.record(&Event::Fetch { tensor: "A", bytes: 8 });
+        sink.flush();
+        let text = String::from_utf8(
+            buf.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone(),
+        )
+        .expect("utf8");
+        assert!(text.contains("\"fetch\""), "row written despite poison: {text:?}");
+    }
 
     #[test]
     fn disabled_probe_never_builds_events() {

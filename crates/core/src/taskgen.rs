@@ -386,14 +386,7 @@ fn drt_core_region_default() -> crate::micro::RegionStats {
 }
 
 fn full_region(kernel: &Kernel) -> BTreeMap<RankId, Range<u32>> {
-    kernel
-        .ranks()
-        .into_iter()
-        .map(|r| {
-            let units = kernel.extent(r).div_ceil(kernel.micro_step(r)).max(1);
-            (r, 0..units)
-        })
-        .collect()
+    kernel.full_grid_region()
 }
 
 impl Iterator for TaskStream<'_> {

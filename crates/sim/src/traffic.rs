@@ -7,7 +7,7 @@
 //! once.
 
 use drt_tensor::format::SizeModel;
-use drt_tensor::CsMatrix;
+use drt_tensor::{CsMatrix, MajorAxis};
 use std::collections::BTreeMap;
 
 /// Per-tensor DRAM traffic in bytes.
@@ -90,6 +90,36 @@ pub fn spmspm_lower_bound(
     t
 }
 
+/// Compulsory traffic lower bound for `Z = A · B` that holds for *every*
+/// orchestration scheme, including ones that skip never-referenced data:
+/// each **effectual** input entry is read at least once and each output
+/// entry written at least once, all at bare `coord + value` granularity
+/// (no segment/offset overhead, which clever formats can amortize away).
+///
+/// An `A` entry `(i, k)` is effectual when `B` row `k` is non-empty; a
+/// `B` entry `(k, j)` when `A` column `k` is non-empty. Models that
+/// stream whole operands (outer-product designs) trivially exceed this;
+/// row-demand models (Gustavson dataflows with fiber caches) and tiled
+/// engines that skip empty co-tiles meet it exactly in the limit.
+pub fn spmspm_effectual_lower_bound(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    z: &CsMatrix,
+    sm: &SizeModel,
+) -> TrafficCounter {
+    let entry = (sm.coord_bytes + sm.value_bytes) as u64;
+    let a_rows = a.to_major(MajorAxis::Row);
+    let b_rows = b.to_major(MajorAxis::Row);
+    let a_cols = a.to_major(MajorAxis::Col);
+    let a_eff = a_rows.iter().filter(|&(_, k, _)| b_rows.fiber_len(k) > 0).count() as u64;
+    let b_eff = b_rows.iter().filter(|&(k, _, _)| a_cols.fiber_len(k) > 0).count() as u64;
+    let mut t = TrafficCounter::new();
+    t.read("A", a_eff * entry);
+    t.read("B", b_eff * entry);
+    t.write("Z", z.nnz() as u64 * entry);
+    t
+}
+
 /// Arithmetic intensity: effectual MACCs per byte of DRAM traffic
 /// (paper §5.1.1). DRAM-bound performance is proportional to this.
 pub fn arithmetic_intensity(maccs: u64, traffic_bytes: u64) -> f64 {
@@ -125,6 +155,34 @@ mod tests {
         t.merge(&u);
         assert_eq!(t.total(), 195);
         assert_eq!(t.tensors(), vec!["A", "B", "Z"]);
+    }
+
+    #[test]
+    fn effectual_bound_ignores_unreferenced_rows() {
+        let sm = SizeModel::default();
+        let entry = (sm.coord_bytes + sm.value_bytes) as u64;
+        // A only references column 0; B rows 1..3 are never read.
+        let a = CsMatrix::from_coo(
+            &CooMatrix::from_triplets(4, 4, vec![(0, 0, 1.0), (2, 0, 3.0)]).expect("ok"),
+            MajorAxis::Row,
+        );
+        let b = CsMatrix::from_coo(
+            &CooMatrix::from_triplets(4, 4, vec![(0, 1, 1.0), (1, 2, 2.0), (3, 3, 4.0)])
+                .expect("ok"),
+            MajorAxis::Row,
+        );
+        let z = CsMatrix::from_coo(
+            &CooMatrix::from_triplets(4, 4, vec![(0, 1, 1.0), (2, 1, 3.0)]).expect("ok"),
+            MajorAxis::Row,
+        );
+        let lb = spmspm_effectual_lower_bound(&a, &b, &z, &sm);
+        assert_eq!(lb.reads_of("A"), 2 * entry, "both A entries hit non-empty B row 0");
+        assert_eq!(lb.reads_of("B"), entry, "only B row 0 is referenced by A");
+        assert_eq!(lb.writes_of("Z"), 2 * entry);
+        // An empty A makes every input entry non-effectual.
+        let empty = CsMatrix::zero(4, 4, MajorAxis::Row);
+        let lb0 = spmspm_effectual_lower_bound(&empty, &b, &empty, &sm);
+        assert_eq!(lb0.total(), 0);
     }
 
     #[test]

@@ -52,6 +52,23 @@ pub fn from_str(text: &str) -> Result<CsMatrix, TensorError> {
             detail: "missing %%MatrixMarket header".into(),
         });
     }
+    // Only `matrix coordinate real general` is implemented. Other banner
+    // flavors (symmetric/skew-symmetric/hermitian storage, pattern or
+    // integer/complex fields, array format) would silently mis-parse as
+    // general-real, so reject them up front.
+    let banner: Vec<&str> = first.split_whitespace().skip(1).collect();
+    let expected = ["matrix", "coordinate", "real", "general"];
+    if banner.len() != expected.len()
+        || !banner.iter().zip(expected).all(|(got, want)| got.eq_ignore_ascii_case(want))
+    {
+        return Err(TensorError::ParseMatrix {
+            line: first_no + 1,
+            detail: format!(
+                "unsupported banner `{}` (only `matrix coordinate real general`)",
+                banner.join(" ")
+            ),
+        });
+    }
     let mut size: Option<(u32, u32, usize)> = None;
     let mut coo = CooMatrix::new(0, 0);
     let mut remaining = 0usize;
@@ -80,9 +97,24 @@ pub fn from_str(text: &str) -> Result<CsMatrix, TensorError> {
                     parse(fields[1], "cols")?,
                     parse(fields[2], "nnz")?,
                 );
-                size = Some((r as u32, c as u32, n as usize));
-                coo = CooMatrix::with_capacity(r as u32, c as u32, n as usize);
-                remaining = n as usize;
+                // Coordinates are `u32`; a dimension ≥ 2^32 must fail loudly
+                // instead of truncating to the low 32 bits.
+                let narrow = |dim: u64, what: &str| {
+                    u32::try_from(dim).map_err(|_| TensorError::ParseMatrix {
+                        line: no + 1,
+                        detail: format!("{what} {dim} exceeds supported maximum {}", u32::MAX),
+                    })
+                };
+                let (r, c) = (narrow(r, "rows")?, narrow(c, "cols")?);
+                let n = usize::try_from(n).map_err(|_| TensorError::ParseMatrix {
+                    line: no + 1,
+                    detail: format!("nnz {n} exceeds supported maximum {}", usize::MAX),
+                })?;
+                size = Some((r, c, n));
+                // Cap the pre-allocation so an absurd declared nnz fails at
+                // the entry-count check instead of aborting on allocation.
+                coo = CooMatrix::with_capacity(r, c, n.min(1 << 24));
+                remaining = n;
             }
             Some(_) => {
                 if fields.len() < 3 {
@@ -104,8 +136,14 @@ pub fn from_str(text: &str) -> Result<CsMatrix, TensorError> {
                         detail: "coordinates are 1-based".into(),
                     });
                 }
+                if remaining == 0 {
+                    return Err(TensorError::ParseMatrix {
+                        line: no + 1,
+                        detail: "entry beyond declared nnz".into(),
+                    });
+                }
                 coo.push(r - 1, c - 1, v)?;
-                remaining = remaining.saturating_sub(1);
+                remaining -= 1;
             }
         }
     }
@@ -164,5 +202,39 @@ mod tests {
     fn rejects_out_of_shape_entry() {
         let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(from_str(s).is_err());
+    }
+
+    #[test]
+    fn rejects_dimensions_beyond_u32() {
+        // 2^32 would previously truncate to 0 rows via `as u32`.
+        let s = "%%MatrixMarket matrix coordinate real general\n4294967296 2 0\n";
+        let err = from_str(s).expect_err("must overflow");
+        assert!(matches!(err, TensorError::ParseMatrix { .. }), "{err:?}");
+        assert!(err.to_string().contains("exceeds supported maximum"), "{err}");
+    }
+
+    #[test]
+    fn rejects_surplus_entries() {
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 5.0\n2 2 6.0\n";
+        let err = from_str(s).expect_err("surplus entry must be rejected");
+        assert!(err.to_string().contains("beyond declared nnz"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unsupported_banner_flavors() {
+        for banner in [
+            "%%MatrixMarket matrix coordinate real symmetric",
+            "%%MatrixMarket matrix coordinate pattern general",
+            "%%MatrixMarket matrix coordinate integer general",
+            "%%MatrixMarket matrix coordinate complex general",
+            "%%MatrixMarket matrix array real general",
+        ] {
+            let s = format!("{banner}\n2 2 1\n1 1 5.0\n");
+            let err = from_str(&s).expect_err(banner);
+            assert!(err.to_string().contains("unsupported banner"), "{banner}: {err}");
+        }
+        // Case-insensitive banner keywords are accepted per the spec.
+        let ok = "%%MatrixMarket Matrix Coordinate Real General\n2 2 1\n1 1 5.0\n";
+        assert_eq!(from_str(ok).expect("case-insensitive").get(0, 0), 5.0);
     }
 }

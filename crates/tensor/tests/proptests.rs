@@ -93,6 +93,64 @@ proptest! {
         prop_assert_eq!(g.matches, t.matches);
     }
 
+    // Deliberately skewed lengths so `gallop`'s leader-swap branch
+    // (`a.len() > b.len()` → b leads) runs on every case, in both
+    // orientations. Match sets must agree coordinate-for-coordinate AND
+    // index-pair-for-index-pair: positions stay oriented (a, b) even when
+    // the inner loop led with b.
+    #[test]
+    fn gallop_equals_two_finger_under_leader_swap(
+        long in arb_sorted_coords(400, 120),
+        short in arb_sorted_coords(400, 12),
+    ) {
+        for (a, b) in [(&long, &short), (&short, &long)] {
+            let g = gallop(a, b);
+            let t = two_finger(a, b);
+            prop_assert_eq!(&g.matches, &t.matches);
+            for &(coord, pa, pb) in &g.matches {
+                prop_assert_eq!(a[pa], coord);
+                prop_assert_eq!(b[pb], coord);
+            }
+        }
+    }
+
+    // Force the early-exit path: the long fiber is bounded below 100 while
+    // the short fiber reaches past it, so the doubling search runs off the
+    // end of `long` (`base >= long.len()`) with short coordinates left over.
+    #[test]
+    fn gallop_early_exit_matches_two_finger(
+        long in arb_sorted_coords(100, 80),
+        short_low in arb_sorted_coords(100, 6),
+        short_high in arb_sorted_coords(300, 6),
+    ) {
+        // Sorted concatenation whose tail lies beyond anything in `long`.
+        let short: Vec<u32> = short_low
+            .into_iter()
+            .chain(short_high.into_iter().map(|c| c + 100))
+            .collect();
+        for (a, b) in [(&short, &long), (&long, &short)] {
+            let g = gallop(a, b);
+            let t = two_finger(a, b);
+            prop_assert_eq!(g.matches, t.matches);
+        }
+    }
+
+    // The match set itself, validated against a brute-force definition:
+    // exactly the coordinate/position triples present in both fibers.
+    #[test]
+    fn intersection_matches_brute_force_set(
+        a in arb_sorted_coords(250, 60),
+        b in arb_sorted_coords(250, 60),
+    ) {
+        let brute: Vec<(u32, usize, usize)> = a
+            .iter()
+            .enumerate()
+            .filter_map(|(ia, &c)| b.binary_search(&c).ok().map(|ib| (c, ia, ib)))
+            .collect();
+        prop_assert_eq!(&two_finger(&a, &b).matches, &brute);
+        prop_assert_eq!(&gallop(&a, &b).matches, &brute);
+    }
+
     #[test]
     fn intersection_is_commutative_in_coords(a in arb_sorted_coords(200, 50), b in arb_sorted_coords(200, 50)) {
         let ab: Vec<u32> = two_finger(&a, &b).matches.iter().map(|m| m.0).collect();

@@ -1,0 +1,88 @@
+//! Deliberate fault injection: a test-only SpMSpM variant with a single
+//! flipped MACC, used to prove the harness end-to-end — the oracle must
+//! catch the fault and the shrinker must reduce it to a tiny reproducer.
+
+use crate::oracle::{compare_to_dense, dense_spmspm};
+use drt_kernels::spmspm::gustavson;
+use drt_tensor::CsMatrix;
+
+/// A faulty SpMSpM evaluation: correct except that the *first* effectual
+/// MACC (smallest `(i, k, j)` in row-major traversal) contributes
+/// `−a[i][k]·b[k][j]` instead of `+a[i][k]·b[k][j]`. When the operands
+/// admit no effectual MACC the result is exact — so any failing workload
+/// shrinks toward the minimal pair that still multiplies something.
+pub fn flipped_macc_spmspm(a: &CsMatrix, b: &CsMatrix) -> CsMatrix {
+    let mut z = gustavson(a, b).z;
+    let b_rows = b.to_major(drt_tensor::MajorAxis::Row);
+    'outer: for (i, k, va) in a.to_major(drt_tensor::MajorAxis::Row).iter() {
+        let fiber = b_rows.fiber(k);
+        if let (Some(&j), Some(&vb)) = (fiber.coords.first(), fiber.values.first()) {
+            let mut entries: Vec<_> = z.iter().collect();
+            let flipped = va * vb;
+            match entries.iter_mut().find(|(r, c, _)| (*r, *c) == (i, j)) {
+                Some(e) => e.2 -= 2.0 * flipped,
+                None => entries.push((i, j, -2.0 * flipped)),
+            }
+            z = CsMatrix::from_entries(z.nrows(), z.ncols(), entries, drt_tensor::MajorAxis::Row);
+            break 'outer;
+        }
+    }
+    z
+}
+
+/// The shrinkable property around the faulty variant: fails whenever its
+/// output diverges from the dense oracle by more than `max_ulp`.
+pub fn flipped_macc_property(max_ulp: u64) -> impl Fn(&CsMatrix, &CsMatrix) -> Option<String> {
+    move |a: &CsMatrix, b: &CsMatrix| {
+        compare_to_dense(&flipped_macc_spmspm(a, b), &dense_spmspm(a, b), max_ulp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shrink::{shrink, write_reproducer};
+    use drt_tensor::mtx;
+    use drt_workloads::patterns::unstructured;
+
+    /// The acceptance gate for the whole harness: a flipped MACC in a
+    /// test-only variant is caught by the oracle and shrunk to a
+    /// reproducer no larger than 16×16.
+    #[test]
+    fn flipped_macc_is_caught_and_shrinks_small() {
+        let a = unstructured(96, 96, 800, 2.0, 21);
+        let b = unstructured(96, 96, 800, 2.0, 22);
+        let prop = flipped_macc_property(8);
+        assert!(prop(&a, &b).is_some(), "the fault must be caught at full size");
+        let shrunk = shrink(&a, &b, &prop);
+        assert!(prop(&shrunk.a, &shrunk.b).is_some(), "shrunk pair still fails");
+        assert!(
+            shrunk.a.nrows() <= 16
+                && shrunk.a.ncols() <= 16
+                && shrunk.b.nrows() <= 16
+                && shrunk.b.ncols() <= 16,
+            "reproducer must be ≤ 16×16, got A {}×{}, B {}×{}",
+            shrunk.a.nrows(),
+            shrunk.a.ncols(),
+            shrunk.b.nrows(),
+            shrunk.b.ncols()
+        );
+        assert!(shrunk.a.nnz() <= 2 && shrunk.b.nnz() <= 2, "a flipped MACC needs one entry each");
+
+        // And the reproducer replays: write, re-parse, still failing.
+        let dir = std::env::temp_dir().join("drt-verify-fault-repro");
+        let (pa, pb) = write_reproducer(&dir, "flipped-macc", &shrunk.a, &shrunk.b).expect("write");
+        let ra = mtx::from_str(&std::fs::read_to_string(&pa).expect("read")).expect("parse");
+        let rb = mtx::from_str(&std::fs::read_to_string(&pb).expect("read")).expect("parse");
+        assert!(prop(&ra, &rb).is_some(), "replayed reproducer must still fail");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_is_silent_without_effectual_maccs() {
+        // Disjoint support: A only uses column 0, B row 0 is empty.
+        let a = CsMatrix::from_entries(4, 4, vec![(1, 0, 2.0)], drt_tensor::MajorAxis::Row);
+        let b = CsMatrix::from_entries(4, 4, vec![(2, 3, 5.0)], drt_tensor::MajorAxis::Row);
+        assert!(flipped_macc_property(0)(&a, &b).is_none());
+    }
+}

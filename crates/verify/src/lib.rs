@@ -1,0 +1,35 @@
+//! # drt-verify — differential verification harness
+//!
+//! The paper's central claim is that DRT changes *data orchestration*,
+//! never the computation: every accelerator variant must produce the same
+//! numbers. This crate checks that end-to-end, the way the sparse-compiler
+//! literature validates format-agnostic lowering:
+//!
+//! * [`oracle`] — dense/naive reference implementations of SpMSpM, SpMM,
+//!   and Gram, plus ULP-tolerance comparison. The oracles share no code or
+//!   iteration order with the simulated machines.
+//! * [`invariants`] — model-invariant checks over every
+//!   [`drt_accel::report::RunReport`]: phase bytes partition total
+//!   traffic, measured traffic ≥ the compulsory lower bound, tile
+//!   footprints fit their buffer partitions, and task streams cover the
+//!   iteration space exactly once.
+//! * [`driver`] — the randomized sweep: all registry variants × thread
+//!   counts {1, 4} × shard schedules, over the seeded
+//!   [`drt_workloads::corpus`].
+//! * [`shrink`] — a greedy workload shrinker that minimizes any failing
+//!   pair (drop rows / columns / non-zeros while the failure reproduces)
+//!   and emits a small MatrixMarket reproducer.
+//! * [`fault`] — deliberate fault injection (a flipped MACC) proving the
+//!   harness catches and minimizes real numeric bugs.
+//!
+//! The `verify` binary in `drt-bench` fronts [`driver::verify_all`] with
+//! `--seed/--iters/--quick` flags and is wired into CI as a gate.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod driver;
+pub mod fault;
+pub mod invariants;
+pub mod oracle;
+pub mod shrink;

@@ -1,0 +1,214 @@
+//! Greedy workload shrinking: minimize a failing `(A, B)` pair while the
+//! failure reproduces, then emit a small MatrixMarket reproducer.
+//!
+//! The moves mirror classic property-testing shrinkers, specialized to
+//! chained matrix operands (`A` is `m×k`, `B` is `k×n`):
+//!
+//! * halve the output rows (restrict `A`'s rows),
+//! * halve the output columns (restrict `B`'s columns),
+//! * halve the shared dimension (restrict `A`'s columns and `B`'s rows
+//!   together),
+//! * drop half the non-zeros of either operand,
+//! * finally, drop single non-zeros.
+//!
+//! Each move keeps the pair dimensionally consistent, so every candidate
+//! is a valid SpMSpM workload. Shrinking is deterministic: moves are
+//! tried in a fixed order and the first reproducing candidate is taken.
+
+use drt_tensor::{mtx, CsMatrix, MajorAxis};
+use std::path::{Path, PathBuf};
+
+/// A property over an operand pair: `None` = passes, `Some(msg)` = fails
+/// with the given description. The shrinker preserves failure, not the
+/// specific message.
+pub trait Property {
+    /// Evaluate the property on one candidate pair.
+    fn check(&self, a: &CsMatrix, b: &CsMatrix) -> Option<String>;
+}
+
+impl<F: Fn(&CsMatrix, &CsMatrix) -> Option<String>> Property for F {
+    fn check(&self, a: &CsMatrix, b: &CsMatrix) -> Option<String> {
+        self(a, b)
+    }
+}
+
+/// The result of shrinking a failing pair.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// Minimized left operand.
+    pub a: CsMatrix,
+    /// Minimized right operand.
+    pub b: CsMatrix,
+    /// The failure message of the minimized pair.
+    pub failure: String,
+    /// Accepted shrink steps.
+    pub steps: usize,
+}
+
+/// Greedily minimize a failing pair. `prop.check(a, b)` must be `Some` on
+/// entry; the returned pair still fails it.
+///
+/// # Panics
+///
+/// Panics when the initial pair does not fail the property.
+pub fn shrink(a: &CsMatrix, b: &CsMatrix, prop: &dyn Property) -> Shrunk {
+    let mut failure =
+        prop.check(a, b).expect("shrink() requires a failing pair; property passed on the input");
+    let (mut a, mut b) = (a.clone(), b.clone());
+    let mut steps = 0usize;
+    loop {
+        let mut advanced = false;
+        for (ca, cb) in candidates(&a, &b) {
+            if let Some(msg) = prop.check(&ca, &cb) {
+                a = ca;
+                b = cb;
+                failure = msg;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return Shrunk { a, b, failure, steps };
+        }
+    }
+}
+
+/// Strictly smaller candidate pairs, most aggressive first.
+fn candidates(a: &CsMatrix, b: &CsMatrix) -> Vec<(CsMatrix, CsMatrix)> {
+    let mut out = Vec::new();
+    let (m, k, n) = (a.nrows(), a.ncols(), b.ncols());
+    // Halve output rows.
+    for r in halves(m) {
+        out.push((a.extract_rect(r, 0..k), b.clone()));
+    }
+    // Halve output columns.
+    for c in halves(n) {
+        out.push((a.clone(), b.extract_rect(0..b.nrows(), c)));
+    }
+    // Halve the shared dimension — both operands restricted together.
+    for s in halves(k) {
+        out.push((a.extract_rect(0..m, s.clone()), b.extract_rect(s, 0..n)));
+    }
+    // Drop half the non-zeros of one operand.
+    for half in drop_half(a) {
+        out.push((half, b.clone()));
+    }
+    for half in drop_half(b) {
+        out.push((a.clone(), half));
+    }
+    // Drop single non-zeros (only once the pair is small, to bound work).
+    if a.nnz() + b.nnz() <= 64 {
+        for i in 0..a.nnz() {
+            out.push((drop_entry(a, i), b.clone()));
+        }
+        for i in 0..b.nnz() {
+            out.push((a.clone(), drop_entry(b, i)));
+        }
+    }
+    out
+}
+
+/// The two halves of `0..dim`, skipping degenerate splits.
+fn halves(dim: u32) -> Vec<std::ops::Range<u32>> {
+    if dim < 2 {
+        return Vec::new();
+    }
+    let mid = dim / 2;
+    vec![0..mid, mid..dim]
+}
+
+/// The operand with its first/second half of non-zeros removed (shape
+/// preserved), when it has enough entries to halve.
+fn drop_half(m: &CsMatrix) -> Vec<CsMatrix> {
+    if m.nnz() < 2 {
+        return Vec::new();
+    }
+    let entries: Vec<_> = m.iter().collect();
+    let mid = entries.len() / 2;
+    [&entries[mid..], &entries[..mid]]
+        .iter()
+        .map(|kept| CsMatrix::from_entries(m.nrows(), m.ncols(), kept.to_vec(), MajorAxis::Row))
+        .collect()
+}
+
+/// The operand with its `i`-th stored entry removed (shape preserved).
+fn drop_entry(m: &CsMatrix, i: usize) -> CsMatrix {
+    let entries: Vec<_> = m.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, e)| e).collect();
+    CsMatrix::from_entries(m.nrows(), m.ncols(), entries, MajorAxis::Row)
+}
+
+/// Write a shrunk pair as MatrixMarket reproducer files
+/// `<stem>.A.mtx` / `<stem>.B.mtx` under `dir`. Returns the two paths.
+///
+/// # Errors
+///
+/// Propagates directory-creation and file-write errors.
+pub fn write_reproducer(
+    dir: &Path,
+    stem: &str,
+    a: &CsMatrix,
+    b: &CsMatrix,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let pa = dir.join(format!("{stem}.A.mtx"));
+    let pb = dir.join(format!("{stem}.B.mtx"));
+    std::fs::write(&pa, mtx::to_string(a))?;
+    std::fs::write(&pb, mtx::to_string(b))?;
+    Ok((pa, pb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_workloads::patterns::unstructured;
+
+    /// A synthetic failure: the property fails whenever `A` has an entry
+    /// with |value| > 0.9 in its top-left 8×8 corner.
+    fn corner_prop(a: &CsMatrix, _b: &CsMatrix) -> Option<String> {
+        a.iter()
+            .find(|&(r, c, v)| r < 8 && c < 8 && v.abs() > 0.9)
+            .map(|(r, c, v)| format!("corner entry ({r},{c}) = {v}"))
+    }
+
+    #[test]
+    fn shrinks_to_a_tiny_reproducer() {
+        let mut a = unstructured(96, 96, 700, 2.0, 11);
+        // Plant the failure.
+        let mut entries: Vec<_> = a.iter().collect();
+        entries.push((3, 5, 1.5));
+        a = CsMatrix::from_entries(96, 96, entries, MajorAxis::Row);
+        let b = unstructured(96, 96, 700, 2.0, 12);
+        assert!(corner_prop(&a, &b).is_some(), "setup must fail");
+        let shrunk = shrink(&a, &b, &corner_prop);
+        assert!(corner_prop(&shrunk.a, &shrunk.b).is_some(), "shrunk pair still fails");
+        assert!(
+            shrunk.a.nrows() <= 16 && shrunk.a.ncols() <= 16,
+            "{}x{}",
+            shrunk.a.nrows(),
+            shrunk.a.ncols()
+        );
+        assert!(shrunk.a.nnz() <= 2, "nnz {}", shrunk.a.nnz());
+        assert_eq!(shrunk.b.nnz(), 0, "B is irrelevant to the failure");
+        assert!(shrunk.steps > 0);
+    }
+
+    #[test]
+    fn reproducer_roundtrips_through_mtx() {
+        let a = unstructured(16, 12, 30, 2.0, 1);
+        let b = unstructured(12, 8, 20, 2.0, 2);
+        let dir = std::env::temp_dir().join("drt-verify-test-repro");
+        let (pa, pb) = write_reproducer(&dir, "case0", &a, &b).expect("write");
+        let ra = mtx::from_str(&std::fs::read_to_string(&pa).expect("read")).expect("parse");
+        let rb = mtx::from_str(&std::fs::read_to_string(&pb).expect("read")).expect("parse");
+        assert!(ra.logically_eq(&a) && rb.logically_eq(&b));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a failing pair")]
+    fn shrink_rejects_passing_input() {
+        let a = CsMatrix::zero(4, 4, MajorAxis::Row);
+        shrink(&a, &a, &|_: &CsMatrix, _: &CsMatrix| None);
+    }
+}

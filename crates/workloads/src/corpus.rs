@@ -1,0 +1,100 @@
+//! Deterministic workload corpora for differential verification.
+//!
+//! `drt-verify` runs every registered accelerator variant against a dense
+//! reference oracle over a pool of small operand pairs. The pairs live
+//! here, next to the generators, so verification and benchmarking draw
+//! from the same seeded distributions: diamond-band (FEM-style), unstructured
+//! power-law, R-MAT, uniform, rectangular chains, and degenerate (zero /
+//! hypersparse) shapes the shrinker tends to reduce failures toward.
+
+use crate::patterns::{diamond_band, rmat, uniform_random, unstructured};
+use drt_tensor::{CsMatrix, MajorAxis};
+
+/// One named operand pair `(A, B)` for `Z = A · B`.
+#[derive(Debug, Clone)]
+pub struct WorkloadPair {
+    /// Human-readable label (`"diamond-64/s3"`), stable for a given
+    /// `(seed, quick)` corpus.
+    pub label: String,
+    /// Left operand.
+    pub a: CsMatrix,
+    /// Right operand.
+    pub b: CsMatrix,
+}
+
+impl WorkloadPair {
+    fn new(label: String, a: CsMatrix, b: CsMatrix) -> WorkloadPair {
+        WorkloadPair { label, a, b }
+    }
+}
+
+/// The differential-verification corpus: a deterministic function of
+/// `(seed, quick)`. Quick mode keeps dimensions and pair count small
+/// enough for a CI gate; full mode adds larger and rectangular cases.
+pub fn differential_pairs(seed: u64, quick: bool) -> Vec<WorkloadPair> {
+    let mut pairs = Vec::new();
+    let dims: &[u32] = if quick { &[48, 64] } else { &[48, 64, 96, 128] };
+    for (i, &n) in dims.iter().enumerate() {
+        let s = seed.wrapping_add(i as u64);
+        let nnz = (n as usize) * 6;
+        let d = diamond_band(n, nnz, s);
+        pairs.push(WorkloadPair::new(format!("diamond-{n}/s{s}"), d.clone(), d));
+        let u = unstructured(n, n, nnz, 2.0, s.wrapping_add(100));
+        let v = unstructured(n, n, nnz, 2.0, s.wrapping_add(200));
+        pairs.push(WorkloadPair::new(format!("unstructured-{n}/s{s}"), u, v));
+        // R-MAT requires a power-of-two dimension; round up.
+        let rn = n.next_power_of_two();
+        let r = rmat(rn, nnz, 0.57, 0.19, 0.19, s.wrapping_add(300));
+        pairs.push(WorkloadPair::new(format!("rmat-{rn}/s{s}"), r.clone(), r));
+    }
+    // Rectangular chain: (m×k) · (k×n) with unequal dimensions, so rank
+    // extents and loop bounds cannot be accidentally swapped.
+    let (m, k, n) = if quick { (40, 56, 32) } else { (72, 104, 48) };
+    pairs.push(WorkloadPair::new(
+        format!("rect-{m}x{k}x{n}/s{seed}"),
+        unstructured(m, k, (m as usize) * 5, 2.0, seed.wrapping_add(400)),
+        unstructured(k, n, (k as usize) * 5, 2.0, seed.wrapping_add(500)),
+    ));
+    // Uniform sprinkle — no structure at all.
+    let n0 = dims[0];
+    pairs.push(WorkloadPair::new(
+        format!("uniform-{n0}/s{seed}"),
+        uniform_random(n0, n0, n0 as usize * 4, seed.wrapping_add(600)),
+        uniform_random(n0, n0, n0 as usize * 4, seed.wrapping_add(700)),
+    ));
+    // Degenerate shapes: all-zero operand and a hypersparse single-entry
+    // pair — the fixed points the shrinker reduces failures toward.
+    pairs.push(WorkloadPair::new(
+        format!("zero-x-dense-{n0}/s{seed}"),
+        CsMatrix::zero(n0, n0, MajorAxis::Row),
+        unstructured(n0, n0, n0 as usize * 4, 2.0, seed.wrapping_add(800)),
+    ));
+    pairs.push(WorkloadPair::new(
+        "single-entry-16".into(),
+        uniform_random(16, 16, 1, seed.wrapping_add(900)),
+        uniform_random(16, 16, 1, seed.wrapping_add(901)),
+    ));
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_composable() {
+        let a = differential_pairs(3, true);
+        let b = differential_pairs(3, true);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label, y.label);
+            assert!(x.a.logically_eq(&y.a) && x.b.logically_eq(&y.b));
+            assert_eq!(x.a.ncols(), x.b.nrows(), "{}: inner dims must chain", x.label);
+        }
+    }
+
+    #[test]
+    fn full_corpus_is_a_superset_in_count() {
+        assert!(differential_pairs(0, false).len() > differential_pairs(0, true).len());
+    }
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod corpus;
 pub mod msbfs;
 pub mod patterns;
 pub mod suite;
