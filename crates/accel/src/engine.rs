@@ -32,17 +32,21 @@
 //! The preferred entry point is [`crate::session::Session`]; the `run_*`
 //! free functions are deprecated shims kept for source compatibility.
 
-use crate::report::{PhaseBreakdown, RunReport};
+use crate::error::DrtError;
+use crate::report::{Degradation, DegradeReason, PhaseBreakdown, RunOutcome, RunReport};
 use crate::spec::{AccelSpec, SpecKind};
 use crate::zcache::OutputCache;
+use drt_core::budget::ExecBudget;
+use drt_core::cancel::{CancelToken, ExpiryKind};
+use drt_core::chaos::FaultInjector;
 use drt_core::config::DrtConfig;
 use drt_core::drt::TileStats;
 use drt_core::extractor::ExtractorModel;
 use drt_core::kernel::Kernel;
 use drt_core::micro::MicroFormat;
-use drt_core::par::par_map_threads;
+use drt_core::par::par_map_isolated;
 use drt_core::probe::{lane, replay_sorted, Event, Probe, TaggedEvent, TaggingSink};
-use drt_core::taskgen::{shard_bounds, Task, TaskGenOptions, TaskStream};
+use drt_core::taskgen::{shard_bounds, BudgetCause, Task, TaskGenOptions, TaskStream};
 use drt_core::{CoreError, RankId};
 use drt_kernels::spmspm::SpmspmResult;
 use drt_sim::energy::ActionCounts;
@@ -94,17 +98,30 @@ pub struct ExecPolicy {
     pub threads: usize,
     /// Shard schedule.
     pub schedule: ShardSchedule,
+    /// How many times a panicked shard is re-run before the run fails
+    /// with [`DrtError::ShardPanicked`]. Retried shards are bit-identical
+    /// to their first attempt (workers are pure functions of the task
+    /// list), so `max_retries > 0` never changes a successful run's
+    /// numbers. Any non-zero value also routes `threads == 1` runs
+    /// through the sharded path so panic isolation applies.
+    pub max_retries: u32,
 }
 
 impl ExecPolicy {
     /// Single-threaded execution (the default).
     pub fn serial() -> ExecPolicy {
-        ExecPolicy { threads: 1, schedule: ShardSchedule::Static }
+        ExecPolicy { threads: 1, schedule: ShardSchedule::Static, max_retries: 0 }
     }
 
     /// Statically sharded execution over `n` worker threads.
     pub fn threads(n: usize) -> ExecPolicy {
-        ExecPolicy { threads: n.max(1), schedule: ShardSchedule::Static }
+        ExecPolicy { threads: n.max(1), schedule: ShardSchedule::Static, max_retries: 0 }
+    }
+
+    /// This policy with up to `n` retries per panicked shard.
+    pub fn with_retries(mut self, n: u32) -> ExecPolicy {
+        self.max_retries = n;
+        self
     }
 }
 
@@ -227,42 +244,118 @@ pub fn run_spmspm_exec(
     probe: &Probe,
     exec: &ExecPolicy,
 ) -> Result<RunReport, CoreError> {
+    match run_spmspm_ft(a, b, cfg, probe, exec, &FaultPolicy::default()) {
+        Ok(out) => Ok(out.into_report()),
+        Err(DrtError::Core(e)) => Err(e),
+        // With an inert fault policy and zero retries the legacy contract
+        // is that worker panics propagate — keep it for this shim.
+        Err(DrtError::ShardPanicked { task_range, message, .. }) => panic!(
+            "parallel worker panicked on tasks {}..{}: {}",
+            task_range.start, task_range.end, message
+        ),
+        Err(e) => Err(CoreError::BadConfig { detail: e.to_string() }),
+    }
+}
+
+/// Fault-tolerance knobs for one engine run: resource budgets, a
+/// cooperative cancellation/deadline token, and an optional chaos
+/// injector. `Default` is fully inert — unlimited budgets, a token that
+/// never expires, no injection — and adds no per-task cost beyond one
+/// atomic load at each task boundary.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPolicy {
+    /// Resource budgets (task / planner-call / resident-byte caps).
+    pub budget: ExecBudget,
+    /// Cancellation + deadline handle, polled at task boundaries.
+    pub cancel: CancelToken,
+    /// Chaos-injection hook (`None` in production; `drt-verify`'s chaos
+    /// harness installs seeded injectors here).
+    pub chaos: Option<Arc<dyn FaultInjector>>,
+}
+
+/// One shard worker's complete output, handed to the reducer.
+struct ShardOut<'c> {
+    run: EngineRun<'c>,
+    recs: Vec<MergeRec>,
+    events: Vec<TaggedEvent>,
+    /// Global index of the first task *not* executed because the cancel
+    /// token expired mid-shard; `None` when the shard ran to completion.
+    aborted_at: Option<u64>,
+}
+
+/// The fault-tolerant engine entry point: [`run_spmspm_exec`] plus panic
+/// isolation with bounded shard retries, cooperative cancellation and
+/// deadlines, and resource budgets with graceful degradation.
+///
+/// Outcomes:
+///
+/// * `Ok(RunOutcome::Complete(_))` — fault-free run; bit-identical to
+///   [`run_spmspm_exec`] for every `exec` (retries that never fire do not
+///   change numbers).
+/// * `Ok(RunOutcome::Degraded(_))` — the run stopped cleanly at a task
+///   boundary (cancel/deadline) or fell back to cheaper execution (budget
+///   caps). The report's `degradation` field says why; its phase bytes
+///   still partition its traffic, and a traced run ends with one
+///   `aborted` record when the run stopped early.
+/// * `Err(_)` — no trustworthy report exists: a configuration error, or
+///   a shard that kept panicking after `exec.max_retries` retries
+///   ([`DrtError::ShardPanicked`], carrying the committed-prefix report).
+///
+/// # Errors
+///
+/// Tiling configuration errors (as [`DrtError::Core`]) and exhausted
+/// shard retries (as [`DrtError::ShardPanicked`]).
+pub fn run_spmspm_ft(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    cfg: &EngineConfig,
+    probe: &Probe,
+    exec: &ExecPolicy,
+    fault: &FaultPolicy,
+) -> Result<RunOutcome, DrtError> {
+    if let Some(kind) = fault.cancel.expiry_kind() {
+        return Ok(degrade_before_work(&cfg.name, kind, probe));
+    }
     let kernel = Kernel::spmspm_fmt(a, b, cfg.micro, cfg.micro_format)?;
-    let opts = match &cfg.tiling {
-        Tiling::Suc(sizes) => TaskGenOptions::suc(&cfg.loop_order, cfg.drt.clone(), sizes),
-        Tiling::Drt => TaskGenOptions::drt(&cfg.loop_order, cfg.drt.clone()),
-    };
     let a_rows = a.to_major(MajorAxis::Row);
     let b_rows = b.to_major(MajorAxis::Row);
+    // Generator caps ride on the task stream; `max_resident_bytes` is an
+    // engine-level cap on the materialized task list (below).
+    let gen_budget = ExecBudget {
+        max_tasks: fault.budget.max_tasks,
+        max_resident_bytes: None,
+        max_plan_candidates: fault.budget.max_plan_candidates,
+    };
+    let mk_opts = |p: Probe| {
+        let o = match &cfg.tiling {
+            Tiling::Suc(sizes) => TaskGenOptions::suc(&cfg.loop_order, cfg.drt.clone(), sizes),
+            Tiling::Drt => TaskGenOptions::drt(&cfg.loop_order, cfg.drt.clone()),
+        };
+        o.with_probe(p).with_budget(gen_budget.clone()).with_cancel(fault.cancel.clone())
+    };
 
-    if exec.threads <= 1 && !matches!(exec.schedule, ShardSchedule::Explicit(_)) {
+    if exec.threads <= 1
+        && !matches!(exec.schedule, ShardSchedule::Explicit(_))
+        && exec.max_retries == 0
+        && fault.chaos.is_none()
+    {
         // Serial fast path: generate and execute task-by-task, events
         // flowing straight to the probe — the pre-sharding code path,
         // bit-identical to historical goldens by construction.
-        let mut stream = TaskStream::build(&kernel, opts.with_probe(probe.clone()))?;
-        let mut run = EngineRun::new(&a_rows, &b_rows, cfg, probe.clone());
-        // The pipeline per task: load the tiles whose ranges changed,
-        // compute (intersect + multiply) on them, merge the partial
-        // outputs through the Z cache, then account the tile-extraction
-        // latency that produced the task in the first place (DRT only —
-        // extraction overlaps the previous task's compute, so only the
-        // excess is exposed).
-        for task in &mut stream {
-            let ranges = TaskRanges::of(&task);
-            run.phase_load(&task, &ranges);
-            let (prod, isect_cycles) = run.phase_compute(&ranges);
-            let on_chip = run.phase_merge(&task, &ranges, &prod, isect_cycles);
-            run.phase_extract(&task, on_chip);
-        }
-        return Ok(run.phase_writeback(
-            a.nrows(),
-            b.ncols(),
-            stream.emitted(),
-            stream.skipped_empty(),
-        ));
+        return run_serial_ft(
+            a,
+            b,
+            &a_rows,
+            &b_rows,
+            cfg,
+            probe,
+            &kernel,
+            mk_opts(probe.clone()),
+            None,
+        );
     }
 
-    // ---- sharded path -----------------------------------------------------
+    // ---- sharded fault-tolerant path --------------------------------------
 
     // 1. Materialize the task list. Generation is inherently sequential —
     //    each plan's base advances by the previous plan's extent — so only
@@ -273,9 +366,44 @@ pub fn run_spmspm_exec(
         Some(s) => Probe::new(s.clone()),
         None => Probe::disabled(),
     };
-    let mut stream = TaskStream::build(&kernel, opts.with_probe(gen_probe))?;
-    let tasks: Vec<Task> = (&mut stream).collect();
-    let (emitted, skipped) = (stream.emitted(), stream.skipped_empty());
+    let mut stream = TaskStream::build(&kernel, mk_opts(gen_probe))?;
+    let mut tasks: Vec<Task> = Vec::new();
+    if let Some(cap) = fault.budget.max_resident_bytes {
+        let mut resident = 0u64;
+        for task in &mut stream {
+            resident += estimated_task_bytes(&task);
+            tasks.push(task);
+            if resident > cap {
+                // The materialized list is over budget: drop it and fall
+                // back to serial streaming, which holds one task at a
+                // time. Numbers are bit-identical to the sharded run (the
+                // determinism contract); only wall-clock parallelism is
+                // lost, and the report records the degradation.
+                drop(tasks);
+                let detail = format!(
+                    "materialized task list exceeded max_resident_bytes={cap}; \
+                     fell back to serial streaming execution"
+                );
+                return run_serial_ft(
+                    a,
+                    b,
+                    &a_rows,
+                    &b_rows,
+                    cfg,
+                    probe,
+                    &kernel,
+                    mk_opts(probe.clone()),
+                    Some(detail),
+                );
+            }
+        }
+    } else {
+        tasks.extend(&mut stream);
+    }
+    let skipped = stream.skipped_empty();
+    let gen_aborted = stream.aborted();
+    let gen_degraded = stream.degraded();
+    debug_assert_eq!(stream.emitted() as usize, tasks.len());
 
     // 2. Shard bounds over the task list, per the schedule.
     let bounds = shard_ranges(tasks.len(), exec);
@@ -283,9 +411,16 @@ pub fn run_spmspm_exec(
     // 3. Workers: each shard runs load/compute/extract with its own state
     //    and probe buffer. Merge effects are recorded, not applied — the
     //    Z cache and PE assignment are order-dependent, so they belong to
-    //    the reducer.
+    //    the reducer. Workers poll the cancel token before each task and
+    //    call the chaos hook (if any) at shard and task boundaries.
     let traced = probe.is_enabled();
-    let shard_outs = par_map_threads(exec.threads, &bounds, |_, range| {
+    let chaos = fault.chaos.as_deref();
+    let cancel = &fault.cancel;
+    let run_shard = |sidx: usize, attempt: u32| -> ShardOut<'_> {
+        if let Some(ch) = chaos {
+            ch.before_shard(sidx, attempt);
+        }
+        let range = bounds[sidx].clone();
         let sink = traced.then(|| Arc::new(TaggingSink::manual()));
         let wprobe = match &sink {
             Some(s) => Probe::new(s.clone()),
@@ -300,7 +435,15 @@ pub fn run_spmspm_exec(
             run.seed_residency(&tasks[range.start - 1]);
         }
         let mut recs = Vec::with_capacity(range.len());
-        for task in &tasks[range.clone()] {
+        let mut aborted_at = None;
+        for task in &tasks[range] {
+            if cancel.expired() {
+                aborted_at = Some(task.index);
+                break;
+            }
+            if let Some(ch) = chaos {
+                ch.before_task(task.index);
+            }
             let ranges = TaskRanges::of(task);
             if let Some(s) = &sink {
                 s.set_position(task.index, lane::LOAD);
@@ -315,35 +458,226 @@ pub fn run_spmspm_exec(
             recs.push(rec);
         }
         let events = sink.map(|s| s.drain()).unwrap_or_default();
-        (run, recs, events)
-    });
+        ShardOut { run, recs, events, aborted_at }
+    };
 
-    // 4. Deterministic reduction. Shards come back in input order, and
-    //    each shard's records are in task order, so iterating shards then
-    //    records replays the Z cache, PE round-robin, and output assembly
-    //    in exactly the global serial order. Commutative counters are
-    //    summed; everything is independent of how many workers ran.
+    // 4. Run every shard with per-shard panic isolation, retrying failed
+    //    shards up to `exec.max_retries` times. Workers are pure
+    //    functions of (task list, shard range) — shared state only ever
+    //    advances in the reducer — so a retried shard reproduces its
+    //    first attempt exactly and a recovered run stays bit-identical
+    //    to a fault-free one.
+    let mut results: Vec<Option<ShardOut>> = Vec::with_capacity(bounds.len());
+    results.resize_with(bounds.len(), || None);
+    let mut pending: Vec<usize> = (0..bounds.len()).collect();
+    let mut attempt: u32 = 0;
+    loop {
+        let outs = par_map_isolated(exec.threads, &pending, |_, &sidx| run_shard(sidx, attempt));
+        let mut failed: Vec<(usize, String)> = Vec::new();
+        for (&sidx, out) in pending.iter().zip(outs) {
+            match out {
+                Ok(s) => results[sidx] = Some(s),
+                Err(p) => failed.push((sidx, p.message)),
+            }
+        }
+        if failed.is_empty() {
+            break;
+        }
+        if attempt >= exec.max_retries {
+            // Retries exhausted: surface a typed error carrying the
+            // report over the contiguous prefix of shards before the
+            // first (lowest) failing shard. `pending` is ascending, so
+            // `failed` is too.
+            let (bad, message) = failed.remove(0);
+            let gen_events = gen_sink.map(|s| s.drain()).unwrap_or_default();
+            let mut prefix = Vec::with_capacity(bad);
+            for s in results.into_iter().take(bad) {
+                match s {
+                    Some(s) => prefix.push(s),
+                    // Unreachable: every shard below the lowest failure
+                    // completed; stop committing if that ever breaks.
+                    None => break,
+                }
+            }
+            let (mut partial, committed, _) = reduce_and_replay(
+                a.nrows(),
+                b.ncols(),
+                cfg,
+                &a_rows,
+                &b_rows,
+                prefix,
+                tasks.len(),
+                skipped,
+                traced,
+                gen_events,
+                probe,
+                true,
+            );
+            partial.output = None;
+            probe.emit(|| Event::Aborted { reason: "shard_panicked", completed_tasks: committed });
+            let range = &bounds[bad];
+            return Err(DrtError::ShardPanicked {
+                partial: Box::new(partial),
+                task_range: (range.start as u64)..(range.end as u64),
+                message,
+                attempts: attempt + 1,
+            });
+        }
+        attempt += 1;
+        pending = failed.into_iter().map(|(s, _)| s).collect();
+    }
+
+    // 5. Deterministic reduction + trace replay over the committed
+    //    shards (all of them unless a cancel cut execution short).
+    let shard_outs: Vec<ShardOut> = results.into_iter().flatten().collect();
+    debug_assert_eq!(shard_outs.len(), bounds.len());
+    let gen_events = gen_sink.map(|s| s.drain()).unwrap_or_default();
+    let (mut report, committed, cut) = reduce_and_replay(
+        a.nrows(),
+        b.ncols(),
+        cfg,
+        &a_rows,
+        &b_rows,
+        shard_outs,
+        tasks.len(),
+        skipped,
+        traced,
+        gen_events,
+        probe,
+        false,
+    );
+    if cut {
+        // A worker saw the token expire mid-run; everything up to the
+        // committed prefix is in the report.
+        let kind = cancel.expiry_kind().unwrap_or(ExpiryKind::Cancelled);
+        return Ok(finish_degraded(report, kind, committed, probe));
+    }
+    if let Some(kind) = gen_aborted {
+        // Generation stopped early; every materialized task committed.
+        return Ok(finish_degraded(report, kind, committed, probe));
+    }
+    if let Some(cause) = gen_degraded {
+        report.degradation = Some(budget_degradation(cause, committed));
+        return Ok(RunOutcome::Degraded(report));
+    }
+    Ok(RunOutcome::Complete(report))
+}
+
+/// The serial streaming path of [`run_spmspm_ft`]: tasks execute as they
+/// are generated (one resident task at a time), events flow straight to
+/// the probe, and cancellation is handled by the stream itself — so all
+/// generated tasks are committed tasks. `memory_note` marks a run that
+/// landed here because `max_resident_bytes` rejected the materialized
+/// task list.
+#[allow(clippy::too_many_arguments)]
+fn run_serial_ft(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    a_rows: &CsMatrix,
+    b_rows: &CsMatrix,
+    cfg: &EngineConfig,
+    probe: &Probe,
+    kernel: &Kernel,
+    opts: TaskGenOptions,
+    memory_note: Option<String>,
+) -> Result<RunOutcome, DrtError> {
+    let mut stream = TaskStream::build(kernel, opts)?;
+    let mut run = EngineRun::new(a_rows, b_rows, cfg, probe.clone());
+    // The pipeline per task: load the tiles whose ranges changed,
+    // compute (intersect + multiply) on them, merge the partial
+    // outputs through the Z cache, then account the tile-extraction
+    // latency that produced the task in the first place (DRT only —
+    // extraction overlaps the previous task's compute, so only the
+    // excess is exposed).
+    for task in &mut stream {
+        let ranges = TaskRanges::of(&task);
+        run.phase_load(&task, &ranges);
+        let (prod, isect_cycles) = run.phase_compute(&ranges);
+        let on_chip = run.phase_merge(&task, &ranges, &prod, isect_cycles);
+        run.phase_extract(&task, on_chip);
+    }
+    let (emitted, skipped) = (stream.emitted(), stream.skipped_empty());
+    let aborted = stream.aborted();
+    let degraded = stream.degraded();
+    let mut report = run.phase_writeback(a.nrows(), b.ncols(), emitted, skipped);
+    if let Some(kind) = aborted {
+        return Ok(finish_degraded(report, kind, emitted, probe));
+    }
+    if let Some(cause) = degraded {
+        report.degradation = Some(budget_degradation(cause, emitted));
+        return Ok(RunOutcome::Degraded(report));
+    }
+    if let Some(detail) = memory_note {
+        report.degradation = Some(Degradation {
+            reason: DegradeReason::MemoryBudgetExhausted,
+            completed_tasks: emitted,
+            detail,
+        });
+        return Ok(RunOutcome::Degraded(report));
+    }
+    Ok(RunOutcome::Complete(report))
+}
+
+/// Deterministic reduction of committed shard outputs, plus trace
+/// replay. Shards come back in input order and each shard's records are
+/// in task order, so iterating shards then records replays the Z cache,
+/// PE round-robin, and output assembly in exactly the global serial
+/// order — independent of how many workers ran.
+///
+/// If a shard aborted mid-run (cancel/deadline), only shards up to and
+/// including it commit; per-task events past the committed prefix are
+/// dropped so the trace stays a byte-identical prefix of the fault-free
+/// trace (end-of-run summaries, which describe the partial run, stay).
+/// Returns `(report, committed_tasks, hit_an_aborted_shard)`.
+#[allow(clippy::too_many_arguments)]
+fn reduce_and_replay<'c>(
+    nrows: u32,
+    ncols: u32,
+    cfg: &'c EngineConfig,
+    a_rows: &'c CsMatrix,
+    b_rows: &'c CsMatrix,
+    shard_outs: Vec<ShardOut<'c>>,
+    total_tasks: usize,
+    skipped: u64,
+    traced: bool,
+    gen_events: Vec<TaggedEvent>,
+    probe: &Probe,
+    prefix_only: bool,
+) -> (RunReport, u64, bool) {
+    let cut = shard_outs.iter().position(|s| s.aborted_at.is_some());
+    let commit_n = cut.map(|i| i + 1).unwrap_or(shard_outs.len());
     let red_sink = traced.then(|| Arc::new(TaggingSink::manual()));
     let red_probe = match &red_sink {
         Some(s) => Probe::new(s.clone()),
         None => Probe::disabled(),
     };
-    let mut main = EngineRun::new(&a_rows, &b_rows, cfg, red_probe);
-    let mut events: Vec<TaggedEvent> = gen_sink.map(|s| s.drain()).unwrap_or_default();
-    for (wrun, recs, wevents) in shard_outs {
-        events.extend(wevents);
-        for rec in &recs {
+    let mut main = EngineRun::new(a_rows, b_rows, cfg, red_probe);
+    let mut events = gen_events;
+    let mut committed: u64 = 0;
+    for sout in shard_outs.into_iter().take(commit_n) {
+        events.extend(sout.events);
+        for rec in &sout.recs {
             if let Some(s) = &red_sink {
                 s.set_position(rec.pos, lane::MERGE);
             }
             main.merge_commit(rec);
+            // Task indices are contiguous from 0, so the count of
+            // committed tasks is one past the highest committed index.
+            committed = committed.max(rec.pos + 1);
         }
-        main.absorb(wrun);
+        main.absorb(sout.run);
     }
     if let Some(s) = &red_sink {
         s.set_position(u64::MAX, lane::FINISH);
     }
-    let report = main.phase_writeback(a.nrows(), b.ncols(), emitted, skipped);
+    let truncated = prefix_only || cut.is_some();
+    if truncated {
+        // Keep only the committed prefix of per-task events; end-of-run
+        // summaries (`pos == u64::MAX`) describe the partial run and stay.
+        events.retain(|e| e.pos < committed || e.pos == u64::MAX);
+    }
+    let reported_tasks = if truncated { committed } else { total_tasks as u64 };
+    let report = main.phase_writeback(nrows, ncols, reported_tasks, skipped);
     debug_assert_eq!(
         report.phases.total_bytes(),
         report.traffic.total(),
@@ -352,10 +686,81 @@ pub fn run_spmspm_exec(
     if let Some(s) = &red_sink {
         events.extend(s.drain());
     }
-    // 5. Replay the merged event log in (task, phase-lane, seq) order —
-    //    bit-identical to the serial trace for any shard layout.
+    // Replay the merged event log in (task, phase-lane, seq) order —
+    // bit-identical to the serial trace for any shard layout.
     replay_sorted(events, probe);
-    Ok(report)
+    (report, committed, cut.is_some())
+}
+
+/// Map a token expiry to its degradation reason.
+pub(crate) fn expiry_reason(kind: ExpiryKind) -> DegradeReason {
+    match kind {
+        ExpiryKind::Cancelled => DegradeReason::Cancelled,
+        ExpiryKind::DeadlineExceeded => DegradeReason::DeadlineExceeded,
+    }
+}
+
+/// Finish a run that stopped cleanly at a task boundary: drop the
+/// (incomplete) functional output, record the degradation, and emit the
+/// final `aborted` trace record.
+fn finish_degraded(
+    mut report: RunReport,
+    kind: ExpiryKind,
+    committed: u64,
+    probe: &Probe,
+) -> RunOutcome {
+    let reason = expiry_reason(kind);
+    report.output = None;
+    report.degradation = Some(Degradation {
+        reason,
+        completed_tasks: committed,
+        detail: format!("run stopped at a task boundary after {committed} committed task(s)"),
+    });
+    probe.emit(|| Event::Aborted { reason: reason.tag(), completed_tasks: committed });
+    RunOutcome::Degraded(report)
+}
+
+/// The degradation record for a DRT budget cap that switched the rest of
+/// the run to S-U-C fallback tiles (the run still completes and covers
+/// the whole iteration space).
+fn budget_degradation(cause: BudgetCause, completed: u64) -> Degradation {
+    let reason = match cause {
+        BudgetCause::MaxTasks => DegradeReason::TaskBudgetExhausted,
+        BudgetCause::MaxPlanCandidates => DegradeReason::PlanBudgetExhausted,
+    };
+    Degradation {
+        reason,
+        completed_tasks: completed,
+        detail: "DRT budget exhausted; remaining region covered with S-U-C fallback tiles \
+                 (run completed, functional output intact)"
+            .into(),
+    }
+}
+
+/// The degraded outcome for a run whose token was already expired at
+/// entry: an all-zero report, no work, one `aborted` trace record.
+fn degrade_before_work(name: &str, kind: ExpiryKind, probe: &Probe) -> RunOutcome {
+    let reason = expiry_reason(kind);
+    let mut report = RunReport::empty(name);
+    report.degradation = Some(Degradation {
+        reason,
+        completed_tasks: 0,
+        detail: "expired before any work ran".into(),
+    });
+    probe.emit(|| Event::Aborted { reason: reason.tag(), completed_tasks: 0 });
+    RunOutcome::Degraded(report)
+}
+
+/// Deterministic estimate of one materialized task's resident heap
+/// footprint, charged against `ExecBudget::max_resident_bytes`. A model
+/// cap, not an allocator measurement — it only needs to be monotone in
+/// task-list size and identical across platforms and thread counts.
+fn estimated_task_bytes(task: &Task) -> u64 {
+    let plan = &task.plan;
+    let tile_bytes: u64 =
+        plan.tiles.iter().map(|t| (std::mem::size_of::<TileStats>() + t.name.len()) as u64).sum();
+    let range_bytes = (plan.grid_ranges.len() + plan.coord_ranges.len()) as u64 * 40;
+    std::mem::size_of::<Task>() as u64 + tile_bytes + range_bytes
 }
 
 /// Contiguous shard bounds over `n_tasks` tasks under `exec`'s schedule.
@@ -401,6 +806,8 @@ struct TaskRanges {
 
 impl TaskRanges {
     fn of(task: &Task) -> TaskRanges {
+        // Planner invariant, not user input: every SpMSpM plan from
+        // `drt-core` taskgen carries exactly the i/k/j coordinate ranges.
         TaskRanges {
             ir: task.plan.coord_ranges[&'i'].clone(),
             kr: task.plan.coord_ranges[&'k'].clone(),
@@ -667,6 +1074,7 @@ impl<'c> EngineRun<'c> {
             skipped_tasks,
             actions: self.actions,
             phases: self.phases,
+            degradation: None,
         }
     }
 }
@@ -983,6 +1391,7 @@ mod tests {
         let ws = |per| ExecPolicy {
             threads: 3,
             schedule: ShardSchedule::WorkStealing { tasks_per_shard: per },
+            max_retries: 0,
         };
         assert_eq!(shard_ranges(7, &ws(3)), vec![0..3, 3..6, 6..7]);
         assert_eq!(shard_ranges(0, &ws(3)), vec![0..0]);
@@ -990,6 +1399,7 @@ mod tests {
         let ex = |cuts: &[usize]| ExecPolicy {
             threads: 2,
             schedule: ShardSchedule::Explicit(cuts.to_vec()),
+            max_retries: 0,
         };
         assert_eq!(shard_ranges(5, &ex(&[0, 2, 2, 9])), vec![0..0, 0..2, 2..2, 2..5, 5..5]);
         assert_eq!(shard_ranges(6, &ExecPolicy::threads(2)), vec![0..3, 3..6]);
@@ -1020,8 +1430,13 @@ mod tests {
                 ExecPolicy {
                     threads: 3,
                     schedule: ShardSchedule::WorkStealing { tasks_per_shard: 2 },
+                    max_retries: 0,
                 },
-                ExecPolicy { threads: 2, schedule: ShardSchedule::Explicit(vec![0, 0, 3, 3, 5]) },
+                ExecPolicy {
+                    threads: 2,
+                    schedule: ShardSchedule::Explicit(vec![0, 0, 3, 3, 5]),
+                    max_retries: 0,
+                },
             ] {
                 let sharded =
                     run_spmspm_exec(&a, &a, &cfg, &Probe::disabled(), &exec).expect("sharded");
@@ -1067,8 +1482,16 @@ mod tests {
         for exec in [
             ExecPolicy::threads(2),
             ExecPolicy::threads(4),
-            ExecPolicy { threads: 2, schedule: ShardSchedule::WorkStealing { tasks_per_shard: 1 } },
-            ExecPolicy { threads: 1, schedule: ShardSchedule::Explicit(vec![2, 4]) },
+            ExecPolicy {
+                threads: 2,
+                schedule: ShardSchedule::WorkStealing { tasks_per_shard: 1 },
+                max_retries: 0,
+            },
+            ExecPolicy {
+                threads: 1,
+                schedule: ShardSchedule::Explicit(vec![2, 4]),
+                max_retries: 0,
+            },
         ] {
             let (r, t) = traced_run(&a, &cfg, &exec);
             report_bits_eq("trace", &serial_r, &r);

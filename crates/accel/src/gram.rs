@@ -158,6 +158,7 @@ pub fn run_gram_suc(
         skipped_tasks: 0,
         actions,
         phases,
+        degradation: None,
     })
 }
 
@@ -252,6 +253,7 @@ fn run_stream(
         skipped_tasks: stream.skipped_empty(),
         actions,
         phases,
+        degradation: None,
     })
 }
 

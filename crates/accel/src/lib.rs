@@ -37,6 +37,7 @@
 
 pub mod cpu;
 pub mod engine;
+pub mod error;
 pub mod extensor;
 pub mod gamma;
 pub mod gram;

@@ -75,6 +75,86 @@ impl PhaseBreakdown {
     }
 }
 
+/// Why a run degraded instead of completing normally (the fault-tolerant
+/// execution layer's outcome taxonomy). Degradation is never an error:
+/// the run either kept covering the space with cheaper tiles (budget
+/// exhaustion, mirroring Algorithm 2's fallback subdivision) or stopped
+/// cleanly at a task boundary (cancellation / deadline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// `CancelToken::cancel()` stopped the run at a task boundary.
+    Cancelled,
+    /// The armed deadline passed; the run stopped at a task boundary.
+    DeadlineExceeded,
+    /// `ExecBudget::max_tasks` exhausted; the remaining region fell back
+    /// to S-U-C tiling.
+    TaskBudgetExhausted,
+    /// `ExecBudget::max_plan_candidates` exhausted; the remaining region
+    /// fell back to S-U-C tiling.
+    PlanBudgetExhausted,
+    /// `ExecBudget::max_resident_bytes` exhausted; sharded execution fell
+    /// back to serial streaming (no materialized task list).
+    MemoryBudgetExhausted,
+}
+
+impl DegradeReason {
+    /// Stable tag used in trace `aborted` records and JSON rows.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            DegradeReason::Cancelled => "cancelled",
+            DegradeReason::DeadlineExceeded => "deadline",
+            DegradeReason::TaskBudgetExhausted => "task_budget",
+            DegradeReason::PlanBudgetExhausted => "plan_budget",
+            DegradeReason::MemoryBudgetExhausted => "memory_budget",
+        }
+    }
+}
+
+/// How (and how far) a degraded run got. Attached to [`RunReport`] so the
+/// numbers always say whether they describe a complete simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// What tripped.
+    pub reason: DegradeReason,
+    /// Tasks whose phases fully committed before the run stopped (equals
+    /// `tasks` for budget degradations, which still complete the run).
+    pub completed_tasks: u64,
+    /// Human-readable detail (which cap, which fallback shape, …).
+    pub detail: String,
+}
+
+/// A fault-tolerant run's result: the same [`RunReport`] either way, with
+/// the `Degraded` arm guaranteeing `report.degradation` is populated.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The full simulation ran; numbers describe the whole workload.
+    Complete(RunReport),
+    /// The run degraded (budget fallback or clean early stop); the
+    /// report's `degradation` field says why and how far it got.
+    Degraded(RunReport),
+}
+
+impl RunOutcome {
+    /// The report, complete or degraded.
+    pub fn report(&self) -> &RunReport {
+        match self {
+            RunOutcome::Complete(r) | RunOutcome::Degraded(r) => r,
+        }
+    }
+
+    /// Consume into the report, complete or degraded.
+    pub fn into_report(self) -> RunReport {
+        match self {
+            RunOutcome::Complete(r) | RunOutcome::Degraded(r) => r,
+        }
+    }
+
+    /// Whether this is the `Degraded` arm.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RunOutcome::Degraded(_))
+    }
+}
+
 /// The outcome of simulating one workload on one accelerator
 /// configuration.
 #[derive(Debug, Clone)]
@@ -102,9 +182,31 @@ pub struct RunReport {
     pub actions: ActionCounts,
     /// Per-phase byte/cycle breakdown of the pipeline.
     pub phases: PhaseBreakdown,
+    /// `Some` when the run degraded (budget fallback, cancellation,
+    /// deadline); `None` for a complete fault-free run.
+    pub degradation: Option<Degradation>,
 }
 
 impl RunReport {
+    /// An all-zero report for runs that stopped before any work committed
+    /// (expired deadline at entry, zero task budget). Well-formed: phase
+    /// bytes (0) partition traffic (0).
+    pub fn empty(name: &str) -> RunReport {
+        RunReport {
+            name: name.to_string(),
+            traffic: TrafficCounter::new(),
+            maccs: 0,
+            compute_cycles: 0,
+            exposed_extract_cycles: 0,
+            seconds: 0.0,
+            output: None,
+            tasks: 0,
+            skipped_tasks: 0,
+            actions: ActionCounts::default(),
+            phases: PhaseBreakdown::default(),
+            degradation: None,
+        }
+    }
     /// Arithmetic intensity: MACCs per DRAM byte (§5.1.1).
     pub fn arithmetic_intensity(&self) -> f64 {
         drt_sim::traffic::arithmetic_intensity(self.maccs, self.traffic.total())
@@ -184,6 +286,9 @@ impl RunReport {
         if self.phases != other.phases {
             return Some(format!("phases: {:?} vs {:?}", self.phases, other.phases));
         }
+        if self.degradation != other.degradation {
+            return Some(format!("degradation: {:?} vs {:?}", self.degradation, other.degradation));
+        }
         if self.output != other.output {
             return Some("output: functional results differ".into());
         }
@@ -210,6 +315,7 @@ mod tests {
             skipped_tasks: 0,
             actions: ActionCounts::default(),
             phases: PhaseBreakdown::default(),
+            degradation: None,
         }
     }
 

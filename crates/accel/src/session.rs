@@ -6,7 +6,7 @@
 //! use drt_accel::spec::AccelSpec;
 //! use drt_workloads::patterns::unstructured;
 //!
-//! # fn main() -> Result<(), drt_core::CoreError> {
+//! # fn main() -> Result<(), drt_accel::error::DrtError> {
 //! let a = unstructured(96, 96, 700, 2.0, 1);
 //! let serial = Session::new(AccelSpec::extensor_op_drt()).run_spmspm(&a, &a)?;
 //! let sharded = Session::new(AccelSpec::extensor_op_drt()).threads(4).run_spmspm(&a, &a)?;
@@ -23,13 +23,19 @@
 //! over this API.
 
 use crate::cpu::CpuSpec;
-use crate::engine::{run_spmspm_exec, EngineConfig, ExecPolicy, ShardSchedule};
-use crate::report::RunReport;
+use crate::engine::{run_spmspm_ft, EngineConfig, ExecPolicy, ShardSchedule};
+use crate::error::DrtError;
+use crate::report::{RunOutcome, RunReport};
 use crate::spec::{AccelSpec, Registry, RunCtx};
+use drt_core::budget::ExecBudget;
+use drt_core::cancel::CancelToken;
+use drt_core::chaos::FaultInjector;
 use drt_core::probe::Probe;
 use drt_core::CoreError;
 use drt_sim::memory::HierarchySpec;
 use drt_tensor::CsMatrix;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// What a session runs: a declarative spec (resolved against the
 /// session's hierarchy at run time) or a fully concrete engine
@@ -117,16 +123,77 @@ impl Session {
         self
     }
 
+    /// Arm a deadline `d` from now. When it passes, the run stops at the
+    /// next task boundary and returns a degraded report (never panics);
+    /// a traced run's JSONL ends with one `aborted` record.
+    #[must_use]
+    pub fn deadline(self, d: Duration) -> Session {
+        self.ctx.cancel.set_deadline_in(d);
+        self
+    }
+
+    /// The session's cancellation token. Clone it to another thread and
+    /// call `cancel()` to stop an in-flight run at the next task
+    /// boundary. The same token is polled by every run of this session.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.ctx.cancel.clone()
+    }
+
+    /// Set resource budgets. Exhausting a DRT planning budget degrades
+    /// the rest of the run to S-U-C fallback tiles; exhausting the
+    /// resident-byte cap degrades sharded execution to serial streaming.
+    /// Either way the run completes and the report records why.
+    #[must_use]
+    pub fn budget(mut self, budget: ExecBudget) -> Session {
+        self.ctx.budget = budget;
+        self
+    }
+
+    /// Retry a panicked shard up to `n` times before failing with
+    /// [`DrtError::ShardPanicked`]. Recovered runs are bit-identical to
+    /// fault-free ones.
+    #[must_use]
+    pub fn retries(mut self, n: u32) -> Session {
+        self.ctx.exec.max_retries = n;
+        self
+    }
+
+    /// Install a chaos injector (tests only): the engine calls it at
+    /// shard and task boundaries so `drt-verify` can inject worker
+    /// panics, slow shards, and cancellations deterministically.
+    #[must_use]
+    pub fn chaos(mut self, chaos: Arc<dyn FaultInjector>) -> Session {
+        self.ctx.chaos = Some(chaos);
+        self
+    }
+
     /// Simulate `Z = A · B` under this session's target and context.
+    ///
+    /// A degraded run (expired deadline, cancellation, exhausted budget)
+    /// is still `Ok`: its report carries a `degradation` record saying
+    /// why and how far it got. Use [`Session::run_spmspm_ft`] to branch
+    /// on completeness explicitly.
     ///
     /// # Errors
     ///
-    /// Propagates engine/tiling configuration errors; analytic models are
-    /// infallible.
-    pub fn run_spmspm(&self, a: &CsMatrix, b: &CsMatrix) -> Result<RunReport, CoreError> {
+    /// Engine/tiling configuration errors as [`DrtError::Core`]; a shard
+    /// that panicked through every retry as [`DrtError::ShardPanicked`].
+    /// Analytic models are infallible.
+    pub fn run_spmspm(&self, a: &CsMatrix, b: &CsMatrix) -> Result<RunReport, DrtError> {
+        self.run_spmspm_ft(a, b).map(RunOutcome::into_report)
+    }
+
+    /// Simulate `Z = A · B`, distinguishing complete from degraded runs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::run_spmspm`].
+    pub fn run_spmspm_ft(&self, a: &CsMatrix, b: &CsMatrix) -> Result<RunOutcome, DrtError> {
         match &self.target {
-            Target::Spec(spec) => spec.run(a, b, &self.ctx),
-            Target::Config(cfg) => run_spmspm_exec(a, b, cfg, &self.ctx.probe, &self.ctx.exec),
+            Target::Spec(spec) => spec.run_ft(a, b, &self.ctx),
+            Target::Config(cfg) => {
+                run_spmspm_ft(a, b, cfg, &self.ctx.probe, &self.ctx.exec, &self.ctx.fault_policy())
+            }
         }
     }
 

@@ -14,18 +14,26 @@
 //! accelerator module carried its own `Partitions::split` literal.
 
 use crate::cpu::{run_mkl_like_with, CpuSpec};
-use crate::engine::{run_spmspm_best_suc_exec, run_spmspm_exec, EngineConfig, ExecPolicy, Tiling};
-use crate::report::RunReport;
+use crate::engine::{
+    expiry_reason, run_spmspm_best_suc_exec, run_spmspm_ft, EngineConfig, ExecPolicy, FaultPolicy,
+    Tiling,
+};
+use crate::error::DrtError;
+use crate::report::{Degradation, DegradeReason, RunOutcome, RunReport};
+use drt_core::budget::ExecBudget;
+use drt_core::cancel::CancelToken;
+use drt_core::chaos::FaultInjector;
 use drt_core::config::{DrtConfig, GrowthOrder, Partitions};
 use drt_core::extractor::ExtractorModel;
 use drt_core::micro::MicroFormat;
-use drt_core::probe::Probe;
+use drt_core::probe::{Event, Probe};
 use drt_core::{CoreError, RankId};
 use drt_sim::intersect_unit::IntersectUnit;
 use drt_sim::memory::{BufferSpec, HierarchySpec};
 use drt_tensor::format::SizeModel;
 use drt_tensor::CsMatrix;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Named static buffer-partition tables (paper §5.2.4: every on-chip
 /// buffer is statically split across tensors; §6.6 / Figure 14 sweep the
@@ -215,10 +223,20 @@ pub struct RunCtx {
     pub cpu: CpuSpec,
     /// Instrumentation probe threaded through taskgen and the engine.
     pub probe: Probe,
-    /// Execution policy for engine-simulated variants (thread count and
-    /// shard schedule); analytic models ignore it. Reports and traces are
-    /// bit-identical for every policy.
+    /// Execution policy for engine-simulated variants (thread count,
+    /// shard schedule, shard retries); analytic models ignore it. Reports
+    /// and traces are bit-identical for every policy.
     pub exec: ExecPolicy,
+    /// Resource budgets (task / planner-call / resident-byte caps).
+    /// DRT engine runs degrade gracefully on exhaustion; `max_tasks = 0`
+    /// ("no work permitted") binds uniformly on every variant; other
+    /// caps are non-binding for analytic and already-S-U-C runs.
+    pub budget: ExecBudget,
+    /// Cooperative cancellation/deadline token, polled at task
+    /// boundaries. An expired token degrades the run; it never panics.
+    pub cancel: CancelToken,
+    /// Chaos-injection hook for engine runs (`None` in production).
+    pub chaos: Option<Arc<dyn FaultInjector>>,
 }
 
 impl Default for RunCtx {
@@ -228,6 +246,9 @@ impl Default for RunCtx {
             cpu: CpuSpec::default(),
             probe: Probe::disabled(),
             exec: ExecPolicy::serial(),
+            budget: ExecBudget::unlimited(),
+            cancel: CancelToken::new(),
+            chaos: None,
         }
     }
 }
@@ -255,6 +276,48 @@ impl RunCtx {
         self.exec = exec;
         self
     }
+
+    /// Builder-style: set the resource budgets.
+    pub fn with_budget(mut self, budget: ExecBudget) -> RunCtx {
+        self.budget = budget;
+        self
+    }
+
+    /// Builder-style: share a cancellation/deadline token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> RunCtx {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Builder-style: install a chaos injector (tests only).
+    pub fn with_chaos(mut self, chaos: Arc<dyn FaultInjector>) -> RunCtx {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// The engine-level fault policy assembled from this context.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        FaultPolicy {
+            budget: self.budget.clone(),
+            cancel: self.cancel.clone(),
+            chaos: self.chaos.clone(),
+        }
+    }
+}
+
+/// Whether any fault-tolerance knob in this context is non-inert (so a
+/// legacy path that would otherwise skip the fault plumbing must not).
+fn fault_active(ctx: &RunCtx) -> bool {
+    ctx.budget.is_limited() || ctx.chaos.is_some() || ctx.cancel.expired()
+}
+
+/// The degraded outcome for a run rejected at entry (expired token, zero
+/// task budget): an all-zero report and one `aborted` trace record.
+fn degraded_entry(name: &str, reason: DegradeReason, detail: &str, probe: &Probe) -> RunOutcome {
+    let mut report = RunReport::empty(name);
+    report.degradation = Some(Degradation { reason, completed_tasks: 0, detail: detail.into() });
+    probe.emit(|| Event::Aborted { reason: reason.tag(), completed_tasks: 0 });
+    RunOutcome::Degraded(report)
 }
 
 /// The hierarchy the software study runs on: an LLB the size of the
@@ -287,41 +350,94 @@ fn engine_preflight(a: &CsMatrix, b: &CsMatrix, cfg: &EngineConfig) -> Result<()
 impl AccelSpec {
     /// Run this variant on `Z = A · B`.
     ///
+    /// A thin wrapper over [`AccelSpec::run_ft`] that flattens the
+    /// outcome (a degraded run's report carries its `degradation` field)
+    /// and unwraps [`DrtError::Core`]. A shard that exhausted its retries
+    /// panics here, preserving the legacy contract; use `run_ft` to
+    /// handle it as a typed error instead.
+    ///
     /// # Errors
     ///
     /// Propagates engine/tiling configuration errors; analytic models are
     /// infallible and always return `Ok`.
     pub fn run(&self, a: &CsMatrix, b: &CsMatrix, ctx: &RunCtx) -> Result<RunReport, CoreError> {
+        match self.run_ft(a, b, ctx) {
+            Ok(out) => Ok(out.into_report()),
+            Err(DrtError::Core(e)) => Err(e),
+            Err(DrtError::ShardPanicked { task_range, message, .. }) => panic!(
+                "parallel worker panicked on tasks {}..{}: {}",
+                task_range.start, task_range.end, message
+            ),
+            Err(e) => Err(CoreError::BadConfig { detail: e.to_string() }),
+        }
+    }
+
+    /// Fault-tolerant run of this variant on `Z = A · B`: the full
+    /// outcome taxonomy of `engine::run_spmspm_ft`, made uniform across
+    /// every registered variant. An expired token or a zero task budget
+    /// degrades — never panics — for analytic models too; engine
+    /// variants additionally degrade mid-run (DRT → S-U-C fallback on
+    /// budget exhaustion, clean stops at task boundaries) and isolate
+    /// and retry panicked shards.
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors as [`DrtError::Core`]; a shard that kept
+    /// panicking after every retry as [`DrtError::ShardPanicked`].
+    pub fn run_ft(&self, a: &CsMatrix, b: &CsMatrix, ctx: &RunCtx) -> Result<RunOutcome, DrtError> {
+        if let Some(kind) = ctx.cancel.expiry_kind() {
+            return Ok(degraded_entry(
+                &self.name,
+                expiry_reason(kind),
+                "expired before any work ran",
+                &ctx.probe,
+            ));
+        }
+        // A zero task budget permits no work for any variant, uniformly:
+        // analytic models do no task generation, and an S-U-C-tiled engine
+        // stream has no cheaper mode to degrade into. (Nonzero caps are
+        // enforced per mode: DRT streams degrade to S-U-C fallback tiles;
+        // analytic and already-S-U-C runs treat them as non-binding.)
+        if ctx.budget.max_tasks == Some(0) {
+            return Ok(degraded_entry(
+                &self.name,
+                DegradeReason::TaskBudgetExhausted,
+                "max_tasks = 0 permits no work",
+                &ctx.probe,
+            ));
+        }
         match &self.kind {
-            SpecKind::Engine(es) => self.run_engine(es, a, b, ctx),
-            SpecKind::OuterSpaceUntiled => Ok(crate::outerspace::run_untiled_with(
+            SpecKind::Engine(es) => self.run_engine_ft(es, a, b, ctx),
+            SpecKind::OuterSpaceUntiled => Ok(RunOutcome::Complete(
+                crate::outerspace::run_untiled_with(a, b, &ctx.hier, &self.size_model, &ctx.probe),
+            )),
+            SpecKind::MatRaptorUntiled => Ok(RunOutcome::Complete(
+                crate::matraptor::run_untiled_with(a, b, &ctx.hier, &self.size_model, &ctx.probe),
+            )),
+            SpecKind::GammaLike => Ok(RunOutcome::Complete(crate::gamma::run_gamma_like_with(
                 a,
                 b,
                 &ctx.hier,
                 &self.size_model,
                 &ctx.probe,
-            )),
-            SpecKind::MatRaptorUntiled => Ok(crate::matraptor::run_untiled_with(
-                a,
-                b,
-                &ctx.hier,
-                &self.size_model,
-                &ctx.probe,
-            )),
-            SpecKind::GammaLike => {
-                Ok(crate::gamma::run_gamma_like_with(a, b, &ctx.hier, &self.size_model, &ctx.probe))
+            ))),
+            SpecKind::SpArchLike { merge_ways } => {
+                Ok(RunOutcome::Complete(crate::sparch::run_sparch_like_with(
+                    a,
+                    b,
+                    &ctx.hier,
+                    *merge_ways,
+                    &self.size_model,
+                    &ctx.probe,
+                )))
             }
-            SpecKind::SpArchLike { merge_ways } => Ok(crate::sparch::run_sparch_like_with(
+            SpecKind::CpuRoofline => Ok(RunOutcome::Complete(run_mkl_like_with(
                 a,
                 b,
-                &ctx.hier,
-                *merge_ways,
+                &ctx.cpu,
                 &self.size_model,
                 &ctx.probe,
-            )),
-            SpecKind::CpuRoofline => {
-                Ok(run_mkl_like_with(a, b, &ctx.cpu, &self.size_model, &ctx.probe))
-            }
+            ))),
         }
     }
 
@@ -401,49 +517,63 @@ impl AccelSpec {
         Ok(Some(cfg))
     }
 
-    fn run_engine(
+    fn run_engine_ft(
         &self,
         es: &EngineSpec,
         a: &CsMatrix,
         b: &CsMatrix,
         ctx: &RunCtx,
-    ) -> Result<RunReport, CoreError> {
+    ) -> Result<RunOutcome, DrtError> {
         let hier = if es.hier_from_cpu { llc_hierarchy(&ctx.cpu) } else { ctx.hier };
         let mut cfg = self.engine_config(es, &hier);
+        let fault = ctx.fault_policy();
         match &es.tiling {
             TilingSpec::SucSweep { candidates } => {
                 let (report, shape) = run_spmspm_best_suc_exec(a, b, &cfg, *candidates, &ctx.exec)?;
-                if !ctx.probe.is_enabled() {
-                    return Ok(report);
+                // The sweep is an offline search the paper doesn't charge
+                // (§5.2.1); the token is polled once it finishes, so an
+                // expiry during the sweep degrades here instead of
+                // surfacing a stale report.
+                if let Some(kind) = ctx.cancel.expiry_kind() {
+                    return Ok(degraded_entry(
+                        &cfg.name,
+                        expiry_reason(kind),
+                        "expired during the offline S-U-C shape sweep",
+                        &ctx.probe,
+                    ));
                 }
-                // Re-run the winning shape with the probe attached so the
-                // trace reflects the reported run (the sweep itself is an
-                // offline search the paper doesn't charge, §5.2.1). The
-                // sweep quantizes the kernel's micro shape the same way.
+                if !ctx.probe.is_enabled() && !fault_active(ctx) {
+                    return Ok(RunOutcome::Complete(report));
+                }
+                // Re-run the winning shape with the probe and fault policy
+                // attached so the trace and degradation accounting reflect
+                // the reported run. The sweep quantizes the kernel's micro
+                // shape the same way.
                 let q = shape.values().copied().min().unwrap_or(32).clamp(1, 32);
                 cfg.micro = (q, q);
                 cfg.tiling = Tiling::Suc(shape);
-                run_spmspm_exec(a, b, &cfg, &ctx.probe, &ctx.exec)
+                run_spmspm_ft(a, b, &cfg, &ctx.probe, &ctx.exec, &fault)
             }
             TilingSpec::Drt if es.adapt_micro => {
                 // Configuration-time micro-shape adjustment (§5.2.4): when
                 // a partition cannot hold even one dense micro tile —
                 // possible at scaled-down buffer sizes — halve the shape
                 // until the preflight passes.
-                let mut last =
-                    Err(CoreError::BadConfig { detail: "no feasible micro shape".into() });
+                let mut last = Err(DrtError::Core(CoreError::BadConfig {
+                    detail: "no feasible micro shape".into(),
+                }));
                 let mut m = cfg.micro.0.max(cfg.micro.1);
                 while m >= 2 {
                     cfg.micro = (m, m);
-                    last = run_spmspm_exec(a, b, &cfg, &ctx.probe, &ctx.exec);
+                    last = run_spmspm_ft(a, b, &cfg, &ctx.probe, &ctx.exec, &fault);
                     match &last {
-                        Err(CoreError::TileTooLarge { .. }) => m /= 2,
+                        Err(DrtError::Core(CoreError::TileTooLarge { .. })) => m /= 2,
                         _ => return last,
                     }
                 }
                 last
             }
-            _ => run_spmspm_exec(a, b, &cfg, &ctx.probe, &ctx.exec),
+            _ => run_spmspm_ft(a, b, &cfg, &ctx.probe, &ctx.exec, &fault),
         }
     }
 

@@ -137,7 +137,11 @@ fn every_variant_bit_identical_across_thread_counts() {
             ExecPolicy::threads(2),
             ExecPolicy::threads(4),
             ExecPolicy::threads(8),
-            ExecPolicy { threads: 3, schedule: ShardSchedule::WorkStealing { tasks_per_shard: 2 } },
+            ExecPolicy {
+                threads: 3,
+                schedule: ShardSchedule::WorkStealing { tasks_per_shard: 2 },
+                max_retries: 0,
+            },
         ] {
             let sharded = Session::new(spec.clone())
                 .hierarchy(&hier)

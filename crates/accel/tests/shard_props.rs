@@ -48,7 +48,11 @@ fn check_tiling(
     let Ok(serial) = session.run_spmspm(a, a) else { return Ok(()) };
     let sharded = session
         .clone()
-        .exec(ExecPolicy { threads, schedule: ShardSchedule::Explicit(cuts.clone()) })
+        .exec(ExecPolicy {
+            threads,
+            schedule: ShardSchedule::Explicit(cuts.clone()),
+            max_retries: 0,
+        })
         .run_spmspm(a, a)
         .expect("feasible serially implies feasible sharded");
     prop_assert!(

@@ -7,7 +7,9 @@
 //! (`DRT_BENCH_THREADS` overrides the worker count); rows print in the
 //! paper's order regardless of scheduling.
 
-use drt_bench::{banner, emit_json, geomean, par, run_suite_cells_in, BenchOpts, JsonVal};
+use drt_bench::{
+    banner, emit_json, geomean, par, run_suite_cells_in, try_run_suite_cells_in, BenchOpts, JsonVal,
+};
 use drt_workloads::suite::{Catalog, PatternClass};
 
 fn main() {
@@ -25,17 +27,40 @@ fn main() {
         let a = entry.generate(opts.scale, opts.seed);
         (entry.name.to_string(), a.clone(), a)
     });
-    let cells = run_suite_cells_in(&pairs, &ctx);
+    // `--keep-going`: a failing cell becomes an error row instead of an
+    // abort; the process still exits nonzero after the full table prints.
+    let cells = if opts.keep_going {
+        try_run_suite_cells_in(&pairs, &ctx)
+    } else {
+        run_suite_cells_in(&pairs, &ctx).into_iter().map(Ok).collect()
+    };
 
     println!(
         "\n{:<18} {:>9} {:>12} {:>14} {:>17} {:>14}",
         "workload", "group", "ExTensor", "ExTensor-OP", "ExTensor-OP-DRT", "DRT red dot"
     );
+    let mut errors = 0usize;
     let (mut s_ext, mut s_op, mut s_drt) = (Vec::new(), Vec::new(), Vec::new());
     for (entry, cell) in workloads.iter().zip(&cells) {
         let group = match entry.class {
             PatternClass::DiamondBand => "band",
             PatternClass::Unstructured => "unstr",
+        };
+        let cell = match cell {
+            Ok(c) => c,
+            Err(err) => {
+                errors += 1;
+                println!("{:<18} {:>9} ERROR: {err}", entry.name, group);
+                emit_json(
+                    &opts,
+                    &[
+                        ("figure", JsonVal::S("fig06".into())),
+                        ("workload", JsonVal::S(entry.name.to_string())),
+                        ("error", JsonVal::S(err.clone())),
+                    ],
+                );
+                continue;
+            }
         };
         let red_dot = cell.base.seconds / cell.drt.dram_bound_seconds(&hier);
         println!(
@@ -69,4 +94,8 @@ fn main() {
         gd / go,
         gd / ge
     );
+    if errors > 0 {
+        eprintln!("fig06: {errors} cell(s) failed (ran to completion under --keep-going)");
+        std::process::exit(1);
+    }
 }

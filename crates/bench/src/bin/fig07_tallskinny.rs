@@ -2,7 +2,9 @@
 //! the short-long product `Fᵀ·F` then the tall-skinny product `F·Fᵀ`
 //! (paper §6.1.1, "Tall-skinny matrices").
 
-use drt_bench::{banner, emit_json, geomean, par, run_suite_cells_in, BenchOpts, JsonVal};
+use drt_bench::{
+    banner, emit_json, geomean, par, run_suite_cells_in, try_run_suite_cells_in, BenchOpts, JsonVal,
+};
 use drt_workloads::suite::Catalog;
 use drt_workloads::tallskinny::figure7_pair;
 
@@ -54,12 +56,35 @@ fn main() {
     .into_iter()
     .flatten()
     .collect();
-    let cells = run_suite_cells_in(&pairs, &ctx);
+    // `--keep-going`: a failing cell becomes an error row instead of an
+    // abort; the process still exits nonzero after the full table prints.
+    let cells = if opts.keep_going {
+        try_run_suite_cells_in(&pairs, &ctx)
+    } else {
+        run_suite_cells_in(&pairs, &ctx).into_iter().map(Ok).collect()
+    };
 
+    let mut errors = 0usize;
     let mut speedups = Vec::new();
     let (mut over_ext, mut over_op) = (Vec::new(), Vec::new());
     for ((label, _, _), cell) in pairs.iter().zip(&cells) {
         let (name, kind) = label.split_once('/').expect("label");
+        let cell = match cell {
+            Ok(c) => c,
+            Err(err) => {
+                errors += 1;
+                println!("{:<20} {:>7} ERROR: {err}", name, kind);
+                emit_json(
+                    &opts,
+                    &[
+                        ("figure", JsonVal::S("fig07".into())),
+                        ("workload", JsonVal::S(label.clone())),
+                        ("error", JsonVal::S(err.clone())),
+                    ],
+                );
+                continue;
+            }
+        };
         let (base, ext, op, drt) = (&cell.base, &cell.ext, &cell.op, &cell.drt);
         let red = base.seconds / drt.dram_bound_seconds(&hier);
         println!(
@@ -91,4 +116,8 @@ fn main() {
         geomean(&over_ext),
         geomean(&over_op)
     );
+    if errors > 0 {
+        eprintln!("fig07: {errors} cell(s) failed (ran to completion under --keep-going)");
+        std::process::exit(1);
+    }
 }

@@ -4,7 +4,7 @@
 //! idealized (per the paper's §5.2.2 methodology).
 
 use drt_accel::spec::Registry;
-use drt_bench::{banner, emit_json, geomean, BenchOpts, JsonVal};
+use drt_bench::{banner, emit_json, geomean, try_run_variant, BenchOpts, JsonVal};
 use drt_workloads::suite::Catalog;
 
 fn main() {
@@ -16,6 +16,7 @@ fn main() {
     let workloads: Vec<_> =
         if opts.quick { Catalog::sweep_subset() } else { Catalog::figure6_order() };
 
+    let mut errors = 0usize;
     for (family, base) in [("OuterSPACE", "outerspace"), ("MatRaptor", "matraptor")] {
         println!("\n--- {family} ---");
         println!(
@@ -26,12 +27,34 @@ fn main() {
             (Vec::new(), Vec::new(), Vec::new(), Vec::new());
         for entry in &workloads {
             let a = entry.generate(opts.scale, opts.seed);
+            // `--keep-going`: a failing variant becomes an error row
+            // instead of an abort; the binary exits nonzero at the end.
             let run = |variant: &str| {
+                if opts.keep_going {
+                    return try_run_variant(variant, &a, &a, &ctx);
+                }
                 let spec = registry.get(variant).expect("registered variant");
-                spec.run(&a, &a, &ctx).unwrap_or_else(|err| panic!("{variant}: {err:?}"))
+                Ok(spec.run(&a, &a, &ctx).unwrap_or_else(|err| panic!("{variant}: {err:?}")))
             };
-            let (untiled, suc, drt) =
-                (run(base), run(&format!("{base}-suc")), run(&format!("{base}-drt")));
+            let row3: Result<_, String> =
+                (|| Ok((run(base)?, run(&format!("{base}-suc"))?, run(&format!("{base}-drt"))?)))();
+            let (untiled, suc, drt) = match row3 {
+                Ok(r) => r,
+                Err(err) => {
+                    errors += 1;
+                    println!("{:<18} ERROR: {err}", entry.name);
+                    emit_json(
+                        &opts,
+                        &[
+                            ("figure", JsonVal::S("fig10".into())),
+                            ("family", JsonVal::S(family.into())),
+                            ("workload", JsonVal::S(entry.name.to_string())),
+                            ("error", JsonVal::S(err)),
+                        ],
+                    );
+                    continue;
+                }
+            };
             let row = (
                 suc.speedup_over(&untiled),
                 drt.speedup_over(&untiled),
@@ -68,5 +91,9 @@ fn main() {
                 _ => "  (paper speedup: 1.6x DRT)",
             }
         );
+    }
+    if errors > 0 {
+        eprintln!("fig10: {errors} cell(s) failed (ran to completion under --keep-going)");
+        std::process::exit(1);
     }
 }

@@ -16,15 +16,22 @@
 //!   [`drt_verify::driver::DEFAULT_MAX_ULP`]).
 //! * `--out DIR` — where to write shrunk `.mtx` reproducers (default
 //!   `verify-reproducers/`).
+//! * `--chaos` — run the chaos-injection harness instead of the
+//!   differential sweep: seeded worker panics, slow shards, and
+//!   cancellations, asserting the recovery invariants (retried runs
+//!   bit-identical to fault-free, degraded reports consistent, traces
+//!   parseable). Honors `--seed` and `--quick`.
 //!
 //! Failures are greedily shrunk and written as `<case>.A.mtx` /
 //! `<case>.B.mtx` reproducer pairs; the process exits non-zero, so CI can
 //! use this binary as a gate.
 
+use drt_verify::chaos::{run_chaos, ChaosOptions};
 use drt_verify::driver::{verify_all, VerifyOptions, DEFAULT_MAX_ULP};
 use std::path::PathBuf;
 
-fn parse_args() -> VerifyOptions {
+fn parse_args() -> (VerifyOptions, bool) {
+    let mut chaos = false;
     let mut opts = VerifyOptions {
         reproducer_dir: Some(PathBuf::from("verify-reproducers")),
         ..VerifyOptions::default()
@@ -58,17 +65,41 @@ fn parse_args() -> VerifyOptions {
                 }
             }
             "--quick" => opts.quick = true,
+            "--chaos" => chaos = true,
             other => {
                 eprintln!("warning: unknown flag {other} ignored");
             }
         }
         i += 1;
     }
-    opts
+    (opts, chaos)
 }
 
 fn main() {
-    let opts = parse_args();
+    let (opts, chaos) = parse_args();
+    if chaos {
+        let copts = ChaosOptions { seed: opts.seed, quick: opts.quick, ..ChaosOptions::default() };
+        println!(
+            "drt-verify chaos: seed {}, {} corpus, threads {:?}",
+            copts.seed,
+            if copts.quick { "quick" } else { "full" },
+            copts.threads
+        );
+        let summary = run_chaos(&copts);
+        println!(
+            "checked {} chaos scenario(s): {} failure(s)",
+            summary.scenarios,
+            summary.failures.len()
+        );
+        for f in &summary.failures {
+            println!("FAIL {f}");
+        }
+        if summary.passed() {
+            println!("PASS: every injected fault recovered or degraded as promised");
+            return;
+        }
+        std::process::exit(1);
+    }
     println!(
         "drt-verify: seed {}, {} iteration(s), {} corpus, ulp tolerance {}",
         opts.seed,

@@ -23,12 +23,19 @@
 //!   instrumentation event — tile plans, fetches, spills, per-phase
 //!   totals) to `FILE` via [`drt_core::probe::JsonlSink`]. Trace rows and
 //!   `--json` rows share one formatter, so one parser handles both.
+//! * `--retries N` — retry a panicked engine shard up to `N` times before
+//!   failing. Retries that never fire do not change numbers, so output is
+//!   bit-identical with and without this flag (a CI gate pins this).
+//! * `--keep-going` — on a failing cell, emit an `"error"` JSON row and
+//!   continue with the remaining cells; exit nonzero at the end instead
+//!   of aborting on the first failure.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use drt_accel::cpu::CpuSpec;
 use drt_accel::engine::ExecPolicy;
+use drt_accel::report::RunOutcome;
 use drt_accel::spec::{Registry, RunCtx};
 use drt_core::probe::{JsonValue, JsonlSink, Probe};
 use drt_sim::memory::HierarchySpec;
@@ -51,11 +58,24 @@ pub struct BenchOpts {
     pub trace: Option<String>,
     /// Worker threads per engine run (sharded execution; 1 = serial).
     pub threads: usize,
+    /// Shard retries per engine run (panic recovery; 0 = fail fast).
+    pub retries: u32,
+    /// Keep running after a failing cell, reporting it as an error row.
+    pub keep_going: bool,
 }
 
 impl Default for BenchOpts {
     fn default() -> Self {
-        BenchOpts { scale: 16, seed: 42, json: false, quick: false, trace: None, threads: 1 }
+        BenchOpts {
+            scale: 16,
+            seed: 42,
+            json: false,
+            quick: false,
+            trace: None,
+            threads: 1,
+            retries: 0,
+            keep_going: false,
+        }
     }
 }
 
@@ -93,6 +113,13 @@ impl BenchOpts {
                         i += 1;
                     }
                 }
+                "--retries" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.retries = v;
+                        i += 1;
+                    }
+                }
+                "--keep-going" => opts.keep_going = true,
                 _ => {}
             }
             i += 1;
@@ -140,7 +167,8 @@ impl BenchOpts {
             hier: self.hierarchy(),
             cpu: self.cpu(),
             probe: self.probe(),
-            exec: ExecPolicy::threads(threads),
+            exec: ExecPolicy::threads(threads).with_retries(self.retries),
+            ..RunCtx::default()
         }
     }
 }
@@ -194,7 +222,13 @@ pub fn run_suite_cells_probed(
     cpu: &CpuSpec,
     probe: &Probe,
 ) -> Vec<SuiteCell> {
-    let ctx = RunCtx { hier: *hier, cpu: *cpu, probe: probe.clone(), exec: ExecPolicy::serial() };
+    let ctx = RunCtx {
+        hier: *hier,
+        cpu: *cpu,
+        probe: probe.clone(),
+        exec: ExecPolicy::serial(),
+        ..RunCtx::default()
+    };
     run_suite_cells_in(pairs, &ctx)
 }
 
@@ -209,39 +243,80 @@ pub fn run_suite_cells_in(
     pairs: &[(String, drt_tensor::CsMatrix, drt_tensor::CsMatrix)],
     ctx: &RunCtx,
 ) -> Vec<SuiteCell> {
+    try_run_suite_cells_in(pairs, ctx)
+        .into_iter()
+        .map(|row| row.unwrap_or_else(|err| panic!("{err}")))
+        .collect()
+}
+
+/// Run one registered variant through the fault-tolerant entry point,
+/// mapping degraded outcomes and typed errors to a printable message
+/// instead of panicking — the `--keep-going` building block.
+///
+/// # Errors
+///
+/// Any run failure or degradation, as one message naming the variant.
+pub fn try_run_variant(
+    name: &str,
+    a: &drt_tensor::CsMatrix,
+    b: &drt_tensor::CsMatrix,
+    ctx: &RunCtx,
+) -> Result<drt_accel::report::RunReport, String> {
     let registry = Registry::standard();
+    let spec = registry.get(name).ok_or_else(|| format!("{name}: not a registered variant"))?;
+    match spec.run_ft(a, b, ctx) {
+        Ok(RunOutcome::Complete(r)) => Ok(r),
+        Ok(RunOutcome::Degraded(r)) => {
+            let why = r.degradation.map(|d| d.detail).unwrap_or_else(|| "unknown".into());
+            Err(format!("{name}: run degraded: {why}"))
+        }
+        Err(e) => Err(format!("{name}: {e}")),
+    }
+}
+
+/// Fallible, per-row variant of [`run_suite_cells_in`] — the
+/// `--keep-going` path. A row is `Err` when any of its four variant runs
+/// fails (or degrades), or when the DRT output diverges from the CPU
+/// reference; the remaining rows still compute and come back in order.
+pub fn try_run_suite_cells_in(
+    pairs: &[(String, drt_tensor::CsMatrix, drt_tensor::CsMatrix)],
+    ctx: &RunCtx,
+) -> Vec<Result<SuiteCell, String>> {
     let cells: Vec<(usize, usize)> =
         (0..pairs.len()).flat_map(|w| (0..SUITE_VARIANTS.len()).map(move |e| (w, e))).collect();
     let reports = par::par_map(&cells, |_, &(w, e)| {
         let (label, a, b) = &pairs[w];
         let name = SUITE_VARIANTS[e];
-        let spec = registry.get(name).expect("suite variant registered");
-        spec.run(a, b, ctx).unwrap_or_else(|err| panic!("{label}: {name} failed: {err:?}"))
+        try_run_variant(name, a, b, ctx).map_err(|err| format!("{label}: {err}"))
     });
     let mut it = reports.into_iter();
-    let out: Vec<SuiteCell> = (0..pairs.len())
-        .map(|_| SuiteCell {
-            base: it.next().expect("cell"),
-            ext: it.next().expect("cell"),
-            op: it.next().expect("cell"),
-            drt: it.next().expect("cell"),
+    let mut out: Vec<Result<SuiteCell, String>> = (0..pairs.len())
+        .map(|_| {
+            let (base, ext, op, drt) = (
+                it.next().expect("cell"),
+                it.next().expect("cell"),
+                it.next().expect("cell"),
+                it.next().expect("cell"),
+            );
+            Ok(SuiteCell { base: base?, ext: ext?, op: op?, drt: drt? })
         })
         .collect();
     // Functional cross-check (the paper's MKL validation), fanned out too:
     // output comparison is O(nnz) per workload and independent per cell.
     let idx: Vec<usize> = (0..pairs.len()).collect();
-    par::par_map(&idx, |_, &w| {
-        let c = &out[w];
-        assert!(
-            c.drt
-                .output
-                .as_ref()
-                .expect("functional")
-                .approx_eq(c.base.output.as_ref().expect("functional"), 1e-6),
-            "{}: accelerator output diverges from CPU reference",
-            pairs[w].0
-        );
+    let diverged = par::par_map(&idx, |_, &w| {
+        let Ok(c) = &out[w] else { return None };
+        let (Some(got), Some(want)) = (c.drt.output.as_ref(), c.base.output.as_ref()) else {
+            return Some(format!("{}: functional output missing", pairs[w].0));
+        };
+        (!got.approx_eq(want, 1e-6))
+            .then(|| format!("{}: accelerator output diverges from CPU reference", pairs[w].0))
     });
+    for (w, bad) in diverged.into_iter().enumerate() {
+        if let Some(msg) = bad {
+            out[w] = Err(msg);
+        }
+    }
     out
 }
 

@@ -1,0 +1,84 @@
+//! Resource budgets for bounded execution.
+//!
+//! An [`ExecBudget`] caps how much work a single run may perform. The
+//! caps are *soft* in the paper's own sense: exhausting one degrades the
+//! run rather than aborting it, the same way DRT's Algorithm 2 falls back
+//! to subdivision when optimistic tile growth fails. Concretely:
+//!
+//! * `max_tasks` / `max_plan_candidates` exhaustion mid-stream switches
+//!   the task generator from DRT planning to the S-U-C baseline grid for
+//!   the remaining region (see `taskgen`), so the run still covers the
+//!   full iteration space — just with cheaper, statically-sized tiles.
+//! * `max_resident_bytes` bounds the engine's materialized shard state;
+//!   when the task list would exceed it the engine degrades to serial
+//!   streaming execution instead of sharding.
+
+/// Per-run resource caps. `None` = unlimited (the default).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecBudget {
+    /// Maximum number of tasks the generator may *plan with DRT*; beyond
+    /// this the remaining region is tiled with the S-U-C fallback.
+    pub max_tasks: Option<u64>,
+    /// Cap on bytes of materialized per-run state (task list + per-shard
+    /// buffers); exceeding it degrades sharded execution to streaming.
+    pub max_resident_bytes: Option<u64>,
+    /// Cap on DRT planner invocations (`plan_tile` calls); beyond this
+    /// the remaining region is tiled with the S-U-C fallback.
+    pub max_plan_candidates: Option<u64>,
+}
+
+impl ExecBudget {
+    /// An unlimited budget (same as `Default`).
+    pub fn unlimited() -> ExecBudget {
+        ExecBudget::default()
+    }
+
+    /// Whether any cap is configured.
+    pub fn is_limited(&self) -> bool {
+        self.max_tasks.is_some()
+            || self.max_resident_bytes.is_some()
+            || self.max_plan_candidates.is_some()
+    }
+
+    /// Builder: cap the DRT-planned task count.
+    pub fn with_max_tasks(mut self, n: u64) -> ExecBudget {
+        self.max_tasks = Some(n);
+        self
+    }
+
+    /// Builder: cap materialized resident bytes.
+    pub fn with_max_resident_bytes(mut self, n: u64) -> ExecBudget {
+        self.max_resident_bytes = Some(n);
+        self
+    }
+
+    /// Builder: cap DRT planner invocations.
+    pub fn with_max_plan_candidates(mut self, n: u64) -> ExecBudget {
+        self.max_plan_candidates = Some(n);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        let b = ExecBudget::default();
+        assert!(!b.is_limited());
+        assert_eq!(b, ExecBudget::unlimited());
+    }
+
+    #[test]
+    fn builders_set_caps() {
+        let b = ExecBudget::unlimited()
+            .with_max_tasks(10)
+            .with_max_resident_bytes(1 << 20)
+            .with_max_plan_candidates(100);
+        assert!(b.is_limited());
+        assert_eq!(b.max_tasks, Some(10));
+        assert_eq!(b.max_resident_bytes, Some(1 << 20));
+        assert_eq!(b.max_plan_candidates, Some(100));
+    }
+}

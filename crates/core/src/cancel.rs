@@ -1,0 +1,139 @@
+//! Cooperative cancellation and deadlines.
+//!
+//! A [`CancelToken`] is a cheaply-clonable handle around an atomic cancel
+//! flag plus an optional absolute deadline. The task generator checks it
+//! at the top of every `next()` call and the engine's shard workers check
+//! it between tasks, so a cancelled or deadline-expired run terminates at
+//! the next task boundary — no task is ever half-executed, which is what
+//! keeps degraded reports internally consistent (phase bytes still
+//! partition the traffic of the tasks that *did* complete).
+//!
+//! The token is purely cooperative: `cancel()` never interrupts a thread,
+//! it just makes the next `expired()` poll return true.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    // Fast path: most polls happen with no deadline configured; checking
+    // one atomic avoids taking the mutex on the task-boundary hot path.
+    has_deadline: AtomicBool,
+    deadline: Mutex<Option<Instant>>,
+}
+
+/// Shared cancellation handle. `Default` yields a token that never
+/// expires; clones observe the same state.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token with no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; takes effect at the next poll.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether `cancel()` has been called (deadline expiry not included).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Arm (or re-arm) a deadline `d` from now. An already-expired
+    /// duration of zero makes the very next poll report expiry.
+    pub fn set_deadline_in(&self, d: Duration) {
+        self.set_deadline_at(Instant::now() + d);
+    }
+
+    /// Arm (or re-arm) an absolute deadline.
+    pub fn set_deadline_at(&self, at: Instant) {
+        *self.inner.deadline.lock().unwrap_or_else(|p| p.into_inner()) = Some(at);
+        self.inner.has_deadline.store(true, Ordering::Release);
+    }
+
+    /// Whether the deadline (if any) has passed.
+    pub fn deadline_passed(&self) -> bool {
+        if !self.inner.has_deadline.load(Ordering::Acquire) {
+            return false;
+        }
+        self.inner
+            .deadline
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .map(|at| Instant::now() >= at)
+            .unwrap_or(false)
+    }
+
+    /// The one poll sites should call: true when the run should stop,
+    /// either because `cancel()` was called or the deadline passed.
+    pub fn expired(&self) -> bool {
+        self.is_cancelled() || self.deadline_passed()
+    }
+
+    /// Why the token reads as expired right now, for degradation records.
+    /// `None` when not expired.
+    pub fn expiry_kind(&self) -> Option<ExpiryKind> {
+        if self.is_cancelled() {
+            Some(ExpiryKind::Cancelled)
+        } else if self.deadline_passed() {
+            Some(ExpiryKind::DeadlineExceeded)
+        } else {
+            None
+        }
+    }
+}
+
+/// Which mechanism tripped a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpiryKind {
+    /// `CancelToken::cancel()` was called.
+    Cancelled,
+    /// The armed deadline passed.
+    DeadlineExceeded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_never_expires() {
+        let t = CancelToken::new();
+        assert!(!t.expired());
+        assert!(!t.is_cancelled());
+        assert!(t.expiry_kind().is_none());
+    }
+
+    #[test]
+    fn cancel_is_visible_through_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.expired());
+        assert_eq!(t.expiry_kind(), Some(ExpiryKind::Cancelled));
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let t = CancelToken::new();
+        t.set_deadline_in(Duration::ZERO);
+        assert!(t.expired());
+        assert_eq!(t.expiry_kind(), Some(ExpiryKind::DeadlineExceeded));
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn far_deadline_does_not_expire() {
+        let t = CancelToken::new();
+        t.set_deadline_in(Duration::from_secs(3600));
+        assert!(!t.expired());
+    }
+}

@@ -1,0 +1,44 @@
+//! Fault-injection hook for chaos testing.
+//!
+//! The engine's shard workers call [`FaultInjector`] at two sites — once
+//! per shard before any task runs, and once per task before its phases
+//! execute. A production run passes no injector (the call sites are a
+//! branch on `None`); `drt-verify`'s chaos harness installs a seeded
+//! injector that panics, sleeps, or cancels at chosen indices to prove
+//! the recovery machinery (panic isolation, bounded retry, deadline
+//! degradation) actually recovers.
+//!
+//! Injectors must be deterministic for a given construction (seeded, no
+//! wall-clock reads) so chaos failures replay.
+
+/// Hook invoked by the engine at shard and task boundaries. Default
+/// methods are no-ops; implementations may panic (to simulate worker
+/// crashes) or block (to simulate slow shards).
+pub trait FaultInjector: Send + Sync + std::fmt::Debug {
+    /// Called once per shard attempt, before the shard's first task.
+    /// `_attempt` is 0 for the first run of the shard, 1.. for retries.
+    fn before_shard(&self, _shard: usize, _attempt: u32) {}
+
+    /// Called before each task's phases execute. `task` is the global
+    /// task index (stable across thread counts and schedules).
+    fn before_task(&self, _task: u64) {}
+}
+
+/// The trivial injector: never injects anything. Useful as an explicit
+/// placeholder in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_inert() {
+        let n = NoFaults;
+        n.before_shard(0, 0);
+        n.before_task(42);
+    }
+}

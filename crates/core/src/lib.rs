@@ -56,6 +56,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod budget;
+pub mod cancel;
+pub mod chaos;
 pub mod config;
 pub mod drt;
 /// Error types for tiling configuration and planning.

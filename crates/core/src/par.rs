@@ -17,7 +17,37 @@
 //!   sharded execution layer uses this so a `Session`'s `threads(n)` knob
 //!   is authoritative rather than environment-dependent.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A captured worker panic from [`par_map_isolated`]: which item panicked
+/// and the stringified payload. The index makes the failure *addressable*
+/// — the engine's retry layer re-runs exactly the failing shard, and the
+/// error surfaced to callers names the failing task range.
+#[derive(Debug, Clone)]
+pub struct ItemPanic {
+    /// Input index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim;
+    /// anything else becomes an opaque placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for ItemPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item {} panicked: {}", self.index, self.message)
+    }
+}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Number of worker threads [`par_map`] will use for `n` items.
 pub fn thread_count(n: usize) -> usize {
@@ -47,36 +77,71 @@ where
 
 /// [`par_map`] with an explicit worker count (clamped to the item count;
 /// `threads <= 1` runs inline on the calling thread).
+///
+/// A panic in any invocation of `f` is re-raised on the caller with the
+/// failing item index in the message; the other items' completed work is
+/// discarded. Callers that need to *keep* the completed results should
+/// use [`par_map_isolated`], which this is a thin wrapper over.
 pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let mut out = Vec::with_capacity(items.len());
+    for res in par_map_isolated(threads, items, f) {
+        match res {
+            Ok(r) => out.push(r),
+            Err(p) => panic!("parallel worker panicked on item {}: {}", p.index, p.message),
+        }
+    }
+    out
+}
+
+/// [`par_map_threads`] with per-item panic isolation: each invocation of
+/// `f` runs under `catch_unwind`, so one panicking item does not discard
+/// the other items' completed results. Returns one `Result` per input,
+/// in input order — `Err(ItemPanic)` carries the failing index and the
+/// stringified payload.
+///
+/// `f` must be idempotent-on-retry for the engine's bounded-retry layer
+/// to preserve bit-identical results; that contract is the *caller's*,
+/// this function just reports faithfully.
+pub fn par_map_isolated<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<Result<R, ItemPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let run_one = |i: usize| -> Result<R, ItemPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
+            .map_err(|payload| ItemPanic { index: i, message: payload_message(payload) })
+    };
     let threads = threads.min(items.len()).max(1);
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return (0..items.len()).map(run_one).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    let mut tagged: Vec<(usize, Result<R, ItemPanic>)> = Vec::with_capacity(items.len());
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             handles.push(scope.spawn(|| {
-                let mut local: Vec<(usize, R)> = Vec::new();
+                let mut local: Vec<(usize, Result<R, ItemPanic>)> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
                     }
-                    local.push((i, f(i, &items[i])));
+                    local.push((i, run_one(i)));
                 }
                 local
             }));
         }
         for h in handles {
-            // join() propagates worker panics.
-            tagged.extend(h.join().expect("parallel worker panicked"));
+            // Workers never unwind — every item panic is caught inside
+            // run_one — so a join failure is a harness invariant breach.
+            tagged.extend(h.join().expect("isolated worker must not unwind"));
         }
     });
     tagged.sort_by_key(|&(i, _)| i);
@@ -119,6 +184,47 @@ mod tests {
             let par = par_map_threads(threads, &items, |i, &x| i as u64 + x * 3);
             assert_eq!(par, serial, "threads={threads} must not change results");
         }
+    }
+
+    #[test]
+    fn isolated_preserves_completed_results_around_a_panic() {
+        let items: Vec<u64> = (0..50).collect();
+        for threads in [1, 2, 4] {
+            let out = par_map_isolated(threads, &items, |_, &x| {
+                if x == 17 {
+                    panic!("boom at {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, res) in out.iter().enumerate() {
+                if i == 17 {
+                    let p = res.as_ref().expect_err("item 17 must fail");
+                    assert_eq!(p.index, 17);
+                    assert!(p.message.contains("boom at 17"), "payload: {}", p.message);
+                } else {
+                    assert_eq!(*res.as_ref().expect("other items complete"), i as u64 * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_panic_names_the_failing_index() {
+        let items: Vec<u32> = (0..16).collect();
+        let err = std::panic::catch_unwind(|| {
+            par_map_threads(4, &items, |_, &x| {
+                if x == 9 {
+                    panic!("injected");
+                }
+                x
+            })
+        })
+        .expect_err("must propagate the panic");
+        let msg =
+            err.downcast_ref::<String>().cloned().unwrap_or_else(|| "<non-string>".to_string());
+        assert!(msg.contains("item 9"), "panic message must name the item: {msg}");
+        assert!(msg.contains("injected"), "panic message must carry the payload: {msg}");
     }
 
     #[test]

@@ -107,6 +107,16 @@ pub enum Event<'a> {
         /// Bytes attributed to the phase.
         bytes: u64,
     },
+    /// The run terminated early (cancellation, deadline, or fault). Always
+    /// the **last** record of a degraded trace, so `--trace` JSONL stays
+    /// parseable and a reader can tell a truncated file from a clean abort.
+    Aborted {
+        /// Stable reason tag (`"cancelled"`, `"deadline"`,
+        /// `"shard_panicked"`, ...).
+        reason: &'static str,
+        /// Tasks whose events were fully committed before the abort.
+        completed_tasks: u64,
+    },
 }
 
 impl Event<'_> {
@@ -123,6 +133,7 @@ impl Event<'_> {
             Event::Refill { .. } => "refill",
             Event::Extraction { .. } => "extraction",
             Event::Phase { .. } => "phase",
+            Event::Aborted { .. } => "aborted",
         }
     }
 }
@@ -201,6 +212,8 @@ pub struct CountingSink {
     pub refill_bytes: AtomicU64,
     /// Extraction cycles (serialized sum of all steps).
     pub extraction_cycles: AtomicU64,
+    /// Early-termination records.
+    pub aborts: AtomicU64,
     /// Events of any kind.
     pub events: AtomicU64,
 }
@@ -249,6 +262,9 @@ impl EventSink for CountingSink {
                     .fetch_add(aggregate + md_build + distribute, Ordering::Relaxed);
             }
             Event::Phase { .. } => {}
+            Event::Aborted { .. } => {
+                self.aborts.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -359,6 +375,10 @@ pub fn event_json(event: &Event<'_>, extra: &[(&str, JsonValue<'_>)]) -> String 
             fields.push(("phase", JsonValue::S(phase)));
             fields.push(("cycles", JsonValue::U(cycles)));
             fields.push(("bytes", JsonValue::U(bytes)));
+        }
+        Event::Aborted { reason, completed_tasks } => {
+            fields.push(("reason", JsonValue::S(reason)));
+            fields.push(("completed_tasks", JsonValue::U(completed_tasks)));
         }
     }
     fields.extend(extra.iter().cloned());
@@ -529,6 +549,13 @@ pub enum OwnedEvent {
         /// Bytes attributed to the phase.
         bytes: u64,
     },
+    /// See [`Event::Aborted`].
+    Aborted {
+        /// Stable reason tag.
+        reason: &'static str,
+        /// Tasks fully committed before the abort.
+        completed_tasks: u64,
+    },
 }
 
 impl OwnedEvent {
@@ -551,6 +578,9 @@ impl OwnedEvent {
                 OwnedEvent::Extraction { aggregate, md_build, distribute }
             }
             Event::Phase { phase, cycles, bytes } => OwnedEvent::Phase { phase, cycles, bytes },
+            Event::Aborted { reason, completed_tasks } => {
+                OwnedEvent::Aborted { reason, completed_tasks }
+            }
         }
     }
 
@@ -573,6 +603,9 @@ impl OwnedEvent {
                 Event::Extraction { aggregate, md_build, distribute }
             }
             OwnedEvent::Phase { phase, cycles, bytes } => Event::Phase { phase, cycles, bytes },
+            OwnedEvent::Aborted { reason, completed_tasks } => {
+                Event::Aborted { reason, completed_tasks }
+            }
         }
     }
 }
@@ -855,6 +888,7 @@ mod tests {
             Event::Refill { bytes: 8 },
             Event::Extraction { aggregate: 1, md_build: 2, distribute: 3 },
             Event::Phase { phase: "load", cycles: 4, bytes: 5 },
+            Event::Aborted { reason: "deadline", completed_tasks: 7 },
         ];
         for e in &events {
             let owned = OwnedEvent::from_event(e);

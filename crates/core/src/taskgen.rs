@@ -18,6 +18,8 @@
 //! * Tasks in which any input tile is empty are skipped (counted but not
 //!   emitted), as in Figure 3a.
 
+use crate::budget::ExecBudget;
+use crate::cancel::{CancelToken, ExpiryKind};
 use crate::config::DrtConfig;
 use crate::drt::{plan_tile, ExtractionTrace, TilePlan, TileStats};
 use crate::kernel::Kernel;
@@ -87,6 +89,11 @@ pub struct TaskGenOptions {
     pub region: Option<BTreeMap<RankId, Range<u32>>>,
     /// Instrumentation probe (disabled by default).
     pub probe: Probe,
+    /// Resource budget; exhausting the task or planner-call cap degrades a
+    /// DRT stream to S-U-C fallback tiles for the remaining region.
+    pub budget: ExecBudget,
+    /// Cooperative cancellation token, polled at every `next()`.
+    pub cancel: CancelToken,
 }
 
 impl TaskGenOptions {
@@ -98,6 +105,8 @@ impl TaskGenOptions {
             scheme: TileScheme::Drt,
             region: None,
             probe: Probe::disabled(),
+            budget: ExecBudget::default(),
+            cancel: CancelToken::default(),
         }
     }
 
@@ -113,6 +122,8 @@ impl TaskGenOptions {
             scheme: TileScheme::Suc(tile_sizes.clone()),
             region: None,
             probe: Probe::disabled(),
+            budget: ExecBudget::default(),
+            cancel: CancelToken::default(),
         }
     }
 
@@ -130,6 +141,29 @@ impl TaskGenOptions {
         self.probe = probe;
         self
     }
+
+    /// Attach a resource budget (see [`ExecBudget`]).
+    #[must_use]
+    pub fn with_budget(mut self, budget: ExecBudget) -> TaskGenOptions {
+        self.budget = budget;
+        self
+    }
+
+    /// Attach a cancellation token polled at every `next()`.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> TaskGenOptions {
+        self.cancel = cancel;
+        self
+    }
+}
+
+/// Which budget cap degraded a DRT stream to S-U-C fallback tiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetCause {
+    /// `ExecBudget::max_tasks` was reached.
+    MaxTasks,
+    /// `ExecBudget::max_plan_candidates` was reached.
+    MaxPlanCandidates,
 }
 
 /// Split `n_tasks` into `shards` contiguous index ranges whose union is
@@ -196,6 +230,11 @@ pub struct TaskStream<'k> {
     emitted: u64,
     skipped_empty: u64,
     probe: Probe,
+    budget: ExecBudget,
+    cancel: CancelToken,
+    plan_calls: u64,
+    degraded: Option<BudgetCause>,
+    aborted: Option<ExpiryKind>,
 }
 
 impl<'k> TaskStream<'k> {
@@ -211,7 +250,7 @@ impl<'k> TaskStream<'k> {
     /// * S-U-C: [`CoreError::ShapeOverflowsBuffer`] when the fixed shape
     ///   violates the worst-case-dense capacity rule.
     pub fn build(kernel: &'k Kernel, opts: TaskGenOptions) -> Result<TaskStream<'k>, CoreError> {
-        let TaskGenOptions { loop_order, config, scheme, region, probe } = opts;
+        let TaskGenOptions { loop_order, config, scheme, region, probe, budget, cancel } = opts;
         kernel.validate_loop_order(&loop_order)?;
         let mode = match scheme {
             TileScheme::Drt => {
@@ -250,6 +289,11 @@ impl<'k> TaskStream<'k> {
             emitted: 0,
             skipped_empty: 0,
             probe,
+            budget,
+            cancel,
+            plan_calls: 0,
+            degraded: None,
+            aborted: None,
         })
     }
 
@@ -319,6 +363,44 @@ impl<'k> TaskStream<'k> {
         self.skipped_empty
     }
 
+    /// DRT planner invocations so far (counted against
+    /// `ExecBudget::max_plan_candidates`).
+    pub fn plan_calls(&self) -> u64 {
+        self.plan_calls
+    }
+
+    /// If a budget cap degraded this stream from DRT to S-U-C fallback
+    /// tiling, which cap tripped. `None` for non-degraded streams.
+    pub fn degraded(&self) -> Option<BudgetCause> {
+        self.degraded
+    }
+
+    /// If the stream terminated early on a cancel/deadline poll, why.
+    /// A `Some` here means the last `next() == None` was an abort, not
+    /// exhaustion of the iteration space.
+    pub fn aborted(&self) -> Option<ExpiryKind> {
+        self.aborted
+    }
+
+    /// Check the budget caps and, if a DRT cap is exhausted, switch the
+    /// remaining region to S-U-C fallback tiles — the runtime analogue of
+    /// Algorithm 2's fallback subdivision: keep covering the space, just
+    /// with cheaper statically-sized tiles.
+    fn maybe_degrade(&mut self) {
+        if !matches!(self.mode, Mode::Drt) {
+            return;
+        }
+        let cause = if self.budget.max_tasks.is_some_and(|m| self.emitted >= m) {
+            BudgetCause::MaxTasks
+        } else if self.budget.max_plan_candidates.is_some_and(|m| self.plan_calls >= m) {
+            BudgetCause::MaxPlanCandidates
+        } else {
+            return;
+        };
+        self.degraded = Some(cause);
+        self.mode = Mode::Suc(fallback_suc_grid_sizes(self.kernel, &self.config));
+    }
+
     /// Plan the task for a fully pinned box.
     fn plan_box(&self, frame: &Frame) -> TilePlan {
         match &self.mode {
@@ -385,6 +467,36 @@ fn drt_core_region_default() -> crate::micro::RegionStats {
     crate::micro::RegionStats::default()
 }
 
+/// The S-U-C tile shape (in grid units) a budget-degraded DRT stream
+/// falls back to: the largest uniform power-of-two multiple of the micro
+/// step that passes the worst-case-dense capacity rule for every tensor.
+/// When even one micro tile fails the dense rule, one grid unit per rank
+/// is used anyway — DRT's preflight already guaranteed the densest
+/// *actual* micro tile fits, so the minimal box is safe in practice.
+pub fn fallback_suc_grid_sizes(kernel: &Kernel, config: &DrtConfig) -> BTreeMap<RankId, u32> {
+    let ranks = kernel.ranks();
+    let grid_ext: BTreeMap<RankId, u32> = ranks
+        .iter()
+        .map(|&r| (r, kernel.extent(r).div_ceil(kernel.micro_step(r)).max(1)))
+        .collect();
+    let max_ext = grid_ext.values().copied().max().unwrap_or(1);
+    let mut best = 1u32;
+    let mut mult = 1u32;
+    loop {
+        let coords: BTreeMap<RankId, u32> =
+            ranks.iter().map(|&r| (r, kernel.micro_step(r).saturating_mul(mult))).collect();
+        if suc::validate_shape(kernel, &coords, &config.partitions, &config.size_model).is_err() {
+            break;
+        }
+        best = mult;
+        if mult >= max_ext {
+            break;
+        }
+        mult = mult.saturating_mul(2);
+    }
+    ranks.iter().map(|&r| (r, best.min(grid_ext[&r]).max(1))).collect()
+}
+
 fn full_region(kernel: &Kernel) -> BTreeMap<RankId, Range<u32>> {
     kernel.full_grid_region()
 }
@@ -394,7 +506,19 @@ impl Iterator for TaskStream<'_> {
 
     fn next(&mut self) -> Option<Task> {
         loop {
+            // Cooperative cancellation: poll at the task boundary so an
+            // aborted stream never leaves a half-planned task behind.
+            if self.aborted.is_some() {
+                return None;
+            }
+            if let Some(kind) = self.cancel.expiry_kind() {
+                self.aborted = Some(kind);
+                return None;
+            }
             let frame = self.stack.pop()?;
+            // Budget caps are checked before any further DRT planning; an
+            // exhausted cap flips the remaining frames to S-U-C tiles.
+            self.maybe_degrade();
             // Fully pinned box → emit one task (plus remainder frames on
             // fallback partials).
             if frame.pinned.len() == self.order.len() {
@@ -415,6 +539,9 @@ impl Iterator for TaskStream<'_> {
                             .emit(|| Event::TaskSkipped { total_skipped: self.skipped_empty });
                         continue;
                     }
+                }
+                if matches!(self.mode, Mode::Drt) {
+                    self.plan_calls += 1;
                 }
                 let plan = self.plan_box(&frame);
                 self.probe.emit(|| Event::TilePlanned {
@@ -476,6 +603,7 @@ impl Iterator for TaskStream<'_> {
                 Mode::Suc(sizes) => sizes[&r].min(frame.region[&r].len() as u32),
                 Mode::Drt => {
                     // Probe: let DRT choose r's size for this sweep chunk.
+                    self.plan_calls += 1;
                     let probe = plan_tile(
                         self.kernel,
                         &self.order,
@@ -749,6 +877,126 @@ mod tests {
                 assert!(max - min <= 1, "shards balanced to within one task: {sizes:?}");
             }
         }
+    }
+
+    #[test]
+    fn task_budget_degrades_to_suc_but_keeps_exact_coverage() {
+        let m = diamond_band(48, 1800, 1);
+        let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
+        let parts = Partitions::from_bytes(&[("A", 4000), ("B", 4000), ("Z", 0)]);
+        let full: Vec<Task> = TaskStream::build(
+            &k,
+            TaskGenOptions::drt(&['j', 'k', 'i'], DrtConfig::new(parts.clone())),
+        )
+        .expect("stream")
+        .collect();
+        assert!(full.len() >= 4, "need enough tasks to cut the budget mid-stream");
+        let budget = ExecBudget::unlimited().with_max_tasks(2);
+        let mut stream = TaskStream::build(
+            &k,
+            TaskGenOptions::drt(&['j', 'k', 'i'], DrtConfig::new(parts)).with_budget(budget),
+        )
+        .expect("stream");
+        let tasks: Vec<Task> = (&mut stream).collect();
+        assert_eq!(stream.degraded(), Some(BudgetCause::MaxTasks));
+        assert!(stream.aborted().is_none(), "degradation is not an abort");
+        // The degraded stream still tiles the space exactly — just with
+        // more, smaller, statically-sized tasks past the budget point.
+        coverage_check(&k, &tasks, true);
+        if stream.skipped_empty() == 0 {
+            full_cover_check(&k, &tasks, 0);
+        }
+        assert!(tasks.len() > 2, "S-U-C fallback keeps emitting past the DRT cap");
+    }
+
+    #[test]
+    fn plan_budget_degrades_to_suc() {
+        let m = unstructured(96, 96, 500, 2.0, 3);
+        let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 2048), ("B", 2048), ("Z", 0)]));
+        let budget = ExecBudget::unlimited().with_max_plan_candidates(3);
+        let mut stream =
+            TaskStream::build(&k, TaskGenOptions::drt(&['j', 'k', 'i'], cfg).with_budget(budget))
+                .expect("stream");
+        let tasks: Vec<Task> = (&mut stream).collect();
+        assert_eq!(stream.degraded(), Some(BudgetCause::MaxPlanCandidates));
+        assert!(stream.plan_calls() <= 4, "at most one planning call past the cap");
+        coverage_check(&k, &tasks, true);
+    }
+
+    #[test]
+    fn zero_task_budget_is_pure_suc_fallback() {
+        let m = diamond_band(32, 600, 2);
+        let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 4000), ("B", 4000), ("Z", 0)]));
+        let budget = ExecBudget::unlimited().with_max_tasks(0);
+        let mut stream =
+            TaskStream::build(&k, TaskGenOptions::drt(&['j', 'k', 'i'], cfg).with_budget(budget))
+                .expect("stream");
+        let tasks: Vec<Task> = (&mut stream).collect();
+        assert_eq!(stream.degraded(), Some(BudgetCause::MaxTasks));
+        assert_eq!(stream.plan_calls(), 0, "no DRT planning under a zero budget");
+        coverage_check(&k, &tasks, true);
+    }
+
+    #[test]
+    fn cancelled_stream_stops_cleanly_at_a_task_boundary() {
+        let m = diamond_band(48, 1800, 1);
+        let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 4000), ("B", 4000), ("Z", 0)]));
+        let cancel = CancelToken::new();
+        let mut stream = TaskStream::build(
+            &k,
+            TaskGenOptions::drt(&['j', 'k', 'i'], cfg).with_cancel(cancel.clone()),
+        )
+        .expect("stream");
+        let first = stream.next();
+        assert!(first.is_some());
+        cancel.cancel();
+        assert!(stream.next().is_none(), "cancelled stream yields no more tasks");
+        assert_eq!(stream.aborted(), Some(ExpiryKind::Cancelled));
+        assert_eq!(stream.emitted(), 1);
+        // And the stream stays terminated even if polled again.
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_the_first_task() {
+        let m = diamond_band(32, 600, 2);
+        let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 4000), ("B", 4000), ("Z", 0)]));
+        let cancel = CancelToken::new();
+        cancel.set_deadline_in(std::time::Duration::ZERO);
+        let mut stream =
+            TaskStream::build(&k, TaskGenOptions::drt(&['j', 'k', 'i'], cfg).with_cancel(cancel))
+                .expect("stream");
+        assert!(stream.next().is_none());
+        assert_eq!(stream.aborted(), Some(ExpiryKind::DeadlineExceeded));
+        assert_eq!(stream.emitted(), 0);
+    }
+
+    #[test]
+    fn fallback_suc_sizes_are_dense_safe_or_minimal() {
+        let m = unstructured(64, 64, 300, 2.0, 11);
+        let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 2048), ("B", 2048), ("Z", 0)]));
+        let sizes = fallback_suc_grid_sizes(&k, &cfg);
+        for (&r, &s) in &sizes {
+            assert!(s >= 1, "rank {r} must make progress");
+            assert!(s <= k.extent(r).div_ceil(k.micro_step(r)), "rank {r} within grid extent");
+        }
+        // The chosen multiple is uniform before extent clamping: doubling it
+        // must violate the dense rule (or exceed the grid) — i.e. maximal.
+        let mult = *sizes.values().max().expect("nonempty");
+        let doubled: BTreeMap<RankId, u32> =
+            k.ranks().iter().map(|&r| (r, k.micro_step(r) * mult * 2)).collect();
+        let grid_max =
+            k.ranks().iter().map(|&r| k.extent(r).div_ceil(k.micro_step(r))).max().unwrap();
+        assert!(
+            mult >= grid_max
+                || suc::validate_shape(&k, &doubled, &cfg.partitions, &cfg.size_model).is_err(),
+            "fallback shape should be the largest dense-safe power of two"
+        );
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   and emits a small MatrixMarket reproducer.
 //! * [`fault`] — deliberate fault injection (a flipped MACC) proving the
 //!   harness catches and minimizes real numeric bugs.
+//! * [`chaos`] — execution-layer chaos injection (worker panics, slow
+//!   shards, cancellation) proving the recovery machinery recovers:
+//!   retried runs bit-identical to fault-free, degraded reports
+//!   internally consistent, traces parseable to the last record.
 //!
 //! The `verify` binary in `drt-bench` fronts [`driver::verify_all`] with
 //! `--seed/--iters/--quick` flags and is wired into CI as a gate.
@@ -28,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod driver;
 pub mod fault;
 pub mod invariants;

@@ -23,7 +23,7 @@ fn run(
     a: &CsMatrix,
     b: &CsMatrix,
     cfg: &EngineConfig,
-) -> Result<drt_accel::report::RunReport, drt_core::CoreError> {
+) -> Result<drt_accel::report::RunReport, drt_accel::error::DrtError> {
     Session::from_engine_config(cfg.clone()).run_spmspm(a, b)
 }
 
