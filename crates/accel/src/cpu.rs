@@ -82,8 +82,8 @@ pub fn run_mkl_like_with(
     sm: &SizeModel,
     probe: &Probe,
 ) -> RunReport {
-    let a_rows = a.to_major(MajorAxis::Row);
-    let b_rows = b.to_major(MajorAxis::Row);
+    let a_rows = a.as_major(MajorAxis::Row);
+    let b_rows = b.as_major(MajorAxis::Row);
     let prod = drt_kernels::spmspm::gustavson(&a_rows, &b_rows);
 
     let mut traffic = TrafficCounter::new();

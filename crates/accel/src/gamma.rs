@@ -42,8 +42,8 @@ pub fn run_gamma_like_with(
     probe: &Probe,
 ) -> RunReport {
     assert_eq!(a.ncols(), b.nrows(), "inner dimensions must agree");
-    let a_rows = a.to_major(MajorAxis::Row);
-    let b_rows = b.to_major(MajorAxis::Row);
+    let a_rows = a.as_major(MajorAxis::Row);
+    let b_rows = b.as_major(MajorAxis::Row);
     let prod = drt_kernels::spmspm::gustavson(&a_rows, &b_rows);
 
     let mut traffic = TrafficCounter::new();

@@ -224,7 +224,7 @@ fn run_stream(
         }
         let (task_maccs, out_pairs) = counter.count(&ir, &lr, &jr, &kr);
         maccs += task_maccs;
-        let key = vec![ir.start, ir.end, lr.start, lr.end];
+        let key = [ir.start, ir.end, lr.start, lr.end];
         let charge = zcache.access(&key, sm.coo_bytes(out_pairs as usize, 2) as u64);
         traffic.write("G", charge.spill_writes);
         traffic.read("G", charge.refill_reads);

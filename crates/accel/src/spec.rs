@@ -467,6 +467,7 @@ impl AccelSpec {
             hier: *hier,
             extractor: es.extractor,
             ideal_on_chip: es.ideal_on_chip,
+            skip_output: false,
         }
     }
 

@@ -9,11 +9,41 @@
 //! not resident re-reads any previously spilled partials; making room
 //! evicts (spills) the least recently used tiles.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
-/// Key identifying one output tile (its coordinate ranges flattened as
-/// `start0, end0, start1, end1, …`).
-pub type TileKey = Vec<u32>;
+/// Key identifying one output tile (its two coordinate ranges flattened
+/// as `start0, end0, start1, end1`). A fixed-size `Copy` array, so cache
+/// bookkeeping never heap-allocates per access.
+pub type TileKey = [u32; 4];
+
+/// Rotate-xor-multiply hasher for the fixed 16-byte [`TileKey`] — the
+/// cache is touched once per task, and the default SipHash shows up in
+/// profiles. Safe to swap: map iteration order is never observable
+/// ([`OutputCache::finish`] sums commutatively over all tiles, and victim
+/// order is driven by the LRU queue, not the map).
+#[derive(Default)]
+struct KeyHasher(u64);
+
+const HASH_K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for c in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..c.len()].copy_from_slice(c);
+            self.0 = (self.0.rotate_left(5) ^ u64::from_le_bytes(buf)).wrapping_mul(HASH_K);
+        }
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.0 = (self.0.rotate_left(5) ^ v as u64).wrapping_mul(HASH_K);
+    }
+}
+
+type TileMap = HashMap<TileKey, Entry, BuildHasherDefault<KeyHasher>>;
 
 /// Bytes charged to DRAM by one cache interaction.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,12 +85,12 @@ struct Entry {
 /// use drt_accel::zcache::OutputCache;
 ///
 /// let mut cache = OutputCache::new(150);
-/// cache.access(&vec![0], 100);            // tile 0 resident
-/// let ch = cache.access(&vec![1], 100);   // evicts tile 0
+/// cache.access(&[0, 1, 0, 1], 100);            // tile 0 resident
+/// let ch = cache.access(&[1, 2, 0, 1], 100);   // evicts tile 0
 /// assert_eq!(ch.spill_writes, 100);
-/// let ch = cache.access(&vec![0], 10);    // tile 0 returns: refill
+/// let ch = cache.access(&[0, 1, 0, 1], 10);    // tile 0 returns: refill
 /// assert_eq!(ch.refill_reads, 100);
-/// let fin = cache.finish();               // stream out what remains
+/// let fin = cache.finish();                    // stream out what remains
 /// assert!(fin.final_writes > 0);
 /// ```
 #[derive(Debug, Clone)]
@@ -68,9 +98,13 @@ pub struct OutputCache {
     capacity: u64,
     used: u64,
     clock: u64,
-    tiles: HashMap<TileKey, Entry>,
-    /// LRU index over resident tiles: stamp → key (stamps are unique).
-    lru: std::collections::BTreeMap<u64, TileKey>,
+    tiles: TileMap,
+    /// LRU index: `(stamp, key)` pairs in stamp order, with lazy deletion —
+    /// an entry is live only while its stamp still matches the tile's
+    /// current stamp and the tile is resident; stale entries are skipped
+    /// (and discarded) during eviction. Victim order is identical to an
+    /// exact stamp-ordered index, at amortized O(1) per access.
+    lru: VecDeque<(u64, TileKey)>,
 }
 
 impl OutputCache {
@@ -80,8 +114,8 @@ impl OutputCache {
             capacity: capacity_bytes,
             used: 0,
             clock: 0,
-            tiles: HashMap::new(),
-            lru: std::collections::BTreeMap::new(),
+            tiles: TileMap::default(),
+            lru: VecDeque::new(),
         }
     }
 
@@ -92,19 +126,17 @@ impl OutputCache {
         self.clock += 1;
         let mut charge = SpillCharge::default();
         let stamp = self.clock;
-        let entry = self.tiles.entry(key.clone()).or_insert(Entry {
+        let entry = self.tiles.entry(*key).or_insert(Entry {
             resident_bytes: 0,
             spilled_bytes: 0,
             spill_segments: 0,
             stamp,
             resident: true,
         });
-        // Refresh this tile's LRU position.
-        if entry.stamp != stamp {
-            self.lru.remove(&entry.stamp);
-        }
+        // Refresh this tile's LRU position (the old `(stamp, key)` pair in
+        // the queue goes stale and is skipped at eviction time).
         entry.stamp = stamp;
-        self.lru.insert(stamp, key.clone());
+        self.lru.push_back((stamp, *key));
         if !entry.resident {
             // Re-access: read spilled partials back on chip and merge.
             charge.refill_reads += entry.spilled_bytes;
@@ -120,27 +152,32 @@ impl OutputCache {
         let e = self.tiles.get_mut(key).expect("just inserted");
         e.resident_bytes += added_bytes;
         self.used += added_bytes;
-        // Evict least-recently-used other tiles until within budget.
+        // Evict least-recently-used other tiles until within budget. Pop
+        // in stamp order, dropping stale pairs; the active tile is set
+        // aside and restored (it is never a victim). This visits victims
+        // in exactly ascending-stamp order among live resident tiles.
+        let mut active_pair: Option<(u64, TileKey)> = None;
         while self.used > self.capacity {
-            // Oldest resident tile that is not the active one.
-            let victim = self
-                .lru
-                .iter()
-                .find(|(_, k)| k.as_slice() != key.as_slice())
-                .map(|(&s, k)| (s, k.clone()));
-            match victim {
-                Some((vstamp, vk)) => {
-                    self.lru.remove(&vstamp);
-                    let e = self.tiles.get_mut(&vk).expect("victim exists");
-                    charge.spill_writes += e.resident_bytes;
-                    e.spilled_bytes += e.resident_bytes;
-                    e.spill_segments += 1;
-                    self.used -= e.resident_bytes;
-                    e.resident_bytes = 0;
-                    e.resident = false;
-                }
-                None => break, // only the active tile remains; allow overflow
+            let Some((vstamp, vk)) = self.lru.pop_front() else {
+                break; // only the active tile remains; allow overflow
+            };
+            let e = self.tiles.get_mut(&vk).expect("queued tiles exist");
+            if e.stamp != vstamp || !e.resident {
+                continue; // stale queue entry (tile refreshed or evicted)
             }
+            if vk == *key {
+                active_pair = Some((vstamp, vk));
+                continue; // skip the active tile, keep looking
+            }
+            charge.spill_writes += e.resident_bytes;
+            e.spilled_bytes += e.resident_bytes;
+            e.spill_segments += 1;
+            self.used -= e.resident_bytes;
+            e.resident_bytes = 0;
+            e.resident = false;
+        }
+        if let Some(pair) = active_pair {
+            self.lru.push_front(pair);
         }
         charge
     }
@@ -195,7 +232,7 @@ mod tests {
     use super::*;
 
     fn key(a: u32, b: u32) -> TileKey {
-        vec![a, a + 1, b, b + 1]
+        [a, a + 1, b, b + 1]
     }
 
     #[test]
@@ -271,8 +308,8 @@ mod finish_tests {
     #[test]
     fn single_segment_spill_is_final() {
         let mut c = OutputCache::new(100);
-        c.access(&vec![0], 90);
-        c.access(&vec![1], 90); // evicts tile 0 (one segment)
+        c.access(&[0, 1, 0, 1], 90);
+        c.access(&[1, 2, 0, 1], 90); // evicts tile 0 (one segment)
         let fin = c.finish();
         // Tile 0 was spilled once and never revisited: no merge read, no
         // rewrite. Tile 1 is resident: one final write.
@@ -283,12 +320,12 @@ mod finish_tests {
     #[test]
     fn multi_segment_spill_needs_merge() {
         let mut c = OutputCache::new(100);
-        c.access(&vec![0], 90);
-        c.access(&vec![1], 90); // spill tile 0 (segment 1)
-        c.access(&vec![0], 90); // refill tile 0, spill tile 1
-        c.access(&vec![1], 90); // refill tile 1, spill tile 0 (segment 1 again — it merged on refill)
-        c.access(&vec![0], 30); // refill tile 0 (180 bytes), spill tile 1
-                                // Now spill tile 0 again while keeping some residue of it resident:
+        c.access(&[0, 1, 0, 1], 90);
+        c.access(&[1, 2, 0, 1], 90); // spill tile 0 (segment 1)
+        c.access(&[0, 1, 0, 1], 90); // refill tile 0, spill tile 1
+        c.access(&[1, 2, 0, 1], 90); // refill tile 1, spill tile 0 (segment 1 again — it merged on refill)
+        c.access(&[0, 1, 0, 1], 30); // refill tile 0 (180 bytes), spill tile 1
+                                     // Now spill tile 0 again while keeping some residue of it resident:
         let fin = c.finish();
         // Tile 1 has a single spilled segment (final), tile 0 is resident.
         assert_eq!(fin.merge_reads, 0);

@@ -20,7 +20,7 @@ proptest! {
         let mut spill_writes = 0u64;
         let mut refills = 0u64;
         for (tile, bytes) in &accesses {
-            let ch = cache.access(&vec![*tile], *bytes);
+            let ch = cache.access(&[*tile, 0, 0, 0], *bytes);
             added += bytes;
             spill_writes += ch.spill_writes;
             refills += ch.refill_reads;
@@ -47,7 +47,7 @@ proptest! {
         let mut cache = OutputCache::new(u64::MAX);
         let mut added = 0u64;
         for (tile, bytes) in &accesses {
-            let ch = cache.access(&vec![*tile], *bytes);
+            let ch = cache.access(&[*tile, 0, 0, 0], *bytes);
             added += bytes;
             prop_assert_eq!(ch.spill_writes, 0);
             prop_assert_eq!(ch.refill_reads, 0);
@@ -67,7 +67,7 @@ proptest! {
             let mut cache = OutputCache::new(cap);
             let mut total = 0u64;
             for (tile, bytes) in &accesses {
-                let ch = cache.access(&vec![*tile], *bytes);
+                let ch = cache.access(&[*tile, 0, 0, 0], *bytes);
                 total += ch.spill_writes + ch.refill_reads;
             }
             let fin = cache.finish();

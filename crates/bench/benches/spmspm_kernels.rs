@@ -1,9 +1,13 @@
 //! Criterion micro-benchmark: the three reference SpMSpM dataflows
 //! (row-wise Gustavson, inner-product, outer-product) on banded and
-//! power-law matrices.
+//! power-law matrices, plus the engine's per-task compute path at tile
+//! sizes — alloc-per-call (extract + multiply) vs zero-copy views with a
+//! reused workspace.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use drt_kernels::spmspm::{gustavson, inner_product, outer_product};
+use drt_kernels::spmspm::{
+    gustavson, gustavson_view_into, inner_product, outer_product, SpaWorkspace,
+};
 use drt_workloads::patterns::{diamond_band, unstructured};
 use std::hint::black_box;
 
@@ -32,5 +36,71 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+/// The engine's per-task compute at tile granularity: sweep every
+/// `t × t` task of a tiled 1k product. "alloc-per-call" is the historical
+/// chain (extract both rectangles, multiply the owned tiles, copy out the
+/// rebased entries); "workspace-reuse" is the zero-copy path the engine
+/// now runs (borrowed views + one SPA workspace reused across all tasks).
+fn bench_compute_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_path");
+    group.sample_size(10);
+    let n: u32 = 1024;
+    for (label, a) in [
+        ("banded-1k", diamond_band(n, 20_000, 3)),
+        ("powerlaw-1k", unstructured(n, n, 20_000, 2.0, 3)),
+    ] {
+        for tile in [32u32, 64, 128, 256] {
+            let ranges: Vec<std::ops::Range<u32>> =
+                (0..n).step_by(tile as usize).map(|s| s..(s + tile).min(n)).collect();
+            group.throughput(Throughput::Elements(a.nnz() as u64));
+            let id = format!("{label}/{tile}x{tile}");
+            group.bench_with_input(BenchmarkId::new("alloc-per-call", &id), &a, |bch, a| {
+                bch.iter(|| {
+                    let mut out: Vec<(u32, u32, f64)> = Vec::new();
+                    let mut maccs = 0u64;
+                    for ir in &ranges {
+                        for kr in &ranges {
+                            for jr in &ranges {
+                                let ta = a.extract_rect(ir.clone(), kr.clone());
+                                let tb = a.extract_rect(kr.clone(), jr.clone());
+                                let prod = gustavson(&ta, &tb);
+                                maccs += prod.maccs;
+                                for (r, cc, v) in prod.z.iter() {
+                                    out.push((r + ir.start, cc + jr.start, v));
+                                }
+                            }
+                        }
+                    }
+                    black_box((out, maccs))
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("workspace-reuse", &id), &a, |bch, a| {
+                // Workspace and output buffer persist across iterations,
+                // mirroring the engine's per-run reuse.
+                let mut ws = SpaWorkspace::with_cols(tile as usize);
+                let mut out: Vec<(u32, u32, f64)> = Vec::new();
+                bch.iter(|| {
+                    out.clear();
+                    let mut maccs = 0u64;
+                    for ir in &ranges {
+                        for kr in &ranges {
+                            for jr in &ranges {
+                                let va = a.view(ir.clone(), kr.clone());
+                                let vb = a.view(kr.clone(), jr.clone());
+                                let tp = gustavson_view_into(
+                                    &va, &vb, &mut ws, ir.start, jr.start, &mut out,
+                                );
+                                maccs += tp.maccs;
+                            }
+                        }
+                    }
+                    black_box(maccs)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_compute_path);
 criterion_main!(benches);

@@ -28,6 +28,118 @@ use crate::{CoreError, RankId};
 use std::collections::BTreeMap;
 use std::ops::Range;
 
+/// Maximum ranks a [`RankRanges`] map can hold — comfortably above any
+/// kernel in the repo (SpMSpM uses 3 ranks, Gram 4).
+const RANK_CAP: usize = 6;
+
+/// A tiny inline map from [`RankId`] to a grid/coordinate range, kept
+/// sorted by rank — the drop-in replacement for the
+/// `BTreeMap<RankId, Range<u32>>` fields of [`TilePlan`]. Task streams
+/// build one plan per emitted task, so the plan's maps must not heap
+/// allocate; with at most [`RANK_CAP`] ranks, an inline sorted array
+/// serves lookups in a couple of comparisons and iterates in exactly the
+/// `BTreeMap` key order.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct RankRanges {
+    len: u8,
+    items: [(RankId, Range<u32>); RANK_CAP],
+}
+
+impl RankRanges {
+    /// An empty map.
+    pub fn new() -> RankRanges {
+        RankRanges::default()
+    }
+
+    /// Insert `range` under `r` (replacing any existing entry), keeping
+    /// entries sorted by rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics when inserting more than [`RANK_CAP`] distinct ranks.
+    pub fn insert(&mut self, r: RankId, range: Range<u32>) {
+        let n = self.len as usize;
+        let pos = self.items[..n].partition_point(|(k, _)| *k < r);
+        if pos < n && self.items[pos].0 == r {
+            self.items[pos].1 = range;
+            return;
+        }
+        assert!(n < RANK_CAP, "more than {RANK_CAP} ranks in a tile plan");
+        self.items[pos..=n].rotate_right(1);
+        self.items[pos] = (r, range);
+        self.len += 1;
+    }
+
+    /// The range stored under `r`, if any.
+    #[inline]
+    pub fn get(&self, r: &RankId) -> Option<&Range<u32>> {
+        self.items[..self.len as usize].iter().find(|(k, _)| k == r).map(|(_, v)| v)
+    }
+
+    /// Number of ranks stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the map is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate `(rank, range)` entries in ascending rank order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RankId, &Range<u32>)> {
+        self.items[..self.len as usize].iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterate ranges in ascending rank order.
+    pub fn values(&self) -> impl Iterator<Item = &Range<u32>> {
+        self.items[..self.len as usize].iter().map(|(_, v)| v)
+    }
+
+    /// The same map as a `BTreeMap` (for APIs that take one, e.g.
+    /// [`crate::taskgen::TaskGenOptions::in_region`]).
+    pub fn to_btree(&self) -> BTreeMap<RankId, Range<u32>> {
+        self.iter().map(|(&k, v)| (k, v.clone())).collect()
+    }
+}
+
+impl std::ops::Index<&RankId> for RankRanges {
+    type Output = Range<u32>;
+    #[inline]
+    fn index(&self, r: &RankId) -> &Range<u32> {
+        self.get(r).unwrap_or_else(|| panic!("rank '{r}' not in plan"))
+    }
+}
+
+impl<'a> IntoIterator for &'a RankRanges {
+    type Item = (&'a RankId, &'a Range<u32>);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (RankId, Range<u32>)>,
+        fn(&'a (RankId, Range<u32>)) -> (&'a RankId, &'a Range<u32>),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items[..self.len as usize].iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl std::fmt::Debug for RankRanges {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<(RankId, Range<u32>)> for RankRanges {
+    fn from_iter<I: IntoIterator<Item = (RankId, Range<u32>)>>(it: I) -> RankRanges {
+        let mut m = RankRanges::new();
+        for (k, v) in it {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
 /// Per-tensor result of one tiling call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TileStats {
@@ -71,9 +183,9 @@ pub struct ExtractionTrace {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TilePlan {
     /// Chosen range per rank, in grid units.
-    pub grid_ranges: BTreeMap<RankId, Range<u32>>,
+    pub grid_ranges: RankRanges,
     /// Chosen range per rank, in coordinates.
-    pub coord_ranges: BTreeMap<RankId, Range<u32>>,
+    pub coord_ranges: RankRanges,
     /// Per-input-tensor tile statistics, in kernel input order.
     pub tiles: Vec<TileStats>,
     /// Extraction work counters.
@@ -289,8 +401,8 @@ pub fn plan_tile_with_mode(
     }
 
     // Assemble the plan.
-    let mut grid_ranges = BTreeMap::new();
-    let mut coord_ranges = BTreeMap::new();
+    let mut grid_ranges = RankRanges::new();
+    let mut coord_ranges = RankRanges::new();
     for &r in &kernel.ranks() {
         let reg_start = region.get(&r).map(|x| x.start).unwrap_or(0);
         let gr = reg_start..reg_start + sizes[&r];

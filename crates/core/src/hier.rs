@@ -113,7 +113,7 @@ impl Iterator for TwoLevelStream<'_> {
         let mut inner_stream = match TaskStream::build(
             self.kernel,
             TaskGenOptions::drt(&self.inner_order, self.inner_config.clone())
-                .in_region(&outer.plan.grid_ranges),
+                .in_region(&outer.plan.grid_ranges.to_btree()),
         ) {
             Ok(s) => s,
             Err(e) => return Some(Err(e)),

@@ -126,13 +126,48 @@ impl MicroGrid {
         micro: (u32, u32),
         format: MicroFormat,
     ) -> Result<MicroGrid, CoreError> {
-        Self::from_points(
-            vec![m.nrows(), m.ncols()],
-            vec![micro.0, micro.1],
-            m.iter().map(|(r, c, _)| vec![r, c]),
+        if micro.0 == 0 || micro.1 == 0 {
+            return Err(CoreError::BadConfig {
+                detail: "micro tile dimensions must be positive".into(),
+            });
+        }
+        // 2-D fast path over the generic `from_points` bucketing: pack each
+        // point's grid cell into one u64 so keying needs no per-point heap
+        // allocation; the packed sort order equals the lexicographic order
+        // of the unpacked pairs, so the resulting tile array is identical.
+        let mut keys: Vec<u64> = m
+            .iter()
+            .map(|(r, c, _)| (u64::from(r / micro.0) << 32) | u64::from(c / micro.1))
+            .collect();
+        keys.sort_unstable();
+        let dims = vec![m.nrows(), m.ncols()];
+        let micro = vec![micro.0, micro.1];
+        let size_model = SizeModel::default();
+        let mut coords = Vec::new();
+        let mut occupancy: Vec<u32> = Vec::new();
+        let mut footprint: Vec<u32> = Vec::new();
+        let mut i = 0usize;
+        while i < keys.len() {
+            let mut j = i;
+            while j < keys.len() && keys[j] == keys[i] {
+                j += 1;
+            }
+            coords.extend([(keys[i] >> 32) as u32, keys[i] as u32]);
+            let occ = (j - i) as u32;
+            occupancy.push(occ);
+            footprint.push(Self::micro_footprint(&micro, occ, &size_model, format) as u32);
+            i = j;
+        }
+        Ok(Self::assemble(
+            dims,
+            micro,
+            coords,
+            occupancy,
+            footprint,
             m.nnz() as u64,
+            size_model,
             format,
-        )
+        ))
     }
 
     /// Pre-tile an N-dimensional CSF tensor with the given micro shape.
@@ -186,9 +221,6 @@ impl MicroGrid {
                 detail: "micro tile dimensions must be positive".into(),
             });
         }
-        let ndim = dims.len();
-        let grid_dims: Vec<u32> =
-            dims.iter().zip(&micro).map(|(&d, &m)| d.div_ceil(m).max(1)).collect();
         // Bucket points into micro tiles.
         let mut keyed: Vec<Vec<u32>> =
             points.map(|p| p.iter().zip(&micro).map(|(&c, &m)| c / m).collect()).collect();
@@ -209,7 +241,26 @@ impl MicroGrid {
             footprint.push(Self::micro_footprint(&micro, occ, &size_model, format) as u32);
             i = j;
         }
-        // dim0 index.
+        Ok(Self::assemble(dims, micro, coords, occupancy, footprint, total_nnz, size_model, format))
+    }
+
+    /// Build the grid from its sorted, bucketed tile arrays: derive the
+    /// dim-0 segment index and the cumulative prefix sums shared by every
+    /// construction path.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        dims: Vec<u32>,
+        micro: Vec<u32>,
+        coords: Vec<u32>,
+        occupancy: Vec<u32>,
+        footprint: Vec<u32>,
+        total_nnz: u64,
+        size_model: SizeModel,
+        format: MicroFormat,
+    ) -> MicroGrid {
+        let ndim = dims.len();
+        let grid_dims: Vec<u32> =
+            dims.iter().zip(&micro).map(|(&d, &m)| d.div_ceil(m).max(1)).collect();
         let ntiles = occupancy.len();
         let mut dim0_seg = vec![0usize; grid_dims[0] as usize + 1];
         for t in 0..ntiles {
@@ -232,7 +283,7 @@ impl MicroGrid {
             pfx_bytes.push(acc_bytes);
         }
         let max_footprint = footprint.iter().copied().max().unwrap_or(0);
-        Ok(MicroGrid {
+        MicroGrid {
             dims,
             micro,
             grid_dims,
@@ -246,7 +297,7 @@ impl MicroGrid {
             total_nnz,
             size_model,
             format,
-        })
+        }
     }
 
     /// Footprint model of one micro tile holding `occ` non-zeros.

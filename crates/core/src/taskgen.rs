@@ -21,8 +21,9 @@
 use crate::budget::ExecBudget;
 use crate::cancel::{CancelToken, ExpiryKind};
 use crate::config::DrtConfig;
-use crate::drt::{plan_tile, ExtractionTrace, TilePlan, TileStats};
+use crate::drt::{plan_tile, ExtractionTrace, RankRanges, TilePlan, TileStats};
 use crate::kernel::Kernel;
+use crate::micro::RegionStats;
 use crate::probe::{Event, Probe};
 use crate::{suc, CoreError, RankId};
 use std::collections::BTreeMap;
@@ -227,6 +228,9 @@ pub struct TaskStream<'k> {
     config: DrtConfig,
     mode: Mode,
     stack: Vec<Frame>,
+    /// Flat enumerator for the fixed-shape frame currently being swept
+    /// (S-U-C mode only); `None` while walking the stack.
+    cursor: Option<SucCursor>,
     emitted: u64,
     skipped_empty: u64,
     probe: Probe,
@@ -286,6 +290,7 @@ impl<'k> TaskStream<'k> {
             config,
             mode,
             stack: vec![Frame { region, pinned: BTreeMap::new() }],
+            cursor: None,
             emitted: 0,
             skipped_empty: 0,
             probe,
@@ -415,8 +420,8 @@ impl<'k> TaskStream<'k> {
     /// S-U-C "plan": just measure the fixed-shape box.
     fn measure_suc(&self, frame: &Frame) -> TilePlan {
         let sm = self.config.size_model;
-        let mut grid_ranges = BTreeMap::new();
-        let mut coord_ranges = BTreeMap::new();
+        let mut grid_ranges = RankRanges::new();
+        let mut coord_ranges = RankRanges::new();
         for &r in &self.kernel.ranks() {
             let gr = frame.region[&r].clone();
             let step = self.kernel.micro_step(r);
@@ -447,6 +452,53 @@ impl<'k> TaskStream<'k> {
                 nnz: stats.nnz,
                 // S-U-C tiles are plain compressed tiles: report the whole
                 // footprint as data bytes, no micro/macro metadata split.
+                data_bytes: foot,
+                macro_meta_bytes: 0,
+                micro_tiles: stats.micro_tiles,
+                outer_rows,
+            });
+        }
+        TilePlan {
+            grid_ranges,
+            coord_ranges,
+            tiles,
+            trace: ExtractionTrace::default(),
+            partial_rank: None,
+        }
+    }
+
+    /// The S-U-C "plan" for the cursor's current box — identical output
+    /// to [`TaskStream::measure_suc`] on the equivalent fully pinned
+    /// frame, but region measurements come from the cursor's memos.
+    fn cursor_plan(&self, cur: &mut SucCursor) -> TilePlan {
+        let sm = self.config.size_model;
+        let mut grid_ranges = RankRanges::new();
+        let mut coord_ranges = RankRanges::new();
+        for (d, &r) in self.order.iter().enumerate() {
+            let gr = cur.level_range(d);
+            let step = self.kernel.micro_step(r);
+            let extent = self.kernel.extent(r);
+            coord_ranges.insert(r, (gr.start * step)..(gr.end.saturating_mul(step)).min(extent));
+            grid_ranges.insert(r, gr);
+        }
+        let mut tiles = Vec::new();
+        let mut saw_empty = false;
+        for bi in 0..self.kernel.inputs().len() {
+            // Same short-circuit as `measure_suc`: an empty earlier tile
+            // means the task is skipped, so later tensors go unmeasured.
+            let stats = if saw_empty {
+                RegionStats::default()
+            } else {
+                cur.input_stats(self.kernel, &self.order, bi)
+            };
+            saw_empty |= stats.nnz == 0;
+            let b = &self.kernel.inputs()[bi];
+            let outer_rows = coord_ranges[&b.ranks[0]].len() as u64;
+            let inner_levels = (b.ranks.len() - 1) as u64;
+            let foot = suc::actual_footprint(outer_rows, stats.nnz, inner_levels, &sm);
+            tiles.push(TileStats {
+                name: b.name.clone(),
+                nnz: stats.nnz,
                 data_bytes: foot,
                 macro_meta_bytes: 0,
                 micro_tiles: stats.micro_tiles,
@@ -501,6 +553,186 @@ fn full_region(kernel: &Kernel) -> BTreeMap<RankId, Range<u32>> {
     kernel.full_grid_region()
 }
 
+/// Flat box enumerator for fixed-shape (S-U-C) frames.
+///
+/// A fixed-shape frame's recursive open/pin walk visits its boxes in
+/// plain lexicographic chunk order (outermost loop level slowest), so it
+/// can be driven by an odometer over precomputed chunk boundaries instead
+/// of the frame stack — no per-level frame clones, no map churn on the
+/// millions-of-boxes sweeps a fine static grid produces. Emission order,
+/// skip counting, and probe events are identical to the stack walk.
+///
+/// Two host-side caches exploit the sweep's revisit structure (they alter
+/// no modeled cost — `region_is_empty` is documented as model-free, and
+/// `region_stats` is a pure function of the queried box):
+///
+/// * `empty`: a lazily filled per-box emptiness map for the first input
+///   (the skip probe). The first input's ranks never include the
+///   innermost-varying output rank, so each cell is probed many times per
+///   sweep and resolved once here.
+/// * per-input [`RegionStats`] memos keyed by the input's own chunk
+///   indices: a stationary tile's stats are measured once, not once per
+///   pass of the streaming dimension.
+#[derive(Debug)]
+struct SucCursor {
+    /// Chunk boundaries per loop level, outermost first: level `d`'s chunk
+    /// `c` spans grid units `starts[d][c]..starts[d][c + 1]`. Pinned ranks
+    /// contribute a single chunk (their whole pinned range).
+    starts: Vec<Vec<u32>>,
+    /// Current chunk index per loop level (the odometer).
+    idx: Vec<usize>,
+    done: bool,
+    /// Emptiness of the first input's chunk boxes, `(c0, c1)` →
+    /// 0 unknown / 1 empty / 2 occupied. `None` when that input is not
+    /// two-dimensional.
+    empty: Option<EmptyMemo>,
+    /// Per-input region measurements keyed by the input's chunk indices
+    /// (2-D inputs only; others measure directly).
+    stats: Vec<StatsMemo>,
+}
+
+#[derive(Debug)]
+struct EmptyMemo {
+    /// Loop-level positions of the input's two ranks.
+    pos: (usize, usize),
+    /// Chunk count of the second rank (row stride of `cells`).
+    n1: usize,
+    cells: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct StatsMemo {
+    /// Loop-level positions of the input's two ranks; `None` disables
+    /// memoization for that input.
+    pos: Option<(usize, usize)>,
+    /// Chunk count of the second rank (row stride of `cells`).
+    n1: usize,
+    cells: Vec<Option<RegionStats>>,
+}
+
+impl SucCursor {
+    fn new(
+        frame: &Frame,
+        sizes: &BTreeMap<RankId, u32>,
+        kernel: &Kernel,
+        order: &[RankId],
+    ) -> Self {
+        let mut starts = Vec::with_capacity(order.len());
+        for &r in order {
+            let region = &frame.region[&r];
+            let mut bounds = Vec::new();
+            if !region.is_empty() {
+                if frame.pinned.contains_key(&r) {
+                    bounds.extend([region.start, region.end]);
+                } else {
+                    let step = sizes[&r].max(1);
+                    bounds.extend((region.start..region.end).step_by(step as usize));
+                    bounds.push(region.end);
+                }
+            }
+            starts.push(bounds);
+        }
+        let done = starts.iter().any(|b| b.len() < 2);
+        let rank_pos = |ranks: &[RankId]| -> Option<(usize, usize)> {
+            if ranks.len() != 2 {
+                return None;
+            }
+            let p0 = order.iter().position(|&q| q == ranks[0])?;
+            let p1 = order.iter().position(|&q| q == ranks[1])?;
+            Some((p0, p1))
+        };
+        let empty = kernel.inputs().first().and_then(|b| rank_pos(&b.ranks)).map(|pos| EmptyMemo {
+            pos,
+            n1: starts[pos.1].len().saturating_sub(1),
+            cells: vec![
+                0u8;
+                starts[pos.0].len().saturating_sub(1)
+                    * starts[pos.1].len().saturating_sub(1)
+            ],
+        });
+        let stats = kernel
+            .inputs()
+            .iter()
+            .map(|b| match rank_pos(&b.ranks) {
+                Some(pos) => StatsMemo {
+                    pos: Some(pos),
+                    n1: starts[pos.1].len().saturating_sub(1),
+                    cells: vec![
+                        None;
+                        starts[pos.0].len().saturating_sub(1)
+                            * starts[pos.1].len().saturating_sub(1)
+                    ],
+                },
+                None => StatsMemo { pos: None, n1: 0, cells: Vec::new() },
+            })
+            .collect();
+        SucCursor { starts, idx: vec![0; order.len()], done, empty, stats }
+    }
+
+    /// The current box's range at loop level `d`.
+    fn level_range(&self, d: usize) -> Range<u32> {
+        self.starts[d][self.idx[d]]..self.starts[d][self.idx[d] + 1]
+    }
+
+    /// Advance the odometer (innermost level fastest). Returns `false`
+    /// once every box has been visited.
+    fn advance(&mut self) -> bool {
+        for d in (0..self.idx.len()).rev() {
+            self.idx[d] += 1;
+            if self.idx[d] + 1 < self.starts[d].len() {
+                return true;
+            }
+            self.idx[d] = 0;
+        }
+        self.done = true;
+        false
+    }
+
+    /// Whether the first input's tile in the current box is empty
+    /// (the cheap skip probe), resolved through the emptiness memo.
+    fn first_input_empty(&mut self, kernel: &Kernel, order: &[RankId]) -> bool {
+        let b = &kernel.inputs()[0];
+        if let Some(m) = &self.empty {
+            let (p0, p1) = m.pos;
+            let cell = self.idx[p0] * m.n1 + self.idx[p1];
+            if self.empty.as_ref().is_some_and(|m| m.cells[cell] == 0) {
+                let ranges = [self.level_range(p0), self.level_range(p1)];
+                let v = if b.grid.region_is_empty(&ranges) { 1 } else { 2 };
+                self.empty.as_mut().expect("memo present").cells[cell] = v;
+            }
+            self.empty.as_ref().expect("memo present").cells[cell] == 1
+        } else {
+            let ranges: Vec<Range<u32>> = b
+                .ranks
+                .iter()
+                .map(|r| self.level_range(order.iter().position(|q| q == r).expect("bound rank")))
+                .collect();
+            b.grid.region_is_empty(&ranges)
+        }
+    }
+
+    /// Measure input `bi`'s tile in the current box, through its memo.
+    fn input_stats(&mut self, kernel: &Kernel, order: &[RankId], bi: usize) -> RegionStats {
+        let b = &kernel.inputs()[bi];
+        if let Some((p0, p1)) = self.stats[bi].pos {
+            let cell = self.idx[p0] * self.stats[bi].n1 + self.idx[p1];
+            if let Some(s) = self.stats[bi].cells[cell] {
+                return s;
+            }
+            let s = b.grid.region_stats(&[self.level_range(p0), self.level_range(p1)]);
+            self.stats[bi].cells[cell] = Some(s);
+            s
+        } else {
+            let ranges: Vec<Range<u32>> = b
+                .ranks
+                .iter()
+                .map(|r| self.level_range(order.iter().position(|q| q == r).expect("bound rank")))
+                .collect();
+            b.grid.region_stats(&ranges)
+        }
+    }
+}
+
 impl Iterator for TaskStream<'_> {
     type Item = Task;
 
@@ -515,34 +747,68 @@ impl Iterator for TaskStream<'_> {
                 self.aborted = Some(kind);
                 return None;
             }
+            // Fixed-shape frames are swept by the flat cursor — one box
+            // per loop pass, so cancellation is polled per box exactly as
+            // the stack walk polled it per frame pop.
+            if let Some(cur) = self.cursor.as_mut() {
+                if cur.done {
+                    self.cursor = None; // exhausted: fall back to the stack
+                    continue;
+                }
+                // Cheap empty-box early-out: fine static grids are mostly
+                // empty boxes, and building a full plan for each would
+                // dominate the sweep. `region_is_empty` (memoized
+                // host-side, never re-probing a box pair) models no
+                // Aggregate cost — pruning, not an extractor action. The
+                // cursor stays borrowed in place on this path: moving it
+                // out and back (it is ~150 bytes of inline state) per box
+                // is measurable over the millions of empty boxes a fine
+                // grid sweeps.
+                if cur.first_input_empty(self.kernel, &self.order) {
+                    self.skipped_empty += 1;
+                    cur.advance();
+                    self.probe.emit(|| Event::TaskSkipped { total_skipped: self.skipped_empty });
+                    continue;
+                }
+                // Occupied box (rare relative to the sweep): take the
+                // cursor out so planning can borrow `self` freely.
+                let mut cur = self.cursor.take().expect("cursor checked above");
+                let plan = self.cursor_plan(&mut cur);
+                cur.advance();
+                self.cursor = Some(cur);
+                self.probe.emit(|| Event::TilePlanned {
+                    task: self.emitted,
+                    grow_steps: plan.trace.grow_steps,
+                    rejected_grows: plan.trace.rejected_grows,
+                    fallbacks: plan.trace.fallbacks,
+                    meta_words: plan.trace.meta_words,
+                });
+                // Fixed-shape plans never subdivide: no partial ranks, no
+                // remainder frames.
+                if plan.is_empty_task() {
+                    self.skipped_empty += 1;
+                    self.probe.emit(|| Event::TaskSkipped { total_skipped: self.skipped_empty });
+                    continue;
+                }
+                let t = Task { index: self.emitted, plan };
+                self.emitted += 1;
+                self.probe.emit(|| Event::TaskEmitted { index: t.index });
+                return Some(t);
+            }
             let frame = self.stack.pop()?;
             // Budget caps are checked before any further DRT planning; an
             // exhausted cap flips the remaining frames to S-U-C tiles.
             self.maybe_degrade();
+            // Every fixed-shape frame — fresh stream or budget-degraded
+            // leftover — is handed to the flat enumerator.
+            if let Mode::Suc(sizes) = &self.mode {
+                self.cursor = Some(SucCursor::new(&frame, sizes, self.kernel, &self.order));
+                continue;
+            }
             // Fully pinned box → emit one task (plus remainder frames on
             // fallback partials).
             if frame.pinned.len() == self.order.len() {
-                // Cheap empty-box early-out for fixed-shape (S-U-C) streams:
-                // fine static grids are mostly empty boxes, and building a
-                // full plan for each would dominate the sweep. Probe the
-                // first operand's region before committing to a plan.
-                if matches!(self.mode, Mode::Suc(_)) {
-                    let b = &self.kernel.inputs()[0];
-                    let ranges: Vec<Range<u32>> =
-                        b.ranks.iter().map(|r| frame.region[r].clone()).collect();
-                    // `region_is_empty` short-circuits on the first occupied
-                    // window and models no Aggregate cost — the probe is a
-                    // host-side pruning step, not an extractor action.
-                    if b.grid.region_is_empty(&ranges) {
-                        self.skipped_empty += 1;
-                        self.probe
-                            .emit(|| Event::TaskSkipped { total_skipped: self.skipped_empty });
-                        continue;
-                    }
-                }
-                if matches!(self.mode, Mode::Drt) {
-                    self.plan_calls += 1;
-                }
+                self.plan_calls += 1;
                 let plan = self.plan_box(&frame);
                 self.probe.emit(|| Event::TilePlanned {
                     task: self.emitted,

@@ -56,7 +56,7 @@ pub fn mcl_expand_step(m: &CsMatrix) -> CsMatrix {
 ///
 /// Never panics for well-formed inputs.
 pub fn jaccard_rows(f: &CsMatrix) -> CsMatrix {
-    let f_rows = f.to_major(MajorAxis::Row);
+    let f_rows = f.as_major(MajorAxis::Row);
     let ft = f_rows.to_transposed().to_major(MajorAxis::Row);
     // Intersection sizes come from the Boolean product F · Fᵀ.
     let bool_entries: Vec<(u32, u32, f64)> = f_rows.iter().map(|(r, c, _)| (r, c, 1.0)).collect();

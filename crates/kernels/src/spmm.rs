@@ -19,7 +19,7 @@ use drt_tensor::{CsMatrix, DenseMatrix, MajorAxis};
 /// Panics when inner dimensions disagree.
 pub fn spmm(a: &CsMatrix, d: &DenseMatrix) -> DenseMatrix {
     assert_eq!(a.ncols(), d.nrows(), "inner dimensions must agree");
-    let a_rows = a.to_major(MajorAxis::Row);
+    let a_rows = a.as_major(MajorAxis::Row);
     let mut z = DenseMatrix::zeros(a.nrows(), d.ncols());
     for i in 0..a_rows.nrows() {
         let fiber = a_rows.fiber(i);

@@ -1,0 +1,179 @@
+//! Property tests pinning the zero-copy compute path to the copying
+//! reference chain, bit for bit.
+//!
+//! The engine's per-task compute replaced `extract_rect` × 2 +
+//! [`gustavson`] on the materialized tiles with [`gustavson_view_into`]
+//! over borrowed [`CsView`]s and a reused [`SpaWorkspace`]. Everything
+//! downstream (reports, JSON rows, JSONL traces) is a function of the
+//! emitted entries and counts, so these tests require *exact* equality:
+//! entry order, `f64` bit patterns, MACC and output-nnz counts — across
+//! random tiles of corpus-style operands and across workspace reuse over
+//! whole task sequences.
+
+use drt_kernels::spmspm::{gustavson, gustavson_view_into, SpaWorkspace};
+use drt_tensor::{CsMatrix, MajorAxis};
+use drt_workloads::corpus::differential_pairs;
+use drt_workloads::patterns::{diamond_band, rmat, unstructured};
+use proptest::prelude::*;
+use std::ops::Range;
+
+/// Reference: extract both rectangles, multiply the owned tiles, rebase.
+fn reference_task(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    ir: &Range<u32>,
+    kr: &Range<u32>,
+    jr: &Range<u32>,
+) -> (Vec<(u32, u32, f64)>, u64, u64) {
+    let ta = a.extract_rect(ir.clone(), kr.clone());
+    let tb = b.extract_rect(kr.clone(), jr.clone());
+    let prod = gustavson(&ta, &tb);
+    let entries: Vec<(u32, u32, f64)> =
+        prod.z.iter().map(|(r, c, v)| (r + ir.start, c + jr.start, v)).collect();
+    let nnz = prod.z.nnz() as u64;
+    (entries, prod.maccs, nnz)
+}
+
+/// Assert bitwise-equal entry streams (coordinates and value bits).
+fn assert_bit_identical(got: &[(u32, u32, f64)], want: &[(u32, u32, f64)], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: entry count");
+    for (idx, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!((g.0, g.1), (w.0, w.1), "{ctx}: coords at entry {idx}");
+        assert_eq!(g.2.to_bits(), w.2.to_bits(), "{ctx}: value bits at entry {idx}");
+    }
+}
+
+/// Run one task through the view kernel and compare against the
+/// reference chain.
+fn check_task(
+    a: &CsMatrix,
+    b: &CsMatrix,
+    ws: &mut SpaWorkspace,
+    ir: &Range<u32>,
+    kr: &Range<u32>,
+    jr: &Range<u32>,
+    ctx: &str,
+) {
+    let va = a.view(ir.clone(), kr.clone());
+    let vb = b.view(kr.clone(), jr.clone());
+    let mut got = Vec::new();
+    let tp = gustavson_view_into(&va, &vb, ws, ir.start, jr.start, &mut got);
+    let (want, maccs, nnz) = reference_task(a, b, ir, kr, jr);
+    assert_eq!(tp.maccs, maccs, "{ctx}: maccs");
+    assert_eq!(tp.out_nnz, nnz, "{ctx}: out_nnz");
+    assert_bit_identical(&got, &want, ctx);
+}
+
+/// Split `0..extent` into contiguous chunks of width `step` (the last
+/// chunk may be shorter) — the shape of an engine task grid along one
+/// rank.
+fn chunks(extent: u32, step: u32) -> Vec<Range<u32>> {
+    let step = step.max(1);
+    (0..extent).step_by(step as usize).map(|s| s..(s + step).min(extent)).collect()
+}
+
+fn arb_matrix(r: u32, c: u32, max_nnz: usize) -> impl Strategy<Value = CsMatrix> {
+    proptest::collection::vec((0..r, 0..c, -4.0..4.0f64), 0..max_nnz)
+        .prop_map(move |e| CsMatrix::from_entries(r, c, e, MajorAxis::Row))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random operands, random rectangle (including empty and overhanging
+    /// ranges): one-shot tasks are bit-identical to the reference chain.
+    #[test]
+    fn random_tiles_are_bit_identical(
+        a in arb_matrix(40, 32, 160),
+        b in arb_matrix(32, 44, 160),
+        i0 in 0u32..40, iw in 0u32..48,
+        k0 in 0u32..32, kw in 0u32..40,
+        j0 in 0u32..44, jw in 0u32..52,
+    ) {
+        let mut ws = SpaWorkspace::new();
+        let (ir, kr, jr) = (i0..(i0 + iw), k0..(k0 + kw), j0..(j0 + jw));
+        check_task(&a, &b, &mut ws, &ir, &kr, &jr, "random tile");
+    }
+
+    /// A full task sweep over a random grid, reusing one workspace for
+    /// every task in sequence (the engine's steady state): the
+    /// concatenated entry stream matches the reference chain task by
+    /// task, so no state leaks between tasks through the workspace.
+    #[test]
+    fn workspace_reuse_across_task_sequences(
+        a in arb_matrix(36, 30, 200),
+        b in arb_matrix(30, 36, 200),
+        istep in 1u32..20, kstep in 1u32..16, jstep in 1u32..20,
+    ) {
+        let mut ws = SpaWorkspace::new();
+        // `a`/`b` outlive the sweep, so the engine's cross-task
+        // fiber-window caches are sound here — turn them on so the sweep
+        // pins their bit-identity too.
+        ws.assume_stable_parents();
+        for ir in chunks(36, istep) {
+            for kr in chunks(30, kstep) {
+                for jr in chunks(36, jstep) {
+                    check_task(&a, &b, &mut ws, &ir, &kr, &jr,
+                        &format!("sweep {ir:?}/{kr:?}/{jr:?}"));
+                }
+            }
+        }
+    }
+}
+
+/// The verification corpus (banded, power-law, R-MAT, rectangular,
+/// degenerate shapes): tile every pair on a fixed grid with one shared
+/// workspace and require bit-identity for every task.
+#[test]
+fn corpus_pairs_are_bit_identical_under_tiling() {
+    let mut ws = SpaWorkspace::new();
+    for pair in differential_pairs(7, true) {
+        let (m, k, n) = (pair.a.nrows(), pair.a.ncols(), pair.b.ncols());
+        for ir in chunks(m, m.div_ceil(3)) {
+            for kr in chunks(k, k.div_ceil(2)) {
+                for jr in chunks(n, n.div_ceil(3)) {
+                    check_task(&pair.a, &pair.b, &mut ws, &ir, &kr, &jr, &pair.label);
+                }
+            }
+        }
+    }
+}
+
+/// Structured generators at tile-benchmark sizes, including a CSC-parent
+/// rejection check and degenerate all-empty tiles.
+#[test]
+fn structured_patterns_and_degenerate_tiles() {
+    let mut ws = SpaWorkspace::with_cols(8);
+    // Every case matrix stays alive for the whole test, so cached windows
+    // may persist across the parent switches below — this exercises the
+    // cache's parent-change invalidation.
+    ws.assume_stable_parents();
+    let cases = [
+        diamond_band(64, 380, 3),
+        unstructured(64, 64, 400, 2.0, 9),
+        rmat(64, 380, 0.57, 0.19, 0.19, 21),
+        CsMatrix::zero(64, 64, MajorAxis::Row),
+    ];
+    for (ci, m) in cases.iter().enumerate() {
+        for step in [16u32, 32, 64] {
+            for ir in chunks(64, step) {
+                for kr in chunks(64, step) {
+                    for jr in chunks(64, step) {
+                        check_task(m, m, &mut ws, &ir, &kr, &jr, &format!("case {ci} step {step}"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "row-major parent")]
+fn csc_parents_are_rejected() {
+    let m = unstructured(8, 8, 20, 2.0, 1).to_major(MajorAxis::Col);
+    let mut ws = SpaWorkspace::new();
+    let mut out = Vec::new();
+    let va = m.view(0..8, 0..8);
+    let vb = m.view(0..8, 0..8);
+    let _ = gustavson_view_into(&va, &vb, &mut ws, 0, 0, &mut out);
+}

@@ -10,7 +10,7 @@
 //! * **Serial-optimal** — an oracle that sustains one effectual MACC per
 //!   cycle per PE regardless of sparsity (visualizes potential).
 
-use drt_tensor::intersect::IntersectResult;
+use drt_tensor::intersect::{IntersectCounts, IntersectResult};
 
 /// Which intersection unit a PE uses.
 ///
@@ -52,6 +52,15 @@ impl IntersectUnit {
             }
             IntersectUnit::SerialOptimal => work.matches.len() as u64,
         }
+    }
+
+    /// Cycles from an allocation-free counting walk
+    /// ([`drt_tensor::intersect::two_finger_counts`] /
+    /// [`drt_tensor::intersect::gallop_counts`]) — identical numbers to
+    /// [`IntersectUnit::cycles`] on the materializing walk's result,
+    /// without ever building the match list.
+    pub fn cycles_counts(&self, work: &IntersectCounts) -> u64 {
+        self.cycles_from_counts(work.advances as u64 + work.comparisons as u64, work.matches as u64)
     }
 
     /// Cycles from pre-aggregated work counters (for models that sum
@@ -111,6 +120,19 @@ mod tests {
         let counted = IntersectUnit::SkipBased
             .cycles_from_counts((w.advances + w.comparisons) as u64, w.matches.len() as u64);
         assert_eq!(direct, counted);
+    }
+
+    #[test]
+    fn count_only_walk_gives_identical_cycles() {
+        let a: Vec<u32> = (0..300).step_by(2).collect();
+        let b: Vec<u32> = (0..300).step_by(3).collect();
+        let w = gallop(&a, &b);
+        let counts = drt_tensor::intersect::gallop_counts(&a, &b);
+        for unit in
+            [IntersectUnit::SkipBased, IntersectUnit::Parallel(8), IntersectUnit::SerialOptimal]
+        {
+            assert_eq!(unit.cycles(&w), unit.cycles_counts(&counts), "{}", unit.label());
+        }
     }
 
     #[test]

@@ -25,12 +25,24 @@ impl TrafficCounter {
 
     /// Record `bytes` read for tensor `name`.
     pub fn read(&mut self, name: &str, bytes: u64) {
-        *self.reads.entry(name.to_string()).or_insert(0) += bytes;
+        // Key allocation only on first sight of a tensor — these run per
+        // task, and a handful of tensor names cover a whole run.
+        match self.reads.get_mut(name) {
+            Some(v) => *v += bytes,
+            None => {
+                self.reads.insert(name.to_string(), bytes);
+            }
+        }
     }
 
     /// Record `bytes` written for tensor `name`.
     pub fn write(&mut self, name: &str, bytes: u64) {
-        *self.writes.entry(name.to_string()).or_insert(0) += bytes;
+        match self.writes.get_mut(name) {
+            Some(v) => *v += bytes,
+            None => {
+                self.writes.insert(name.to_string(), bytes);
+            }
+        }
     }
 
     /// Total bytes read for tensor `name`.
@@ -108,9 +120,9 @@ pub fn spmspm_effectual_lower_bound(
     sm: &SizeModel,
 ) -> TrafficCounter {
     let entry = (sm.coord_bytes + sm.value_bytes) as u64;
-    let a_rows = a.to_major(MajorAxis::Row);
-    let b_rows = b.to_major(MajorAxis::Row);
-    let a_cols = a.to_major(MajorAxis::Col);
+    let a_rows = a.as_major(MajorAxis::Row);
+    let b_rows = b.as_major(MajorAxis::Row);
+    let a_cols = a.as_major(MajorAxis::Col);
     let a_eff = a_rows.iter().filter(|&(_, k, _)| b_rows.fiber_len(k) > 0).count() as u64;
     let b_eff = b_rows.iter().filter(|&(k, _, _)| a_cols.fiber_len(k) > 0).count() as u64;
     let mut t = TrafficCounter::new();

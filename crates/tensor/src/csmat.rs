@@ -101,7 +101,13 @@ impl CsMatrix {
             MajorAxis::Row => (e.0, e.1),
             MajorAxis::Col => (e.1, e.0),
         };
-        entries.sort_unstable_by_key(key);
+        // Packed key gives the same total order as the tuple key (major in
+        // the high half), so the unstable sort produces the same
+        // permutation — only the per-comparison cost drops.
+        entries.sort_unstable_by_key(|e| {
+            let (mj, mn) = key(e);
+            (u64::from(mj) << 32) | u64::from(mn)
+        });
         let major_dim = match major {
             MajorAxis::Row => nrows,
             MajorAxis::Col => ncols,
@@ -248,16 +254,19 @@ impl CsMatrix {
     }
 
     /// The segment (pointer) array.
+    #[inline]
     pub fn seg(&self) -> &[usize] {
         &self.seg
     }
 
     /// The minor-coordinate array.
+    #[inline]
     pub fn coord_array(&self) -> &[Coord] {
         &self.coords
     }
 
     /// The data-value array.
+    #[inline]
     pub fn values(&self) -> &[Value] {
         &self.vals
     }
@@ -302,13 +311,30 @@ impl CsMatrix {
 
     /// Re-layout into the requested major axis (CSR ⇄ CSC conversion).
     ///
-    /// Returns a clone when the layout already matches.
+    /// Returns a clone when the layout already matches; prefer
+    /// [`CsMatrix::as_major`] when a borrow suffices — it makes the
+    /// matching-layout case free.
     pub fn to_major(&self, major: MajorAxis) -> CsMatrix {
         if major == self.major {
             return self.clone();
         }
         let entries: Vec<_> = self.iter().collect();
         CsMatrix::from_entries(self.nrows, self.ncols, entries, major)
+    }
+
+    /// Borrow this matrix in the requested layout, converting only when
+    /// the layout differs: `Cow::Borrowed(self)` when `major` already
+    /// matches (no clone, no allocation), an owned conversion otherwise.
+    ///
+    /// This is the accessor kernels should use to normalize operand
+    /// layout — [`CsMatrix::to_major`] pays a full clone for what is
+    /// usually a no-op.
+    pub fn as_major(&self, major: MajorAxis) -> std::borrow::Cow<'_, CsMatrix> {
+        if major == self.major {
+            std::borrow::Cow::Borrowed(self)
+        } else {
+            std::borrow::Cow::Owned(self.to_major(major))
+        }
     }
 
     /// The transpose, reusing this matrix's arrays.
@@ -499,6 +525,17 @@ mod tests {
         assert_eq!(csc.major(), MajorAxis::Col);
         assert!(m.logically_eq(&csc));
         assert!(csc.to_major(MajorAxis::Row).logically_eq(&m));
+    }
+
+    #[test]
+    fn as_major_borrows_matching_layout() {
+        let m = sample();
+        let same = m.as_major(MajorAxis::Row);
+        assert!(matches!(same, std::borrow::Cow::Borrowed(_)), "matching layout must not clone");
+        assert!(std::ptr::eq(&*same, &m));
+        let flipped = m.as_major(MajorAxis::Col);
+        assert!(matches!(flipped, std::borrow::Cow::Owned(_)));
+        assert_eq!(*flipped, m.to_major(MajorAxis::Col));
     }
 
     #[test]

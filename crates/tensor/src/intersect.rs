@@ -15,6 +15,11 @@
 //! counters (element advances and comparisons). The accelerator models in
 //! `drt-sim` convert these into cycles for the paper's three intersection
 //! units (serial skip-based, parallel-P, serial-optimal — Figure 12).
+//!
+//! Paths that only need the counters — cycle models, scan-volume
+//! accounting — should use the allocation-free variants
+//! [`two_finger_counts`] / [`gallop_counts`] (identical counters, no
+//! match list) or [`match_count`] (just the match tally, branchless).
 
 use crate::Coord;
 
@@ -40,6 +45,55 @@ impl IntersectResult {
     pub fn is_empty(&self) -> bool {
         self.matches.is_empty()
     }
+
+    /// This result's work counters without the match list.
+    pub fn counts(&self) -> IntersectCounts {
+        IntersectCounts {
+            matches: self.matches.len(),
+            advances: self.advances,
+            comparisons: self.comparisons,
+        }
+    }
+}
+
+/// Count-only outcome of intersecting two sorted coordinate lists: the
+/// same work counters as [`IntersectResult`] with the match list replaced
+/// by its length. Produced by [`two_finger_counts`] / [`gallop_counts`]
+/// for paths — cycle models, scan-volume accounting — that never consume
+/// individual matches and should not pay to materialize them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntersectCounts {
+    /// Number of matching coordinates (effectual co-iteration points).
+    pub matches: usize,
+    /// Total pointer advances performed (serial skip-based work).
+    pub advances: usize,
+    /// Total coordinate comparisons performed.
+    pub comparisons: usize,
+}
+
+/// Where an intersection walk sends its matches. Inlined away for the
+/// count-only sink, so one walk implementation serves both the
+/// materializing and the counting entry points with identical counters.
+trait MatchSink {
+    fn push(&mut self, coord: Coord, pos_a: usize, pos_b: usize);
+}
+
+/// Collects matches into an [`IntersectResult`]'s vector.
+struct Collect(Vec<(Coord, usize, usize)>);
+
+impl MatchSink for Collect {
+    #[inline]
+    fn push(&mut self, coord: Coord, pos_a: usize, pos_b: usize) {
+        self.0.push((coord, pos_a, pos_b));
+    }
+}
+
+/// Discards matches (their count is tracked by the walk itself).
+struct Discard;
+
+impl MatchSink for Discard {
+    #[inline]
+    fn push(&mut self, _coord: Coord, _pos_a: usize, _pos_b: usize) {}
 }
 
 /// Two-finger (merge) intersection of two sorted coordinate slices.
@@ -54,13 +108,50 @@ impl IntersectResult {
 /// assert_eq!(coords, vec![3, 7]);
 /// ```
 pub fn two_finger(a: &[Coord], b: &[Coord]) -> IntersectResult {
-    let mut out = IntersectResult::default();
+    let mut sink = Collect(Vec::new());
+    let counts = two_finger_walk(a, b, &mut sink);
+    IntersectResult { matches: sink.0, advances: counts.advances, comparisons: counts.comparisons }
+}
+
+/// [`two_finger`] without materializing the match list: identical
+/// `matches`/`advances`/`comparisons` counters (one shared walk serves
+/// both entry points), no allocation. The branchless merge loop is the
+/// chunk-friendly scan shape that autovectorizes where the branchy
+/// three-way compare cannot.
+pub fn two_finger_counts(a: &[Coord], b: &[Coord]) -> IntersectCounts {
+    if a.is_empty() || b.is_empty() {
+        return IntersectCounts::default();
+    }
+    // Branchless reformulation of the two-finger walk. Per iteration the
+    // reference walk does one comparison and advances i, j, or both (on a
+    // match), so: comparisons == iterations, advances == i+j consumed,
+    // matches == iterations where both moved. Tracking only the three
+    // tallies keeps the loop free of unpredictable branches and of any
+    // stores to a match vector.
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut matches, mut comparisons) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        comparisons += 1;
+        matches += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    IntersectCounts { matches, advances: i + j, comparisons }
+}
+
+/// The reference two-finger walk, parameterized over what happens to each
+/// match. Returns the work counters; the sink sees every match in order.
+#[inline]
+fn two_finger_walk<S: MatchSink>(a: &[Coord], b: &[Coord], sink: &mut S) -> IntersectCounts {
+    let mut out = IntersectCounts::default();
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
         out.comparisons += 1;
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Equal => {
-                out.matches.push((a[i], i, j));
+                sink.push(a[i], i, j);
+                out.matches += 1;
                 i += 1;
                 j += 1;
                 out.advances += 2;
@@ -78,22 +169,57 @@ pub fn two_finger(a: &[Coord], b: &[Coord]) -> IntersectResult {
     out
 }
 
+/// Count only the matching coordinates of two sorted slices — the
+/// effectual co-iteration points — with no work-counter bookkeeping at
+/// all. The cheapest intersection query; use it when neither the matches
+/// nor the scan-work counters are needed.
+pub fn match_count(a: &[Coord], b: &[Coord]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        n += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    n
+}
+
 /// Skip-based (galloping) intersection: the shorter list leads, the longer
 /// is advanced with doubling searches.
 ///
 /// Produces the same matches as [`two_finger`] but with work proportional to
 /// `short · log(long)`, modelling ExTensor's skip-based intersection unit.
 pub fn gallop(a: &[Coord], b: &[Coord]) -> IntersectResult {
+    let mut sink = Collect(Vec::new());
     // Keep the match positions oriented (a, b) even when b leads.
-    if a.len() <= b.len() {
-        gallop_inner(a, b, false)
+    let counts = if a.len() <= b.len() {
+        gallop_walk(a, b, false, &mut sink)
     } else {
-        gallop_inner(b, a, true)
+        gallop_walk(b, a, true, &mut sink)
+    };
+    IntersectResult { matches: sink.0, advances: counts.advances, comparisons: counts.comparisons }
+}
+
+/// [`gallop`] without materializing the match list: identical counters
+/// (the same walk runs with a discarding sink), no allocation.
+pub fn gallop_counts(a: &[Coord], b: &[Coord]) -> IntersectCounts {
+    if a.len() <= b.len() {
+        gallop_walk(a, b, false, &mut Discard)
+    } else {
+        gallop_walk(b, a, true, &mut Discard)
     }
 }
 
-fn gallop_inner(short: &[Coord], long: &[Coord], swapped: bool) -> IntersectResult {
-    let mut out = IntersectResult::default();
+/// The skip-based reference walk, parameterized over what happens to each
+/// match (inlined away for [`gallop_counts`]).
+#[inline]
+fn gallop_walk<S: MatchSink>(
+    short: &[Coord],
+    long: &[Coord],
+    swapped: bool,
+    sink: &mut S,
+) -> IntersectCounts {
+    let mut out = IntersectCounts::default();
     let mut base = 0usize;
     for (si, &c) in short.iter().enumerate() {
         out.advances += 1;
@@ -115,7 +241,8 @@ fn gallop_inner(short: &[Coord], long: &[Coord], swapped: bool) -> IntersectResu
         if pos < long.len() && long[pos] == c {
             out.comparisons += 1;
             let (pa, pb) = if swapped { (pos, si) } else { (si, pos) };
-            out.matches.push((c, pa, pb));
+            sink.push(c, pa, pb);
+            out.matches += 1;
             base = pos + 1;
         }
         if base >= long.len() {
@@ -156,15 +283,37 @@ where
 /// Dot product of two sparse fibers (sum over the coordinate intersection),
 /// plus the number of effectual multiplies. The scalar kernel of
 /// inner-product SpMSpM.
+///
+/// Accumulates directly during the two-finger walk — no intermediate
+/// match list — in the same left-to-right order as summing
+/// [`intersect_values`] pairs, so results are bit-identical to the
+/// materializing formulation.
+///
+/// # Panics
+///
+/// Panics when either fiber's coordinate and value slices differ in length.
 pub fn sparse_dot(
     a_coords: &[Coord],
     a_vals: &[f64],
     b_coords: &[Coord],
     b_vals: &[f64],
 ) -> (f64, usize) {
-    let pairs = intersect_values(a_coords, a_vals, b_coords, b_vals, |x, y| x * y);
-    let n = pairs.len();
-    (pairs.into_iter().map(|(_, v)| v).sum(), n)
+    assert_eq!(a_coords.len(), a_vals.len(), "fiber a: parallel arrays");
+    assert_eq!(b_coords.len(), b_vals.len(), "fiber b: parallel arrays");
+    struct Dot<'v> {
+        a_vals: &'v [f64],
+        b_vals: &'v [f64],
+        sum: f64,
+    }
+    impl MatchSink for Dot<'_> {
+        #[inline]
+        fn push(&mut self, _coord: Coord, pa: usize, pb: usize) {
+            self.sum += self.a_vals[pa] * self.b_vals[pb];
+        }
+    }
+    let mut sink = Dot { a_vals, b_vals, sum: 0.0 };
+    let counts = two_finger_walk(a_coords, b_coords, &mut sink);
+    (sink.sum, counts.matches)
 }
 
 #[cfg(test)]
@@ -241,5 +390,49 @@ mod tests {
         let a: Vec<Coord> = (0..50).collect();
         let r = gallop(&a, &a);
         assert_eq!(r.len(), 50);
+    }
+
+    fn count_cases() -> Vec<(Vec<Coord>, Vec<Coord>)> {
+        vec![
+            (vec![], vec![]),
+            (vec![], vec![1, 2, 3]),
+            (vec![5], vec![5]),
+            (vec![0, 2, 4, 6], vec![1, 2, 3, 6]),
+            ((0..200).step_by(3).collect(), (0..200).step_by(7).collect()),
+            ((0..500).collect(), vec![3, 250, 499]),
+            (vec![3, 250, 499], (0..500).collect()),
+            ((0..64).collect(), (0..64).collect()),
+            ((0..10_000).collect(), vec![9_999]),
+        ]
+    }
+
+    #[test]
+    fn two_finger_counts_agree_with_reference() {
+        for (a, b) in count_cases() {
+            let full = two_finger(&a, &b);
+            assert_eq!(two_finger_counts(&a, &b), full.counts(), "a={a:?} b={b:?}");
+            assert_eq!(match_count(&a, &b), full.len(), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn gallop_counts_agree_with_reference() {
+        for (a, b) in count_cases() {
+            let full = gallop(&a, &b);
+            assert_eq!(gallop_counts(&a, &b), full.counts(), "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_dot_matches_materializing_formulation() {
+        let a_c: Vec<Coord> = (0..300).step_by(3).collect();
+        let a_v: Vec<f64> = a_c.iter().map(|&c| c as f64 * 0.5 - 20.0).collect();
+        let b_c: Vec<Coord> = (0..300).step_by(4).collect();
+        let b_v: Vec<f64> = b_c.iter().map(|&c| 1.0 / (c as f64 + 1.0)).collect();
+        let pairs = intersect_values(&a_c, &a_v, &b_c, &b_v, |x, y| x * y);
+        let reference: f64 = pairs.iter().map(|&(_, v)| v).sum();
+        let (dot, n) = sparse_dot(&a_c, &a_v, &b_c, &b_v);
+        assert_eq!(dot.to_bits(), reference.to_bits(), "same accumulation order, same bits");
+        assert_eq!(n, pairs.len());
     }
 }

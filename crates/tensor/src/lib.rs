@@ -19,9 +19,16 @@
 //!   lists, and each list is a *fiber*.
 //! * [`format`](crate::format) — `T-[uc]+` format descriptors and footprint accounting
 //!   (bytes of metadata + data), used for all DRAM-traffic bookkeeping.
+//! * [`CsView`] — borrowed, origin-rebased rectangle views over a
+//!   [`CsMatrix`] (the zero-copy counterpart of
+//!   [`CsMatrix::extract_rect`]), which the engine's per-task compute
+//!   path co-iterates without materializing tiles.
 //! * [`intersect`] — coordinate-intersection algorithms (two-finger and
 //!   galloping/skip-based) with exact work counters, which the accelerator
-//!   models turn into intersection-unit cycle counts.
+//!   models turn into intersection-unit cycle counts. Count-only variants
+//!   ([`intersect::two_finger_counts`], [`intersect::gallop_counts`],
+//!   [`intersect::match_count`]) serve paths that never consume the match
+//!   list.
 //! * [`ops`] — elementwise/structural operations (union add, Hadamard,
 //!   pattern masks, triangular filters) that sparse pipelines compose
 //!   around contractions.
@@ -55,6 +62,7 @@ mod csf;
 mod csmat;
 mod dense;
 mod error;
+mod view;
 
 pub mod dcsr;
 pub mod fibertree;
@@ -69,6 +77,7 @@ pub use csf::CsfTensor;
 pub use csmat::{CsMatrix, FiberView, MajorAxis, NnzIter};
 pub use dense::DenseMatrix;
 pub use error::TensorError;
+pub use view::CsView;
 
 /// A coordinate along one tensor dimension.
 ///

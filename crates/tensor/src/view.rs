@@ -1,0 +1,306 @@
+//! Borrowed sub-matrix views — zero-copy tile access.
+//!
+//! [`CsView`] is the borrowed counterpart of [`CsMatrix::extract_rect`]:
+//! it restricts a compressed matrix to a coordinate-space rectangle
+//! without copying segment, coordinate, or value arrays. Fibers are
+//! served as sub-slices of the parent's arrays (one binary-search pair
+//! per fiber, exactly the probes `extract_rect` performs before copying),
+//! and the view's *logical* origin is rebased to the rectangle's base
+//! point — the paper's §4.2.2 "macro tile metadata starts at base points
+//! of 0" — while the served coordinate slices keep the parent's raw
+//! coordinates (callers subtract [`CsView::minor_start`], a single
+//! register subtraction in kernel inner loops).
+//!
+//! The engine's per-task compute path iterates A/B rectangles through
+//! `CsView`s instead of materializing per-task [`CsMatrix`] tiles, which
+//! removes every per-task tile allocation from the steady state.
+
+use crate::{Coord, CoordRange, CsMatrix, FiberView, MajorAxis, Value};
+
+/// A borrowed view of the sub-matrix `rows × cols` of a [`CsMatrix`],
+/// rebased so the rectangle's base point is logical `(0, 0)`.
+///
+/// Overhanging ranges clamp exactly like [`CsMatrix::extract_rect`]: a
+/// view may extend past the parent's extents, in which case the excess
+/// fibers are empty.
+///
+/// # Example
+///
+/// ```rust
+/// use drt_tensor::{CooMatrix, CsMatrix, MajorAxis};
+///
+/// # fn main() -> Result<(), drt_tensor::TensorError> {
+/// let coo = CooMatrix::from_triplets(4, 4, vec![(2, 2, 12.0), (2, 3, 3.0), (0, 1, 7.0)])?;
+/// let m = CsMatrix::from_coo(&coo, MajorAxis::Row);
+/// let v = m.view(2..4, 2..4);
+/// assert_eq!((v.nrows(), v.ncols()), (2, 2));
+/// assert_eq!(v.nnz(), 2);
+/// // Identical to the copying extraction, entry for entry:
+/// assert_eq!(v.to_matrix(), m.extract_rect(2..4, 2..4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsView<'a> {
+    mat: &'a CsMatrix,
+    rows: CoordRange,
+    cols: CoordRange,
+}
+
+impl<'a> CsView<'a> {
+    pub(crate) fn new(mat: &'a CsMatrix, rows: CoordRange, cols: CoordRange) -> CsView<'a> {
+        CsView { mat, rows, cols }
+    }
+
+    /// Rows of the viewed rectangle.
+    #[inline]
+    pub fn nrows(&self) -> Coord {
+        self.rows.end.saturating_sub(self.rows.start)
+    }
+
+    /// Columns of the viewed rectangle.
+    #[inline]
+    pub fn ncols(&self) -> Coord {
+        self.cols.end.saturating_sub(self.cols.start)
+    }
+
+    /// The parent matrix's storage layout (the view shares it).
+    #[inline]
+    pub fn major(&self) -> MajorAxis {
+        self.mat.major()
+    }
+
+    /// Size of the view's major dimension (rows for a CSR parent).
+    #[inline]
+    pub fn major_dim(&self) -> Coord {
+        match self.mat.major() {
+            MajorAxis::Row => self.nrows(),
+            MajorAxis::Col => self.ncols(),
+        }
+    }
+
+    /// The view's row range in parent coordinates.
+    #[inline]
+    pub fn row_range(&self) -> CoordRange {
+        self.rows.clone()
+    }
+
+    /// The view's column range in parent coordinates.
+    #[inline]
+    pub fn col_range(&self) -> CoordRange {
+        self.cols.clone()
+    }
+
+    /// First minor coordinate of the rectangle in *parent* coordinates —
+    /// subtract this from [`CsView::fiber_raw`] coordinates to rebase.
+    #[inline]
+    pub fn minor_start(&self) -> Coord {
+        match self.mat.major() {
+            MajorAxis::Row => self.cols.start,
+            MajorAxis::Col => self.rows.start,
+        }
+    }
+
+    /// The major-coordinate range in parent coordinates.
+    #[inline]
+    fn major_range(&self) -> CoordRange {
+        match self.mat.major() {
+            MajorAxis::Row => self.rows.clone(),
+            MajorAxis::Col => self.cols.clone(),
+        }
+    }
+
+    /// The minor-coordinate range in parent coordinates.
+    #[inline]
+    fn minor_range(&self) -> CoordRange {
+        match self.mat.major() {
+            MajorAxis::Row => self.cols.clone(),
+            MajorAxis::Col => self.rows.clone(),
+        }
+    }
+
+    /// Borrow fiber `local_major` (0-based within the view) restricted to
+    /// the view's minor range. Coordinates are the parent's **raw**
+    /// coordinates; subtract [`CsView::minor_start`] to rebase. Fibers
+    /// past the parent's extent are empty (overhang clamping).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `local_major >= self.major_dim()`.
+    #[inline]
+    pub fn fiber_raw(&self, local_major: Coord) -> FiberView<'a> {
+        self.fiber_at(self.fiber_window(local_major))
+    }
+
+    /// Absolute positions `[lo, hi)` of fiber `local_major`'s in-range
+    /// window in the parent's coordinate/value arrays — the binary-search
+    /// result behind [`CsView::fiber_raw`], exposed so kernels can cache
+    /// windows for fibers they revisit within a task instead of
+    /// re-searching per visit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `local_major >= self.major_dim()`.
+    #[inline]
+    pub fn fiber_window(&self, local_major: Coord) -> (usize, usize) {
+        let major_r = self.major_range();
+        assert!(local_major < major_r.end - major_r.start, "fiber index out of view");
+        let mj = major_r.start + local_major;
+        if mj >= self.mat.major_dim() {
+            return (0, 0);
+        }
+        let seg = self.mat.seg();
+        let (a, b) = (seg[mj as usize], seg[mj as usize + 1]);
+        if a == b {
+            return (a, b);
+        }
+        let coords = self.mat.coord_array();
+        let minor_r = self.minor_range();
+        // Fibers are sorted by minor coordinate, so the endpoints decide
+        // whether a search is needed at all — views whose minor range
+        // covers the whole fiber (full-width tiles, edge tiles) resolve in
+        // two comparisons.
+        let lo = if coords[a] >= minor_r.start {
+            a
+        } else {
+            a + coords[a..b].partition_point(|&c| c < minor_r.start)
+        };
+        let hi = if coords[b - 1] < minor_r.end {
+            b
+        } else {
+            lo + coords[lo..b].partition_point(|&c| c < minor_r.end)
+        };
+        (lo, hi)
+    }
+
+    /// Opaque identity of the view's parent allocation. Two views with
+    /// equal `parent_id` and equal ranges serve identical fibers, so
+    /// callers may reuse cached [`CsView::fiber_window`] results across
+    /// views — valid only while the parent outlives the cache (address
+    /// reuse after a parent is dropped can alias a new matrix).
+    #[inline]
+    pub fn parent_id(&self) -> usize {
+        self.mat as *const CsMatrix as usize
+    }
+
+    /// The fiber slices addressed by a [`CsView::fiber_window`] result.
+    #[inline]
+    pub fn fiber_at(&self, window: (usize, usize)) -> FiberView<'a> {
+        FiberView {
+            coords: &self.mat.coord_array()[window.0..window.1],
+            values: &self.mat.values()[window.0..window.1],
+        }
+    }
+
+    /// Non-zeros inside the rectangle — equals the extracted tile's
+    /// occupancy, at one binary-search pair per in-range fiber and no
+    /// copies (this is [`CsMatrix::nnz_in_rect`] on the view's rectangle).
+    pub fn nnz(&self) -> usize {
+        self.mat.nnz_in_rect(self.rows.clone(), self.cols.clone())
+    }
+
+    /// Iterate the view's non-zeros as rebased `(row, col, value)`
+    /// triples in storage order.
+    pub fn entries(&self) -> impl Iterator<Item = (Coord, Coord, Value)> + '_ {
+        let major_r = self.major_range();
+        let base_minor = self.minor_start();
+        let major = self.mat.major();
+        (0..major_r.end - major_r.start).flat_map(move |lm| {
+            let f = self.fiber_raw(lm);
+            f.coords.iter().zip(f.values).map(move |(&c, &v)| match major {
+                MajorAxis::Row => (lm, c - base_minor, v),
+                MajorAxis::Col => (c - base_minor, lm, v),
+            })
+        })
+    }
+
+    /// Materialize the view as an owned matrix — bit-identical to
+    /// [`CsMatrix::extract_rect`] on the same rectangle.
+    pub fn to_matrix(&self) -> CsMatrix {
+        self.mat.extract_rect(self.rows.clone(), self.cols.clone())
+    }
+}
+
+impl CsMatrix {
+    /// Borrow the sub-matrix covering `rows × cols` as a zero-copy
+    /// [`CsView`] (the borrowed counterpart of
+    /// [`CsMatrix::extract_rect`]).
+    pub fn view(&self, rows: CoordRange, cols: CoordRange) -> CsView<'_> {
+        CsView::new(self, rows, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn sample() -> CsMatrix {
+        let coo = CooMatrix::from_triplets(
+            4,
+            4,
+            vec![(0, 1, 7.0), (0, 2, 1.0), (2, 0, 6.0), (2, 2, 12.0), (2, 3, 3.0), (3, 1, 10.0)],
+        )
+        .expect("in bounds");
+        CsMatrix::from_coo(&coo, MajorAxis::Row)
+    }
+
+    #[test]
+    fn view_matches_extract_rect() {
+        let m = sample();
+        for (rows, cols) in
+            [(0..2, 0..2), (2..4, 2..4), (0..4, 0..4), (3..6, 0..4), (1..1, 0..4), (0..4, 2..3)]
+        {
+            let v = m.view(rows.clone(), cols.clone());
+            let t = m.extract_rect(rows.clone(), cols.clone());
+            assert_eq!(v.to_matrix(), t, "rect {rows:?}x{cols:?}");
+            assert_eq!(v.nnz(), t.nnz(), "rect {rows:?}x{cols:?}");
+            assert_eq!((v.nrows(), v.ncols()), (t.nrows(), t.ncols()));
+            let via_entries: Vec<_> = v.entries().collect();
+            let via_tile: Vec<_> = t.iter().collect();
+            assert_eq!(via_entries, via_tile, "rect {rows:?}x{cols:?}");
+        }
+    }
+
+    #[test]
+    fn fibers_restrict_and_keep_raw_coords() {
+        let m = sample();
+        let v = m.view(2..4, 2..4);
+        let f = v.fiber_raw(0); // parent row 2 restricted to cols 2..4
+        assert_eq!(f.coords, &[2, 3]);
+        assert_eq!(f.values, &[12.0, 3.0]);
+        assert_eq!(v.minor_start(), 2);
+        let f1 = v.fiber_raw(1); // parent row 3 has nothing in cols 2..4
+        assert!(f1.is_empty());
+    }
+
+    #[test]
+    fn overhang_fibers_are_empty() {
+        let m = sample();
+        let v = m.view(3..6, 0..4);
+        assert_eq!(v.nrows(), 3);
+        assert_eq!(v.fiber_raw(0).coords, &[1]);
+        assert!(v.fiber_raw(1).is_empty());
+        assert!(v.fiber_raw(2).is_empty());
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn csc_parent_views_work() {
+        let m = sample().to_major(MajorAxis::Col);
+        let v = m.view(0..4, 0..2);
+        assert_eq!(v.major(), MajorAxis::Col);
+        assert_eq!(v.major_dim(), 2);
+        assert_eq!(v.to_matrix(), m.extract_rect(0..4, 0..2));
+        let mut entries: Vec<_> = v.entries().collect();
+        entries.sort_by_key(|&(r, c, _)| (r, c));
+        assert_eq!(entries, vec![(0, 1, 7.0), (2, 0, 6.0), (3, 1, 10.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fiber index out of view")]
+    fn fiber_out_of_view_panics() {
+        let m = sample();
+        let _ = m.view(0..2, 0..2).fiber_raw(2);
+    }
+}
