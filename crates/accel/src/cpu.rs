@@ -149,6 +149,7 @@ pub fn run_mkl_like_with(
         skipped_tasks: 0,
         actions,
         phases,
+        stages: Vec::new(),
         degradation: None,
     }
 }

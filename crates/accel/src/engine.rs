@@ -29,8 +29,8 @@
 //! after task *t* depends only on task *t* itself: each worker seeds its
 //! resident-tile table from the task immediately preceding its shard.
 //!
-//! The preferred entry point is [`crate::session::Session`]; the `run_*`
-//! free functions are deprecated shims kept for source compatibility.
+//! The preferred entry point is [`crate::session::Session`]; the
+//! `*_exec`/`*_ft` free functions are the policy-explicit engine API.
 
 use crate::error::DrtError;
 use crate::report::{Degradation, DegradeReason, PhaseBreakdown, RunOutcome, RunReport};
@@ -203,32 +203,6 @@ impl EngineConfig {
             ),
         }
     }
-}
-
-/// Simulate `Z = A · B` under `cfg`.
-///
-/// # Errors
-///
-/// Propagates tiling configuration errors from `drt-core` (bad loop order,
-/// impossible partitions, S-U-C shapes violating the dense rule).
-#[deprecated(note = "use drt_accel::session::Session::run_spmspm or run_spmspm_exec")]
-pub fn run_spmspm(a: &CsMatrix, b: &CsMatrix, cfg: &EngineConfig) -> Result<RunReport, CoreError> {
-    run_spmspm_exec(a, b, cfg, &Probe::disabled(), &ExecPolicy::serial())
-}
-
-/// `run_spmspm` with an instrumentation probe attached.
-///
-/// # Errors
-///
-/// Same conditions as `run_spmspm`.
-#[deprecated(note = "use drt_accel::session::Session::probe or run_spmspm_exec")]
-pub fn run_spmspm_probed(
-    a: &CsMatrix,
-    b: &CsMatrix,
-    cfg: &EngineConfig,
-    probe: &Probe,
-) -> Result<RunReport, CoreError> {
-    run_spmspm_exec(a, b, cfg, probe, &ExecPolicy::serial())
 }
 
 /// Simulate `Z = A · B` under `cfg` with an instrumentation probe and an
@@ -1149,6 +1123,7 @@ impl<'c> EngineRun<'c> {
             skipped_tasks,
             actions: self.actions,
             phases: self.phases,
+            stages: Vec::new(),
             degradation: None,
         }
     }
@@ -1159,39 +1134,6 @@ pub(crate) fn finalize_output(nrows: u32, ncols: u32, entries: Vec<(u32, u32, f6
     let merged = CsMatrix::from_entries(nrows, ncols, entries, MajorAxis::Row);
     let nonzero: Vec<(u32, u32, f64)> = merged.iter().filter(|&(_, _, v)| v != 0.0).collect();
     CsMatrix::from_entries(nrows, ncols, nonzero, MajorAxis::Row)
-}
-
-/// Sweep S-U-C candidate shapes and return the best-performing report —
-/// the paper's per-workload best-case S-U-C baseline (§5.2.1). At most
-/// `max_candidates` square-ish shapes are tried.
-///
-/// # Errors
-///
-/// Propagates engine errors; returns `BadConfig` when no candidate shape
-/// satisfies the capacity rule.
-#[deprecated(note = "use drt_accel::session::Session or run_spmspm_best_suc_exec")]
-pub fn run_spmspm_best_suc(
-    a: &CsMatrix,
-    b: &CsMatrix,
-    base: &EngineConfig,
-    max_candidates: usize,
-) -> Result<RunReport, CoreError> {
-    run_spmspm_best_suc_exec(a, b, base, max_candidates, &ExecPolicy::serial()).map(|(r, _)| r)
-}
-
-/// `run_spmspm_best_suc`, additionally returning the winning tile shape.
-///
-/// # Errors
-///
-/// Same conditions as `run_spmspm_best_suc`.
-#[deprecated(note = "use drt_accel::session::Session or run_spmspm_best_suc_exec")]
-pub fn run_spmspm_best_suc_with_shape(
-    a: &CsMatrix,
-    b: &CsMatrix,
-    base: &EngineConfig,
-    max_candidates: usize,
-) -> Result<(RunReport, BTreeMap<RankId, u32>), CoreError> {
-    run_spmspm_best_suc_exec(a, b, base, max_candidates, &ExecPolicy::serial())
 }
 
 /// Sweep S-U-C candidate shapes under `exec` and return the winner's

@@ -108,6 +108,7 @@ pub fn run_gamma_like_with(
         skipped_tasks: 0,
         actions,
         phases,
+        stages: Vec::new(),
         degradation: None,
     }
 }

@@ -158,6 +158,7 @@ pub fn run_gram_suc(
         skipped_tasks: 0,
         actions,
         phases,
+        stages: Vec::new(),
         degradation: None,
     })
 }
@@ -253,6 +254,7 @@ fn run_stream(
         skipped_tasks: stream.skipped_empty(),
         actions,
         phases,
+        stages: Vec::new(),
         degradation: None,
     })
 }

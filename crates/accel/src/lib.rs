@@ -31,6 +31,10 @@
 //!   across thread counts.
 //! * [`session`] — the unified run API ([`session::Session`]): the one
 //!   blessed entry point fronting the engine and every registered variant.
+//! * [`pipeline`] — multi-stage fused pipelines over one co-tiling
+//!   ([`pipeline::PipelineSpec`]): MTTKRP over CSF, fused SDDMM→SpMM,
+//!   and A·B·C chains, with tile-resident inter-stage intermediates and
+//!   per-stage phase breakdowns.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -44,6 +48,7 @@ pub mod gram;
 pub mod hier2;
 pub mod matraptor;
 pub mod outerspace;
+pub mod pipeline;
 pub mod report;
 pub mod session;
 pub mod sparch;

@@ -89,6 +89,7 @@ pub fn run_untiled_with(
         skipped_tasks: 0,
         actions,
         phases,
+        stages: Vec::new(),
         degradation: None,
     }
 }

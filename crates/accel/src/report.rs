@@ -75,6 +75,21 @@ impl PhaseBreakdown {
     }
 }
 
+/// One pipeline stage's contribution to a multi-stage run: the stage's
+/// own load→…→writeback breakdown, labelled by stage name.
+///
+/// Single-stage runs leave [`RunReport::stages`] empty (the top-level
+/// `phases` *is* the single stage); multi-stage pipeline runs push one
+/// entry per stage, and the per-stage breakdowns must sum to the
+/// top-level `phases` ([`RunReport::stage_partition_violation`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StagePhases {
+    /// Stage label ("mttkrp", "sddmm", "spmm", "spmspm#0", …).
+    pub stage: String,
+    /// This stage's share of the pipeline breakdown.
+    pub phases: PhaseBreakdown,
+}
+
 /// Why a run degraded instead of completing normally (the fault-tolerant
 /// execution layer's outcome taxonomy). Degradation is never an error:
 /// the run either kept covering the space with cheaper tiles (budget
@@ -182,6 +197,10 @@ pub struct RunReport {
     pub actions: ActionCounts,
     /// Per-phase byte/cycle breakdown of the pipeline.
     pub phases: PhaseBreakdown,
+    /// Per-stage breakdowns for multi-stage pipeline runs; empty for
+    /// single-stage runs (where `phases` is the whole story). When
+    /// non-empty, entries sum to `phases`.
+    pub stages: Vec<StagePhases>,
     /// `Some` when the run degraded (budget fallback, cancellation,
     /// deadline); `None` for a complete fault-free run.
     pub degradation: Option<Degradation>,
@@ -204,6 +223,7 @@ impl RunReport {
             skipped_tasks: 0,
             actions: ActionCounts::default(),
             phases: PhaseBreakdown::default(),
+            stages: Vec::new(),
             degradation: None,
         }
     }
@@ -237,6 +257,26 @@ impl RunReport {
             format!(
                 "{}: phase bytes {} != traffic total {} (breakdown {:?})",
                 self.name, phase_bytes, traffic_bytes, self.phases
+            )
+        })
+    }
+
+    /// The stage-partition invariant for multi-stage runs: when `stages`
+    /// is non-empty, the per-stage breakdowns must sum phase-by-phase to
+    /// the top-level `phases` — every phase byte and cycle attributed to
+    /// exactly one stage. `None` when it holds (or `stages` is empty).
+    pub fn stage_partition_violation(&self) -> Option<String> {
+        if self.stages.is_empty() {
+            return None;
+        }
+        let mut sum = PhaseBreakdown::default();
+        for s in &self.stages {
+            sum.add(&s.phases);
+        }
+        (sum != self.phases).then(|| {
+            format!(
+                "{}: stage breakdowns sum to {:?} but report phases are {:?}",
+                self.name, sum, self.phases
             )
         })
     }
@@ -286,6 +326,9 @@ impl RunReport {
         if self.phases != other.phases {
             return Some(format!("phases: {:?} vs {:?}", self.phases, other.phases));
         }
+        if self.stages != other.stages {
+            return Some(format!("stages: {:?} vs {:?}", self.stages, other.stages));
+        }
         if self.degradation != other.degradation {
             return Some(format!("degradation: {:?} vs {:?}", self.degradation, other.degradation));
         }
@@ -315,6 +358,7 @@ mod tests {
             skipped_tasks: 0,
             actions: ActionCounts::default(),
             phases: PhaseBreakdown::default(),
+            stages: Vec::new(),
             degradation: None,
         }
     }
@@ -338,6 +382,22 @@ mod tests {
         let mut cnt = a.clone();
         cnt.maccs += 1;
         assert!(a.bit_diff(&cnt).unwrap().contains("maccs"));
+    }
+
+    #[test]
+    fn stage_partition_checks_sum_and_bit_diff_sees_stages() {
+        let mut r = report(1.0, 100, 400);
+        assert!(r.stage_partition_violation().is_none(), "empty stages always partition");
+        let mut half = PhaseBreakdown::default();
+        half.load.bytes = 50;
+        r.phases.load.bytes = 100;
+        r.stages.push(StagePhases { stage: "s0".into(), phases: half });
+        assert!(r.stage_partition_violation().is_some(), "one half does not partition");
+        r.stages.push(StagePhases { stage: "s1".into(), phases: half });
+        assert!(r.stage_partition_violation().is_none(), "two halves partition");
+        let mut other = r.clone();
+        other.stages[1].stage = "renamed".into();
+        assert!(r.bit_diff(&other).unwrap().contains("stages"));
     }
 
     #[test]

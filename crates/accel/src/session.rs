@@ -18,13 +18,14 @@
 //!
 //! A session accepts anything `Into<AccelSpec>` — a registered spec, or
 //! the ad-hoc `(name, Tiling, DrtConfig)` triple — or a hand-built
-//! [`EngineConfig`] via [`Session::from_engine_config`]. The legacy
-//! `run_spmspm*` free functions in [`crate::engine`] are deprecated shims
-//! over this API.
+//! [`EngineConfig`] via [`Session::from_engine_config`]. Multi-stage
+//! pipelines (MTTKRP, fused SDDMM→SpMM, A·B·C chains) run through the
+//! same session via [`Session::run_pipeline`].
 
 use crate::cpu::CpuSpec;
 use crate::engine::{run_spmspm_ft, EngineConfig, ExecPolicy, ShardSchedule};
 use crate::error::DrtError;
+use crate::pipeline::{PipelineInput, PipelineSpec, Stage};
 use crate::report::{RunOutcome, RunReport};
 use crate::spec::{AccelSpec, Registry, RunCtx};
 use drt_core::budget::ExecBudget;
@@ -33,7 +34,7 @@ use drt_core::chaos::FaultInjector;
 use drt_core::probe::Probe;
 use drt_core::CoreError;
 use drt_sim::memory::HierarchySpec;
-use drt_tensor::CsMatrix;
+use drt_tensor::{CsMatrix, CsfTensor, DenseMatrix};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -195,6 +196,71 @@ impl Session {
                 run_spmspm_ft(a, b, cfg, &self.ctx.probe, &self.ctx.exec, &self.ctx.fault_policy())
             }
         }
+    }
+
+    /// Run a staged [`PipelineSpec`] on `input` under this session's
+    /// target and context.
+    ///
+    /// A single-stage SpMSpM pipeline is the degenerate case and produces
+    /// a report bit-identical to [`Session::run_spmspm`] (traces
+    /// included). Multi-stage and tensor pipelines require a spec-backed
+    /// session around an engine variant; their reports additionally carry
+    /// per-stage phase breakdowns in `report.stages`.
+    ///
+    /// # Errors
+    ///
+    /// `BadConfig` (as [`DrtError::Core`]) for unsupported input/stage
+    /// combinations, analytic specs on multi-stage pipelines, or
+    /// multi-stage pipelines on a [`Session::from_engine_config`]
+    /// session; engine/tiling errors propagate as usual.
+    pub fn run_pipeline(
+        &self,
+        input: PipelineInput<'_>,
+        pipe: &PipelineSpec,
+    ) -> Result<RunReport, DrtError> {
+        match &self.target {
+            Target::Spec(spec) => crate::pipeline::run_pipeline(input, pipe, spec, &self.ctx),
+            Target::Config(cfg) => match (input, pipe.stages.as_slice()) {
+                (PipelineInput::Matrix(a), [Stage::Spmspm { b }]) => run_spmspm_ft(
+                    a,
+                    b,
+                    cfg,
+                    &self.ctx.probe,
+                    &self.ctx.exec,
+                    &self.ctx.fault_policy(),
+                )
+                .map(RunOutcome::into_report),
+                _ => Err(DrtError::Core(drt_core::CoreError::BadConfig {
+                    detail: "multi-stage pipelines need a spec-backed session".into(),
+                })),
+            },
+        }
+    }
+
+    /// MTTKRP over a CSF 3-tensor: `M_ir = Σ_jk χ_ijk · B_jr · C_kr`.
+    /// Shorthand for a one-stage [`PipelineSpec::mttkrp`] pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::run_pipeline`].
+    pub fn run_mttkrp(
+        &self,
+        x: &CsfTensor,
+        b: &DenseMatrix,
+        c: &DenseMatrix,
+    ) -> Result<RunReport, DrtError> {
+        self.run_pipeline(PipelineInput::Tensor(x), &PipelineSpec::mttkrp(b.clone(), c.clone()))
+    }
+
+    /// Tensor-times-vector over a CSF 3-tensor's last mode:
+    /// `Y_ij = Σ_k χ_ijk · v_k`. Shorthand for a one-stage
+    /// [`PipelineSpec::ttv`] pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::run_pipeline`].
+    pub fn run_ttv(&self, x: &CsfTensor, v: &[f64]) -> Result<RunReport, DrtError> {
+        self.run_pipeline(PipelineInput::Tensor(x), &PipelineSpec::ttv(v.to_vec()))
     }
 
     /// The declarative spec this session targets, when built from one

@@ -104,6 +104,7 @@ pub fn run_sparch_like_with(
         skipped_tasks: 0,
         actions,
         phases,
+        stages: Vec::new(),
         degradation: None,
     }
 }

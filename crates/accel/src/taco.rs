@@ -73,6 +73,7 @@ pub fn run_gram_with(x: &CsfTensor, spec: &CpuSpec, sm: &SizeModel, probe: &Prob
         skipped_tasks: 0,
         actions,
         phases,
+        stages: Vec::new(),
         degradation: None,
     }
 }

@@ -160,6 +160,73 @@ impl Kernel {
         )
     }
 
+    /// MTTKRP: `M_ir = Σ_jk χ_ijk · B_jr · C_kr` — the tensor-decomposition
+    /// workhorse (Table 2's MTTKRP). Only the sparse 3-tensor participates
+    /// in tiling: the dense factor matrices have trivially uniform
+    /// occupancy, so the kernel binds `X` alone over ranks `i`, `j`, `k`
+    /// and contracts `j` and `k` (the dense rank `r` is swept outside the
+    /// co-tiled space). The pipeline layer charges factor-row traffic per
+    /// task from the tile's `j`/`k` ranges.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid-construction errors.
+    pub fn mttkrp(x: &CsfTensor, micro: &[u32; 3]) -> Result<Kernel, CoreError> {
+        let g = MicroGrid::from_csf(x, micro)?;
+        Kernel::new(
+            vec![TensorBinding { name: "X".into(), ranks: vec!['i', 'j', 'k'], grid: g }],
+            "M",
+            vec!['i'],
+        )
+    }
+
+    /// TTV: `Y_ij = Σ_k χ_ijk · v_k` — tensor-times-vector (Table 2's
+    /// TTM/V). Like [`Kernel::mttkrp`], only the sparse tensor is tiled;
+    /// the dense vector's `k`-window traffic is charged per task.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid-construction errors.
+    pub fn ttv(x: &CsfTensor, micro: &[u32; 3]) -> Result<Kernel, CoreError> {
+        let g = MicroGrid::from_csf(x, micro)?;
+        Kernel::new(
+            vec![TensorBinding { name: "X".into(), ranks: vec!['i', 'j', 'k'], grid: g }],
+            "Y",
+            vec!['i', 'j'],
+        )
+    }
+
+    /// SDDMM sampling stage: `S_ij = A_ij · (U · Vᵀ)_ij`, computed only on
+    /// `A`'s non-zero positions. The sampling matrix alone drives tiling
+    /// (the dense factors are uniform); no rank is contracted — the output
+    /// inherits both ranks — so DRT grows `(i, j)` boxes over `A`'s
+    /// occupancy exactly as it would over an operand of a contraction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid-construction errors.
+    pub fn sddmm(a: &CsMatrix, micro: (u32, u32)) -> Result<Kernel, CoreError> {
+        Self::sddmm_fmt(a, micro, MicroFormat::default())
+    }
+
+    /// [`Kernel::sddmm`] with an explicit micro-tile representation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Kernel::sddmm`].
+    pub fn sddmm_fmt(
+        a: &CsMatrix,
+        micro: (u32, u32),
+        format: MicroFormat,
+    ) -> Result<Kernel, CoreError> {
+        let g = MicroGrid::from_matrix_fmt(a, micro, format)?;
+        Kernel::new(
+            vec![TensorBinding { name: "A".into(), ranks: vec!['i', 'j'], grid: g }],
+            "S",
+            vec!['i', 'j'],
+        )
+    }
+
     /// The input bindings, in declaration order.
     pub fn inputs(&self) -> &[TensorBinding] {
         &self.inputs
@@ -329,6 +396,38 @@ mod tests {
         assert!(!k.is_contracted('i'));
         assert!(!k.is_contracted('l'));
         assert_eq!(k.extent('i'), k.extent('l'));
+    }
+
+    #[test]
+    fn mttkrp_contracts_j_and_k_only() {
+        let t = drt_workloads::tensor3::skewed_tensor(12, 10, 8, 100, 2);
+        let k = Kernel::mttkrp(&t, &[4, 4, 4]).expect("valid");
+        assert_eq!(k.ranks(), vec!['i', 'j', 'k']);
+        assert_eq!(k.output_ranks(), &['i']);
+        assert!(k.is_contracted('j') && k.is_contracted('k'));
+        assert!(!k.is_contracted('i'));
+        assert_eq!(k.extent('i'), 12);
+        assert_eq!(k.extent('j'), 10);
+        assert_eq!(k.extent('k'), 8);
+    }
+
+    #[test]
+    fn ttv_contracts_k_only() {
+        let t = drt_workloads::tensor3::skewed_tensor(12, 10, 8, 100, 3);
+        let k = Kernel::ttv(&t, &[4, 4, 4]).expect("valid");
+        assert_eq!(k.output_ranks(), &['i', 'j']);
+        assert!(k.is_contracted('k'));
+        assert!(!k.is_contracted('i') && !k.is_contracted('j'));
+    }
+
+    #[test]
+    fn sddmm_contracts_nothing() {
+        let a = unstructured(24, 16, 60, 2.0, 4);
+        let k = Kernel::sddmm(&a, (4, 4)).expect("valid");
+        assert_eq!(k.ranks(), vec!['i', 'j']);
+        assert_eq!(k.output_ranks(), &['i', 'j']);
+        assert!(!k.is_contracted('i') && !k.is_contracted('j'));
+        assert!(k.validate_loop_order(&['i', 'j']).is_ok());
     }
 
     #[test]

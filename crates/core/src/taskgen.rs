@@ -549,6 +549,17 @@ pub fn fallback_suc_grid_sizes(kernel: &Kernel, config: &DrtConfig) -> BTreeMap<
     ranks.iter().map(|&r| (r, best.min(grid_ext[&r]).max(1))).collect()
 }
 
+/// [`fallback_suc_grid_sizes`] converted to *coordinate* sizes per rank —
+/// the units [`TaskGenOptions::suc`] takes. Callers that need a feasible
+/// static shape without sweeping (e.g. the pipeline layer resolving a
+/// `SucSweep` spec for a non-SpMSpM kernel) use this as the shape.
+pub fn fallback_suc_coord_sizes(kernel: &Kernel, config: &DrtConfig) -> BTreeMap<RankId, u32> {
+    fallback_suc_grid_sizes(kernel, config)
+        .into_iter()
+        .map(|(r, grid_units)| (r, grid_units.saturating_mul(kernel.micro_step(r)).max(1)))
+        .collect()
+}
+
 fn full_region(kernel: &Kernel) -> BTreeMap<RankId, Range<u32>> {
     kernel.full_grid_region()
 }
@@ -1263,6 +1274,21 @@ mod tests {
                 || suc::validate_shape(&k, &doubled, &cfg.partitions, &cfg.size_model).is_err(),
             "fallback shape should be the largest dense-safe power of two"
         );
+    }
+
+    #[test]
+    fn fallback_coord_sizes_build_a_valid_suc_stream() {
+        let m = unstructured(64, 64, 300, 2.0, 12);
+        let k = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
+        let cfg = DrtConfig::new(Partitions::from_bytes(&[("A", 2048), ("B", 2048), ("Z", 0)]));
+        let coords = fallback_suc_coord_sizes(&k, &cfg);
+        let grids = fallback_suc_grid_sizes(&k, &cfg);
+        for (&r, &c) in &coords {
+            assert_eq!(c, grids[&r] * k.micro_step(r), "rank {r}: coords = grid units × step");
+        }
+        let stream = TaskStream::build(&k, TaskGenOptions::suc(&['j', 'k', 'i'], cfg, &coords))
+            .expect("fallback shape must pass the capacity rule");
+        assert!(stream.count() > 0);
     }
 
     #[test]

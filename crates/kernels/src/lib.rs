@@ -18,6 +18,10 @@
 //! * [`spmm`] — the mixed sparse/dense kernels from ExTensor's menu
 //!   (SpMM and SDDMM, paper Table 2).
 //! * [`ttv`] — tensor-times-vector/matrix (Table 2's TTM/V).
+//! * [`mttkrp`] — matricized tensor times Khatri-Rao product (the §7
+//!   tensor-decomposition target).
+//! * [`sddmm`] — the fused SDDMM→SpMM "GNN attention" chain, with the
+//!   intermediate kept row-resident.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,6 +29,8 @@
 pub mod bfs;
 pub mod gram;
 pub mod graph;
+pub mod mttkrp;
+pub mod sddmm;
 pub mod spmm;
 pub mod spmspm;
 pub mod ttv;

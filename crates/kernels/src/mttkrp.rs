@@ -1,0 +1,113 @@
+//! Matricized tensor times Khatri-Rao product (MTTKRP), the
+//! tensor-decomposition workhorse the paper's §7 points DRT co-tiling at:
+//! `M_ir = Σ_jk χ_ijk · B_jr · C_kr` with a sparse 3-tensor `χ` and dense
+//! factor matrices `B` (J × R) and `C` (K × R).
+//!
+//! The reference implementation here plays the role MKL plays for SpMSpM
+//! (§5.2.1): a bit-exact functional oracle the pipeline-simulated runs are
+//! validated against.
+
+use drt_tensor::{CsfTensor, DenseMatrix};
+
+/// Result of a reference MTTKRP run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MttkrpResult {
+    /// The dense `I × R` output `M`.
+    pub m: DenseMatrix,
+    /// Effectual multiply-accumulates: two per `(non-zero, r)` pair (the
+    /// `χ·B` product and its scaling by `C`).
+    pub maccs: u64,
+}
+
+/// Reference MTTKRP: `M_ir = Σ_jk χ_ijk · B_jr · C_kr`.
+///
+/// Non-zeros are visited in CSF (lexicographic coordinate) order and each
+/// `(i, r)` slot accumulated in that order, so the result is
+/// deterministic; tiled executions that reorder the reduction compare
+/// against it under an accumulation-order tolerance, not bit equality.
+///
+/// # Panics
+///
+/// Panics when `x` is not a 3-tensor, or when the factor shapes disagree
+/// with `x` (`B` needs one row per `j`, `C` one row per `k`, equal ranks).
+pub fn mttkrp(x: &CsfTensor, b: &DenseMatrix, c: &DenseMatrix) -> MttkrpResult {
+    assert_eq!(x.ndim(), 3, "mttkrp expects a 3-tensor");
+    assert_eq!(b.nrows(), x.shape()[1], "B must have one row per mode-1 coordinate");
+    assert_eq!(c.nrows(), x.shape()[2], "C must have one row per mode-2 coordinate");
+    assert_eq!(b.ncols(), c.ncols(), "factor ranks must agree");
+    let rank = b.ncols();
+    let mut m = DenseMatrix::zeros(x.shape()[0], rank);
+    let mut maccs = 0u64;
+    for (p, val) in x.iter_points() {
+        let (i, j, k) = (p[0], p[1], p[2]);
+        for r in 0..rank {
+            let cur = m.get(i, r);
+            m.set(i, r, cur + val * b.get(j, r) * c.get(k, r));
+        }
+        maccs += 2 * rank as u64;
+    }
+    MttkrpResult { m, maccs }
+}
+
+/// Effectual MACC count of an MTTKRP without forming the output: two per
+/// `(non-zero, r)` pair.
+pub fn mttkrp_maccs(x: &CsfTensor, rank: u32) -> u64 {
+    2 * x.nnz() as u64 * rank as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_tensor::CooTensor;
+
+    fn tensor() -> CsfTensor {
+        let mut coo = CooTensor::new(vec![3, 4, 5]);
+        coo.push(&[0, 1, 2], 2.0).expect("ok");
+        coo.push(&[0, 3, 4], -1.5).expect("ok");
+        coo.push(&[2, 0, 0], 4.0).expect("ok");
+        coo.push(&[2, 1, 2], 0.5).expect("ok");
+        CsfTensor::from_coo(coo)
+    }
+
+    fn factor(rows: u32, cols: u32, scale: f64) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, scale * (1.0 + r as f64 + 0.25 * c as f64));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn matches_dense_triple_loop() {
+        let x = tensor();
+        let b = factor(4, 3, 1.0);
+        let c = factor(5, 3, 0.5);
+        let got = mttkrp(&x, &b, &c);
+        // Dense oracle: loop every (i, j, k, r) over the densified tensor.
+        let mut want = DenseMatrix::zeros(3, 3);
+        for (p, v) in x.iter_points() {
+            for r in 0..3 {
+                let cur = want.get(p[0], r);
+                want.set(p[0], r, cur + v * b.get(p[1], r) * c.get(p[2], r));
+            }
+        }
+        assert!(got.m.max_abs_diff(&want) < 1e-12);
+        assert_eq!(got.maccs, mttkrp_maccs(&x, 3));
+    }
+
+    #[test]
+    fn empty_tensor_gives_zero_output() {
+        let x = CsfTensor::from_coo(CooTensor::new(vec![2, 2, 2]));
+        let r = mttkrp(&x, &factor(2, 2, 1.0), &factor(2, 2, 1.0));
+        assert_eq!(r.m.max_abs_diff(&DenseMatrix::zeros(2, 2)), 0.0);
+        assert_eq!(r.maccs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor ranks")]
+    fn rejects_mismatched_ranks() {
+        let _ = mttkrp(&tensor(), &factor(4, 3, 1.0), &factor(5, 2, 1.0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Fused SDDMM→SpMM — the "GNN attention layer" chain the pipeline
+//! abstraction targets: `S_ij = A_ij · (U · Vᵀ)_ij` on `A`'s non-zero
+//! positions, immediately consumed by `Z = S · H` without `S` ever being
+//! materialized as a whole matrix.
+//!
+//! The standalone SDDMM reference lives in [`crate::spmm::sddmm`]; this
+//! module provides the *fused* reference the pipeline-simulated runs are
+//! validated against: `S` exists only one row panel at a time, exactly the
+//! residency discipline the accelerator pipeline models.
+
+use drt_tensor::{CsMatrix, DenseMatrix, MajorAxis};
+
+/// Result of a fused SDDMM→SpMM reference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedSddmmSpmmResult {
+    /// The dense `I × F` output `Z = S · H`.
+    pub z: DenseMatrix,
+    /// Non-zeros of the intermediate `S` (produced and consumed in-panel;
+    /// never materialized whole). This is the traffic an unfused schedule
+    /// would round-trip through DRAM.
+    pub intermediate_nnz: u64,
+    /// Effectual multiply-accumulates across both stages: `R` per sampled
+    /// dot-product term plus one scale, then `F` per surviving `S` entry.
+    pub maccs: u64,
+}
+
+/// Fused SDDMM→SpMM: `Z = (spy(A) ⊙ (U · Vᵀ)) · H`, processed one row of
+/// `A` at a time so the intermediate stays row-resident.
+///
+/// `u` is `I × R`, `v` is `J × R`, `h` is `J × F`; `a` is the `I × J`
+/// sampling matrix. Entries whose sampled product is exactly zero are
+/// dropped from the intermediate (matching [`crate::spmm::sddmm`]) and
+/// contribute no stage-two work.
+///
+/// # Panics
+///
+/// Panics when the factor shapes disagree with `a`.
+pub fn fused_sddmm_spmm(
+    a: &CsMatrix,
+    u: &DenseMatrix,
+    v: &DenseMatrix,
+    h: &DenseMatrix,
+) -> FusedSddmmSpmmResult {
+    assert_eq!(a.nrows(), u.nrows(), "U must have one row per row of A");
+    assert_eq!(a.ncols(), v.nrows(), "V must have one row per column of A");
+    assert_eq!(u.ncols(), v.ncols(), "factor ranks must agree");
+    assert_eq!(a.ncols(), h.nrows(), "H must have one row per column of A");
+    let rank = u.ncols();
+    let a_rows = a.as_major(MajorAxis::Row);
+    let mut z = DenseMatrix::zeros(a.nrows(), h.ncols());
+    let mut s_row: Vec<(u32, f64)> = Vec::new();
+    let mut intermediate_nnz = 0u64;
+    let mut maccs = 0u64;
+    for i in 0..a_rows.nrows() {
+        // Stage 1, row-resident: sample U_i · V_jᵀ at A's non-zeros.
+        s_row.clear();
+        let fa = a_rows.fiber(i);
+        for (&j, &av) in fa.coords.iter().zip(fa.values) {
+            let dot: f64 = (0..rank).map(|r| u.get(i, r) * v.get(j, r)).sum();
+            maccs += rank as u64 + 1;
+            let s = av * dot;
+            if s != 0.0 {
+                s_row.push((j, s));
+            }
+        }
+        intermediate_nnz += s_row.len() as u64;
+        // Stage 2, immediately: Z_i += Σ_j S_ij · H_j.
+        for &(j, s) in &s_row {
+            for f in 0..h.ncols() {
+                let cur = z.get(i, f);
+                z.set(i, f, cur + s * h.get(j, f));
+            }
+            maccs += h.ncols() as u64;
+        }
+    }
+    FusedSddmmSpmmResult { z, intermediate_nnz, maccs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmm::{sddmm, spmm};
+    use drt_workloads::patterns::unstructured;
+
+    fn dense_of(m: &CsMatrix) -> DenseMatrix {
+        DenseMatrix::from_sparse(m)
+    }
+
+    #[test]
+    fn fused_matches_unfused_composition() {
+        let a = unstructured(20, 16, 70, 2.0, 1);
+        let u = dense_of(&unstructured(20, 6, 80, 2.0, 2));
+        let v = dense_of(&unstructured(16, 6, 80, 2.0, 3));
+        let h = dense_of(&unstructured(16, 5, 60, 2.0, 4));
+        let fused = fused_sddmm_spmm(&a, &u, &v, &h);
+        let s = sddmm(&a, &u, &v);
+        let unfused = spmm(&s, &h);
+        assert!(fused.z.max_abs_diff(&unfused) < 1e-9);
+        assert_eq!(fused.intermediate_nnz, s.nnz() as u64);
+    }
+
+    #[test]
+    fn empty_sampling_matrix_gives_zero_output() {
+        let a = CsMatrix::zero(8, 8, MajorAxis::Row);
+        let d = DenseMatrix::zeros(8, 4);
+        let r = fused_sddmm_spmm(&a, &d, &d, &d);
+        assert_eq!(r.z.max_abs_diff(&DenseMatrix::zeros(8, 4)), 0.0);
+        assert_eq!(r.intermediate_nnz, 0);
+        assert_eq!(r.maccs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "H must have")]
+    fn rejects_mismatched_h() {
+        let a = unstructured(8, 8, 10, 2.0, 5);
+        let d = DenseMatrix::zeros(8, 3);
+        let h = DenseMatrix::zeros(7, 3);
+        let _ = fused_sddmm_spmm(&a, &d, &d, &h);
+    }
+}

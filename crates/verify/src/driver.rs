@@ -144,9 +144,10 @@ pub fn check_variant(
     }
 }
 
-/// Run the full differential sweep. Failures are shrunk with the same
-/// property that detected them, then written as `.mtx` reproducers when
-/// a directory is configured.
+/// Run the full differential sweep: the SpMSpM registry sweep plus the
+/// staged-pipeline differentials ([`crate::pipelines::verify_pipelines`]).
+/// Failures are shrunk with the same property that detected them, then
+/// written as `.mtx` reproducers when a directory is configured.
 pub fn verify_all(opts: &VerifyOptions) -> VerifySummary {
     let registry = Registry::standard();
     let mut summary = VerifySummary::default();
@@ -197,6 +198,9 @@ pub fn verify_all(opts: &VerifyOptions) -> VerifySummary {
             }
         }
     }
+    let pipelines = crate::pipelines::verify_pipelines(opts);
+    summary.runs += pipelines.runs;
+    summary.failures.extend(pipelines.failures);
     summary
 }
 

@@ -62,6 +62,29 @@ pub fn check_report(
     violations
 }
 
+/// Check the report-level invariants of a staged pipeline run: phase
+/// partition, stage partition (per-stage breakdowns must sum to the
+/// report's phase totals), and energy-accounting consistency (the DRAM
+/// action count equals the traffic total). Returns all violations found.
+pub fn check_pipeline_report(report: &RunReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    if let Some(v) = report.phase_partition_violation() {
+        violations.push(v);
+    }
+    if let Some(v) = report.stage_partition_violation() {
+        violations.push(v);
+    }
+    if report.actions.dram_bytes != report.traffic.total() {
+        violations.push(format!(
+            "{}: action ledger counts {} DRAM bytes but traffic totals {}",
+            report.name,
+            report.actions.dram_bytes,
+            report.traffic.total()
+        ));
+    }
+    violations
+}
+
 /// Check the stream-level invariants (tile footprints, exact-once
 /// coverage, task accounting) by rebuilding the task stream a report's
 /// engine run executed. `cfg` must be the *resolved* configuration — see

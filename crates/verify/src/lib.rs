@@ -6,8 +6,9 @@
 //! literature validates format-agnostic lowering:
 //!
 //! * [`oracle`] — dense/naive reference implementations of SpMSpM, SpMM,
-//!   and Gram, plus ULP-tolerance comparison. The oracles share no code or
-//!   iteration order with the simulated machines.
+//!   Gram, MTTKRP, TTV, fused SDDMM→SpMM, and the A·B·C chain, plus
+//!   ULP-tolerance comparison. The oracles share no code or iteration
+//!   order with the simulated machines.
 //! * [`invariants`] — model-invariant checks over every
 //!   [`drt_accel::report::RunReport`]: phase bytes partition total
 //!   traffic, measured traffic ≥ the compulsory lower bound, tile
@@ -16,6 +17,11 @@
 //! * [`driver`] — the randomized sweep: all registry variants × thread
 //!   counts {1, 4} × shard schedules, over the seeded
 //!   [`drt_workloads::corpus`].
+//! * [`pipelines`] — the staged-pipeline differentials (MTTKRP, TTV,
+//!   A·B·C, fused SDDMM→SpMM) against the dense oracles, with
+//!   thread-count bit-identity, stage-partition invariants, the
+//!   fused-beats-unfused traffic property, and [`drt_workloads::tensor3`]
+//!   generator-parameter shrinking. Folded into [`driver::verify_all`].
 //! * [`shrink`] — a greedy workload shrinker that minimizes any failing
 //!   pair (drop rows / columns / non-zeros while the failure reproduces)
 //!   and emits a small MatrixMarket reproducer.
@@ -37,4 +43,5 @@ pub mod driver;
 pub mod fault;
 pub mod invariants;
 pub mod oracle;
+pub mod pipelines;
 pub mod shrink;

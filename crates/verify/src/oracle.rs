@@ -69,6 +69,84 @@ pub fn dense_gram(x: &CsfTensor) -> DenseMatrix {
     g
 }
 
+/// Dense reference MTTKRP: `M[i][r] = Σ_{j,k} X[i][j][k] · B[j][r] ·
+/// C[k][r]`, evaluated by brute force over the full dense box.
+pub fn dense_mttkrp(x: &CsfTensor, b: &DenseMatrix, c: &DenseMatrix) -> DenseMatrix {
+    let shape = x.shape();
+    let (ni, nj, nk) = (shape[0], shape[1], shape[2]);
+    let rank = b.ncols();
+    let mut dense = vec![0.0f64; ni as usize * nj as usize * nk as usize];
+    for (pt, v) in x.iter_points() {
+        let idx = (pt[0] as usize * nj as usize + pt[1] as usize) * nk as usize + pt[2] as usize;
+        dense[idx] += v;
+    }
+    let mut m = DenseMatrix::zeros(ni, rank);
+    for i in 0..ni {
+        for r in 0..rank {
+            let mut acc = 0.0f64;
+            for j in 0..nj {
+                for k in 0..nk {
+                    let idx = (i as usize * nj as usize + j as usize) * nk as usize + k as usize;
+                    acc += dense[idx] * b.get(j, r) * c.get(k, r);
+                }
+            }
+            m.set(i, r, acc);
+        }
+    }
+    m
+}
+
+/// Dense reference TTV: `Y[i][j] = Σ_k X[i][j][k] · v[k]` over the full
+/// dense box.
+pub fn dense_ttv(x: &CsfTensor, v: &[f64]) -> DenseMatrix {
+    let shape = x.shape();
+    let (ni, nj, nk) = (shape[0], shape[1], shape[2]);
+    let mut dense = vec![0.0f64; ni as usize * nj as usize * nk as usize];
+    for (pt, val) in x.iter_points() {
+        let idx = (pt[0] as usize * nj as usize + pt[1] as usize) * nk as usize + pt[2] as usize;
+        dense[idx] += val;
+    }
+    let mut y = DenseMatrix::zeros(ni, nj);
+    for i in 0..ni {
+        for j in 0..nj {
+            let mut acc = 0.0f64;
+            for k in 0..nk {
+                let idx = (i as usize * nj as usize + j as usize) * nk as usize + k as usize;
+                acc += dense[idx] * v[k as usize];
+            }
+            y.set(i, j, acc);
+        }
+    }
+    y
+}
+
+/// Dense reference fused SDDMM→SpMM:
+/// `Z = (dense(A) ⊙ (U · Vᵀ)) · H`, everything densified — the sampled
+/// intermediate is a full dense matrix here, so the reference shares no
+/// residency discipline with the fused pipeline.
+pub fn dense_sddmm_spmm(
+    a: &CsMatrix,
+    u: &DenseMatrix,
+    v: &DenseMatrix,
+    h: &DenseMatrix,
+) -> DenseMatrix {
+    let ad = DenseMatrix::from_sparse(a);
+    let rank = u.ncols();
+    let mut s = DenseMatrix::zeros(a.nrows(), a.ncols());
+    for i in 0..a.nrows() {
+        for j in 0..a.ncols() {
+            let dot: f64 = (0..rank).map(|r| u.get(i, r) * v.get(j, r)).sum();
+            s.set(i, j, ad.get(i, j) * dot);
+        }
+    }
+    s.matmul(h)
+}
+
+/// Dense reference A·B·C chain: two dense matmuls, left to right.
+pub fn dense_abc(a: &CsMatrix, b: &CsMatrix, c: &CsMatrix) -> DenseMatrix {
+    dense_spmspm(a, b).matmul(&DenseMatrix::from_sparse(c))
+}
+
 /// Per-cell absolute tolerance for `Z = A · B` under *any* accumulation
 /// order: the classic forward error bound for recursive summation,
 /// `|computed − exact| ≤ γ_k · (|A|·|B|)[i][j]` with `γ_k ≈ k·ε`. A fixed

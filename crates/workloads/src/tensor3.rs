@@ -93,6 +93,137 @@ pub fn frostt_like(scale: u32, seed: u64) -> Vec<Tensor3Workload> {
         .collect()
 }
 
+/// Which FROSTT-like synthetic family a [`Tensor3Gen`] draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tensor3Kind {
+    /// Power-law occupancy on mode 0, scattered modes 1/2 (real count
+    /// tensors' shape) — [`skewed_tensor`] with explicit parameters.
+    ModeSkewed,
+    /// Uniformly scattered non-zeros at very low density: every coordinate
+    /// equally likely, no structure at all (the FROSTT hypersparse tail).
+    HyperSparseUniform,
+}
+
+impl Tensor3Kind {
+    /// Stable label used in workload names and failure reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Tensor3Kind::ModeSkewed => "mode-skewed",
+            Tensor3Kind::HyperSparseUniform => "hyper-uniform",
+        }
+    }
+}
+
+/// A parameterized, regenerable 3-D tensor workload: the full recipe
+/// (family, dimensions, non-zero count, seed), not the tensor itself.
+///
+/// Carrying the recipe makes tensor workloads *shrinkable*: a verifier
+/// that finds a failure can regenerate smaller candidates from
+/// [`Tensor3Gen::shrink_candidates`] and re-test, the same greedy walk the
+/// matrix shrinker does on operand pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tensor3Gen {
+    /// Generator family.
+    pub kind: Tensor3Kind,
+    /// Mode-0 extent.
+    pub i: u32,
+    /// Mode-1 extent.
+    pub j: u32,
+    /// Mode-2 extent.
+    pub k: u32,
+    /// Target non-zero count (approximate for the skewed family).
+    pub nnz: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl Tensor3Gen {
+    /// A mode-skewed recipe.
+    pub fn mode_skewed(i: u32, j: u32, k: u32, nnz: usize, seed: u64) -> Tensor3Gen {
+        Tensor3Gen { kind: Tensor3Kind::ModeSkewed, i, j, k, nnz, seed }
+    }
+
+    /// A hyper-sparse uniform recipe.
+    pub fn hyper_sparse_uniform(i: u32, j: u32, k: u32, nnz: usize, seed: u64) -> Tensor3Gen {
+        Tensor3Gen { kind: Tensor3Kind::HyperSparseUniform, i, j, k, nnz, seed }
+    }
+
+    /// Human-readable label, stable for a given recipe.
+    pub fn label(&self) -> String {
+        format!("{}-{}x{}x{}n{}/s{}", self.kind.tag(), self.i, self.j, self.k, self.nnz, self.seed)
+    }
+
+    /// Generate the tensor this recipe describes (deterministic).
+    pub fn generate(&self) -> CsfTensor {
+        match self.kind {
+            Tensor3Kind::ModeSkewed => skewed_tensor(self.i, self.j, self.k, self.nnz, self.seed),
+            Tensor3Kind::HyperSparseUniform => {
+                hyper_sparse_uniform(self.i, self.j, self.k, self.nnz, self.seed)
+            }
+        }
+    }
+
+    /// Strictly smaller recipes to try when shrinking a failure on this
+    /// workload: halve each dimension (floor 4) and the non-zero count
+    /// (floor 1), one parameter at a time — the greedy shrinker re-tests
+    /// each candidate and recurses on the first that still fails.
+    pub fn shrink_candidates(&self) -> Vec<Tensor3Gen> {
+        let mut out = Vec::new();
+        let halved = |v: u32| (v / 2).max(4);
+        if halved(self.i) < self.i {
+            out.push(Tensor3Gen { i: halved(self.i), ..*self });
+        }
+        if halved(self.j) < self.j {
+            out.push(Tensor3Gen { j: halved(self.j), ..*self });
+        }
+        if halved(self.k) < self.k {
+            out.push(Tensor3Gen { k: halved(self.k), ..*self });
+        }
+        if self.nnz / 2 >= 1 && self.nnz / 2 < self.nnz {
+            out.push(Tensor3Gen { nnz: self.nnz / 2, ..*self });
+        }
+        out
+    }
+}
+
+/// Generate an `I × J × K` tensor with exactly `min(nnz, volume)`
+/// uniformly scattered non-zeros — the hypersparse-uniform FROSTT
+/// surrogate ([`Tensor3Kind::HyperSparseUniform`]).
+///
+/// # Panics
+///
+/// Panics when any dimension is zero.
+pub fn hyper_sparse_uniform(i: u32, j: u32, k: u32, nnz: usize, seed: u64) -> CsfTensor {
+    assert!(i > 0 && j > 0 && k > 0, "tensor dimensions must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+    let mut coo = CooTensor::new(vec![i, j, k]);
+    let cap = i as usize * j as usize * k as usize;
+    let target = nnz.min(cap);
+    let mut seen = std::collections::HashSet::with_capacity(target * 2);
+    while seen.len() < target {
+        let p = [rng.random_range(0..i), rng.random_range(0..j), rng.random_range(0..k)];
+        if seen.insert(p) {
+            coo.push(&p, rng.random_range(0.1..1.0)).expect("in bounds");
+        }
+    }
+    CsfTensor::from_coo(coo)
+}
+
+/// A deterministic dense factor matrix (for MTTKRP/SDDMM pipelines):
+/// values in `(0, 1]`, no exact zeros, so sampled products never cancel
+/// structurally and fused intermediates are non-empty whenever the sparse
+/// operand is.
+pub fn dense_factor(rows: u32, cols: u32, seed: u64) -> drt_tensor::DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFAC7_0123);
+    let mut m = drt_tensor::DenseMatrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            m.set(r, c, rng.random_range(0.015625..1.0));
+        }
+    }
+    m
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +279,54 @@ mod tests {
         let a = skewed_tensor(16, 16, 16, 500, 9);
         let b = skewed_tensor(16, 16, 16, 500, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hyper_sparse_uniform_hits_exact_nnz_and_is_unskewed() {
+        let t = hyper_sparse_uniform(48, 48, 48, 2000, 7);
+        assert_eq!(t.nnz(), 2000);
+        assert_eq!(t.shape(), &[48, 48, 48]);
+        // No mode-0 structure: heaviest slice stays near the mean.
+        let counts: Vec<usize> = (0..48).map(|s| t.nnz_in_box(&[s..s + 1, 0..48, 0..48])).collect();
+        let max = *counts.iter().max().expect("nonempty") as f64;
+        let mean = counts.iter().sum::<usize>() as f64 / 48.0;
+        assert!(max < mean * 2.5, "uniform tensor should not be skewed (max {max}, mean {mean})");
+    }
+
+    #[test]
+    fn gen_recipes_are_deterministic_and_labeled() {
+        for g in [
+            Tensor3Gen::mode_skewed(24, 20, 28, 800, 11),
+            Tensor3Gen::hyper_sparse_uniform(24, 20, 28, 800, 11),
+        ] {
+            assert_eq!(g.generate(), g.generate());
+            assert!(g.label().contains(g.kind.tag()));
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller() {
+        let g = Tensor3Gen::mode_skewed(32, 16, 64, 1000, 3);
+        let cands = g.shrink_candidates();
+        assert_eq!(cands.len(), 4);
+        for c in &cands {
+            let smaller = c.i < g.i || c.j < g.j || c.k < g.k || c.nnz < g.nnz;
+            assert!(smaller, "candidate {c:?} not smaller than {g:?}");
+        }
+        // Shrinking bottoms out: the minimal recipe yields no candidates.
+        let tiny = Tensor3Gen::hyper_sparse_uniform(4, 4, 4, 1, 0);
+        assert!(tiny.shrink_candidates().is_empty());
+    }
+
+    #[test]
+    fn dense_factor_is_deterministic_and_zero_free() {
+        let a = dense_factor(9, 5, 42);
+        let b = dense_factor(9, 5, 42);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        for r in 0..9 {
+            for c in 0..5 {
+                assert!(a.get(r, c) > 0.0);
+            }
+        }
     }
 }
