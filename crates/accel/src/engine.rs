@@ -708,7 +708,7 @@ fn finish_degraded(
 /// The degradation record for a DRT budget cap that switched the rest of
 /// the run to S-U-C fallback tiles (the run still completes and covers
 /// the whole iteration space).
-fn budget_degradation(cause: BudgetCause, completed: u64) -> Degradation {
+pub(crate) fn budget_degradation(cause: BudgetCause, completed: u64) -> Degradation {
     let reason = match cause {
         BudgetCause::MaxTasks => DegradeReason::TaskBudgetExhausted,
         BudgetCause::MaxPlanCandidates => DegradeReason::PlanBudgetExhausted,

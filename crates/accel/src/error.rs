@@ -58,6 +58,12 @@ pub enum DrtError {
         /// What was poisoned.
         detail: String,
     },
+    /// A name did not resolve against the accelerator registry
+    /// ([`crate::spec::Registry::standard`]).
+    UnknownVariant {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for DrtError {
@@ -73,6 +79,9 @@ impl std::fmt::Display for DrtError {
             DrtError::DeadlineExceeded => write!(f, "deadline exceeded before any work ran"),
             DrtError::BudgetExhausted { detail } => write!(f, "budget exhausted: {detail}"),
             DrtError::PoisonedState { detail } => write!(f, "poisoned state: {detail}"),
+            DrtError::UnknownVariant { name } => {
+                write!(f, "no accelerator variant named {name:?} in the registry")
+            }
         }
     }
 }

@@ -35,6 +35,10 @@
 //!   ([`pipeline::PipelineSpec`]): MTTKRP over CSF, fused SDDMM→SpMM,
 //!   and A·B·C chains, with tile-resident inter-stage intermediates and
 //!   per-stage phase breakdowns.
+//! * [`workload`] — the unified typed request API: one
+//!   [`workload::Workload`] enum covering every session entry point,
+//!   wrapped in [`workload::Request`] / [`workload::Response`] pairs that
+//!   standalone sessions and the `drt-serve` pool execute identically.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -55,4 +59,5 @@ pub mod sparch;
 pub mod spec;
 pub mod sw;
 pub mod taco;
+pub mod workload;
 pub mod zcache;

@@ -25,12 +25,18 @@
 //!
 //! The modeled multi-stage runners are serial and thread-independent:
 //! reports are identical for every `Session::threads` setting by
-//! construction. Fault-tolerance knobs (budgets, cancellation, chaos)
-//! apply to the single-stage engine path only.
+//! construction. Budgets and cancellation/deadlines ride on every stage
+//! stream exactly as on the single-stage engine path: an exhausted DRT
+//! cap degrades the remaining region to S-U-C fallback tiles (the run
+//! completes, the report records why), an expired token stops the run
+//! at the next task boundary with a degraded partial report. Chaos
+//! injection remains engine-path-only.
 
 use crate::error::DrtError;
-use crate::report::{PhaseBreakdown, RunOutcome, RunReport, StagePhases};
+use crate::report::{Degradation, PhaseBreakdown, RunOutcome, RunReport, StagePhases};
 use crate::spec::{llc_hierarchy, AccelSpec, EngineSpec, RunCtx, SpecKind, TilingSpec};
+use drt_core::budget::ExecBudget;
+use drt_core::cancel::ExpiryKind;
 use drt_core::config::{DrtConfig, Partitions};
 use drt_core::kernel::{Kernel, TensorBinding};
 use drt_core::micro::MicroGrid;
@@ -270,6 +276,49 @@ fn stage_opts(
     }
 }
 
+/// [`stage_opts`] armed with the run context's budget and cancellation —
+/// used for the real stage streams (the `feasible_micro` probe builds
+/// stay unarmed so the shape search never consumes budget). The
+/// resident-bytes cap is an engine-level cap on materialized task lists
+/// and does not ride on task generation, mirroring the engine's
+/// gen-budget discipline.
+fn armed_opts(
+    kernel: &Kernel,
+    es: &EngineSpec,
+    cfg: &DrtConfig,
+    order: &[RankId],
+    ctx: &RunCtx,
+) -> TaskGenOptions {
+    let gen_budget = ExecBudget {
+        max_tasks: ctx.budget.max_tasks,
+        max_resident_bytes: None,
+        max_plan_candidates: ctx.budget.max_plan_candidates,
+    };
+    stage_opts(kernel, es, cfg, order).with_budget(gen_budget).with_cancel(ctx.cancel.clone())
+}
+
+/// The degradation record for a pipeline stopped at a task boundary by
+/// an expired token (the pipeline analogue of the engine's clean stop).
+fn expiry_degradation(kind: ExpiryKind, completed: u64) -> Degradation {
+    Degradation {
+        reason: crate::engine::expiry_reason(kind),
+        completed_tasks: completed,
+        detail: if completed == 0 {
+            "expired before any work ran".into()
+        } else {
+            format!("pipeline stopped at a task boundary after {completed} committed task(s)")
+        },
+    }
+}
+
+/// The degraded report for a pipeline whose token was already expired at
+/// entry: an all-zero report, no work.
+fn degraded_pipeline_entry(name: &str, kind: ExpiryKind) -> RunReport {
+    let mut report = RunReport::empty(name);
+    report.degradation = Some(expiry_degradation(kind, 0));
+    report
+}
+
 /// Configuration-time micro-shape adjustment for a pipeline stage
 /// (§5.2.4, mirroring the engine's adapt-micro): starting from `start`,
 /// halve the square micro shape until the stage's kernel and task stream
@@ -373,12 +422,17 @@ fn run_chain(
 ) -> Result<RunReport, DrtError> {
     let (es, hier) = engine_parts(spec, ctx, pipe)?;
     let base = spec.engine_config(es, &hier);
+    let name = format!("{}+{}", base.name, pipe.name);
+    if let Some(kind) = ctx.cancel.expiry_kind() {
+        return Ok(degraded_pipeline_entry(&name, kind));
+    }
     let sm = base.drt.size_model;
     // Output-row-outer dataflow: the i panel of every stage is live at
     // once, which is what makes the intermediates fusable.
     let order: [RankId; 3] = ['i', 'k', 'j'];
     let mut traffic = TrafficCounter::new();
     let mut stages: Vec<StagePhases> = Vec::new();
+    let mut degradation: Option<Degradation> = None;
     let mut maccs = 0u64;
     let mut tasks = 0u64;
     let mut skipped = 0u64;
@@ -394,7 +448,7 @@ fn run_chain(
         .map_err(DrtError::Core)?;
         let kernel =
             Kernel::spmspm_fmt(&cur, b, (m, m), base.micro_format).map_err(DrtError::Core)?;
-        let opts = stage_opts(&kernel, es, &base.drt, &order);
+        let opts = armed_opts(&kernel, es, &base.drt, &order, ctx);
         let mut stream = TaskStream::build(&kernel, opts).map_err(DrtError::Core)?;
         let mut ph = PhaseBreakdown::default();
         let mut ledger = LoadLedger::new();
@@ -422,6 +476,19 @@ fn run_chain(
         }
         tasks += stream.emitted();
         skipped += stream.skipped_empty();
+        if let Some(cause) = stream.degraded() {
+            degradation.get_or_insert_with(|| crate::engine::budget_degradation(cause, tasks));
+        }
+        if let Some(kind) = stream.aborted() {
+            // Clean stop at a task boundary: partial traffic for this
+            // stage stands, later stages never run, the (incomplete)
+            // functional output is dropped — engine abort semantics.
+            stages.push(StagePhases { stage: format!("spmspm#{si}"), phases: ph });
+            let mut report =
+                finish_report(name, traffic, maccs, None, tasks, skipped, stages, &hier);
+            report.degradation = Some(expiry_degradation(kind, tasks));
+            return Ok(report);
+        }
         let product = drt_kernels::spmspm::gustavson(&cur, b);
         maccs += product.maccs;
         let is_last = si + 1 == bs.len();
@@ -439,8 +506,9 @@ fn run_chain(
         stages.push(StagePhases { stage: format!("spmspm#{si}"), phases: ph });
         cur = product.z;
     }
-    let name = format!("{}+{}", base.name, pipe.name);
-    Ok(finish_report(name, traffic, maccs, Some(cur), tasks, skipped, stages, &hier))
+    let mut report = finish_report(name, traffic, maccs, Some(cur), tasks, skipped, stages, &hier);
+    report.degradation = degradation;
+    Ok(report)
 }
 
 /// Fused SDDMM→SpMM: stage 0 samples `U · Vᵀ` at the sparse operand's
@@ -457,12 +525,17 @@ fn run_sddmm_spmm(
 ) -> Result<RunReport, DrtError> {
     let (es, hier) = engine_parts(spec, ctx, pipe)?;
     let base = spec.engine_config(es, &hier);
+    let name = format!("{}+{}", base.name, pipe.name);
+    if let Some(kind) = ctx.cancel.expiry_kind() {
+        return Ok(degraded_pipeline_entry(&name, kind));
+    }
     let sm = base.drt.size_model;
     let vb = sm.value_bytes as u64;
     let rank = u.ncols() as u64;
     let feat = h.ncols() as u64;
     let order: [RankId; 2] = ['i', 'j'];
     let mut traffic = TrafficCounter::new();
+    let mut degradation: Option<Degradation> = None;
     let mut maccs = 0u64;
     let mut tasks = 0u64;
     let mut skipped = 0u64;
@@ -477,7 +550,7 @@ fn run_sddmm_spmm(
     )
     .map_err(DrtError::Core)?;
     let kernel0 = Kernel::sddmm_fmt(a, (m0, m0), base.micro_format).map_err(DrtError::Core)?;
-    let opts0 = stage_opts(&kernel0, es, &base.drt, &order);
+    let opts0 = armed_opts(&kernel0, es, &base.drt, &order, ctx);
     let mut stream0 = TaskStream::build(&kernel0, opts0).map_err(DrtError::Core)?;
     let mut ph0 = PhaseBreakdown::default();
     let mut ledger = LoadLedger::new();
@@ -504,6 +577,15 @@ fn run_sddmm_spmm(
     }
     tasks += stream0.emitted();
     skipped += stream0.skipped_empty();
+    if let Some(cause) = stream0.degraded() {
+        degradation.get_or_insert_with(|| crate::engine::budget_degradation(cause, tasks));
+    }
+    if let Some(kind) = stream0.aborted() {
+        let stages = vec![StagePhases { stage: "sddmm".into(), phases: ph0 }];
+        let mut report = finish_report(name, traffic, maccs, None, tasks, skipped, stages, &hier);
+        report.degradation = Some(expiry_degradation(kind, tasks));
+        return Ok(report);
+    }
     let s = drt_kernels::spmm::sddmm(a, u, v);
     maccs += (rank + 1) * a.nnz() as u64;
     if !pipe.fused {
@@ -525,7 +607,7 @@ fn run_sddmm_spmm(
     let m1 = feasible_micro(spmm_kernel, es, &cfg1, &order, base.micro.0.max(base.micro.1))
         .map_err(DrtError::Core)?;
     let kernel1 = spmm_kernel(m1).map_err(DrtError::Core)?;
-    let opts1 = stage_opts(&kernel1, es, &cfg1, &order);
+    let opts1 = armed_opts(&kernel1, es, &cfg1, &order, ctx);
     let mut stream1 = TaskStream::build(&kernel1, opts1).map_err(DrtError::Core)?;
     let mut ph1 = PhaseBreakdown::default();
     for task in &mut stream1 {
@@ -548,6 +630,18 @@ fn run_sddmm_spmm(
     }
     tasks += stream1.emitted();
     skipped += stream1.skipped_empty();
+    if let Some(cause) = stream1.degraded() {
+        degradation.get_or_insert_with(|| crate::engine::budget_degradation(cause, tasks));
+    }
+    if let Some(kind) = stream1.aborted() {
+        let stages = vec![
+            StagePhases { stage: "sddmm".into(), phases: ph0 },
+            StagePhases { stage: "spmm".into(), phases: ph1 },
+        ];
+        let mut report = finish_report(name, traffic, maccs, None, tasks, skipped, stages, &hier);
+        report.degradation = Some(expiry_degradation(kind, tasks));
+        return Ok(report);
+    }
     maccs += feat * s.nnz() as u64;
     let fused_ref = drt_kernels::sddmm::fused_sddmm_spmm(a, u, v, h);
     debug_assert_eq!(maccs, fused_ref.maccs, "stage MACCs must sum to the fused reference");
@@ -560,9 +654,10 @@ fn run_sddmm_spmm(
         StagePhases { stage: "sddmm".into(), phases: ph0 },
         StagePhases { stage: "spmm".into(), phases: ph1 },
     ];
-    let name = format!("{}+{}", base.name, pipe.name);
     let out = fused_ref.z.to_sparse(MajorAxis::Row);
-    Ok(finish_report(name, traffic, maccs, Some(out), tasks, skipped, stages, &hier))
+    let mut report = finish_report(name, traffic, maccs, Some(out), tasks, skipped, stages, &hier);
+    report.degradation = degradation;
+    Ok(report)
 }
 
 /// Partitions for a single-CSF-operand kernel stream: the sparse operand
@@ -583,6 +678,10 @@ fn run_mttkrp(
     ctx: &RunCtx,
 ) -> Result<RunReport, DrtError> {
     let (es, hier) = engine_parts(spec, ctx, pipe)?;
+    let name = format!("{}+{}", es.display, pipe.name);
+    if let Some(kind) = ctx.cancel.expiry_kind() {
+        return Ok(degraded_pipeline_entry(&name, kind));
+    }
     let sm = spec.size_model;
     let vb = sm.value_bytes as u64;
     let rank = b.ncols() as u64;
@@ -599,7 +698,7 @@ fn run_mttkrp(
     )
     .map_err(DrtError::Core)?;
     let kernel = Kernel::mttkrp(x, &pipe.micro3.map(|d| d.min(m3))).map_err(DrtError::Core)?;
-    let opts = stage_opts(&kernel, es, &cfg, &order);
+    let opts = armed_opts(&kernel, es, &cfg, &order, ctx);
     let mut stream = TaskStream::build(&kernel, opts).map_err(DrtError::Core)?;
     let mut traffic = TrafficCounter::new();
     let mut ph = PhaseBreakdown::default();
@@ -640,16 +739,21 @@ fn run_mttkrp(
     traffic.read("M", fin.merge_reads);
     traffic.write("M", fin.final_writes);
     ph.writeback.bytes += fin.merge_reads + fin.final_writes;
+    let stages = vec![StagePhases { stage: "mttkrp".into(), phases: ph }];
+    if let Some(kind) = stream.aborted() {
+        let (emitted, skipped) = (stream.emitted(), stream.skipped_empty());
+        let mut report = finish_report(name, traffic, maccs, None, emitted, skipped, stages, &hier);
+        report.degradation = Some(expiry_degradation(kind, emitted));
+        return Ok(report);
+    }
     debug_assert_eq!(
         maccs,
         drt_kernels::mttkrp::mttkrp_maccs(x, b.ncols()),
         "task MACCs must sum to the kernel total"
     );
     let m = drt_kernels::mttkrp::mttkrp(x, b, c);
-    let stages = vec![StagePhases { stage: "mttkrp".into(), phases: ph }];
-    let name = format!("{}+{}", es.display, pipe.name);
     let out = m.m.to_sparse(MajorAxis::Row);
-    Ok(finish_report(
+    let mut report = finish_report(
         name,
         traffic,
         maccs,
@@ -658,7 +762,10 @@ fn run_mttkrp(
         stream.skipped_empty(),
         stages,
         &hier,
-    ))
+    );
+    report.degradation =
+        stream.degraded().map(|c| crate::engine::budget_degradation(c, stream.emitted()));
+    Ok(report)
 }
 
 /// TTV over CSF: `Y_ij = Σ_k χ_ijk · v_k` under the same stream shape as
@@ -671,6 +778,10 @@ fn run_ttv(
     ctx: &RunCtx,
 ) -> Result<RunReport, DrtError> {
     let (es, hier) = engine_parts(spec, ctx, pipe)?;
+    let name = format!("{}+{}", es.display, pipe.name);
+    if let Some(kind) = ctx.cancel.expiry_kind() {
+        return Ok(degraded_pipeline_entry(&name, kind));
+    }
     let sm = spec.size_model;
     let vb = sm.value_bytes as u64;
     let cfg = DrtConfig::new(tensor_partitions(hier.llb.capacity_bytes, "X", "Y"))
@@ -686,7 +797,7 @@ fn run_ttv(
     )
     .map_err(DrtError::Core)?;
     let kernel = Kernel::ttv(x, &pipe.micro3.map(|d| d.min(m3))).map_err(DrtError::Core)?;
-    let opts = stage_opts(&kernel, es, &cfg, &order);
+    let opts = armed_opts(&kernel, es, &cfg, &order, ctx);
     let mut stream = TaskStream::build(&kernel, opts).map_err(DrtError::Core)?;
     let mut traffic = TrafficCounter::new();
     let mut ph = PhaseBreakdown::default();
@@ -721,11 +832,16 @@ fn run_ttv(
     traffic.read("Y", fin.merge_reads);
     traffic.write("Y", fin.final_writes);
     ph.writeback.bytes += fin.merge_reads + fin.final_writes;
+    let stages = vec![StagePhases { stage: "ttv".into(), phases: ph }];
+    if let Some(kind) = stream.aborted() {
+        let (emitted, skipped) = (stream.emitted(), stream.skipped_empty());
+        let mut report = finish_report(name, traffic, maccs, None, emitted, skipped, stages, &hier);
+        report.degradation = Some(expiry_degradation(kind, emitted));
+        return Ok(report);
+    }
     debug_assert_eq!(maccs, x.nnz() as u64, "one MACC per non-zero");
     let y = drt_kernels::ttv::ttv(x, v);
-    let stages = vec![StagePhases { stage: "ttv".into(), phases: ph }];
-    let name = format!("{}+{}", es.display, pipe.name);
-    Ok(finish_report(
+    let mut report = finish_report(
         name,
         traffic,
         maccs,
@@ -734,7 +850,10 @@ fn run_ttv(
         stream.skipped_empty(),
         stages,
         &hier,
-    ))
+    );
+    report.degradation =
+        stream.degraded().map(|c| crate::engine::budget_degradation(c, stream.emitted()));
+    Ok(report)
 }
 
 #[cfg(test)]

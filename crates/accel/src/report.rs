@@ -164,6 +164,18 @@ impl RunOutcome {
         }
     }
 
+    /// Rebuild the outcome taxonomy from a report: a populated
+    /// `degradation` field marks the `Degraded` arm (the engine's
+    /// invariant is that degraded runs — and only degraded runs — carry
+    /// one). Inverse of [`RunOutcome::into_report`].
+    pub fn from_report(r: RunReport) -> RunOutcome {
+        if r.degradation.is_some() {
+            RunOutcome::Degraded(r)
+        } else {
+            RunOutcome::Complete(r)
+        }
+    }
+
     /// Whether this is the `Degraded` arm.
     pub fn is_degraded(&self) -> bool {
         matches!(self, RunOutcome::Degraded(_))

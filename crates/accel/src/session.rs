@@ -28,6 +28,7 @@ use crate::error::DrtError;
 use crate::pipeline::{PipelineInput, PipelineSpec, Stage};
 use crate::report::{RunOutcome, RunReport};
 use crate::spec::{AccelSpec, Registry, RunCtx};
+use crate::workload::{Request, Response, Workload, WorkloadRef};
 use drt_core::budget::ExecBudget;
 use drt_core::cancel::CancelToken;
 use drt_core::chaos::FaultInjector;
@@ -66,9 +67,24 @@ impl Session {
 
     /// A session around a registered variant name (see
     /// [`Registry::standard`]; `"tactile"` aliases `"extensor-op-drt"`).
-    /// `None` when the name is not registered.
-    pub fn from_registry(name: &str) -> Option<Session> {
-        Registry::standard().get(name).cloned().map(Session::new)
+    ///
+    /// # Errors
+    ///
+    /// [`DrtError::UnknownVariant`] when the name is not registered.
+    pub fn from_registry(name: &str) -> Result<Session, DrtError> {
+        Registry::standard()
+            .get(name)
+            .cloned()
+            .map(Session::new)
+            .ok_or_else(|| DrtError::UnknownVariant { name: name.to_string() })
+    }
+
+    /// Deprecated `Option` shim for the pre-typed-error
+    /// [`Session::from_registry`] signature; kept for one release.
+    #[deprecated(note = "use Session::from_registry, which returns a typed \
+                         DrtError::UnknownVariant instead of None")]
+    pub fn from_registry_opt(name: &str) -> Option<Session> {
+        Session::from_registry(name).ok()
     }
 
     /// A session around a hand-built engine configuration, used verbatim
@@ -76,6 +92,16 @@ impl Session {
     pub fn from_engine_config(cfg: EngineConfig) -> Session {
         let ctx = RunCtx::new(&cfg.hier);
         Session { target: Target::Config(cfg), ctx }
+    }
+
+    /// Replace the session's entire run context (hierarchy, CPU, probe,
+    /// execution policy, budgets, cancellation token) with a
+    /// caller-built one — the bench-harness path, where one [`RunCtx`]
+    /// is shared across many variant sessions.
+    #[must_use]
+    pub fn with_run_ctx(mut self, ctx: RunCtx) -> Session {
+        self.ctx = ctx;
+        self
     }
 
     /// Run on `n` worker threads (statically sharded; 1 = serial).
@@ -108,6 +134,13 @@ impl Session {
         self
     }
 
+    /// Whether an instrumentation probe is attached. A serving layer
+    /// uses this to disable report caching: a cache hit would skip the
+    /// taskgen pass and with it the trace events a probed run owes.
+    pub fn is_probed(&self) -> bool {
+        self.ctx.probe.is_enabled()
+    }
+
     /// Set the memory hierarchy specs resolve against. Ignored by
     /// [`Session::from_engine_config`] sessions, whose configuration
     /// already embeds one.
@@ -138,6 +171,16 @@ impl Session {
     /// boundary. The same token is polled by every run of this session.
     pub fn cancel_token(&self) -> CancelToken {
         self.ctx.cancel.clone()
+    }
+
+    /// Replace the session's cancellation token. A serving layer installs
+    /// its root kill switch here (so cancelling the root stops every run
+    /// executed under this session) and derives per-request children from
+    /// it via [`CancelToken::child`].
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Session {
+        self.ctx.cancel = token;
+        self
     }
 
     /// Set resource budgets. Exhausting a DRT planning budget degrades
@@ -190,12 +233,112 @@ impl Session {
     ///
     /// Same conditions as [`Session::run_spmspm`].
     pub fn run_spmspm_ft(&self, a: &CsMatrix, b: &CsMatrix) -> Result<RunOutcome, DrtError> {
-        match &self.target {
-            Target::Spec(spec) => spec.run_ft(a, b, &self.ctx),
-            Target::Config(cfg) => {
+        self.run_ref(WorkloadRef::Spmspm { a, b })
+    }
+
+    /// **The** execution path: every session entry point — the legacy
+    /// `run_*` wrappers, owned [`Workload`]s, queued [`Request`]s —
+    /// lowers to a [`WorkloadRef`] and lands here, so a workload produces
+    /// the same report bit for bit no matter which door it came in
+    /// through.
+    ///
+    /// # Errors
+    ///
+    /// Engine/tiling configuration errors as [`DrtError::Core`]; a shard
+    /// that panicked through every retry as [`DrtError::ShardPanicked`];
+    /// `BadConfig` for pipeline shapes the session target cannot run
+    /// (multi-stage pipelines need a spec-backed engine session).
+    pub fn run_ref(&self, w: WorkloadRef<'_>) -> Result<RunOutcome, DrtError> {
+        match (w, &self.target) {
+            (WorkloadRef::Spmspm { a, b }, Target::Spec(spec)) => spec.run_ft(a, b, &self.ctx),
+            (WorkloadRef::Spmspm { a, b }, Target::Config(cfg)) => {
                 run_spmspm_ft(a, b, cfg, &self.ctx.probe, &self.ctx.exec, &self.ctx.fault_policy())
             }
+            (WorkloadRef::Pipeline { input, pipe }, Target::Spec(spec)) => {
+                crate::pipeline::run_pipeline(input, pipe, spec, &self.ctx)
+                    .map(RunOutcome::from_report)
+            }
+            (WorkloadRef::Pipeline { input, pipe }, Target::Config(_)) => {
+                match (input, pipe.stages.as_slice()) {
+                    (PipelineInput::Matrix(a), [Stage::Spmspm { b }]) => {
+                        self.run_ref(WorkloadRef::Spmspm { a, b })
+                    }
+                    _ => Err(DrtError::Core(drt_core::CoreError::BadConfig {
+                        detail: "multi-stage pipelines need a spec-backed session".into(),
+                    })),
+                }
+            }
         }
+    }
+
+    /// Run an owned [`Workload`] — the typed-request form of the `run_*`
+    /// wrappers. MTTKRP and TTV workloads lower to their one-stage
+    /// pipelines, exactly as [`Session::run_mttkrp`] / [`Session::run_ttv`]
+    /// always did, so reports are bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::run_ref`].
+    pub fn run_workload(&self, w: &Workload) -> Result<RunOutcome, DrtError> {
+        match w {
+            Workload::Spmspm { a, b } => self.run_ref(WorkloadRef::Spmspm { a, b }),
+            Workload::Pipeline { input, pipe } => {
+                self.run_ref(WorkloadRef::Pipeline { input: input.as_pipeline_input(), pipe })
+            }
+            Workload::Mttkrp { x, b, c } => self.run_ref(WorkloadRef::Pipeline {
+                input: PipelineInput::Tensor(x),
+                pipe: &PipelineSpec::mttkrp((**b).clone(), (**c).clone()),
+            }),
+            Workload::Ttv { x, v } => self.run_ref(WorkloadRef::Pipeline {
+                input: PipelineInput::Tensor(x),
+                pipe: &PipelineSpec::ttv((**v).clone()),
+            }),
+        }
+    }
+
+    /// Execute a typed [`Request`]: the session specialized to the
+    /// request's deadline and budget runs its workload. A default request
+    /// (`Request::new(w)`) executes exactly like `run_workload(&w)` —
+    /// same report, bit for bit — which is what makes served and
+    /// standalone runs comparable.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::run_ref`].
+    pub fn execute(&self, req: &Request) -> Result<Response, DrtError> {
+        self.for_request(req).run_workload(&req.workload).map(|outcome| Response { outcome })
+    }
+
+    /// The session specialized to one request: a request deadline is
+    /// armed on a fresh [`CancelToken::child`] of the session token (so
+    /// concurrent requests never cancel each other but a session-level
+    /// kill switch still reaches them), and the request budget tightens
+    /// the session budget pointwise. With no deadline and an unlimited
+    /// budget this is an exact clone.
+    #[must_use]
+    pub fn for_request(&self, req: &Request) -> Session {
+        self.for_request_at(req, req.deadline.map(|d| std::time::Instant::now() + d))
+    }
+
+    /// [`Session::for_request`] with an absolute deadline instant — the
+    /// serving layer's form, where deadlines are measured from request
+    /// *submission*, not execution start.
+    #[must_use]
+    pub fn for_request_at(
+        &self,
+        req: &Request,
+        deadline_at: Option<std::time::Instant>,
+    ) -> Session {
+        let mut s = self.clone();
+        if let Some(at) = deadline_at {
+            let token = s.ctx.cancel.child();
+            token.set_deadline_at(at);
+            s.ctx.cancel = token;
+        }
+        if req.budget.is_limited() {
+            s.ctx.budget = s.ctx.budget.min_with(&req.budget);
+        }
+        s
     }
 
     /// Run a staged [`PipelineSpec`] on `input` under this session's
@@ -218,23 +361,7 @@ impl Session {
         input: PipelineInput<'_>,
         pipe: &PipelineSpec,
     ) -> Result<RunReport, DrtError> {
-        match &self.target {
-            Target::Spec(spec) => crate::pipeline::run_pipeline(input, pipe, spec, &self.ctx),
-            Target::Config(cfg) => match (input, pipe.stages.as_slice()) {
-                (PipelineInput::Matrix(a), [Stage::Spmspm { b }]) => run_spmspm_ft(
-                    a,
-                    b,
-                    cfg,
-                    &self.ctx.probe,
-                    &self.ctx.exec,
-                    &self.ctx.fault_policy(),
-                )
-                .map(RunOutcome::into_report),
-                _ => Err(DrtError::Core(drt_core::CoreError::BadConfig {
-                    detail: "multi-stage pipelines need a spec-backed session".into(),
-                })),
-            },
-        }
+        self.run_ref(WorkloadRef::Pipeline { input, pipe }).map(RunOutcome::into_report)
     }
 
     /// MTTKRP over a CSF 3-tensor: `M_ir = Σ_jk χ_ijk · B_jr · C_kr`.
@@ -306,7 +433,7 @@ mod tests {
         let hier = HierarchySpec::default().scaled_down(256);
         let direct = AccelSpec::extensor_op_drt().run(&a, &a, &RunCtx::new(&hier)).expect("direct");
         let via_session = Session::from_registry("tactile")
-            .expect("alias resolves")
+            .expect("alias must resolve")
             .hierarchy(&hier)
             .run_spmspm(&a, &a)
             .expect("session");
@@ -332,7 +459,53 @@ mod tests {
     }
 
     #[test]
-    fn unknown_registry_name_is_none() {
-        assert!(Session::from_registry("no-such-machine").is_none());
+    fn unknown_registry_name_is_a_typed_error() {
+        let err = Session::from_registry("no-such-machine").expect_err("must not resolve");
+        assert!(
+            matches!(&err, crate::error::DrtError::UnknownVariant { name } if name == "no-such-machine"),
+            "got {err:?}"
+        );
+        #[allow(deprecated)]
+        {
+            assert!(Session::from_registry_opt("no-such-machine").is_none());
+            assert!(Session::from_registry_opt("tactile").is_some());
+        }
+    }
+
+    #[test]
+    fn request_execution_matches_direct_run() {
+        use crate::workload::{Request, Workload};
+        let a = unstructured(64, 64, 400, 2.0, 9);
+        let hier = HierarchySpec::default().scaled_down(256);
+        let session = Session::new(AccelSpec::extensor_op_drt()).hierarchy(&hier);
+        let direct = session.run_spmspm(&a, &a).expect("direct");
+        let req = Request::new(Workload::spmspm(a.clone(), a.clone()));
+        let via_request = session.execute(&req).expect("request");
+        assert!(
+            direct.bit_diff(via_request.report()).is_none(),
+            "{:?}",
+            direct.bit_diff(via_request.report())
+        );
+    }
+
+    #[test]
+    fn workload_forms_match_their_legacy_wrappers() {
+        use crate::workload::Workload;
+        use drt_workloads::tensor3::{dense_factor, Tensor3Gen};
+        let hier = HierarchySpec::default().scaled_down(256);
+        let session = Session::new(AccelSpec::extensor_op()).hierarchy(&hier);
+        let x = Tensor3Gen::mode_skewed(24, 20, 22, 600, 5).generate();
+        let (b, c) = (dense_factor(20, 8, 1), dense_factor(22, 8, 2));
+        let legacy = session.run_mttkrp(&x, &b, &c).expect("legacy mttkrp");
+        let typed = session
+            .run_workload(&Workload::mttkrp(x.clone(), b.clone(), c.clone()))
+            .expect("typed mttkrp")
+            .into_report();
+        assert!(legacy.bit_diff(&typed).is_none(), "{:?}", legacy.bit_diff(&typed));
+
+        let v: Vec<f64> = (0..22).map(|k| 1.0 + k as f64 * 0.25).collect();
+        let legacy = session.run_ttv(&x, &v).expect("legacy ttv");
+        let typed = session.run_workload(&Workload::ttv(x, v)).expect("typed ttv").into_report();
+        assert!(legacy.bit_diff(&typed).is_none(), "{:?}", legacy.bit_diff(&typed));
     }
 }

@@ -8,7 +8,8 @@
 //! paper's order regardless of scheduling.
 
 use drt_bench::{
-    banner, emit_json, geomean, par, run_suite_cells_in, try_run_suite_cells_in, BenchOpts, JsonVal,
+    banner, emit_json, geomean, par, run_suite_cells_req, try_run_suite_cells_req, BenchOpts,
+    JsonVal,
 };
 use drt_workloads::suite::{Catalog, PatternClass};
 
@@ -29,10 +30,11 @@ fn main() {
     });
     // `--keep-going`: a failing cell becomes an error row instead of an
     // abort; the process still exits nonzero after the full table prints.
+    let req = opts.request_opts();
     let cells = if opts.keep_going {
-        try_run_suite_cells_in(&pairs, &ctx)
+        try_run_suite_cells_req(&pairs, &ctx, &req)
     } else {
-        run_suite_cells_in(&pairs, &ctx).into_iter().map(Ok).collect()
+        run_suite_cells_req(&pairs, &ctx, &req).into_iter().map(Ok).collect()
     };
 
     println!(

@@ -3,7 +3,8 @@
 //! (paper §6.1.1, "Tall-skinny matrices").
 
 use drt_bench::{
-    banner, emit_json, geomean, par, run_suite_cells_in, try_run_suite_cells_in, BenchOpts, JsonVal,
+    banner, emit_json, geomean, par, run_suite_cells_req, try_run_suite_cells_req, BenchOpts,
+    JsonVal,
 };
 use drt_workloads::suite::Catalog;
 use drt_workloads::tallskinny::figure7_pair;
@@ -58,10 +59,11 @@ fn main() {
     .collect();
     // `--keep-going`: a failing cell becomes an error row instead of an
     // abort; the process still exits nonzero after the full table prints.
+    let req = opts.request_opts();
     let cells = if opts.keep_going {
-        try_run_suite_cells_in(&pairs, &ctx)
+        try_run_suite_cells_req(&pairs, &ctx, &req)
     } else {
-        run_suite_cells_in(&pairs, &ctx).into_iter().map(Ok).collect()
+        run_suite_cells_req(&pairs, &ctx, &req).into_iter().map(Ok).collect()
     };
 
     let mut errors = 0usize;

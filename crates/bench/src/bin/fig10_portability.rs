@@ -3,14 +3,15 @@
 //! Speedups are over each untiled baseline, with DRAM-bound behaviour
 //! idealized (per the paper's §5.2.2 methodology).
 
-use drt_accel::spec::Registry;
-use drt_bench::{banner, emit_json, geomean, try_run_variant, BenchOpts, JsonVal};
+use drt_accel::workload::Workload;
+use drt_bench::{banner, emit_json, geomean, try_run_request, BenchOpts, JsonVal};
 use drt_workloads::suite::Catalog;
+use std::sync::Arc;
 
 fn main() {
     let opts = BenchOpts::from_args();
     banner("Figure 10: OuterSPACE and MatRaptor with S-U-C / DRT tiling (S^2)", &opts);
-    let registry = Registry::standard();
+    let req = opts.request_opts();
     let ctx = opts.run_ctx();
 
     let workloads: Vec<_> =
@@ -26,15 +27,17 @@ fn main() {
         let (mut s_suc, mut s_drt, mut ai_suc, mut ai_drt) =
             (Vec::new(), Vec::new(), Vec::new(), Vec::new());
         for entry in &workloads {
-            let a = entry.generate(opts.scale, opts.seed);
+            let a = Arc::new(entry.generate(opts.scale, opts.seed));
+            let w = Workload::spmspm(a.clone(), a.clone());
             // `--keep-going`: a failing variant becomes an error row
             // instead of an abort; the binary exits nonzero at the end.
             let run = |variant: &str| {
+                let res = try_run_request(variant, &req.wrap(w.clone()), &ctx);
                 if opts.keep_going {
-                    return try_run_variant(variant, &a, &a, &ctx);
+                    res
+                } else {
+                    Ok(res.unwrap_or_else(|err| panic!("{err}")))
                 }
-                let spec = registry.get(variant).expect("registered variant");
-                Ok(spec.run(&a, &a, &ctx).unwrap_or_else(|err| panic!("{variant}: {err:?}")))
             };
             let row3: Result<_, String> =
                 (|| Ok((run(base)?, run(&format!("{base}-suc"))?, run(&format!("{base}-drt"))?)))();

@@ -29,6 +29,14 @@
 //! * `--keep-going` — on a failing cell, emit an `"error"` JSON row and
 //!   continue with the remaining cells; exit nonzero at the end instead
 //!   of aborting on the first failure.
+//! * `--priority CLASS` — request priority class (`interactive` /
+//!   `normal` / `batch`) stamped on every kernel run. Standalone runs
+//!   ignore the class (it only orders a server's queue), but the flag
+//!   makes fig binaries build the exact [`Request`] structs `drt-serve`
+//!   schedules.
+//! * `--deadline-ms N` — per-run deadline, measured from dispatch.
+//!   A run that exceeds it stops at the next task boundary and reports
+//!   as a degraded (error) cell.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -36,10 +44,13 @@
 use drt_accel::cpu::CpuSpec;
 use drt_accel::engine::ExecPolicy;
 use drt_accel::report::RunOutcome;
-use drt_accel::spec::{Registry, RunCtx};
+use drt_accel::session::Session;
+use drt_accel::spec::RunCtx;
+use drt_accel::workload::{Priority, Request, Workload};
 use drt_core::probe::{JsonValue, JsonlSink, Probe};
 use drt_sim::memory::HierarchySpec;
 use std::sync::Arc;
+use std::time::Duration;
 
 pub mod par;
 
@@ -62,6 +73,10 @@ pub struct BenchOpts {
     pub retries: u32,
     /// Keep running after a failing cell, reporting it as an error row.
     pub keep_going: bool,
+    /// Request priority class stamped on every kernel run.
+    pub priority: Priority,
+    /// Per-run deadline in milliseconds, measured from dispatch.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for BenchOpts {
@@ -75,6 +90,8 @@ impl Default for BenchOpts {
             threads: 1,
             retries: 0,
             keep_going: false,
+            priority: Priority::Normal,
+            deadline_ms: None,
         }
     }
 }
@@ -120,6 +137,18 @@ impl BenchOpts {
                     }
                 }
                 "--keep-going" => opts.keep_going = true,
+                "--priority" => {
+                    if let Some(p) = args.get(i + 1).and_then(|s| Priority::parse(s)) {
+                        opts.priority = p;
+                        i += 1;
+                    }
+                }
+                "--deadline-ms" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.deadline_ms = Some(v);
+                        i += 1;
+                    }
+                }
                 _ => {}
             }
             i += 1;
@@ -170,6 +199,41 @@ impl BenchOpts {
             exec: ExecPolicy::threads(threads).with_retries(self.retries),
             ..RunCtx::default()
         }
+    }
+
+    /// The per-run request parameters (`--priority` / `--deadline-ms`).
+    pub fn request_opts(&self) -> RequestOpts {
+        RequestOpts {
+            priority: self.priority,
+            deadline: self.deadline_ms.map(Duration::from_millis),
+        }
+    }
+
+    /// Wrap a workload in the typed [`Request`] the serving layer
+    /// schedules, carrying `--priority` / `--deadline-ms`.
+    pub fn request(&self, workload: Workload) -> Request {
+        self.request_opts().wrap(workload)
+    }
+}
+
+/// Per-run request parameters shared by every cell of a suite run — the
+/// bench-side face of the serving layer's typed request API.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestOpts {
+    /// Priority class stamped on each request.
+    pub priority: Priority,
+    /// Deadline measured from dispatch, if any.
+    pub deadline: Option<Duration>,
+}
+
+impl RequestOpts {
+    /// Build the [`Request`] for one workload.
+    pub fn wrap(&self, workload: Workload) -> Request {
+        let mut req = Request::new(workload).with_priority(self.priority);
+        if let Some(d) = self.deadline {
+            req = req.with_deadline(d);
+        }
+        req
     }
 }
 
@@ -243,7 +307,21 @@ pub fn run_suite_cells_in(
     pairs: &[(String, drt_tensor::CsMatrix, drt_tensor::CsMatrix)],
     ctx: &RunCtx,
 ) -> Vec<SuiteCell> {
-    try_run_suite_cells_in(pairs, ctx)
+    run_suite_cells_req(pairs, ctx, &RequestOpts::default())
+}
+
+/// [`run_suite_cells_in`] with explicit per-run request parameters
+/// (`--priority` / `--deadline-ms`).
+///
+/// # Panics
+///
+/// Same conditions as [`run_suite_cells`].
+pub fn run_suite_cells_req(
+    pairs: &[(String, drt_tensor::CsMatrix, drt_tensor::CsMatrix)],
+    ctx: &RunCtx,
+    req: &RequestOpts,
+) -> Vec<SuiteCell> {
+    try_run_suite_cells_req(pairs, ctx, req)
         .into_iter()
         .map(|row| row.unwrap_or_else(|err| panic!("{err}")))
         .collect()
@@ -251,7 +329,10 @@ pub fn run_suite_cells_in(
 
 /// Run one registered variant through the fault-tolerant entry point,
 /// mapping degraded outcomes and typed errors to a printable message
-/// instead of panicking — the `--keep-going` building block.
+/// instead of panicking — the `--keep-going` building block. The
+/// operands are wrapped in a default-parameter [`Request`] (normal
+/// priority, no deadline); use [`try_run_request`] to carry
+/// `--priority` / `--deadline-ms`.
 ///
 /// # Errors
 ///
@@ -262,14 +343,33 @@ pub fn try_run_variant(
     b: &drt_tensor::CsMatrix,
     ctx: &RunCtx,
 ) -> Result<drt_accel::report::RunReport, String> {
-    let registry = Registry::standard();
-    let spec = registry.get(name).ok_or_else(|| format!("{name}: not a registered variant"))?;
-    match spec.run_ft(a, b, ctx) {
-        Ok(RunOutcome::Complete(r)) => Ok(r),
-        Ok(RunOutcome::Degraded(r)) => {
-            let why = r.degradation.map(|d| d.detail).unwrap_or_else(|| "unknown".into());
-            Err(format!("{name}: run degraded: {why}"))
-        }
+    try_run_request(name, &Request::new(Workload::spmspm(a.clone(), b.clone())), ctx)
+}
+
+/// Run one typed [`Request`] against a registered variant — the exact
+/// structs and execution path ([`Session::execute`]) the `drt-serve`
+/// layer uses, so bench cells and served requests are bit-identical by
+/// construction. Degraded outcomes (deadline, budget) map to a
+/// printable error naming the variant.
+///
+/// # Errors
+///
+/// Unknown variant names, run failures, and degradations.
+pub fn try_run_request(
+    name: &str,
+    req: &Request,
+    ctx: &RunCtx,
+) -> Result<drt_accel::report::RunReport, String> {
+    let session =
+        Session::from_registry(name).map_err(|e| e.to_string())?.with_run_ctx(ctx.clone());
+    match session.execute(req) {
+        Ok(resp) => match resp.outcome {
+            RunOutcome::Complete(r) => Ok(r),
+            RunOutcome::Degraded(r) => {
+                let why = r.degradation.map(|d| d.detail).unwrap_or_else(|| "unknown".into());
+                Err(format!("{name}: run degraded: {why}"))
+            }
+        },
         Err(e) => Err(format!("{name}: {e}")),
     }
 }
@@ -282,12 +382,27 @@ pub fn try_run_suite_cells_in(
     pairs: &[(String, drt_tensor::CsMatrix, drt_tensor::CsMatrix)],
     ctx: &RunCtx,
 ) -> Vec<Result<SuiteCell, String>> {
+    try_run_suite_cells_req(pairs, ctx, &RequestOpts::default())
+}
+
+/// [`try_run_suite_cells_in`] with explicit per-run request parameters.
+/// Every cell goes through [`try_run_request`] — the serving layer's
+/// execution path — on a per-pair `Arc`-shared workload (the four
+/// variant cells of a pair clone the operands once, not per cell).
+pub fn try_run_suite_cells_req(
+    pairs: &[(String, drt_tensor::CsMatrix, drt_tensor::CsMatrix)],
+    ctx: &RunCtx,
+    req: &RequestOpts,
+) -> Vec<Result<SuiteCell, String>> {
+    let workloads: Vec<Workload> =
+        pairs.iter().map(|(_, a, b)| Workload::spmspm(a.clone(), b.clone())).collect();
     let cells: Vec<(usize, usize)> =
         (0..pairs.len()).flat_map(|w| (0..SUITE_VARIANTS.len()).map(move |e| (w, e))).collect();
     let reports = par::par_map(&cells, |_, &(w, e)| {
-        let (label, a, b) = &pairs[w];
+        let (label, _, _) = &pairs[w];
         let name = SUITE_VARIANTS[e];
-        try_run_variant(name, a, b, ctx).map_err(|err| format!("{label}: {err}"))
+        try_run_request(name, &req.wrap(workloads[w].clone()), ctx)
+            .map_err(|err| format!("{label}: {err}"))
     });
     let mut it = reports.into_iter();
     let mut out: Vec<Result<SuiteCell, String>> = (0..pairs.len())
@@ -430,7 +545,7 @@ mod tests {
 
     #[test]
     fn suite_variants_all_registered() {
-        let reg = Registry::standard();
+        let reg = drt_accel::spec::Registry::standard();
         for name in SUITE_VARIANTS {
             assert!(reg.get(name).is_some(), "{name} must be in the registry");
         }

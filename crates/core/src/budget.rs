@@ -57,6 +57,35 @@ impl ExecBudget {
         self.max_plan_candidates = Some(n);
         self
     }
+
+    /// The load-shedding budget: zero DRT planner invocations, so an
+    /// engine run covers its whole iteration space with S-U-C fallback
+    /// tiles and skips dynamic planning entirely. A serving layer applies
+    /// this to admitted-but-over-watermark requests — the run still
+    /// completes (degraded, and recorded as such in the report) instead
+    /// of queueing unboundedly behind full-cost DRT planning.
+    pub fn suc_only() -> ExecBudget {
+        ExecBudget::unlimited().with_max_plan_candidates(0)
+    }
+
+    /// Pointwise minimum of two budgets: each cap is the tighter of the
+    /// two (a missing cap is unlimited). This is how a request-level
+    /// budget composes with a server-level one — neither can *loosen*
+    /// the other.
+    #[must_use]
+    pub fn min_with(&self, other: &ExecBudget) -> ExecBudget {
+        fn tighter(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) | (None, x) => x,
+            }
+        }
+        ExecBudget {
+            max_tasks: tighter(self.max_tasks, other.max_tasks),
+            max_resident_bytes: tighter(self.max_resident_bytes, other.max_resident_bytes),
+            max_plan_candidates: tighter(self.max_plan_candidates, other.max_plan_candidates),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -80,5 +109,25 @@ mod tests {
         assert_eq!(b.max_tasks, Some(10));
         assert_eq!(b.max_resident_bytes, Some(1 << 20));
         assert_eq!(b.max_plan_candidates, Some(100));
+    }
+
+    #[test]
+    fn suc_only_blocks_planning_but_not_tasks() {
+        let b = ExecBudget::suc_only();
+        assert!(b.is_limited());
+        assert_eq!(b.max_plan_candidates, Some(0));
+        assert_eq!(b.max_tasks, None);
+        assert_eq!(b.max_resident_bytes, None);
+    }
+
+    #[test]
+    fn min_with_takes_the_tighter_cap_per_axis() {
+        let a = ExecBudget::unlimited().with_max_tasks(10).with_max_resident_bytes(100);
+        let b = ExecBudget::unlimited().with_max_tasks(20).with_max_plan_candidates(5);
+        let m = a.min_with(&b);
+        assert_eq!(m.max_tasks, Some(10));
+        assert_eq!(m.max_resident_bytes, Some(100));
+        assert_eq!(m.max_plan_candidates, Some(5));
+        assert_eq!(a.min_with(&ExecBudget::unlimited()), a, "unlimited is the identity");
     }
 }

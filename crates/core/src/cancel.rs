@@ -10,6 +10,11 @@
 //!
 //! The token is purely cooperative: `cancel()` never interrupts a thread,
 //! it just makes the next `expired()` poll return true.
+//!
+//! Tokens form a tree: [`CancelToken::child`] derives a token with its own
+//! cancel flag and deadline that *also* observes its parent's — the shape a
+//! serving layer needs, where each request gets an isolated deadline but a
+//! server-wide kill switch must still stop every in-flight run.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -25,10 +30,12 @@ struct Inner {
 }
 
 /// Shared cancellation handle. `Default` yields a token that never
-/// expires; clones observe the same state.
+/// expires; clones observe the same state. A token derived with
+/// [`CancelToken::child`] additionally observes its parent chain.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     inner: Arc<Inner>,
+    parent: Option<Arc<CancelToken>>,
 }
 
 impl CancelToken {
@@ -42,9 +49,29 @@ impl CancelToken {
         self.inner.cancelled.store(true, Ordering::Release);
     }
 
-    /// Whether `cancel()` has been called (deadline expiry not included).
+    /// Whether `cancel()` has been called on this token or any ancestor
+    /// (deadline expiry not included).
     pub fn is_cancelled(&self) -> bool {
         self.inner.cancelled.load(Ordering::Acquire)
+            || self.parent.as_ref().is_some_and(|p| p.is_cancelled())
+    }
+
+    /// Derive a child token: it has its own cancel flag and deadline, but
+    /// every poll also observes this token (and its ancestors), so
+    /// cancelling the parent stops work running under the child while
+    /// cancelling the child leaves siblings untouched. This is the
+    /// per-request shape a server needs around one shared kill switch.
+    pub fn child(&self) -> CancelToken {
+        CancelToken { inner: Arc::new(Inner::default()), parent: Some(Arc::new(self.clone())) }
+    }
+
+    /// The absolute deadline armed on *this* token (ancestors not
+    /// consulted), if any.
+    pub fn deadline_at(&self) -> Option<Instant> {
+        if !self.inner.has_deadline.load(Ordering::Acquire) {
+            return None;
+        }
+        *self.inner.deadline.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Arm (or re-arm) a deadline `d` from now. An already-expired
@@ -59,17 +86,18 @@ impl CancelToken {
         self.inner.has_deadline.store(true, Ordering::Release);
     }
 
-    /// Whether the deadline (if any) has passed.
+    /// Whether the deadline (if any) on this token or an ancestor has
+    /// passed.
     pub fn deadline_passed(&self) -> bool {
-        if !self.inner.has_deadline.load(Ordering::Acquire) {
-            return false;
-        }
-        self.inner
-            .deadline
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .map(|at| Instant::now() >= at)
-            .unwrap_or(false)
+        let own = self.inner.has_deadline.load(Ordering::Acquire)
+            && self
+                .inner
+                .deadline
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .map(|at| Instant::now() >= at)
+                .unwrap_or(false);
+        own || self.parent.as_ref().is_some_and(|p| p.deadline_passed())
     }
 
     /// The one poll sites should call: true when the run should stop,
@@ -135,5 +163,41 @@ mod tests {
         let t = CancelToken::new();
         t.set_deadline_in(Duration::from_secs(3600));
         assert!(!t.expired());
+    }
+
+    #[test]
+    fn child_observes_parent_cancel_but_not_vice_versa() {
+        let root = CancelToken::new();
+        let a = root.child();
+        let b = root.child();
+        a.cancel();
+        assert!(a.expired());
+        assert!(!b.expired(), "sibling must not observe a child cancel");
+        assert!(!root.expired(), "parent must not observe a child cancel");
+        root.cancel();
+        assert!(b.is_cancelled(), "children observe the parent kill switch");
+    }
+
+    #[test]
+    fn child_deadline_is_isolated_and_parent_deadline_propagates() {
+        let root = CancelToken::new();
+        let a = root.child();
+        a.set_deadline_in(Duration::ZERO);
+        assert!(a.expired());
+        assert!(!root.expired(), "child deadlines stay on the child");
+        let b = root.child();
+        root.set_deadline_in(Duration::ZERO);
+        assert!(b.expired(), "an expired parent deadline expires children");
+        assert_eq!(b.expiry_kind(), Some(ExpiryKind::DeadlineExceeded));
+    }
+
+    #[test]
+    fn deadline_at_reports_own_deadline_only() {
+        let root = CancelToken::new();
+        assert!(root.deadline_at().is_none());
+        root.set_deadline_in(Duration::from_secs(10));
+        assert!(root.deadline_at().is_some());
+        let child = root.child();
+        assert!(child.deadline_at().is_none(), "getter is per-token");
     }
 }

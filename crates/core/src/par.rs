@@ -49,6 +49,14 @@ fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Default pool size for long-lived worker pools (the serving layer):
+/// host parallelism, overridable with `DRT_BENCH_THREADS` like
+/// [`thread_count`], but not clamped to an item count — a persistent pool
+/// outlives any one batch of work.
+pub fn default_pool_size() -> usize {
+    thread_count(usize::MAX)
+}
+
 /// Number of worker threads [`par_map`] will use for `n` items.
 pub fn thread_count(n: usize) -> usize {
     let hw = std::env::var("DRT_BENCH_THREADS")

@@ -1,0 +1,117 @@
+//! Server tuning knobs.
+
+use drt_core::par::default_pool_size;
+
+/// What admission control does when the queue is under pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Admit until the queue is full, then reject. Every admitted
+    /// request runs with its own budget untouched.
+    Reject,
+    /// Two watermarks: above `degrade_above` queued requests, admit but
+    /// tighten the request budget to [`drt_core::budget::ExecBudget::suc_only`]
+    /// (DRT planning skipped, S-U-C fallback tiles only — cheaper, still
+    /// correct); at full capacity, reject. Trades result optimality for
+    /// latency under load instead of growing a backlog.
+    DegradeThenReject {
+        /// Queue depth above which admitted requests are load-shed.
+        degrade_above: usize,
+    },
+}
+
+/// Server configuration. `Default` is a sensible production shape:
+/// one worker per core, a bounded queue, reject-on-full admission,
+/// small-kernel batching, and report caching for recurring workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads in the pool (each executes requests on its own
+    /// clone of the template session).
+    pub workers: usize,
+    /// Maximum queued (admitted, not yet executing) requests. Submits
+    /// beyond this are rejected, never queued.
+    pub queue_capacity: usize,
+    /// What to do under queue pressure.
+    pub admission: AdmissionPolicy,
+    /// Maximum requests one worker dequeues in a single trip to the
+    /// queue lock, when they are all small. `1` disables batching.
+    pub batch_max: usize,
+    /// Workloads with `nnz_hint() <= small_nnz` count as small for
+    /// batching.
+    pub small_nnz: u64,
+    /// Cache reports of recurring identical workloads (matched by
+    /// content fingerprint). Only memoizable requests — no deadline,
+    /// unlimited budget — and only complete runs are eligible, and the
+    /// cache is disabled entirely when the template session carries a
+    /// probe (cached hits would skip trace events).
+    pub memoize: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: default_pool_size(),
+            queue_capacity: 1024,
+            admission: AdmissionPolicy::Reject,
+            batch_max: 8,
+            small_nnz: 4096,
+            memoize: true,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builder-style: set the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, n: usize) -> ServeConfig {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Builder-style: set the queue capacity.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, n: usize) -> ServeConfig {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Builder-style: set the admission policy.
+    #[must_use]
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> ServeConfig {
+        self.admission = policy;
+        self
+    }
+
+    /// Builder-style: set the batch size cap (`1` disables batching).
+    #[must_use]
+    pub fn with_batch_max(mut self, n: usize) -> ServeConfig {
+        self.batch_max = n.max(1);
+        self
+    }
+
+    /// Builder-style: set the small-workload threshold for batching.
+    #[must_use]
+    pub fn with_small_nnz(mut self, nnz: u64) -> ServeConfig {
+        self.small_nnz = nnz;
+        self
+    }
+
+    /// Builder-style: enable or disable the recurring-workload cache.
+    #[must_use]
+    pub fn with_memoize(mut self, on: bool) -> ServeConfig {
+        self.memoize = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_clamp_to_valid_ranges() {
+        let cfg = ServeConfig::default().with_workers(0).with_queue_capacity(0).with_batch_max(0);
+        assert_eq!(cfg.workers, 1);
+        assert_eq!(cfg.queue_capacity, 1);
+        assert_eq!(cfg.batch_max, 1);
+    }
+}

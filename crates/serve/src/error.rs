@@ -1,0 +1,70 @@
+//! The serving layer's error taxonomy.
+//!
+//! Admission failures ([`ServeError::Rejected`], [`ServeError::ShuttingDown`])
+//! happen at submit time and mean the request never entered the queue.
+//! Execution failures wrap the session layer's typed
+//! [`DrtError`] — note that degraded runs (deadline, budget, load-shed)
+//! are *not* errors: they come back as normal responses whose reports
+//! carry a `degradation` record, exactly as standalone sessions behave.
+
+use drt_accel::error::DrtError;
+
+/// Why a request could not be served.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission control rejected the request: the queue was at capacity.
+    /// Back off and resubmit; the server never queues unboundedly.
+    Rejected {
+        /// Queue depth at rejection time.
+        queue_len: usize,
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+    /// The worker executing the request disappeared before responding
+    /// (its response channel closed) — only possible after an abort.
+    WorkerLost,
+    /// The run itself failed with a typed session error.
+    Run(DrtError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected { queue_len, capacity } => {
+                write!(f, "admission rejected: queue at {queue_len}/{capacity}")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::WorkerLost => write!(f, "worker lost before responding"),
+            ServeError::Run(e) => write!(f, "run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Run(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DrtError> for ServeError {
+    fn from(e: DrtError) -> Self {
+        ServeError::Run(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_condition() {
+        let s = ServeError::Rejected { queue_len: 7, capacity: 8 }.to_string();
+        assert!(s.contains("7/8"), "{s}");
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting down"));
+    }
+}

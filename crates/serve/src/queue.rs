@@ -1,0 +1,299 @@
+//! The bounded priority request queue with admission control.
+//!
+//! A `Mutex<BinaryHeap> + Condvar` multi-producer multi-consumer queue:
+//! entries order by [`Priority`] (interactive first), then by submission
+//! sequence (FIFO within a class), so dequeue order is deterministic for
+//! a given arrival order. Admission runs under the same lock as the
+//! push, so the capacity check and the enqueue are atomic:
+//!
+//! * depth `>= capacity` → the request is **rejected** (never queued) —
+//!   the queue is strictly bounded;
+//! * depth above the load-shed watermark (policy
+//!   [`AdmissionPolicy::DegradeThenReject`]) → the request is admitted
+//!   but marked for **degraded execution**: the worker tightens its
+//!   budget to [`ExecBudget::suc_only`], so the run skips DRT planning
+//!   and covers its space with S-U-C fallback tiles — cheaper latency
+//!   under pressure instead of an unbounded backlog (the paper's
+//!   Algorithm 2 subdivision, repurposed as load shedding);
+//! * otherwise → admitted normally.
+
+use crate::config::{AdmissionPolicy, ServeConfig};
+use crate::error::ServeError;
+use crate::server::Served;
+use drt_accel::workload::{Priority, Request};
+use std::collections::BinaryHeap;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One admitted request, with everything its worker needs to execute and
+/// answer it.
+#[derive(Debug)]
+pub(crate) struct QueuedRequest {
+    /// Server-assigned request id (also the submission sequence).
+    pub id: u64,
+    /// The request itself.
+    pub req: Request,
+    /// Whether the workload is small enough to ride in a dequeue batch.
+    pub small: bool,
+    /// Admitted above the load-shed watermark: execute S-U-C-only.
+    pub shed: bool,
+    /// When `submit` accepted the request.
+    pub submitted_at: Instant,
+    /// Absolute deadline (request deadline is measured from submission).
+    pub deadline_at: Option<Instant>,
+    /// Where the answer goes.
+    pub tx: Sender<Served>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    priority: Priority,
+    qr: QueuedRequest,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.qr.id == other.qr.id
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first; within a class, lower id
+        // (earlier submission) first.
+        self.priority.cmp(&other.priority).then(other.qr.id.cmp(&self.qr.id))
+    }
+}
+
+#[derive(Debug)]
+struct QueueState {
+    heap: BinaryHeap<Entry>,
+    shutdown: bool,
+}
+
+/// The shared request queue (see module docs for the admission rules).
+#[derive(Debug)]
+pub(crate) struct RequestQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+/// How a request was admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admitted {
+    /// Normal admission.
+    Normal,
+    /// Admitted above the watermark: marked for S-U-C-only execution.
+    Shed,
+}
+
+impl RequestQueue {
+    pub(crate) fn new() -> RequestQueue {
+        RequestQueue {
+            state: Mutex::new(QueueState { heap: BinaryHeap::new(), shutdown: false }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Admission check + enqueue, atomically. Returns how the request
+    /// was admitted, or the admission error; `qr.shed` is updated to
+    /// match. Also reports the post-push depth for high-water tracking.
+    pub(crate) fn admit(
+        &self,
+        mut qr: QueuedRequest,
+        cfg: &ServeConfig,
+    ) -> Result<(Admitted, usize), ServeError> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if st.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        let depth = st.heap.len();
+        if depth >= cfg.queue_capacity {
+            return Err(ServeError::Rejected { queue_len: depth, capacity: cfg.queue_capacity });
+        }
+        let admitted = match cfg.admission {
+            AdmissionPolicy::Reject => Admitted::Normal,
+            AdmissionPolicy::DegradeThenReject { degrade_above } if depth > degrade_above => {
+                Admitted::Shed
+            }
+            AdmissionPolicy::DegradeThenReject { .. } => Admitted::Normal,
+        };
+        qr.shed = admitted == Admitted::Shed;
+        let priority = qr.req.priority;
+        st.heap.push(Entry { priority, qr });
+        let depth = st.heap.len();
+        drop(st);
+        self.available.notify_one();
+        Ok((admitted, depth))
+    }
+
+    /// Block until work is available, then pop a batch: the top entry
+    /// unconditionally, plus up to `batch_max - 1` further entries while
+    /// both the already-popped tail and the next top are *small*
+    /// workloads (heap order is preserved — batching never reorders
+    /// service, it only lets one worker take several cheap kernels in
+    /// one trip to the lock). Returns `None` when the queue is shut down
+    /// and drained.
+    pub(crate) fn pop_batch(&self, cfg: &ServeConfig) -> Option<Vec<QueuedRequest>> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(top) = st.heap.pop() {
+                let mut batch = Vec::with_capacity(cfg.batch_max.max(1));
+                let mut all_small = top.qr.small;
+                batch.push(top.qr);
+                while all_small
+                    && batch.len() < cfg.batch_max.max(1)
+                    && st.heap.peek().is_some_and(|e| e.qr.small)
+                {
+                    let next = st.heap.pop().expect("peeked entry must pop");
+                    all_small = next.qr.small;
+                    batch.push(next.qr);
+                }
+                return Some(batch);
+            }
+            if st.shutdown {
+                return None;
+            }
+            st = self.available.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Current depth.
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).heap.len()
+    }
+
+    /// Stop accepting work and wake every waiting worker. Queued entries
+    /// still drain (workers exit once the heap is empty).
+    pub(crate) fn close(&self) {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).shutdown = true;
+        self.available.notify_all();
+    }
+
+    /// Close *and* discard everything still queued, returning the
+    /// discarded entries so the caller can answer their tickets.
+    pub(crate) fn close_and_drain(&self) -> Vec<QueuedRequest> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.shutdown = true;
+        let drained = std::mem::take(&mut st.heap).into_sorted_vec();
+        drop(st);
+        self.available.notify_all();
+        // `into_sorted_vec` is ascending (lowest-priority first); order
+        // is irrelevant here — every entry gets the same answer.
+        drained.into_iter().map(|e| e.qr).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drt_accel::workload::Workload;
+    use drt_tensor::{CsMatrix, MajorAxis};
+    use std::sync::mpsc::channel;
+
+    fn qr(id: u64, priority: Priority, small: bool) -> QueuedRequest {
+        let m = || CsMatrix::from_entries(2, 2, vec![(0, 0, 1.0)], MajorAxis::Row);
+        let (tx, _rx) = channel();
+        QueuedRequest {
+            id,
+            req: Request::new(Workload::spmspm(m(), m())).with_priority(priority),
+            small,
+            shed: false,
+            submitted_at: Instant::now(),
+            deadline_at: None,
+            tx,
+        }
+    }
+
+    fn cfg(capacity: usize, batch_max: usize, admission: AdmissionPolicy) -> ServeConfig {
+        ServeConfig::default()
+            .with_queue_capacity(capacity)
+            .with_batch_max(batch_max)
+            .with_admission(admission)
+    }
+
+    #[test]
+    fn dequeue_is_priority_order_then_fifo_within_a_class() {
+        let q = RequestQueue::new();
+        let c = cfg(16, 1, AdmissionPolicy::Reject);
+        for (id, p) in [
+            (0, Priority::Normal),
+            (1, Priority::Batch),
+            (2, Priority::Interactive),
+            (3, Priority::Normal),
+            (4, Priority::Interactive),
+        ] {
+            q.admit(qr(id, p, false), &c).expect("admit");
+        }
+        let order: Vec<u64> =
+            std::iter::from_fn(|| q.pop_batch(&c).map(|b| b[0].id)).take(5).collect();
+        assert_eq!(order, vec![2, 4, 0, 3, 1]);
+    }
+
+    #[test]
+    fn batching_drains_consecutive_small_entries_only() {
+        let q = RequestQueue::new();
+        let c = cfg(16, 8, AdmissionPolicy::Reject);
+        for (id, small) in [(0, true), (1, true), (2, true), (3, false), (4, true)] {
+            q.admit(qr(id, Priority::Normal, small), &c).expect("admit");
+        }
+        let first = q.pop_batch(&c).expect("batch");
+        assert_eq!(first.iter().map(|e| e.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        // Entry 3 is large: it never rides in a batch, and 4 waits behind it.
+        let second = q.pop_batch(&c).expect("batch");
+        assert_eq!(second.iter().map(|e| e.id).collect::<Vec<_>>(), vec![3]);
+        let third = q.pop_batch(&c).expect("batch");
+        assert_eq!(third.iter().map(|e| e.id).collect::<Vec<_>>(), vec![4]);
+    }
+
+    #[test]
+    fn a_large_head_is_never_batched() {
+        let q = RequestQueue::new();
+        let c = cfg(16, 8, AdmissionPolicy::Reject);
+        q.admit(qr(0, Priority::Normal, false), &c).expect("admit");
+        q.admit(qr(1, Priority::Normal, true), &c).expect("admit");
+        let first = q.pop_batch(&c).expect("batch");
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].id, 0);
+    }
+
+    #[test]
+    fn admission_sheds_above_watermark_and_rejects_at_capacity() {
+        let q = RequestQueue::new();
+        let c = cfg(2, 1, AdmissionPolicy::DegradeThenReject { degrade_above: 0 });
+        let (first, _) = q.admit(qr(0, Priority::Normal, false), &c).expect("admit");
+        assert_eq!(first, Admitted::Normal);
+        let (second, _) = q.admit(qr(1, Priority::Normal, false), &c).expect("admit");
+        assert_eq!(second, Admitted::Shed);
+        match q.admit(qr(2, Priority::Normal, false), &c) {
+            Err(ServeError::Rejected { queue_len: 2, capacity: 2 }) => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // The shed entry carries the flag into the queue.
+        let shed_flags: Vec<bool> =
+            std::iter::from_fn(|| q.pop_batch(&c).map(|b| b[0].shed)).take(2).collect();
+        assert_eq!(shed_flags, vec![false, true]);
+    }
+
+    #[test]
+    fn close_wakes_and_drains() {
+        let q = RequestQueue::new();
+        let c = cfg(4, 1, AdmissionPolicy::Reject);
+        q.admit(qr(0, Priority::Normal, false), &c).expect("admit");
+        q.close();
+        assert!(matches!(
+            q.admit(qr(1, Priority::Normal, false), &c),
+            Err(ServeError::ShuttingDown)
+        ));
+        // Already-queued work still drains...
+        assert_eq!(q.pop_batch(&c).expect("drain")[0].id, 0);
+        // ...and an empty closed queue reports end-of-work.
+        assert!(q.pop_batch(&c).is_none());
+    }
+}

@@ -1,0 +1,326 @@
+//! The server: a persistent worker pool multiplexing concurrent
+//! sessions over one template [`Session`].
+//!
+//! Request lifecycle:
+//!
+//! ```text
+//! submit(Request) ── admission ──► priority queue ── pop_batch ──► worker
+//!      │  (reject / shed / admit)                                    │
+//!      ▼                                                             ▼
+//!   Ticket ◄──────────────── Served { Response, timings } ── execute via
+//!                                                     Session::for_request_at
+//! ```
+//!
+//! Every worker executes through the *same* unified path a standalone
+//! [`Session`] uses ([`Session::run_workload`] on a per-request
+//! specialization), so a served request's [`drt_accel::report::RunReport`]
+//! is bit-identical to the same [`Workload`] run directly.
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::queue::{QueuedRequest, RequestQueue};
+use crate::stats::{ServeStats, StatsSnapshot};
+use drt_accel::report::{RunOutcome, RunReport};
+use drt_accel::session::Session;
+use drt_accel::workload::{Request, Response};
+use drt_core::budget::ExecBudget;
+use drt_core::cancel::CancelToken;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A served request: the response plus serving-side timings. Timings are
+/// wall-clock measurements of this process (queue wait, execution) —
+/// the *modeled* accelerator time stays inside the report and is
+/// deterministic.
+#[derive(Debug)]
+pub struct Served {
+    /// Server-assigned request id (submission order).
+    pub id: u64,
+    /// The outcome: a response, or a typed serving/run error.
+    pub response: Result<Response, ServeError>,
+    /// Time from admission to dequeue.
+    pub queue_wait: Duration,
+    /// Time executing (zero for cache hits).
+    pub exec_time: Duration,
+    /// Time from admission to completion.
+    pub total_time: Duration,
+    /// Served from the recurring-workload report cache.
+    pub cache_hit: bool,
+    /// Executed with the load-shed (S-U-C-only) budget.
+    pub load_shed: bool,
+    /// Index of the worker that served it.
+    pub worker: usize,
+}
+
+/// A claim on one submitted request. `wait` blocks for the answer;
+/// dropping the ticket abandons it (the worker still runs the request,
+/// its answer is discarded).
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    rx: Receiver<Served>,
+}
+
+impl Ticket {
+    /// The server-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the request is served. [`ServeError::WorkerLost`]
+    /// means the executing worker disappeared (server aborted).
+    pub fn wait(self) -> Result<Served, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::WorkerLost)
+    }
+
+    /// Non-blocking probe: the served result if it is ready.
+    pub fn try_wait(&self) -> Option<Served> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct Shared {
+    queue: RequestQueue,
+    cfg: ServeConfig,
+    template: Session,
+    stats: ServeStats,
+    /// Recurring-workload report cache, keyed by content fingerprint.
+    /// `None` when caching is off (config, or the template is probed —
+    /// a cache hit would skip the trace events a probed run owes).
+    memo: Option<Mutex<HashMap<u64, RunReport>>>,
+    root: CancelToken,
+}
+
+/// The serving layer: a bounded priority queue in front of a persistent
+/// pool of workers, each executing on its own clone of a template
+/// [`Session`]. See the crate docs for the full architecture.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.workers.len())
+            .field("cfg", &self.shared.cfg)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Start a server around `session` (the template every worker clones
+    /// per request). The server derives a root kill switch as a child of
+    /// the template's token, so cancelling the caller's original token
+    /// still stops every in-flight request, while [`Server::abort`]
+    /// cancels only this server's work.
+    pub fn start(session: Session, cfg: ServeConfig) -> Server {
+        let root = session.cancel_token().child();
+        let template = session.with_cancel_token(root.clone());
+        let memo = (cfg.memoize && !template.is_probed()).then(|| Mutex::new(HashMap::new()));
+        let shared = Arc::new(Shared {
+            queue: RequestQueue::new(),
+            cfg,
+            template,
+            stats: ServeStats::default(),
+            memo,
+            root,
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("drt-serve-{i}"))
+                    .spawn(move || worker_loop(i, &shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { shared, workers, next_id: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// Submit a request. Admission control answers immediately:
+    /// `Ok(Ticket)` means the request is queued and will be served;
+    /// [`ServeError::Rejected`] means the queue was full (resubmit after
+    /// backoff); [`ServeError::ShuttingDown`] means the server no longer
+    /// accepts work. A request deadline starts counting *now* — time
+    /// spent queued is inside it.
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel();
+        let now = Instant::now();
+        let qr = QueuedRequest {
+            id,
+            small: req.workload.nnz_hint() <= self.shared.cfg.small_nnz,
+            deadline_at: req.deadline.map(|d| now + d),
+            req,
+            shed: false,
+            submitted_at: now,
+            tx,
+        };
+        match self.shared.queue.admit(qr, &self.shared.cfg) {
+            Ok((admitted, depth)) => {
+                self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                if admitted == crate::queue::Admitted::Shed {
+                    self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                self.shared.stats.note_queue_depth(depth);
+                Ok(Ticket { id, rx })
+            }
+            Err(e) => {
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Current queue depth (admitted, not yet dequeued).
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// A point-in-time copy of the serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop admitting, serve everything already
+    /// queued, join the workers.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.stats.snapshot()
+    }
+
+    /// Hard stop: cancel the root token (in-flight runs degrade at the
+    /// next task boundary), discard the queue (those tickets resolve to
+    /// [`ServeError::ShuttingDown`]), join the workers.
+    pub fn abort(mut self) -> StatsSnapshot {
+        self.abort_in_place();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.stats.snapshot()
+    }
+
+    fn abort_in_place(&self) {
+        self.shared.root.cancel();
+        for qr in self.shared.queue.close_and_drain() {
+            let _ = qr.tx.send(Served {
+                id: qr.id,
+                response: Err(ServeError::ShuttingDown),
+                queue_wait: qr.submitted_at.elapsed(),
+                exec_time: Duration::ZERO,
+                total_time: qr.submitted_at.elapsed(),
+                cache_hit: false,
+                load_shed: false,
+                worker: usize::MAX,
+            });
+        }
+    }
+}
+
+impl Drop for Server {
+    /// Abort semantics: a dropped server never hangs on queued work.
+    /// Use [`Server::shutdown`] for a graceful drain.
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.abort_in_place();
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+fn worker_loop(worker: usize, shared: &Shared) {
+    while let Some(batch) = shared.queue.pop_batch(&shared.cfg) {
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        if batch.len() >= 2 {
+            shared.stats.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+        for qr in batch {
+            serve_one(worker, shared, qr);
+        }
+    }
+}
+
+fn serve_one(worker: usize, shared: &Shared, qr: QueuedRequest) {
+    let start = Instant::now();
+    let queue_wait = start.duration_since(qr.submitted_at);
+
+    // Recurring-workload cache: only memoizable requests (no deadline,
+    // unlimited budget — their execution path applies no per-request
+    // context, so a replayed report is exactly what a fresh run would
+    // produce) and never for load-shed execution.
+    let memo_key = match &shared.memo {
+        Some(_) if qr.req.is_memoizable() && !qr.shed => Some(qr.req.workload.fingerprint()),
+        _ => None,
+    };
+    if let (Some(key), Some(memo)) = (memo_key, &shared.memo) {
+        let hit = memo.lock().unwrap_or_else(|p| p.into_inner()).get(&key).cloned();
+        if let Some(report) = hit {
+            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            let _ = qr.tx.send(Served {
+                id: qr.id,
+                response: Ok(Response { outcome: RunOutcome::from_report(report) }),
+                queue_wait,
+                exec_time: Duration::ZERO,
+                total_time: qr.submitted_at.elapsed(),
+                cache_hit: true,
+                load_shed: false,
+                worker,
+            });
+            return;
+        }
+    }
+
+    // Load-shed execution tightens the request budget to S-U-C-only;
+    // everything else is the standalone Session path, verbatim.
+    let result = if qr.shed {
+        let mut eff = qr.req.clone();
+        eff.budget = eff.budget.min_with(&ExecBudget::suc_only());
+        shared.template.for_request_at(&eff, qr.deadline_at).run_workload(&eff.workload)
+    } else {
+        shared.template.for_request_at(&qr.req, qr.deadline_at).run_workload(&qr.req.workload)
+    };
+    let exec_time = start.elapsed();
+
+    let response = match result {
+        Ok(outcome) => {
+            match &outcome {
+                RunOutcome::Complete(report) => {
+                    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    if let (Some(key), Some(memo)) = (memo_key, &shared.memo) {
+                        memo.lock().unwrap_or_else(|p| p.into_inner()).insert(key, report.clone());
+                    }
+                }
+                RunOutcome::Degraded(_) => {
+                    shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(Response { outcome })
+        }
+        Err(e) => {
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            Err(ServeError::Run(e))
+        }
+    };
+    let _ = qr.tx.send(Served {
+        id: qr.id,
+        response,
+        queue_wait,
+        exec_time,
+        total_time: qr.submitted_at.elapsed(),
+        cache_hit: false,
+        load_shed: qr.shed,
+        worker,
+    });
+}

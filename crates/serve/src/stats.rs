@@ -1,0 +1,69 @@
+//! Server-side counters: admission, load shedding, batching, cache
+//! reuse. All atomics — readable at any time without stopping the pool.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Live counters maintained by the server (all monotonic except
+/// `max_queue_depth`, which is a high-water mark).
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) degraded: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+    pub(crate) max_queue_depth: AtomicUsize,
+}
+
+/// A point-in-time copy of [`ServeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Requests refused by admission control (queue full / shutdown).
+    pub rejected: u64,
+    /// Requests admitted above the load-shed watermark (executed with
+    /// the S-U-C-only budget).
+    pub shed: u64,
+    /// Requests answered with a complete run.
+    pub completed: u64,
+    /// Requests answered with a degraded run (deadline, budget,
+    /// load-shed fallback).
+    pub degraded: u64,
+    /// Requests answered with a typed error.
+    pub failed: u64,
+    /// Responses served from the recurring-workload report cache.
+    pub cache_hits: u64,
+    /// Dequeue batches executed (each is one trip to the queue lock).
+    pub batches: u64,
+    /// Requests that rode in a batch of size ≥ 2.
+    pub batched_requests: u64,
+    /// Deepest the queue ever got.
+    pub max_queue_depth: usize,
+}
+
+impl ServeStats {
+    /// Copy the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn note_queue_depth(&self, depth: usize) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+}

@@ -50,6 +50,11 @@ impl DenseMatrix {
         self.ncols
     }
 
+    /// The backing element slice, row-major (`row * ncols + col`).
+    pub fn data(&self) -> &[Value] {
+        &self.data
+    }
+
     /// Element accessor.
     ///
     /// # Panics

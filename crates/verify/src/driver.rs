@@ -9,6 +9,7 @@ use crate::shrink::{shrink, write_reproducer};
 use drt_accel::engine::ShardSchedule;
 use drt_accel::session::Session;
 use drt_accel::spec::{AccelSpec, Registry};
+use drt_accel::workload::{Request, Workload};
 use drt_kernels::spmspm::gustavson;
 use drt_sim::memory::HierarchySpec;
 use drt_tensor::CsMatrix;
@@ -121,8 +122,14 @@ pub fn check_variant(
         .hierarchy(&verify_hierarchy())
         .threads(threads)
         .schedule(schedule);
-    let report = match session.run_spmspm(a, b) {
-        Ok(r) => r,
+    // The sweep runs through the typed-request path (`Session::execute`)
+    // — the same entry the serving layer dispatches — so the unified
+    // Workload/Request/Response surface stays under the oracle's eye for
+    // every variant. A default request executes exactly like
+    // `run_spmspm`, bit for bit.
+    let req = Request::new(Workload::spmspm(a.clone(), b.clone()));
+    let report = match session.execute(&req) {
+        Ok(resp) => resp.outcome.into_report(),
         Err(e) => return Some(format!("{}: run failed: {e}", spec.name)),
     };
     let reference = dense_spmspm(a, b);
