@@ -168,6 +168,12 @@ pub struct EngineConfig {
     /// (the S-U-C candidate sweep) set this to avoid sorting each
     /// discarded candidate's entry stream.
     pub skip_output: bool,
+    /// Cross-run tile-plan cache (see [`drt_core::plancache::PlanCache`]):
+    /// DRT planner calls replay fingerprint-matched plans instead of
+    /// re-measuring. `None` (the default) plans every run from scratch.
+    /// One cache must serve exactly one engine configuration — the cache
+    /// key does not encode the config.
+    pub plan_cache: Option<Arc<drt_core::plancache::PlanCache>>,
 }
 
 impl EngineConfig {
@@ -312,10 +318,11 @@ pub fn run_spmspm_ft(
         max_plan_candidates: fault.budget.max_plan_candidates,
     };
     let mk_opts = |p: Probe| {
-        let o = match &cfg.tiling {
+        let mut o = match &cfg.tiling {
             Tiling::Suc(sizes) => TaskGenOptions::suc(&cfg.loop_order, cfg.drt.clone(), sizes),
             Tiling::Drt => TaskGenOptions::drt(&cfg.loop_order, cfg.drt.clone()),
         };
+        o.plan_cache = cfg.plan_cache.clone();
         o.with_probe(p).with_budget(gen_budget.clone()).with_cancel(fault.cancel.clone())
     };
 
@@ -1127,6 +1134,98 @@ impl<'c> EngineRun<'c> {
             degradation: None,
         }
     }
+}
+
+/// One task's complete order-independent engine effects: everything a
+/// worker computes before the reducer applies the order-dependent merge.
+/// This is the content-addressed unit of incremental re-execution
+/// ([`crate::incremental`]): a task whose plan, predecessor residency,
+/// and operand rows are unchanged since a previous run contributes
+/// exactly this capture again, so splicing it is bit-identical to
+/// re-executing the task — the same purity argument that makes sharded
+/// runs bit-identical to serial ones.
+#[derive(Debug, Clone)]
+pub(crate) struct TaskCapture {
+    pub(crate) traffic: TrafficCounter,
+    pub(crate) actions: ActionCounts,
+    pub(crate) maccs: u64,
+    pub(crate) exposed_extract: u64,
+    pub(crate) out_entries: Vec<(u32, u32, f64)>,
+    pub(crate) phases: PhaseBreakdown,
+    /// Z-cache key of the task's output tile.
+    pub(crate) zkey: [u32; 4],
+    /// Compressed bytes the task adds to its output tile.
+    pub(crate) added: u64,
+    pub(crate) merge_cycles: u64,
+    pub(crate) on_chip_cycles: u64,
+    pub(crate) subtasks: u64,
+}
+
+/// Execute one task in isolation (a one-task shard): load/compute/merge-
+/// measure/extract with residency seeded from `prev`, exactly as a shard
+/// worker whose range starts at `task` would.
+pub(crate) fn capture_task(
+    a_rows: &CsMatrix,
+    b_rows: &CsMatrix,
+    cfg: &EngineConfig,
+    prev: Option<&Task>,
+    task: &Task,
+) -> TaskCapture {
+    let mut run = EngineRun::new(a_rows, b_rows, cfg, Probe::disabled());
+    if let Some(p) = prev {
+        run.seed_residency(p);
+    }
+    let ranges = TaskRanges::of(task);
+    run.phase_load(task, &ranges);
+    let (tp, isect_cycles) = run.phase_compute(task, &ranges);
+    let rec = run.merge_prep(task, &ranges, tp, isect_cycles);
+    run.phase_extract(task, rec.on_chip_cycles);
+    TaskCapture {
+        traffic: run.traffic,
+        actions: run.actions,
+        maccs: run.maccs,
+        exposed_extract: run.exposed_extract,
+        out_entries: run.out_entries,
+        phases: run.phases,
+        zkey: rec.key,
+        added: rec.added,
+        merge_cycles: rec.merge_cycles,
+        on_chip_cycles: rec.on_chip_cycles,
+        subtasks: rec.subtasks,
+    }
+}
+
+/// Reduce per-task captures (in global task order, positions `0..n`) into
+/// a finished report — the reducer half of [`reduce_and_replay`] with
+/// one-task shards: commit each capture's merge record through the Z
+/// cache and PE round-robin, fold its commutative sums, then write back.
+pub(crate) fn replay_captures(
+    nrows: u32,
+    ncols: u32,
+    cfg: &EngineConfig,
+    a_rows: &CsMatrix,
+    b_rows: &CsMatrix,
+    captures: &[TaskCapture],
+    skipped: u64,
+) -> RunReport {
+    let mut main = EngineRun::new(a_rows, b_rows, cfg, Probe::disabled());
+    for (i, c) in captures.iter().enumerate() {
+        main.merge_commit(&MergeRec {
+            pos: i as u64,
+            key: c.zkey,
+            added: c.added,
+            merge_cycles: c.merge_cycles,
+            on_chip_cycles: c.on_chip_cycles,
+            subtasks: c.subtasks,
+        });
+        main.traffic.merge(&c.traffic);
+        main.actions.add(&c.actions);
+        main.maccs += c.maccs;
+        main.exposed_extract += c.exposed_extract;
+        main.out_entries.extend_from_slice(&c.out_entries);
+        main.phases.add(&c.phases);
+    }
+    main.phase_writeback(nrows, ncols, captures.len() as u64, skipped)
 }
 
 /// Merge accumulated per-task partial entries into the final output.

@@ -29,6 +29,9 @@
 //!   output collection for validation. Supports sharded parallel execution
 //!   with a deterministic reduction — reports and traces are bit-identical
 //!   across thread counts.
+//! * [`incremental`] — incremental re-execution across operand deltas:
+//!   a cross-run plan cache plus content-addressed per-task result
+//!   splicing, bit-identical to from-scratch runs.
 //! * [`session`] — the unified run API ([`session::Session`]): the one
 //!   blessed entry point fronting the engine and every registered variant.
 //! * [`pipeline`] — multi-stage fused pipelines over one co-tiling
@@ -50,6 +53,7 @@ pub mod extensor;
 pub mod gamma;
 pub mod gram;
 pub mod hier2;
+pub mod incremental;
 pub mod matraptor;
 pub mod outerspace;
 pub mod pipeline;

@@ -32,6 +32,7 @@ use crate::workload::{Request, Response, Workload, WorkloadRef};
 use drt_core::budget::ExecBudget;
 use drt_core::cancel::CancelToken;
 use drt_core::chaos::FaultInjector;
+use drt_core::plancache::PlanCache;
 use drt_core::probe::Probe;
 use drt_core::CoreError;
 use drt_sim::memory::HierarchySpec;
@@ -77,14 +78,6 @@ impl Session {
             .cloned()
             .map(Session::new)
             .ok_or_else(|| DrtError::UnknownVariant { name: name.to_string() })
-    }
-
-    /// Deprecated `Option` shim for the pre-typed-error
-    /// [`Session::from_registry`] signature; kept for one release.
-    #[deprecated(note = "use Session::from_registry, which returns a typed \
-                         DrtError::UnknownVariant instead of None")]
-    pub fn from_registry_opt(name: &str) -> Option<Session> {
-        Session::from_registry(name).ok()
     }
 
     /// A session around a hand-built engine configuration, used verbatim
@@ -208,6 +201,26 @@ impl Session {
     #[must_use]
     pub fn chaos(mut self, chaos: Arc<dyn FaultInjector>) -> Session {
         self.ctx.chaos = Some(chaos);
+        self
+    }
+
+    /// Attach a cross-run tile-plan cache (see
+    /// [`drt_core::plancache::PlanCache`]): after a
+    /// [`drt_tensor::DeltaBatch`] touches only part of an operand, the
+    /// next run replays fingerprint-matched plans instead of re-measuring
+    /// every region. Replayed plans are bit-identical to recomputed ones,
+    /// so cached and cold runs produce the same report bit for bit.
+    ///
+    /// One cache must serve exactly one engine configuration — the cache
+    /// key does not encode the loop order, partitions, or size model, so
+    /// sharing a cache across differently-configured sessions would
+    /// replay wrong plans.
+    #[must_use]
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Session {
+        if let Target::Config(cfg) = &mut self.target {
+            cfg.plan_cache = Some(Arc::clone(&cache));
+        }
+        self.ctx.plan_cache = Some(cache);
         self
     }
 
@@ -465,11 +478,7 @@ mod tests {
             matches!(&err, crate::error::DrtError::UnknownVariant { name } if name == "no-such-machine"),
             "got {err:?}"
         );
-        #[allow(deprecated)]
-        {
-            assert!(Session::from_registry_opt("no-such-machine").is_none());
-            assert!(Session::from_registry_opt("tactile").is_some());
-        }
+        assert!(Session::from_registry("tactile").is_ok(), "alias must stay registered");
     }
 
     #[test]

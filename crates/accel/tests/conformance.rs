@@ -220,3 +220,85 @@ fn phase_bytes_sum_to_traffic() {
         );
     }
 }
+
+/// The delta-path determinism contract (incremental re-execution): a run
+/// that splices cached task results after operand deltas must be
+/// bit-identical to a from-scratch run of the patched operands — for DRT
+/// and S-U-C tiling, against both serial and 4-thread from-scratch
+/// oracles, across a sequence of upserts and deletes.
+#[test]
+fn incremental_runs_are_bit_identical_to_from_scratch() {
+    use drt_accel::engine::{run_spmspm_exec, EngineConfig, Tiling};
+    use drt_accel::incremental::IncrementalSpmspm;
+    use drt_core::config::{DrtConfig, Partitions};
+    use drt_tensor::DeltaBatch;
+
+    let configs = vec![
+        (
+            "incr-drt",
+            EngineConfig::new((
+                "incr-drt",
+                Tiling::Drt,
+                DrtConfig::new(Partitions::from_bytes(&[("A", 4096), ("B", 4096), ("Z", 1024)])),
+            )),
+        ),
+        (
+            "incr-suc",
+            EngineConfig::new((
+                "incr-suc",
+                Tiling::Suc(std::collections::BTreeMap::from([('i', 16), ('k', 16), ('j', 16)])),
+                DrtConfig::new(Partitions::from_bytes(&[("A", 4096), ("B", 4096), ("Z", 4096)])),
+            )),
+        ),
+    ];
+    // Three deltas: a new entry, a value overwrite, then a delete that
+    // reverts the first step (exercising re-validation of old results).
+    let deltas: Vec<DeltaBatch> = vec![
+        {
+            let mut d = DeltaBatch::new();
+            d.upsert(10, 12, 5.0).upsert(40, 3, -2.0);
+            d
+        },
+        {
+            let mut d = DeltaBatch::new();
+            d.upsert(10, 12, 7.5);
+            d
+        },
+        {
+            let mut d = DeltaBatch::new();
+            d.delete(10, 12).delete(40, 3);
+            d
+        },
+    ];
+    for (name, cfg) in configs {
+        let mut a = diamond_band(128, 900, 13);
+        let b = rmat(128, 1_000, 0.45, 0.25, 0.2, 11);
+        let mut eng = IncrementalSpmspm::new(cfg.clone());
+        let mut total_spliced = 0u64;
+        for (step, delta) in std::iter::once(None).chain(deltas.iter().map(Some)).enumerate() {
+            if let Some(d) = delta {
+                a.apply_delta(d);
+            }
+            let incr = eng.run(&a, &b).unwrap_or_else(|e| panic!("{name}: step {step}: {e:?}"));
+            for threads in [1usize, 4] {
+                let scratch = run_spmspm_exec(
+                    &a,
+                    &b,
+                    &cfg,
+                    &Probe::disabled(),
+                    &ExecPolicy::threads(threads),
+                )
+                .unwrap_or_else(|e| panic!("{name}: step {step} oracle t{threads}: {e:?}"));
+                assert_eq!(
+                    scratch.bit_diff(&incr),
+                    None,
+                    "{name}: step {step} diverged from the {threads}-thread from-scratch run"
+                );
+            }
+            if step > 0 {
+                total_spliced += eng.last_stats().spliced;
+            }
+        }
+        assert!(total_spliced > 0, "{name}: no task result was ever spliced across deltas");
+    }
+}

@@ -124,6 +124,15 @@ impl<'a> IntoIterator for &'a RankRanges {
     }
 }
 
+impl std::hash::Hash for RankRanges {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Only the occupied prefix participates, so logically equal maps
+        // hash equally regardless of any unused-slot history.
+        self.len.hash(state);
+        self.items[..self.len as usize].hash(state);
+    }
+}
+
 impl std::fmt::Debug for RankRanges {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_map().entries(self.iter()).finish()
@@ -141,7 +150,7 @@ impl FromIterator<(RankId, Range<u32>)> for RankRanges {
 }
 
 /// Per-tensor result of one tiling call.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TileStats {
     /// Tensor name (matches the kernel binding and partition key).
     pub name: String,
@@ -167,7 +176,7 @@ impl TileStats {
 
 /// Work counters of the extraction process (consumed by the extractor
 /// latency model).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct ExtractionTrace {
     /// Metadata words the Aggregate step read while measuring regions.
     pub meta_words: u64,
@@ -179,8 +188,10 @@ pub struct ExtractionTrace {
     pub fallbacks: u32,
 }
 
-/// The tiles chosen for one Einsum task.
-#[derive(Debug, Clone, PartialEq)]
+/// The tiles chosen for one Einsum task. All fields are integral, so the
+/// plan is `Eq + Hash` — incremental re-execution content-addresses task
+/// results by plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TilePlan {
     /// Chosen range per rank, in grid units.
     pub grid_ranges: RankRanges,

@@ -1,0 +1,254 @@
+//! Cross-run tile-plan caching keyed by region content fingerprints.
+//!
+//! `plan_tile` has been incremental *within* a run since the prefix-sum
+//! region index landed; a [`PlanCache`] makes it incremental *across*
+//! runs. Each planner invocation is keyed by its `(region, pinned)` box;
+//! the cached plan is guarded by a content fingerprint folded from the
+//! operand grids' per-slab fingerprints over the region
+//! ([`crate::micro::MicroGrid::region_fingerprint`]). After a
+//! [`crate::micro::MicroGrid::apply_delta`], only boxes crossing a dirty
+//! slab miss — everything else replays its plan without re-measurement.
+//!
+//! Determinism: `plan_tile` is a pure function of `(kernel, order,
+//! region, pinned, config)`, so replaying a fingerprint-matched plan is
+//! bit-identical to recomputing it. The fingerprint is conservative
+//! (slab-granular): content changes always invalidate; unchanged content
+//! may still miss (e.g. after a same-shape rebuild), never the reverse
+//! modulo 64-bit hash collisions.
+//!
+//! Sharing: one cache serves one engine configuration (loop order,
+//! partitions, growth policy, size model) — the key does not encode the
+//! config, so reusing a cache across differently-configured sessions
+//! would replay wrong plans. [`crate::taskgen::TaskGenOptions`] carries
+//! the cache per stream; `drt-accel`'s `Session` owns one per session.
+
+use crate::config::DrtConfig;
+use crate::drt::{plan_tile, TilePlan};
+use crate::kernel::Kernel;
+use crate::micro::{fp_finish, fp_mix};
+use crate::{CoreError, RankId};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A planner invocation's box: the sub-region swept and the ranks pinned.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    region: Vec<(RankId, u32, u32)>,
+    pinned: Vec<(RankId, u32)>,
+}
+
+impl PlanKey {
+    fn new(region: &BTreeMap<RankId, Range<u32>>, pinned: &BTreeMap<RankId, u32>) -> PlanKey {
+        PlanKey {
+            region: region.iter().map(|(&r, rng)| (r, rng.start, rng.end)).collect(),
+            pinned: pinned.iter().map(|(&r, &s)| (r, s)).collect(),
+        }
+    }
+}
+
+/// Point-in-time cache counters: how many planner invocations were
+/// answered from the cache vs. computed. `reused / (reused + computed)`
+/// is the replanned-fraction complement the delta benches report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Planner invocations that ran `plan_tile`.
+    pub computed: u64,
+    /// Planner invocations answered by a fingerprint-matched cached plan.
+    pub reused: u64,
+}
+
+impl PlanCacheStats {
+    /// Fraction of planner invocations that had to re-measure (1.0 when
+    /// nothing was cached, 0.0 for a fully replayed run). `None` before
+    /// any invocation.
+    pub fn replanned_fraction(&self) -> Option<f64> {
+        let total = self.computed + self.reused;
+        (total > 0).then(|| self.computed as f64 / total as f64)
+    }
+}
+
+/// A cross-run tile-plan cache. Cheap to share (`Arc`) across the
+/// sessions serving one engine configuration; interior mutability makes
+/// it usable from the engine's immutable call chain.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<PlanKey, (u64, TilePlan)>>,
+    computed: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Content fingerprint of every input grid restricted to the region:
+    /// per input, the binding name, rank list, grid extents, and the
+    /// dim-0 slab-range fingerprint of its grid, folded in order.
+    fn content_fp(kernel: &Kernel, region: &BTreeMap<RankId, Range<u32>>) -> u64 {
+        let mut h = fp_mix(0x9E37_79B9_7F4A_7C15, kernel.inputs().len() as u64);
+        for b in kernel.inputs() {
+            for byte in b.name.bytes() {
+                h = fp_mix(h, u64::from(byte));
+            }
+            for &r in &b.ranks {
+                h = fp_mix(h, u64::from(r as u32));
+            }
+            for &d in b.grid.grid_dims() {
+                h = fp_mix(h, u64::from(d));
+            }
+            let dim0 = region.get(&b.ranks[0]).cloned().unwrap_or(0..b.grid.grid_dims()[0]);
+            h = fp_mix(h, b.grid.region_fingerprint(dim0));
+        }
+        fp_finish(h)
+    }
+
+    /// The plan for a box: replayed from the cache when its content
+    /// fingerprint still matches, computed (and cached) otherwise.
+    /// Bit-identical to calling [`plan_tile`] directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`plan_tile`] errors on a miss; hits are infallible.
+    pub fn plan(
+        &self,
+        kernel: &Kernel,
+        order: &[RankId],
+        region: &BTreeMap<RankId, Range<u32>>,
+        pinned: &BTreeMap<RankId, u32>,
+        config: &DrtConfig,
+    ) -> Result<TilePlan, CoreError> {
+        let key = PlanKey::new(region, pinned);
+        let fp = Self::content_fp(kernel, region);
+        if let Some((cached_fp, plan)) =
+            self.plans.lock().unwrap_or_else(|p| p.into_inner()).get(&key)
+        {
+            if *cached_fp == fp {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                return Ok(plan.clone());
+            }
+        }
+        let plan = plan_tile(kernel, order, region, pinned, config)?;
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        self.plans.lock().unwrap_or_else(|p| p.into_inner()).insert(key, (fp, plan.clone()));
+        Ok(plan)
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            computed: self.computed.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the counters (the cached plans stay), so a caller can
+    /// measure one run's replanned fraction in isolation.
+    pub fn reset_stats(&self) {
+        self.computed.store(0, Ordering::Relaxed);
+        self.reused.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of cached boxes.
+    pub fn len(&self) -> usize {
+        self.plans.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached plan (counters stay).
+    pub fn clear(&self) {
+        self.plans.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Partitions;
+    use crate::taskgen::{TaskGenOptions, TaskStream};
+    use drt_tensor::{CsMatrix, DeltaBatch, MajorAxis};
+    use std::sync::Arc;
+
+    fn band(n: u32, w: u32) -> CsMatrix {
+        let mut e = Vec::new();
+        for r in 0..n {
+            for c in r.saturating_sub(w)..(r + w + 1).min(n) {
+                e.push((r, c, 1.0 + f64::from(r * n + c)));
+            }
+        }
+        CsMatrix::from_entries(n, n, e, MajorAxis::Row)
+    }
+
+    fn cfg() -> DrtConfig {
+        // Small partitions: the sweep must cut every rank into several
+        // chunks, so most boxes avoid any one dirtied slab.
+        DrtConfig::new(Partitions::from_bytes(&[("A", 600), ("B", 600), ("Z", 0)]))
+    }
+
+    fn tasks_with(kernel: &Kernel, cache: Option<Arc<PlanCache>>) -> Vec<crate::taskgen::Task> {
+        let mut opts = TaskGenOptions::drt(&['j', 'k', 'i'], cfg());
+        opts.plan_cache = cache;
+        TaskStream::build(kernel, opts).expect("stream").collect()
+    }
+
+    #[test]
+    fn cached_stream_is_bit_identical_and_replays_on_second_run() {
+        let m = band(64, 1);
+        let kernel = Kernel::spmspm(&m, &m, (4, 4)).expect("valid");
+        let cold = tasks_with(&kernel, None);
+        let cache = Arc::new(PlanCache::new());
+        let first = tasks_with(&kernel, Some(Arc::clone(&cache)));
+        assert_eq!(cold, first, "caching must not change plans");
+        let s1 = cache.stats();
+        assert!(s1.computed > 0);
+        assert_eq!(s1.reused, 0);
+        let second = tasks_with(&kernel, Some(Arc::clone(&cache)));
+        assert_eq!(cold, second);
+        let s2 = cache.stats();
+        assert_eq!(s2.computed, s1.computed, "unchanged content recomputes nothing");
+        assert_eq!(s2.reused, s1.computed, "every box replays");
+    }
+
+    #[test]
+    fn delta_invalidates_only_crossing_boxes() {
+        // Distinct operands so a delta to A leaves B's fingerprints (keyed
+        // on the contracted rank, which this sweep never partitions)
+        // untouched: only boxes whose `i` range crosses A's dirty slab may
+        // miss.
+        let mut a = band(96, 1);
+        let b = band(96, 2);
+        let kernel = Kernel::spmspm(&a, &b, (4, 4)).expect("valid");
+        let cache = Arc::new(PlanCache::new());
+        let _ = tasks_with(&kernel, Some(Arc::clone(&cache)));
+        let cold_plans = cache.stats().computed;
+        // Mutate one row of A; rebuild the kernel on the patched operands.
+        let mut d = DeltaBatch::new();
+        d.upsert(10, 12, 5.0);
+        a.apply_delta(&d);
+        let kernel2 = Kernel::spmspm(&a, &b, (4, 4)).expect("valid");
+        cache.reset_stats();
+        let incr = tasks_with(&kernel2, Some(Arc::clone(&cache)));
+        let scratch = tasks_with(&kernel2, None);
+        assert_eq!(incr, scratch, "cached replay must equal from-scratch planning");
+        let s = cache.stats();
+        assert!(s.reused > 0, "clean boxes must replay");
+        assert!(
+            s.computed < cold_plans,
+            "a one-row delta must not re-plan everything ({} vs {})",
+            s.computed,
+            cold_plans
+        );
+        assert!(
+            s.replanned_fraction().expect("calls happened") < 0.5,
+            "most boxes avoid the dirty slab: {:?}",
+            s
+        );
+    }
+}

@@ -24,10 +24,12 @@ use crate::config::DrtConfig;
 use crate::drt::{plan_tile, ExtractionTrace, RankRanges, TilePlan, TileStats};
 use crate::kernel::Kernel;
 use crate::micro::RegionStats;
+use crate::plancache::PlanCache;
 use crate::probe::{Event, Probe};
 use crate::{suc, CoreError, RankId};
 use std::collections::BTreeMap;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// One emitted Einsum task.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +97,10 @@ pub struct TaskGenOptions {
     pub budget: ExecBudget,
     /// Cooperative cancellation token, polled at every `next()`.
     pub cancel: CancelToken,
+    /// Cross-run tile-plan cache (see [`PlanCache`]); `None` plans every
+    /// box from scratch. Only DRT planner calls consult it — S-U-C
+    /// measurement is already cheap and memoized per sweep.
+    pub plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl TaskGenOptions {
@@ -108,6 +114,7 @@ impl TaskGenOptions {
             probe: Probe::disabled(),
             budget: ExecBudget::default(),
             cancel: CancelToken::default(),
+            plan_cache: None,
         }
     }
 
@@ -125,6 +132,7 @@ impl TaskGenOptions {
             probe: Probe::disabled(),
             budget: ExecBudget::default(),
             cancel: CancelToken::default(),
+            plan_cache: None,
         }
     }
 
@@ -154,6 +162,13 @@ impl TaskGenOptions {
     #[must_use]
     pub fn with_cancel(mut self, cancel: CancelToken) -> TaskGenOptions {
         self.cancel = cancel;
+        self
+    }
+
+    /// Attach a cross-run tile-plan cache (see [`PlanCache`]).
+    #[must_use]
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> TaskGenOptions {
+        self.plan_cache = Some(cache);
         self
     }
 }
@@ -239,6 +254,7 @@ pub struct TaskStream<'k> {
     plan_calls: u64,
     degraded: Option<BudgetCause>,
     aborted: Option<ExpiryKind>,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl<'k> TaskStream<'k> {
@@ -254,7 +270,16 @@ impl<'k> TaskStream<'k> {
     /// * S-U-C: [`CoreError::ShapeOverflowsBuffer`] when the fixed shape
     ///   violates the worst-case-dense capacity rule.
     pub fn build(kernel: &'k Kernel, opts: TaskGenOptions) -> Result<TaskStream<'k>, CoreError> {
-        let TaskGenOptions { loop_order, config, scheme, region, probe, budget, cancel } = opts;
+        let TaskGenOptions {
+            loop_order,
+            config,
+            scheme,
+            region,
+            probe,
+            budget,
+            cancel,
+            plan_cache,
+        } = opts;
         kernel.validate_loop_order(&loop_order)?;
         let mode = match scheme {
             TileScheme::Drt => {
@@ -299,55 +324,8 @@ impl<'k> TaskStream<'k> {
             plan_calls: 0,
             degraded: None,
             aborted: None,
+            plan_cache,
         })
-    }
-
-    /// A DRT task stream over the whole kernel.
-    ///
-    /// # Errors
-    ///
-    /// See [`TaskStream::build`].
-    #[deprecated(note = "use TaskStream::build(kernel, TaskGenOptions::drt(loop_order, config))")]
-    pub fn drt(
-        kernel: &'k Kernel,
-        loop_order: &[RankId],
-        config: DrtConfig,
-    ) -> Result<TaskStream<'k>, CoreError> {
-        Self::build(kernel, TaskGenOptions::drt(loop_order, config))
-    }
-
-    /// A DRT task stream restricted to a grid-unit sub-region.
-    ///
-    /// # Errors
-    ///
-    /// See [`TaskStream::build`].
-    #[deprecated(
-        note = "use TaskStream::build(kernel, TaskGenOptions::drt(loop_order, config).in_region(region))"
-    )]
-    pub fn drt_in_region(
-        kernel: &'k Kernel,
-        loop_order: &[RankId],
-        config: DrtConfig,
-        region: &BTreeMap<RankId, Range<u32>>,
-    ) -> Result<TaskStream<'k>, CoreError> {
-        Self::build(kernel, TaskGenOptions::drt(loop_order, config).in_region(region))
-    }
-
-    /// An S-U-C task stream with fixed tile sizes (in coordinates).
-    ///
-    /// # Errors
-    ///
-    /// See [`TaskStream::build`].
-    #[deprecated(
-        note = "use TaskStream::build(kernel, TaskGenOptions::suc(loop_order, config, tile_sizes))"
-    )]
-    pub fn suc(
-        kernel: &'k Kernel,
-        loop_order: &[RankId],
-        config: DrtConfig,
-        tile_sizes: &BTreeMap<RankId, u32>,
-    ) -> Result<TaskStream<'k>, CoreError> {
-        Self::build(kernel, TaskGenOptions::suc(loop_order, config, tile_sizes))
     }
 
     /// Builder-style: attach an instrumentation probe. Tile plans, emitted
@@ -409,11 +387,22 @@ impl<'k> TaskStream<'k> {
     /// Plan the task for a fully pinned box.
     fn plan_box(&self, frame: &Frame) -> TilePlan {
         match &self.mode {
-            Mode::Drt => {
-                plan_tile(self.kernel, &self.order, &frame.region, &frame.pinned, &self.config)
-                    .expect("preflight guaranteed a minimal tile fits")
-            }
+            Mode::Drt => self.plan_drt(frame),
             Mode::Suc(_) => self.measure_suc(frame),
+        }
+    }
+
+    /// One DRT planner invocation, routed through the plan cache when one
+    /// is attached. A cache hit replays the stored plan bit-identically;
+    /// either way the call counts against `max_plan_candidates` (budget
+    /// degradation must not depend on cache temperature).
+    fn plan_drt(&self, frame: &Frame) -> TilePlan {
+        match &self.plan_cache {
+            Some(cache) => cache
+                .plan(self.kernel, &self.order, &frame.region, &frame.pinned, &self.config)
+                .expect("preflight guaranteed a minimal tile fits"),
+            None => plan_tile(self.kernel, &self.order, &frame.region, &frame.pinned, &self.config)
+                .expect("preflight guaranteed a minimal tile fits"),
         }
     }
 
@@ -881,14 +870,7 @@ impl Iterator for TaskStream<'_> {
                 Mode::Drt => {
                     // Probe: let DRT choose r's size for this sweep chunk.
                     self.plan_calls += 1;
-                    let probe = plan_tile(
-                        self.kernel,
-                        &self.order,
-                        &frame.region,
-                        &frame.pinned,
-                        &self.config,
-                    )
-                    .expect("preflight guaranteed a minimal tile fits");
+                    let probe = self.plan_drt(&frame);
                     probe.grid_ranges[&r].len() as u32
                 }
             };

@@ -44,6 +44,13 @@ pub struct ServeConfig {
     /// cache is disabled entirely when the template session carries a
     /// probe (cached hits would skip trace events).
     pub memoize: bool,
+    /// Maximum reports the recurring-workload cache retains. When full,
+    /// inserting a new report evicts the least-recently-used entry (a
+    /// hit refreshes recency) and bumps
+    /// [`crate::stats::StatsSnapshot::cache_evictions`]. An evicted
+    /// workload is simply recomputed on its next submit — eviction never
+    /// changes a response, only where it came from.
+    pub memo_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +62,7 @@ impl Default for ServeConfig {
             batch_max: 8,
             small_nnz: 4096,
             memoize: true,
+            memo_capacity: 256,
         }
     }
 }
@@ -101,6 +109,14 @@ impl ServeConfig {
         self.memoize = on;
         self
     }
+
+    /// Builder-style: bound the recurring-workload cache (clamped to
+    /// ≥ 1 entry; use [`ServeConfig::with_memoize`] to disable caching).
+    #[must_use]
+    pub fn with_memo_capacity(mut self, n: usize) -> ServeConfig {
+        self.memo_capacity = n.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -109,9 +125,14 @@ mod tests {
 
     #[test]
     fn builders_clamp_to_valid_ranges() {
-        let cfg = ServeConfig::default().with_workers(0).with_queue_capacity(0).with_batch_max(0);
+        let cfg = ServeConfig::default()
+            .with_workers(0)
+            .with_queue_capacity(0)
+            .with_batch_max(0)
+            .with_memo_capacity(0);
         assert_eq!(cfg.workers, 1);
         assert_eq!(cfg.queue_capacity, 1);
         assert_eq!(cfg.batch_max, 1);
+        assert_eq!(cfg.memo_capacity, 1);
     }
 }

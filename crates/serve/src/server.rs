@@ -83,6 +83,48 @@ impl Ticket {
     }
 }
 
+/// The recurring-workload report cache: an LRU bounded by
+/// [`ServeConfig::memo_capacity`]. Recency is a monotonic tick bumped on
+/// every hit and insert; eviction removes the smallest tick. The scan is
+/// `O(len)`, which is fine at report-cache sizes — each entry holds a
+/// full [`RunReport`], so capacities are hundreds, not millions.
+struct MemoCache {
+    map: HashMap<u64, (u64, RunReport)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl MemoCache {
+    fn new(capacity: usize) -> MemoCache {
+        MemoCache { map: HashMap::new(), tick: 0, capacity: capacity.max(1) }
+    }
+
+    /// The cached report for `key`, refreshing its recency.
+    fn get(&mut self, key: u64) -> Option<RunReport> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|slot| {
+            slot.0 = tick;
+            slot.1.clone()
+        })
+    }
+
+    /// Insert (or refresh) `key`; returns `true` when a different entry
+    /// was evicted to make room.
+    fn insert(&mut self, key: u64, report: RunReport) -> bool {
+        self.tick += 1;
+        let mut evicted = false;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| *k) {
+                self.map.remove(&oldest);
+                evicted = true;
+            }
+        }
+        self.map.insert(key, (self.tick, report));
+        evicted
+    }
+}
+
 struct Shared {
     queue: RequestQueue,
     cfg: ServeConfig,
@@ -91,7 +133,7 @@ struct Shared {
     /// Recurring-workload report cache, keyed by content fingerprint.
     /// `None` when caching is off (config, or the template is probed —
     /// a cache hit would skip the trace events a probed run owes).
-    memo: Option<Mutex<HashMap<u64, RunReport>>>,
+    memo: Option<Mutex<MemoCache>>,
     root: CancelToken,
 }
 
@@ -122,7 +164,8 @@ impl Server {
     pub fn start(session: Session, cfg: ServeConfig) -> Server {
         let root = session.cancel_token().child();
         let template = session.with_cancel_token(root.clone());
-        let memo = (cfg.memoize && !template.is_probed()).then(|| Mutex::new(HashMap::new()));
+        let memo = (cfg.memoize && !template.is_probed())
+            .then(|| Mutex::new(MemoCache::new(cfg.memo_capacity)));
         let shared = Arc::new(Shared {
             queue: RequestQueue::new(),
             cfg,
@@ -264,7 +307,7 @@ fn serve_one(worker: usize, shared: &Shared, qr: QueuedRequest) {
         _ => None,
     };
     if let (Some(key), Some(memo)) = (memo_key, &shared.memo) {
-        let hit = memo.lock().unwrap_or_else(|p| p.into_inner()).get(&key).cloned();
+        let hit = memo.lock().unwrap_or_else(|p| p.into_inner()).get(key);
         if let Some(report) = hit {
             shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
@@ -299,7 +342,13 @@ fn serve_one(worker: usize, shared: &Shared, qr: QueuedRequest) {
                 RunOutcome::Complete(report) => {
                     shared.stats.completed.fetch_add(1, Ordering::Relaxed);
                     if let (Some(key), Some(memo)) = (memo_key, &shared.memo) {
-                        memo.lock().unwrap_or_else(|p| p.into_inner()).insert(key, report.clone());
+                        let evicted = memo
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .insert(key, report.clone());
+                        if evicted {
+                            shared.stats.cache_evictions.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
                 RunOutcome::Degraded(_) => {

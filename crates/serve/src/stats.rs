@@ -14,6 +14,7 @@ pub struct ServeStats {
     pub(crate) degraded: AtomicU64,
     pub(crate) failed: AtomicU64,
     pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_evictions: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batched_requests: AtomicU64,
     pub(crate) max_queue_depth: AtomicUsize,
@@ -38,6 +39,10 @@ pub struct StatsSnapshot {
     pub failed: u64,
     /// Responses served from the recurring-workload report cache.
     pub cache_hits: u64,
+    /// Reports evicted from the (LRU-bounded) recurring-workload cache
+    /// to make room for new ones — see
+    /// [`crate::config::ServeConfig::memo_capacity`].
+    pub cache_evictions: u64,
     /// Dequeue batches executed (each is one trip to the queue lock).
     pub batches: u64,
     /// Requests that rode in a batch of size ≥ 2.
@@ -57,6 +62,7 @@ impl ServeStats {
             degraded: self.degraded.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),

@@ -182,3 +182,53 @@ fn priority_tags_round_trip_for_cli_use() {
     }
     assert_eq!(Priority::parse("nope"), None);
 }
+
+/// The LRU bound on the report cache: with capacity 2 and three
+/// recurring workloads served round-robin, every insert past the bound
+/// evicts the least-recently-used report — the eviction counter moves,
+/// the cache never exceeds its bound (hits stay partial), and a
+/// recomputed response is still bit-identical to the standalone run.
+#[test]
+fn memo_cache_evicts_lru_beyond_capacity_without_changing_responses() {
+    let workloads = mixed_batch();
+    assert!(workloads.len() > 2, "test needs more workloads than cache slots");
+    let expected = standalone_reports(&workloads);
+    let server =
+        Server::start(session(), ServeConfig::default().with_workers(1).with_memo_capacity(2));
+    // Three round-robin passes: with 3 distinct workloads cycling through
+    // 2 slots, the LRU evicts the next workload right before it recurs,
+    // so no request after the first pass can hit either — every response
+    // must come from a fresh, bit-identical run.
+    for pass in 0..3 {
+        for (i, w) in workloads.iter().enumerate() {
+            let served =
+                server.submit(Request::new(w.clone())).expect("admitted").wait().expect("served");
+            assert!(!served.cache_hit, "pass {pass} workload {i}: LRU thrash cannot hit");
+            let resp = served.response.expect("run ok");
+            assert_identical(
+                &format!("evict pass={pass} workload[{i}]"),
+                resp.report(),
+                &expected[i],
+            );
+        }
+    }
+    let stats = server.shutdown();
+    // Every insert once the two slots filled evicted something: 3 passes
+    // × 3 workloads − 2 initial fills.
+    assert_eq!(stats.cache_evictions, 7, "LRU thrash must evict on every insert past capacity");
+    assert_eq!(stats.cache_hits, 0);
+
+    // Same workloads, default (ample) capacity: second pass is all hits
+    // and nothing is ever evicted.
+    let server = Server::start(session(), ServeConfig::default().with_workers(1));
+    for _ in 0..2 {
+        for w in &workloads {
+            let served =
+                server.submit(Request::new(w.clone())).expect("admitted").wait().expect("served");
+            served.response.expect("run ok");
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.cache_evictions, 0);
+    assert_eq!(stats.cache_hits, workloads.len() as u64);
+}

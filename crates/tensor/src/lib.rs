@@ -60,6 +60,7 @@
 mod coo;
 mod csf;
 mod csmat;
+mod delta;
 mod dense;
 mod error;
 mod view;
@@ -75,6 +76,7 @@ pub mod stats;
 pub use coo::{CooMatrix, CooTensor};
 pub use csf::CsfTensor;
 pub use csmat::{CsMatrix, FiberView, MajorAxis, NnzIter};
+pub use delta::{DeltaBatch, DeltaOp};
 pub use dense::DenseMatrix;
 pub use error::TensorError;
 pub use view::CsView;

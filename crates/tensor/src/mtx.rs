@@ -35,7 +35,26 @@ pub fn to_string(m: &CsMatrix) -> String {
     s
 }
 
-/// Parse MatrixMarket coordinate text into a CSR matrix.
+/// What to do with repeated `(row, col)` coordinates in the input.
+///
+/// The MatrixMarket format permits duplicate coordinates and leaves their
+/// interpretation to the consumer; assembly-style tools conventionally sum
+/// them. [`from_str`] follows that convention. A pipeline that treats
+/// duplicates as data corruption (e.g. one that round-trips its own
+/// exports, which are always duplicate-free) should parse with
+/// [`DupPolicy::Reject`] via [`from_str_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DupPolicy {
+    /// Sum values of repeated coordinates (MatrixMarket convention).
+    #[default]
+    Sum,
+    /// Fail with a parse error naming the first repeated coordinate.
+    Reject,
+}
+
+/// Parse MatrixMarket coordinate text into a CSR matrix, summing
+/// duplicate coordinates per the MatrixMarket convention (see
+/// [`DupPolicy`]).
 ///
 /// # Errors
 ///
@@ -43,6 +62,17 @@ pub fn to_string(m: &CsMatrix) -> String {
 /// or entries, and [`TensorError::OutOfBounds`] when an entry exceeds the
 /// declared shape.
 pub fn from_str(text: &str) -> Result<CsMatrix, TensorError> {
+    from_str_with(text, DupPolicy::Sum)
+}
+
+/// Parse MatrixMarket coordinate text with an explicit duplicate policy.
+///
+/// # Errors
+///
+/// Everything [`from_str`] returns, plus [`TensorError::ParseMatrix`] on
+/// the first repeated `(row, col)` coordinate under
+/// [`DupPolicy::Reject`].
+pub fn from_str_with(text: &str, policy: DupPolicy) -> Result<CsMatrix, TensorError> {
     let mut lines = text.lines().enumerate();
     let (first_no, first) =
         lines.next().ok_or(TensorError::ParseMatrix { line: 1, detail: "empty input".into() })?;
@@ -72,6 +102,11 @@ pub fn from_str(text: &str) -> Result<CsMatrix, TensorError> {
     let mut size: Option<(u32, u32, usize)> = None;
     let mut coo = CooMatrix::new(0, 0);
     let mut remaining = 0usize;
+    // Duplicate detection is only paid for under `Reject`.
+    let mut seen: Option<std::collections::HashSet<u64>> = match policy {
+        DupPolicy::Sum => None,
+        DupPolicy::Reject => Some(std::collections::HashSet::new()),
+    };
     for (no, line) in lines {
         let line = line.trim();
         if line.is_empty() || line.starts_with('%') {
@@ -141,6 +176,14 @@ pub fn from_str(text: &str) -> Result<CsMatrix, TensorError> {
                         line: no + 1,
                         detail: "entry beyond declared nnz".into(),
                     });
+                }
+                if let Some(seen) = &mut seen {
+                    if !seen.insert((u64::from(r - 1) << 32) | u64::from(c - 1)) {
+                        return Err(TensorError::ParseMatrix {
+                            line: no + 1,
+                            detail: format!("duplicate entry ({r}, {c})"),
+                        });
+                    }
                 }
                 coo.push(r - 1, c - 1, v)?;
                 remaining -= 1;
@@ -218,6 +261,36 @@ mod tests {
         let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 5.0\n2 2 6.0\n";
         let err = from_str(s).expect_err("surplus entry must be rejected");
         assert!(err.to_string().contains("beyond declared nnz"), "{err}");
+    }
+
+    /// Fixture with `(2, 1)` declared twice — the MatrixMarket duplicate
+    /// case the parser must resolve explicitly rather than pass through.
+    const DUP_FIXTURE: &str = "%%MatrixMarket matrix coordinate real general\n\
+                               3 3 4\n1 1 1.0\n2 1 2.5\n2 1 -0.5\n3 3 4.0\n";
+
+    #[test]
+    fn duplicate_entries_sum_by_default() {
+        // Per the MatrixMarket convention, repeated coordinates assemble by
+        // summation — and the result must stay a well-formed (sorted,
+        // unique-coordinate) compressed matrix for downstream kernels.
+        let m = from_str(DUP_FIXTURE).expect("parse");
+        assert_eq!(m.get(1, 0), 2.0);
+        assert_eq!(m.nnz(), 3, "duplicates collapse to one stored entry");
+        for r in 0..m.major_dim() {
+            let f = m.fiber(r);
+            assert!(f.coords.windows(2).all(|w| w[0] < w[1]), "row {r} not strictly sorted");
+        }
+    }
+
+    #[test]
+    fn strict_policy_rejects_duplicates() {
+        let err = from_str_with(DUP_FIXTURE, DupPolicy::Reject).expect_err("must reject");
+        assert!(err.to_string().contains("duplicate entry (2, 1)"), "{err}");
+        // Duplicate-free input parses identically under both policies.
+        let clean = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.0\n";
+        let a = from_str_with(clean, DupPolicy::Sum).expect("sum");
+        let b = from_str_with(clean, DupPolicy::Reject).expect("reject");
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -206,3 +206,63 @@ proptest! {
         prop_assert!(back.approx_eq(&m, 1e-9));
     }
 }
+
+/// Strategy: one delta batch — a list of upserts (`Some(v)`) and deletes
+/// (`None`) at arbitrary coordinates (taken modulo the matrix shape).
+fn arb_ops(max_dim: u32, len: usize) -> impl Strategy<Value = Vec<(u32, u32, f64, bool)>> {
+    proptest::collection::vec((0..max_dim, 0..max_dim, -10.0..10.0f64, any::<bool>()), 0..len)
+}
+
+proptest! {
+    /// The delta layer's core contract: any sequence of `DeltaBatch`es
+    /// applied in place leaves the matrix *exactly* equal (segments,
+    /// coordinates, value bits) to a from-scratch rebuild of the same
+    /// logical content.
+    #[test]
+    fn delta_sequences_match_from_scratch_rebuild(
+        (r, c, entries) in arb_matrix(32, 80),
+        batches in proptest::collection::vec(arb_ops(32, 12), 1..5),
+    ) {
+        let coo = CooMatrix::from_triplets(r, c, entries).unwrap();
+        let mut m = CsMatrix::from_coo(&coo, MajorAxis::Row);
+        let mut model: std::collections::BTreeMap<(u32, u32), f64> =
+            m.iter().map(|(i, j, v)| ((i, j), v)).collect();
+        for ops in &batches {
+            let mut d = drt_tensor::DeltaBatch::new();
+            for &(i, j, v, is_upsert) in ops {
+                let (i, j) = (i % r, j % c);
+                if is_upsert {
+                    d.upsert(i, j, v);
+                    model.insert((i, j), v);
+                } else {
+                    d.delete(i, j);
+                    model.remove(&(i, j));
+                }
+            }
+            m.apply_delta(&d);
+            let rebuilt = CsMatrix::from_entries(
+                r,
+                c,
+                model.iter().map(|(&(i, j), &v)| (i, j, v)).collect(),
+                MajorAxis::Row,
+            );
+            prop_assert_eq!(&m, &rebuilt);
+        }
+    }
+
+    /// `diff` is `apply_delta`'s inverse construction: patching `old`
+    /// with `diff(old, new)` reproduces `new` exactly.
+    #[test]
+    fn diff_then_apply_reproduces_target(
+        (r, c, e1) in arb_matrix(24, 60),
+        e2 in proptest::collection::vec((0u32..24, 0u32..24, -10.0..10.0f64), 0..60),
+    ) {
+        let coo1 = CooMatrix::from_triplets(r, c, e1).unwrap();
+        let mut old = CsMatrix::from_coo(&coo1, MajorAxis::Row);
+        let e2: Vec<_> = e2.into_iter().map(|(i, j, v)| (i % r, j % c, v)).collect();
+        let new = CsMatrix::from_entries(r, c, e2, MajorAxis::Row);
+        let d = drt_tensor::DeltaBatch::diff(&old, &new);
+        old.apply_delta(&d);
+        prop_assert_eq!(&old, &new);
+    }
+}

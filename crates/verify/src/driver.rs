@@ -208,6 +208,9 @@ pub fn verify_all(opts: &VerifyOptions) -> VerifySummary {
     let pipelines = crate::pipelines::verify_pipelines(opts);
     summary.runs += pipelines.runs;
     summary.failures.extend(pipelines.failures);
+    let deltas = crate::deltas::verify_deltas(opts);
+    summary.runs += deltas.runs;
+    summary.failures.extend(deltas.failures);
     summary
 }
 

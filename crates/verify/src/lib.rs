@@ -27,6 +27,11 @@
 //!   and emits a small MatrixMarket reproducer.
 //! * [`fault`] — deliberate fault injection (a flipped MACC) proving the
 //!   harness catches and minimizes real numeric bugs.
+//! * [`deltas`] — the delta-path differential: random [`drt_tensor::DeltaBatch`]
+//!   sequences interleaved with incremental runs
+//!   ([`drt_accel::incremental`]), each report pinned bit-identical to a
+//!   from-scratch run of the patched operands at every thread count.
+//!   Folded into [`driver::verify_all`].
 //! * [`chaos`] — execution-layer chaos injection (worker panics, slow
 //!   shards, cancellation) proving the recovery machinery recovers:
 //!   retried runs bit-identical to fault-free, degraded reports
@@ -39,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chaos;
+pub mod deltas;
 pub mod driver;
 pub mod fault;
 pub mod invariants;
