@@ -64,6 +64,34 @@ impl Priority {
     }
 }
 
+/// Who a request is served on behalf of. Tenant 0 is the anonymous
+/// default — single-tenant callers never have to think about it — and
+/// any other id names a tenant for the serving layer's per-tenant
+/// quotas, fair-share scheduling, and stats rows. Standalone sessions
+/// ignore it entirely (they have no queue to be fair about).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u64);
+
+impl TenantId {
+    /// The anonymous default tenant (id 0).
+    pub const ANONYMOUS: TenantId = TenantId(0);
+
+    /// A tenant from a stable name, via the workload fingerprint mixer
+    /// (id 0 is reserved for [`TenantId::ANONYMOUS`]; a name hashing to
+    /// 0 is nudged to 1).
+    pub fn from_name(name: &str) -> TenantId {
+        let mut h = Fp::new(0x5445_4e54);
+        h.str(name);
+        TenantId(h.finish().max(1))
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
 /// The sparse input a [`Workload::Pipeline`] starts from (the owned twin
 /// of [`PipelineInput`]).
 #[derive(Debug, Clone)]
@@ -291,6 +319,10 @@ pub struct Request {
     /// own budget by pointwise minimum ([`ExecBudget::min_with`]) — a
     /// request can only tighten, never loosen, the server's caps.
     pub budget: ExecBudget,
+    /// Which tenant submitted it (ignored by standalone sessions; the
+    /// serving layer keys quotas, fair-share scheduling, and stats rows
+    /// on it).
+    pub tenant: TenantId,
 }
 
 impl Request {
@@ -303,6 +335,7 @@ impl Request {
             priority: Priority::Normal,
             deadline: None,
             budget: ExecBudget::unlimited(),
+            tenant: TenantId::ANONYMOUS,
         }
     }
 
@@ -324,6 +357,13 @@ impl Request {
     #[must_use]
     pub fn with_budget(mut self, b: ExecBudget) -> Request {
         self.budget = b;
+        self
+    }
+
+    /// Builder: attribute the request to a tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, t: TenantId) -> Request {
+        self.tenant = t;
         self
     }
 
@@ -497,6 +537,19 @@ mod tests {
         assert!(req.is_memoizable());
         assert!(!req.clone().with_deadline(Duration::from_secs(1)).is_memoizable());
         assert!(!req.with_budget(ExecBudget::suc_only()).is_memoizable());
+    }
+
+    #[test]
+    fn tenant_ids_default_anonymous_and_hash_stably_from_names() {
+        let a = unstructured(16, 16, 40, 2.0, 3);
+        let req = Request::new(Workload::spmspm(a.clone(), a));
+        assert_eq!(req.tenant, TenantId::ANONYMOUS);
+        let t = TenantId::from_name("alice");
+        assert_eq!(t, TenantId::from_name("alice"), "name hashing is stable");
+        assert_ne!(t, TenantId::from_name("bob"));
+        assert_ne!(t, TenantId::ANONYMOUS, "named tenants never collide with anonymous");
+        assert_eq!(req.with_tenant(t).tenant, t);
+        assert_eq!(format!("{}", TenantId(7)), "tenant-7");
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use drt_accel::pipeline::PipelineSpec;
 use drt_accel::report::RunReport;
 use drt_accel::session::Session;
-use drt_accel::workload::{Priority, Workload};
+use drt_accel::workload::{Priority, TenantId, Workload};
 use drt_bench::{banner, emit_json, json_row, BenchOpts, JsonVal};
 use drt_serve::{ServeConfig, Server};
 use drt_workloads::patterns;
@@ -111,12 +111,16 @@ fn main() {
         cfg = cfg.with_workers(w as usize);
     }
     let workers = cfg.workers;
-    let server = Server::start(session(), cfg);
+    let server = Server::start(session(), cfg).expect("start serve pool");
 
     // Open-loop submission: request i is *scheduled* at start + i·interval
     // regardless of how the pool is doing; latency is measured from the
-    // scheduled arrival, so submit slip and queueing both count.
+    // scheduled arrival, so submit slip and queueing both count. Requests
+    // rotate over three named tenants so the per-tenant counters exercise
+    // the fair-share accounting under a deterministic assignment.
     let classes = [Priority::Interactive, Priority::Normal, Priority::Batch];
+    let tenants: Vec<(&str, TenantId)> =
+        ["alice", "bob", "carol"].iter().map(|n| (*n, TenantId::from_name(n))).collect();
     let req_opts = opts.request_opts();
     let start = Instant::now() + Duration::from_millis(2);
     let mut pending = Vec::with_capacity(total);
@@ -124,7 +128,10 @@ fn main() {
         let target = start + interval * i as u32;
         let submit_at = pace(target);
         let widx = i % mix.len();
-        let req = req_opts.wrap(mix[widx].1.clone()).with_priority(classes[i % classes.len()]);
+        let req = req_opts
+            .wrap(mix[widx].1.clone())
+            .with_priority(classes[i % classes.len()])
+            .with_tenant(tenants[i % tenants.len()].1);
         let slip = submit_at - target;
         match server.submit(req) {
             Ok(ticket) => pending.push((widx, slip, submit_at, Ok(ticket))),
@@ -214,6 +221,38 @@ fn main() {
         errors
     );
 
+    // Deterministic survivability + per-tenant rows: a healthy run has
+    // every counter at zero and every request completed, so these lines
+    // are byte-stable and the golden pins them.
+    println!(
+        "survivability: panics {} | crashed {} | retried {} | quarantined {} | \
+         quarantine-rejected {} | tenant-rejected {}",
+        stats.worker_panics,
+        stats.crashed,
+        stats.retried,
+        stats.quarantined,
+        stats.quarantine_rejected,
+        stats.tenant_rejected,
+    );
+    for (name, id) in &tenants {
+        let row = stats.tenant(*id).copied().unwrap_or_default();
+        println!(
+            "tenant {:<6} submitted {:>5} | completed {:>5} | rejected {:>3} | crashed {:>3}",
+            name, row.submitted, row.completed, row.rejected, row.crashed
+        );
+        emit_json(
+            &opts,
+            &[
+                ("figure", JsonVal::S("fig_serve".into())),
+                ("tenant", JsonVal::S((*name).into())),
+                ("submitted", JsonVal::U(row.submitted)),
+                ("completed", JsonVal::U(row.completed)),
+                ("rejected", JsonVal::U(row.rejected)),
+                ("crashed", JsonVal::U(row.crashed)),
+            ],
+        );
+    }
+
     // Wall-clock measurements: nondeterministic, so stderr under --quick
     // (keeping the golden byte-stable) and stdout + BENCH_serve.json on a
     // full run.
@@ -259,6 +298,12 @@ fn main() {
             ("batches", JsonVal::U(stats.batches)),
             ("batched_requests", JsonVal::U(stats.batched_requests)),
             ("max_queue_depth", JsonVal::U(stats.max_queue_depth as u64)),
+            ("worker_panics", JsonVal::U(stats.worker_panics)),
+            ("crashed", JsonVal::U(stats.crashed)),
+            ("retried", JsonVal::U(stats.retried)),
+            ("quarantined", JsonVal::U(stats.quarantined)),
+            ("quarantine_rejected", JsonVal::U(stats.quarantine_rejected)),
+            ("tenant_rejected", JsonVal::U(stats.tenant_rejected)),
             ("errors", JsonVal::U(errors as u64)),
         ]);
         if let Err(e) = std::fs::write("BENCH_serve.json", format!("{json}\n")) {

@@ -21,17 +21,25 @@
 //!   cancellations, asserting the recovery invariants (retried runs
 //!   bit-identical to fault-free, degraded reports consistent, traces
 //!   parseable). Honors `--seed` and `--quick`.
+//! * `--chaos-serve` — run the serve-layer chaos harness instead:
+//!   seeded crashing, poison, and slow requests against a live
+//!   `drt-serve` server, asserting the survivability invariants (every
+//!   admitted ticket resolves, survivors bit-identical to standalone,
+//!   quarantine trips at exactly its threshold). Honors `--seed` and
+//!   `--quick`.
 //!
 //! Failures are greedily shrunk and written as `<case>.A.mtx` /
 //! `<case>.B.mtx` reproducer pairs; the process exits non-zero, so CI can
 //! use this binary as a gate.
 
 use drt_verify::chaos::{run_chaos, ChaosOptions};
+use drt_verify::chaos_serve::{run_chaos_serve, ChaosServeOptions};
 use drt_verify::driver::{verify_all, VerifyOptions, DEFAULT_MAX_ULP};
 use std::path::PathBuf;
 
-fn parse_args() -> (VerifyOptions, bool) {
+fn parse_args() -> (VerifyOptions, bool, bool) {
     let mut chaos = false;
+    let mut chaos_serve = false;
     let mut opts = VerifyOptions {
         reproducer_dir: Some(PathBuf::from("verify-reproducers")),
         ..VerifyOptions::default()
@@ -66,17 +74,40 @@ fn parse_args() -> (VerifyOptions, bool) {
             }
             "--quick" => opts.quick = true,
             "--chaos" => chaos = true,
+            "--chaos-serve" => chaos_serve = true,
             other => {
                 eprintln!("warning: unknown flag {other} ignored");
             }
         }
         i += 1;
     }
-    (opts, chaos)
+    (opts, chaos, chaos_serve)
 }
 
 fn main() {
-    let (opts, chaos) = parse_args();
+    let (opts, chaos, chaos_serve) = parse_args();
+    if chaos_serve {
+        let copts = ChaosServeOptions { seed: opts.seed, quick: opts.quick };
+        println!(
+            "drt-verify chaos-serve: seed {}, {} corpus",
+            copts.seed,
+            if copts.quick { "quick" } else { "full" },
+        );
+        let summary = run_chaos_serve(&copts);
+        println!(
+            "checked {} serve-chaos scenario(s): {} failure(s)",
+            summary.scenarios,
+            summary.failures.len()
+        );
+        for f in &summary.failures {
+            println!("FAIL {f}");
+        }
+        if summary.passed() {
+            println!("PASS: every admitted ticket resolved and every survivor matched standalone");
+            return;
+        }
+        std::process::exit(1);
+    }
     if chaos {
         let copts = ChaosOptions { seed: opts.seed, quick: opts.quick, ..ChaosOptions::default() };
         println!(

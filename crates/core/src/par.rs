@@ -39,7 +39,12 @@ impl std::fmt::Display for ItemPanic {
     }
 }
 
-fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Stringify a caught panic payload (`&str`/`String` payloads verbatim;
+/// anything else becomes an opaque placeholder). The shared vocabulary
+/// for every layer that isolates panics — engine shards, the serving
+/// layer's worker supervision — so crash messages look the same
+/// everywhere.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -47,6 +52,18 @@ fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+/// Run `f` under `catch_unwind`, mapping a panic to its stringified
+/// payload. The single-closure form of [`par_map_isolated`]'s per-item
+/// isolation: the serving layer wraps each request execution in this so
+/// a panic that escapes the engine's own shard isolation (taskgen, memo
+/// paths, analytic models) crashes the *request*, never the worker
+/// thread. Shares [`par_map_isolated`]'s unwind-safety stance: `f` must
+/// leave shared state poison-recoverable, which every lock in this
+/// workspace is (`PoisonError::into_inner`).
+pub fn run_isolated<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(panic_message)
 }
 
 /// Default pool size for long-lived worker pools (the serving layer):
@@ -123,7 +140,7 @@ where
 {
     let run_one = |i: usize| -> Result<R, ItemPanic> {
         catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
-            .map_err(|payload| ItemPanic { index: i, message: payload_message(payload) })
+            .map_err(|payload| ItemPanic { index: i, message: panic_message(payload) })
     };
     let threads = threads.min(items.len()).max(1);
     if threads <= 1 {
@@ -233,6 +250,13 @@ mod tests {
             err.downcast_ref::<String>().cloned().unwrap_or_else(|| "<non-string>".to_string());
         assert!(msg.contains("item 9"), "panic message must name the item: {msg}");
         assert!(msg.contains("injected"), "panic message must carry the payload: {msg}");
+    }
+
+    #[test]
+    fn run_isolated_catches_and_stringifies() {
+        assert_eq!(run_isolated(|| 7), Ok(7));
+        let err = run_isolated(|| -> u32 { panic!("kaboom {}", 3) }).expect_err("must catch");
+        assert!(err.contains("kaboom 3"), "payload lost: {err}");
     }
 
     #[test]

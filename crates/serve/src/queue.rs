@@ -1,27 +1,49 @@
-//! The bounded priority request queue with admission control.
+//! The bounded multi-tenant priority queue with admission control and
+//! deficit-weighted fair-share scheduling.
 //!
-//! A `Mutex<BinaryHeap> + Condvar` multi-producer multi-consumer queue:
-//! entries order by [`Priority`] (interactive first), then by submission
-//! sequence (FIFO within a class), so dequeue order is deterministic for
-//! a given arrival order. Admission runs under the same lock as the
-//! push, so the capacity check and the enqueue are atomic:
+//! A `Mutex + Condvar` multi-producer multi-consumer queue. Service
+//! order is strict [`Priority`] classes (interactive first); *within*
+//! each class, requests sit in per-tenant FIFO lanes served by deficit
+//! round-robin (DRR): the scheduler rotates over the class's active
+//! tenants, refilling each visited lane's deficit counter by the
+//! tenant's configured weight, and serves a lane's head once its deficit
+//! covers the head's cost (one cost unit per
+//! [`ServeConfig::small_nnz`] of operand data, capped so one huge
+//! request cannot stall the rotation accounting). The result: under
+//! contention every tenant receives service proportional to its weight
+//! regardless of how many requests it floods in, FIFO order within each
+//! tenant is preserved, a tenant that goes idle loses its saved-up
+//! deficit, and single-tenant traffic degenerates to plain
+//! priority-then-FIFO (one lane, DRR is a no-op). Dequeue order stays
+//! deterministic for a given admission order.
 //!
+//! Admission runs under the same lock as the push, so every check and
+//! the enqueue are atomic:
+//!
+//! * the tenant is at a per-tenant quota → **rejected**
+//!   ([`crate::error::ServeError::TenantOverQuota`]) — one tenant
+//!   flooding the queue cannot starve the others out of admission;
 //! * depth `>= capacity` → the request is **rejected** (never queued) —
 //!   the queue is strictly bounded;
-//! * depth above the load-shed watermark (policy
-//!   [`AdmissionPolicy::DegradeThenReject`]) → the request is admitted
-//!   but marked for **degraded execution**: the worker tightens its
-//!   budget to [`ExecBudget::suc_only`], so the run skips DRT planning
-//!   and covers its space with S-U-C fallback tiles — cheaper latency
-//!   under pressure instead of an unbounded backlog (the paper's
-//!   Algorithm 2 subdivision, repurposed as load shedding);
+//! * shedding latched (policy [`AdmissionPolicy::DegradeThenReject`])
+//!   → the request is admitted but marked for **degraded execution**:
+//!   the worker tightens its budget to [`ExecBudget::suc_only`], so the
+//!   run skips DRT planning and covers its space with S-U-C fallback
+//!   tiles — cheaper latency under pressure instead of an unbounded
+//!   backlog (the paper's Algorithm 2 subdivision, repurposed as load
+//!   shedding). Shedding is hysteretic: it latches on when the depth
+//!   exceeds `degrade_above` and releases only when the depth falls to
+//!   `restore_below` or less, so shed decisions cannot flap on every
+//!   admission at one boundary depth;
 //! * otherwise → admitted normally.
+//!
+//! [`ExecBudget::suc_only`]: drt_core::budget::ExecBudget::suc_only
 
 use crate::config::{AdmissionPolicy, ServeConfig};
 use crate::error::ServeError;
 use crate::server::Served;
-use drt_accel::workload::{Priority, Request};
-use std::collections::BinaryHeap;
+use drt_accel::workload::{Priority, Request, TenantId};
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
@@ -42,39 +64,140 @@ pub(crate) struct QueuedRequest {
     pub submitted_at: Instant,
     /// Absolute deadline (request deadline is measured from submission).
     pub deadline_at: Option<Instant>,
+    /// The workload's content fingerprint, computed once at submission
+    /// (quarantine admission check, crash accounting, report cache key).
+    pub fingerprint: u64,
+    /// Fair-share cost in scheduler units (see [`request_cost`]).
+    pub cost: u64,
     /// Where the answer goes.
     pub tx: Sender<Served>,
 }
 
-#[derive(Debug)]
-struct Entry {
-    priority: Priority,
-    qr: QueuedRequest,
+/// Fair-share cost of a request: one unit plus one per `small_nnz` of
+/// operand data, capped at 64 so a single giant request cannot make the
+/// DRR rotation spin refilling deficits for thousands of rounds. Cost
+/// only shapes *relative* service rates between tenants; correctness
+/// (class order, per-tenant FIFO) never depends on it.
+pub(crate) fn request_cost(nnz_hint: u64, small_nnz: u64) -> u64 {
+    1 + (nnz_hint / small_nnz.max(1)).min(63)
 }
 
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.priority == other.priority && self.qr.id == other.qr.id
+/// Strict-priority class index: service order is ascending.
+fn class_index(p: Priority) -> usize {
+    match p {
+        Priority::Interactive => 0,
+        Priority::Normal => 1,
+        Priority::Batch => 2,
     }
 }
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+/// One tenant's FIFO lane within a priority class.
+#[derive(Debug)]
+struct TenantLane {
+    tenant: TenantId,
+    /// DRR deficit: how much cost this lane may spend before the
+    /// rotation moves on. Refilled by the tenant's weight per visit;
+    /// forfeited when the lane empties (an idle tenant does not bank
+    /// credit).
+    deficit: u64,
+    fifo: VecDeque<QueuedRequest>,
+}
+
+/// One priority class: active tenant lanes under deficit round-robin.
+#[derive(Debug, Default)]
+struct ClassQueue {
+    /// Active lanes, in first-appearance order; `cursor` rotates over
+    /// them.
+    lanes: Vec<TenantLane>,
+    cursor: usize,
+}
+
+impl ClassQueue {
+    fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    fn push(&mut self, qr: QueuedRequest) {
+        match self.lanes.iter_mut().find(|l| l.tenant == qr.req.tenant) {
+            Some(lane) => lane.fifo.push_back(qr),
+            None => self.lanes.push(TenantLane {
+                tenant: qr.req.tenant,
+                deficit: 0,
+                fifo: VecDeque::from([qr]),
+            }),
+        }
+    }
+
+    /// Advance the DRR rotation (refilling deficits) until the lane that
+    /// will serve next can afford its head; returns that lane's index.
+    /// Terminates because every visit adds a weight ≥ 1 to some lane
+    /// whose head cost is capped. Settling mutates only scheduler state
+    /// (cursor, deficits), never the lanes' contents, so peek-then-pop
+    /// under one lock serves exactly the settled entry.
+    fn settle(&mut self, cfg: &ServeConfig) -> Option<usize> {
+        if self.lanes.is_empty() {
+            return None;
+        }
+        loop {
+            if self.cursor >= self.lanes.len() {
+                self.cursor = 0;
+            }
+            let lane = &mut self.lanes[self.cursor];
+            let cost = lane.fifo.front().expect("active lanes hold >= 1 entry").cost;
+            if lane.deficit >= cost {
+                return Some(self.cursor);
+            }
+            lane.deficit += u64::from(cfg.tenant_weight(lane.tenant));
+            self.cursor += 1;
+        }
+    }
+
+    /// The entry the next [`ClassQueue::pop`] will serve.
+    fn peek(&mut self, cfg: &ServeConfig) -> Option<&QueuedRequest> {
+        let idx = self.settle(cfg)?;
+        self.lanes[idx].fifo.front()
+    }
+
+    fn pop(&mut self, cfg: &ServeConfig) -> Option<QueuedRequest> {
+        let idx = self.settle(cfg)?;
+        let lane = &mut self.lanes[idx];
+        let qr = lane.fifo.pop_front().expect("settled lane holds >= 1 entry");
+        lane.deficit -= qr.cost;
+        if lane.fifo.is_empty() {
+            self.lanes.remove(idx);
+            if self.cursor >= self.lanes.len() {
+                self.cursor = 0;
+            }
+        }
+        Some(qr)
+    }
+
+    fn drain_to(&mut self, out: &mut Vec<QueuedRequest>) {
+        for lane in &mut self.lanes {
+            out.extend(lane.fifo.drain(..));
+        }
+        self.lanes.clear();
+        self.cursor = 0;
     }
 }
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Max-heap: higher priority first; within a class, lower id
-        // (earlier submission) first.
-        self.priority.cmp(&other.priority).then(other.qr.id.cmp(&self.qr.id))
-    }
+
+/// One tenant's live load, for quota enforcement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct TenantLoad {
+    /// Admitted, not yet dequeued.
+    pub queued: usize,
+    /// Dequeued, still executing (or being answered).
+    pub in_flight: usize,
 }
 
 #[derive(Debug)]
 struct QueueState {
-    heap: BinaryHeap<Entry>,
+    classes: [ClassQueue; 3],
+    len: usize,
+    /// Load-shed hysteresis latch (see [`AdmissionPolicy`]).
+    shedding: bool,
     shutdown: bool,
+    tenants: HashMap<TenantId, TenantLoad>,
 }
 
 /// The shared request queue (see module docs for the admission rules).
@@ -89,19 +212,26 @@ pub(crate) struct RequestQueue {
 pub(crate) enum Admitted {
     /// Normal admission.
     Normal,
-    /// Admitted above the watermark: marked for S-U-C-only execution.
+    /// Admitted while shedding is latched: marked for S-U-C-only
+    /// execution.
     Shed,
 }
 
 impl RequestQueue {
     pub(crate) fn new() -> RequestQueue {
         RequestQueue {
-            state: Mutex::new(QueueState { heap: BinaryHeap::new(), shutdown: false }),
+            state: Mutex::new(QueueState {
+                classes: Default::default(),
+                len: 0,
+                shedding: false,
+                shutdown: false,
+                tenants: HashMap::new(),
+            }),
             available: Condvar::new(),
         }
     }
 
-    /// Admission check + enqueue, atomically. Returns how the request
+    /// Admission checks + enqueue, atomically. Returns how the request
     /// was admitted, or the admission error; `qr.shed` is updated to
     /// match. Also reports the post-push depth for high-water tracking.
     pub(crate) fn admit(
@@ -113,47 +243,73 @@ impl RequestQueue {
         if st.shutdown {
             return Err(ServeError::ShuttingDown);
         }
-        let depth = st.heap.len();
+        let tenant = qr.req.tenant;
+        let load = st.tenants.get(&tenant).copied().unwrap_or_default();
+        if load.queued >= cfg.tenant_max_queued
+            || load.queued + load.in_flight >= cfg.tenant_max_in_flight
+        {
+            return Err(ServeError::TenantOverQuota {
+                tenant,
+                queued: load.queued,
+                in_flight: load.in_flight,
+            });
+        }
+        let depth = st.len;
         if depth >= cfg.queue_capacity {
             return Err(ServeError::Rejected { queue_len: depth, capacity: cfg.queue_capacity });
         }
         let admitted = match cfg.admission {
             AdmissionPolicy::Reject => Admitted::Normal,
-            AdmissionPolicy::DegradeThenReject { degrade_above } if depth > degrade_above => {
-                Admitted::Shed
+            AdmissionPolicy::DegradeThenReject { degrade_above, restore_below } => {
+                let restore = restore_below.min(degrade_above);
+                if st.shedding && depth <= restore {
+                    st.shedding = false;
+                }
+                if !st.shedding && depth > degrade_above {
+                    st.shedding = true;
+                }
+                if st.shedding {
+                    Admitted::Shed
+                } else {
+                    Admitted::Normal
+                }
             }
-            AdmissionPolicy::DegradeThenReject { .. } => Admitted::Normal,
         };
         qr.shed = admitted == Admitted::Shed;
-        let priority = qr.req.priority;
-        st.heap.push(Entry { priority, qr });
-        let depth = st.heap.len();
+        st.tenants.entry(tenant).or_default().queued += 1;
+        st.classes[class_index(qr.req.priority)].push(qr);
+        st.len += 1;
+        let depth = st.len;
         drop(st);
         self.available.notify_one();
         Ok((admitted, depth))
     }
 
-    /// Block until work is available, then pop a batch: the top entry
-    /// unconditionally, plus up to `batch_max - 1` further entries while
-    /// both the already-popped tail and the next top are *small*
-    /// workloads (heap order is preserved — batching never reorders
-    /// service, it only lets one worker take several cheap kernels in
-    /// one trip to the lock). Returns `None` when the queue is shut down
-    /// and drained.
+    /// Block until work is available, then pop a batch: the next entry
+    /// in service order unconditionally, plus up to `batch_max - 1`
+    /// further entries while both the already-popped tail and the next
+    /// entry in service order are *small* workloads (service order is
+    /// preserved — batching never reorders, it only lets one worker take
+    /// several cheap kernels in one trip to the lock). Every popped
+    /// entry moves its tenant's load from queued to in-flight; the
+    /// worker must pair each with [`RequestQueue::finish`]. Returns
+    /// `None` when the queue is shut down and drained.
     pub(crate) fn pop_batch(&self, cfg: &ServeConfig) -> Option<Vec<QueuedRequest>> {
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
-            if let Some(top) = st.heap.pop() {
+            if st.len > 0 {
                 let mut batch = Vec::with_capacity(cfg.batch_max.max(1));
-                let mut all_small = top.qr.small;
-                batch.push(top.qr);
-                while all_small
-                    && batch.len() < cfg.batch_max.max(1)
-                    && st.heap.peek().is_some_and(|e| e.qr.small)
-                {
-                    let next = st.heap.pop().expect("peeked entry must pop");
-                    all_small = next.qr.small;
-                    batch.push(next.qr);
+                let first = Self::pop_locked(&mut st, cfg).expect("len > 0 must pop");
+                let mut all_small = first.small;
+                batch.push(first);
+                while all_small && batch.len() < cfg.batch_max.max(1) {
+                    let next_small = Self::peek_locked(&mut st, cfg).is_some_and(|qr| qr.small);
+                    if !next_small {
+                        break;
+                    }
+                    let next = Self::pop_locked(&mut st, cfg).expect("peeked entry must pop");
+                    all_small = next.small;
+                    batch.push(next);
                 }
                 return Some(batch);
             }
@@ -164,13 +320,51 @@ impl RequestQueue {
         }
     }
 
+    fn pop_locked(st: &mut QueueState, cfg: &ServeConfig) -> Option<QueuedRequest> {
+        let class = st.classes.iter_mut().find(|c| !c.is_empty())?;
+        let qr = class.pop(cfg).expect("non-empty class must pop");
+        st.len -= 1;
+        let load = st.tenants.entry(qr.req.tenant).or_default();
+        load.queued = load.queued.saturating_sub(1);
+        load.in_flight += 1;
+        Some(qr)
+    }
+
+    fn peek_locked<'a>(st: &'a mut QueueState, cfg: &ServeConfig) -> Option<&'a QueuedRequest> {
+        st.classes.iter_mut().find(|c| !c.is_empty())?.peek(cfg)
+    }
+
+    /// A worker finished (answered) a popped request: release its
+    /// tenant's in-flight slot.
+    pub(crate) fn finish(&self, tenant: TenantId) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(load) = st.tenants.get_mut(&tenant) {
+            load.in_flight = load.in_flight.saturating_sub(1);
+            if *load == TenantLoad::default() {
+                st.tenants.remove(&tenant);
+            }
+        }
+    }
+
     /// Current depth.
     pub(crate) fn len(&self) -> usize {
-        self.state.lock().unwrap_or_else(|p| p.into_inner()).heap.len()
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).len
+    }
+
+    /// One tenant's live load (tests and error reporting).
+    #[cfg(test)]
+    pub(crate) fn tenant_load(&self, tenant: TenantId) -> TenantLoad {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .tenants
+            .get(&tenant)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Stop accepting work and wake every waiting worker. Queued entries
-    /// still drain (workers exit once the heap is empty).
+    /// still drain (workers exit once the queue is empty).
     pub(crate) fn close(&self) {
         self.state.lock().unwrap_or_else(|p| p.into_inner()).shutdown = true;
         self.available.notify_all();
@@ -181,12 +375,19 @@ impl RequestQueue {
     pub(crate) fn close_and_drain(&self) -> Vec<QueuedRequest> {
         let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
         st.shutdown = true;
-        let drained = std::mem::take(&mut st.heap).into_sorted_vec();
+        let mut drained = Vec::with_capacity(st.len);
+        for class in &mut st.classes {
+            class.drain_to(&mut drained);
+        }
+        st.len = 0;
+        for load in st.tenants.values_mut() {
+            load.queued = 0;
+        }
+        st.tenants.retain(|_, load| *load != TenantLoad::default());
         drop(st);
         self.available.notify_all();
-        // `into_sorted_vec` is ascending (lowest-priority first); order
-        // is irrelevant here — every entry gets the same answer.
-        drained.into_iter().map(|e| e.qr).collect()
+        // Order is irrelevant here — every entry gets the same answer.
+        drained
     }
 }
 
@@ -197,18 +398,26 @@ mod tests {
     use drt_tensor::{CsMatrix, MajorAxis};
     use std::sync::mpsc::channel;
 
-    fn qr(id: u64, priority: Priority, small: bool) -> QueuedRequest {
+    fn qr_for(id: u64, priority: Priority, small: bool, tenant: TenantId) -> QueuedRequest {
         let m = || CsMatrix::from_entries(2, 2, vec![(0, 0, 1.0)], MajorAxis::Row);
         let (tx, _rx) = channel();
         QueuedRequest {
             id,
-            req: Request::new(Workload::spmspm(m(), m())).with_priority(priority),
+            req: Request::new(Workload::spmspm(m(), m()))
+                .with_priority(priority)
+                .with_tenant(tenant),
             small,
             shed: false,
             submitted_at: Instant::now(),
             deadline_at: None,
+            fingerprint: 0,
+            cost: 1,
             tx,
         }
+    }
+
+    fn qr(id: u64, priority: Priority, small: bool) -> QueuedRequest {
+        qr_for(id, priority, small, TenantId::ANONYMOUS)
     }
 
     fn cfg(capacity: usize, batch_max: usize, admission: AdmissionPolicy) -> ServeConfig {
@@ -266,7 +475,8 @@ mod tests {
     #[test]
     fn admission_sheds_above_watermark_and_rejects_at_capacity() {
         let q = RequestQueue::new();
-        let c = cfg(2, 1, AdmissionPolicy::DegradeThenReject { degrade_above: 0 });
+        let c =
+            cfg(2, 1, AdmissionPolicy::DegradeThenReject { degrade_above: 0, restore_below: 0 });
         let (first, _) = q.admit(qr(0, Priority::Normal, false), &c).expect("admit");
         assert_eq!(first, Admitted::Normal);
         let (second, _) = q.admit(qr(1, Priority::Normal, false), &c).expect("admit");
@@ -279,6 +489,37 @@ mod tests {
         let shed_flags: Vec<bool> =
             std::iter::from_fn(|| q.pop_batch(&c).map(|b| b[0].shed)).take(2).collect();
         assert_eq!(shed_flags, vec![false, true]);
+    }
+
+    #[test]
+    fn shedding_latches_between_watermarks() {
+        let q = RequestQueue::new();
+        let c =
+            cfg(64, 1, AdmissionPolicy::DegradeThenReject { degrade_above: 3, restore_below: 1 });
+        // Fill to depth 4: the 5th admission sees depth 4 > 3 and latches.
+        for id in 0..5 {
+            q.admit(qr(id, Priority::Normal, false), &c).expect("admit");
+        }
+        let shed_at = |q: &RequestQueue, id: u64| {
+            let (a, _) = q.admit(qr(id, Priority::Normal, false), &c).expect("admit");
+            a == Admitted::Shed
+        };
+        assert!(q.pop_batch(&c).is_some()); // depth 5 -> 4
+                                            // Inside the band (depth 4, between restore_below and
+                                            // degrade_above): the single-watermark policy would flap back to
+                                            // normal here at depth <= 3; the latch keeps shedding.
+        assert!(q.pop_batch(&c).is_some()); // depth 4 -> 3 (wait: popped after latched admit)
+        assert!(shed_at(&q, 100), "depth 3 > restore_below: latch holds");
+        for _ in 0..3 {
+            assert!(q.pop_batch(&c).is_some());
+        }
+        // Depth is now 1 == restore_below: the next admission releases.
+        assert_eq!(q.len(), 1);
+        assert!(!shed_at(&q, 101), "depth at restore_below releases the latch");
+        // And it stays released until degrade_above is exceeded again.
+        assert!(!shed_at(&q, 102), "depth 2 <= degrade_above: still normal");
+        assert!(!shed_at(&q, 103), "depth 3 <= degrade_above: still normal");
+        assert!(shed_at(&q, 104), "depth 4 > degrade_above: latches again");
     }
 
     #[test]
@@ -295,5 +536,185 @@ mod tests {
         assert_eq!(q.pop_batch(&c).expect("drain")[0].id, 0);
         // ...and an empty closed queue reports end-of-work.
         assert!(q.pop_batch(&c).is_none());
+    }
+
+    #[test]
+    fn fair_share_interleaves_tenants_and_honors_weights() {
+        // Two tenants flood the same class; tenant B weighs 3. With unit
+        // costs, each DRR rotation serves A once and B three times.
+        let q = RequestQueue::new();
+        let c = cfg(64, 1, AdmissionPolicy::Reject).with_tenant_weight(TenantId(2), 3);
+        for id in 0..8 {
+            q.admit(qr_for(id, Priority::Normal, false, TenantId(1)), &c).expect("admit");
+        }
+        for id in 8..16 {
+            q.admit(qr_for(id, Priority::Normal, false, TenantId(2)), &c).expect("admit");
+        }
+        let order: Vec<u64> =
+            std::iter::from_fn(|| q.pop_batch(&c).map(|b| b[0].id)).take(16).collect();
+        // Per-tenant FIFO: each tenant's ids appear in submission order.
+        let a: Vec<u64> = order.iter().copied().filter(|&i| i < 8).collect();
+        let b: Vec<u64> = order.iter().copied().filter(|&i| i >= 8).collect();
+        assert_eq!(a, (0..8).collect::<Vec<_>>());
+        assert_eq!(b, (8..16).collect::<Vec<_>>());
+        // Weighted share: after 8 pops, B (weight 3) has received ~3/4 of
+        // the service.
+        let b_first_half = order[..8].iter().filter(|&&i| i >= 8).count();
+        assert_eq!(b_first_half, 6, "weight-3 tenant gets 3 of every 4 slots: {order:?}");
+    }
+
+    #[test]
+    fn a_flooding_tenant_cannot_starve_a_light_one() {
+        // Tenant 1 floods 12 requests before tenant 2's single request
+        // arrives; equal weights. The DRR rotation must reach tenant 2
+        // within one cycle, not after the flood drains.
+        let q = RequestQueue::new();
+        let c = cfg(64, 1, AdmissionPolicy::Reject);
+        for id in 0..12 {
+            q.admit(qr_for(id, Priority::Normal, false, TenantId(1)), &c).expect("admit");
+        }
+        q.admit(qr_for(99, Priority::Normal, false, TenantId(2)), &c).expect("admit");
+        let order: Vec<u64> =
+            std::iter::from_fn(|| q.pop_batch(&c).map(|b| b[0].id)).take(13).collect();
+        let pos = order.iter().position(|&i| i == 99).expect("served");
+        assert!(pos <= 2, "light tenant served within one rotation, got position {pos}: {order:?}");
+    }
+
+    #[test]
+    fn tenant_quotas_reject_at_admission() {
+        let q = RequestQueue::new();
+        let c = cfg(64, 1, AdmissionPolicy::Reject).with_tenant_quotas(2, usize::MAX);
+        q.admit(qr_for(0, Priority::Normal, false, TenantId(1)), &c).expect("admit");
+        q.admit(qr_for(1, Priority::Normal, false, TenantId(1)), &c).expect("admit");
+        match q.admit(qr_for(2, Priority::Normal, false, TenantId(1)), &c) {
+            Err(ServeError::TenantOverQuota { tenant, queued: 2, .. }) => {
+                assert_eq!(tenant, TenantId(1));
+            }
+            other => panic!("expected quota rejection, got {other:?}"),
+        }
+        // Another tenant is unaffected.
+        q.admit(qr_for(3, Priority::Normal, false, TenantId(2)), &c).expect("admit");
+        // Draining one request frees a slot for tenant 1 once finished.
+        let popped = q.pop_batch(&c).expect("pop")[0].req.tenant;
+        assert_eq!(popped, TenantId(1));
+        assert_eq!(q.tenant_load(TenantId(1)), TenantLoad { queued: 1, in_flight: 1 });
+        q.admit(qr_for(4, Priority::Normal, false, TenantId(1)), &c).expect("slot freed");
+    }
+
+    #[test]
+    fn in_flight_quota_counts_executing_requests() {
+        let q = RequestQueue::new();
+        let c = cfg(64, 1, AdmissionPolicy::Reject).with_tenant_quotas(usize::MAX, 2);
+        q.admit(qr_for(0, Priority::Normal, false, TenantId(1)), &c).expect("admit");
+        let _executing = q.pop_batch(&c).expect("pop");
+        q.admit(qr_for(1, Priority::Normal, false, TenantId(1)), &c).expect("admit");
+        // queued(1) + in_flight(1) == 2: at the cap.
+        assert!(matches!(
+            q.admit(qr_for(2, Priority::Normal, false, TenantId(1)), &c),
+            Err(ServeError::TenantOverQuota { in_flight: 1, queued: 1, .. })
+        ));
+        // Finishing the in-flight request frees the slot.
+        q.finish(TenantId(1));
+        q.admit(qr_for(3, Priority::Normal, false, TenantId(1)), &c).expect("slot freed");
+    }
+
+    #[test]
+    fn request_cost_is_capped_and_floor_one() {
+        assert_eq!(request_cost(0, 4096), 1);
+        assert_eq!(request_cost(4096, 4096), 2);
+        assert_eq!(request_cost(u64::MAX, 4096), 64);
+        // small_nnz == 0 is treated as 1 (no division by zero).
+        assert_eq!(request_cost(10, 0), 11);
+        assert_eq!(request_cost(1000, 0), 64);
+    }
+
+    mod drr_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        const PRIORITIES: [Priority; 3] =
+            [Priority::Interactive, Priority::Normal, Priority::Batch];
+
+        fn class_of(p: Priority) -> usize {
+            match p {
+                Priority::Interactive => 0,
+                Priority::Normal => 1,
+                Priority::Batch => 2,
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Under any interleaving of admissions and pops, with any
+            /// tenant weights: (1) a popped entry always comes from the
+            /// most urgent non-empty priority class (fair share never
+            /// reorders across classes), and (2) each (class, tenant)
+            /// stream pops in admission order (DRR interleaves *between*
+            /// tenants, never *within* one).
+            #[test]
+            fn fair_share_preserves_class_order_and_per_tenant_fifo(
+                ops in proptest::collection::vec((0u32..5, 0u32..3, 0u32..4), 1..60),
+                weights in proptest::collection::vec(1u32..5, 4..5),
+            ) {
+                let mut c = cfg(1024, 1, AdmissionPolicy::Reject);
+                for (i, w) in weights.iter().enumerate() {
+                    c = c.with_tenant_weight(TenantId(i as u64 + 1), *w);
+                }
+                let q = RequestQueue::new();
+                // Mirror of what is queued: (id, class, tenant).
+                let mut queued: Vec<(u64, usize, u64)> = Vec::new();
+                let mut last_popped: std::collections::HashMap<(usize, u64), u64> =
+                    std::collections::HashMap::new();
+                let mut next_id = 0u64;
+                for (op, pri, ten) in ops {
+                    if op == 0 && !queued.is_empty() {
+                        let popped = &q.pop_batch(&c).expect("non-empty queue pops")[0];
+                        let class = class_of(popped.req.priority);
+                        let min_class =
+                            queued.iter().map(|(_, cl, _)| *cl).min().expect("mirror non-empty");
+                        prop_assert!(
+                            class <= min_class,
+                            "popped class {class} while class {min_class} was queued"
+                        );
+                        let key = (class, popped.req.tenant.0);
+                        if let Some(prev) = last_popped.insert(key, popped.id) {
+                            prop_assert!(
+                                popped.id > prev,
+                                "tenant {} class {class}: id {} popped after {prev}",
+                                popped.req.tenant.0,
+                                popped.id
+                            );
+                        }
+                        let pos = queued
+                            .iter()
+                            .position(|(id, _, _)| *id == popped.id)
+                            .expect("popped entry was admitted");
+                        queued.swap_remove(pos);
+                    } else {
+                        let id = next_id;
+                        next_id += 1;
+                        let priority = PRIORITIES[pri as usize];
+                        let tenant = TenantId(u64::from(ten) + 1);
+                        q.admit(qr_for(id, priority, false, tenant), &c).expect("admit");
+                        queued.push((id, class_of(priority), tenant.0));
+                    }
+                }
+                // Drain the rest under the same invariants.
+                while !queued.is_empty() {
+                    let popped = &q.pop_batch(&c).expect("drain")[0];
+                    let class = class_of(popped.req.priority);
+                    let min_class =
+                        queued.iter().map(|(_, cl, _)| *cl).min().expect("mirror non-empty");
+                    prop_assert!(class <= min_class);
+                    let key = (class, popped.req.tenant.0);
+                    if let Some(prev) = last_popped.insert(key, popped.id) {
+                        prop_assert!(popped.id > prev);
+                    }
+                    let pos = queued.iter().position(|(id, _, _)| *id == popped.id);
+                    queued.swap_remove(pos.expect("popped entry was admitted"));
+                }
+            }
+        }
     }
 }

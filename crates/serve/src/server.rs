@@ -5,8 +5,8 @@
 //!
 //! ```text
 //! submit(Request) ── admission ──► priority queue ── pop_batch ──► worker
-//!      │  (reject / shed / admit)                                    │
-//!      ▼                                                             ▼
+//!      │  (reject / quarantine /                                     │
+//!      ▼   quota / shed / admit)                                     ▼
 //!   Ticket ◄──────────────── Served { Response, timings } ── execute via
 //!                                                     Session::for_request_at
 //! ```
@@ -15,18 +15,38 @@
 //! [`Session`] uses ([`Session::run_workload`] on a per-request
 //! specialization), so a served request's [`drt_accel::report::RunReport`]
 //! is bit-identical to the same [`Workload`] run directly.
+//!
+//! # Survivability
+//!
+//! Execution is *supervised*: each attempt runs under
+//! [`drt_core::par::run_isolated`], so a panicking workload cannot take
+//! its worker thread down — the panic is caught, stringified, optionally
+//! retried ([`crate::config::RetryPolicy`]), and if every attempt
+//! crashes the ticket resolves [`ServeError::WorkerCrashed`] while the
+//! worker moves on to the next request. Crashes are counted per workload
+//! fingerprint; once a fingerprint reaches
+//! [`ServeConfig::quarantine_after`] crashes it is quarantined and
+//! further submissions of the same workload are rejected at admission
+//! ([`ServeError::Quarantined`]) instead of being allowed to crash
+//! another worker — the serving-layer analogue of a poison-message
+//! queue. Quarantines expire after
+//! [`ServeConfig::quarantine_ttl`] or via
+//! [`Server::clear_quarantine`].
+//!
+//! [`Workload`]: drt_accel::workload::Workload
 
 use crate::config::ServeConfig;
 use crate::error::ServeError;
-use crate::queue::{QueuedRequest, RequestQueue};
+use crate::queue::{request_cost, QueuedRequest, RequestQueue};
 use crate::stats::{ServeStats, StatsSnapshot};
 use drt_accel::report::{RunOutcome, RunReport};
 use drt_accel::session::Session;
 use drt_accel::workload::{Request, Response};
 use drt_core::budget::ExecBudget;
 use drt_core::cancel::CancelToken;
+use drt_core::par::run_isolated;
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -52,6 +72,9 @@ pub struct Served {
     pub cache_hit: bool,
     /// Executed with the load-shed (S-U-C-only) budget.
     pub load_shed: bool,
+    /// Execution attempts made (0 for cache hits and drained requests;
+    /// > 1 means crashed attempts were retried).
+    pub attempts: u32,
     /// Index of the worker that served it.
     pub worker: usize,
 }
@@ -125,6 +148,14 @@ impl MemoCache {
     }
 }
 
+/// One workload fingerprint's crash record. `quarantined_at` is set the
+/// moment the crash count trips [`ServeConfig::quarantine_after`].
+#[derive(Debug, Clone, Copy)]
+struct PoisonEntry {
+    crashes: u32,
+    quarantined_at: Option<Instant>,
+}
+
 struct Shared {
     queue: RequestQueue,
     cfg: ServeConfig,
@@ -134,6 +165,11 @@ struct Shared {
     /// `None` when caching is off (config, or the template is probed —
     /// a cache hit would skip the trace events a probed run owes).
     memo: Option<Mutex<MemoCache>>,
+    /// Crash records per workload fingerprint (poison quarantine).
+    poison: Mutex<HashMap<u64, PoisonEntry>>,
+    /// Global execution-attempt sequence, fed to the chaos injector's
+    /// `before_request` (deterministic at pool size 1).
+    exec_seq: AtomicU64,
     root: CancelToken,
 }
 
@@ -143,7 +179,7 @@ struct Shared {
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    next_id: std::sync::atomic::AtomicU64,
+    next_id: AtomicU64,
 }
 
 impl std::fmt::Debug for Server {
@@ -161,64 +197,135 @@ impl Server {
     /// the template's token, so cancelling the caller's original token
     /// still stops every in-flight request, while [`Server::abort`]
     /// cancels only this server's work.
-    pub fn start(session: Session, cfg: ServeConfig) -> Server {
+    ///
+    /// Fails with [`ServeError::Spawn`] when a worker thread cannot be
+    /// spawned; workers already spawned are cleanly shut down first, so
+    /// the error leaves nothing running.
+    pub fn start(session: Session, cfg: ServeConfig) -> Result<Server, ServeError> {
         let root = session.cancel_token().child();
         let template = session.with_cancel_token(root.clone());
         let memo = (cfg.memoize && !template.is_probed())
             .then(|| Mutex::new(MemoCache::new(cfg.memo_capacity)));
+        let pool = cfg.workers.max(1);
         let shared = Arc::new(Shared {
             queue: RequestQueue::new(),
             cfg,
             template,
             stats: ServeStats::default(),
             memo,
+            poison: Mutex::new(HashMap::new()),
+            exec_seq: AtomicU64::new(0),
             root,
         });
-        let workers = (0..cfg.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("drt-serve-{i}"))
-                    .spawn(move || worker_loop(i, &shared))
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        Server { shared, workers, next_id: std::sync::atomic::AtomicU64::new(0) }
+        let mut workers = Vec::with_capacity(pool);
+        for i in 0..pool {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("drt-serve-{i}"))
+                .spawn(move || worker_loop(i, &worker_shared));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    shared.queue.close();
+                    for w in workers {
+                        let _ = w.join();
+                    }
+                    return Err(ServeError::Spawn { worker: i, message: e.to_string() });
+                }
+            }
+        }
+        Ok(Server { shared, workers, next_id: AtomicU64::new(0) })
     }
 
     /// Submit a request. Admission control answers immediately:
     /// `Ok(Ticket)` means the request is queued and will be served;
     /// [`ServeError::Rejected`] means the queue was full (resubmit after
-    /// backoff); [`ServeError::ShuttingDown`] means the server no longer
-    /// accepts work. A request deadline starts counting *now* — time
-    /// spent queued is inside it.
+    /// backoff); [`ServeError::Quarantined`] means the workload's
+    /// fingerprint crashed too many workers; [`ServeError::TenantOverQuota`]
+    /// means the request's tenant is at a quota;
+    /// [`ServeError::ShuttingDown`] means the server no longer accepts
+    /// work. A request deadline starts counting *now* — time spent
+    /// queued is inside it.
     pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel();
         let now = Instant::now();
+        let tenant = req.tenant;
+        let fingerprint = req.workload.fingerprint();
+        if let Some(err) = self.quarantine_reject(fingerprint) {
+            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.stats.quarantine_rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.stats.tenant(tenant, |c| c.rejected += 1);
+            return Err(err);
+        }
+        let nnz = req.workload.nnz_hint();
         let qr = QueuedRequest {
             id,
-            small: req.workload.nnz_hint() <= self.shared.cfg.small_nnz,
+            small: nnz <= self.shared.cfg.small_nnz,
             deadline_at: req.deadline.map(|d| now + d),
             req,
             shed: false,
             submitted_at: now,
+            fingerprint,
+            cost: request_cost(nnz, self.shared.cfg.small_nnz),
             tx,
         };
         match self.shared.queue.admit(qr, &self.shared.cfg) {
             Ok((admitted, depth)) => {
                 self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
-                if admitted == crate::queue::Admitted::Shed {
+                let shed = admitted == crate::queue::Admitted::Shed;
+                if shed {
                     self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
                 }
+                self.shared.stats.tenant(tenant, |c| {
+                    c.submitted += 1;
+                    if shed {
+                        c.shed += 1;
+                    }
+                });
                 self.shared.stats.note_queue_depth(depth);
                 Ok(Ticket { id, rx })
             }
             Err(e) => {
                 self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                if matches!(e, ServeError::TenantOverQuota { .. }) {
+                    self.shared.stats.tenant_rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                self.shared.stats.tenant(tenant, |c| c.rejected += 1);
                 Err(e)
             }
         }
+    }
+
+    /// The quarantine rejection for `fingerprint`, if it is quarantined.
+    /// A TTL that has expired lifts the quarantine here (lazily, at the
+    /// next submission) and resets the fingerprint's crash count.
+    fn quarantine_reject(&self, fingerprint: u64) -> Option<ServeError> {
+        let mut poison = self.shared.poison.lock().unwrap_or_else(|p| p.into_inner());
+        let entry = poison.get(&fingerprint).copied()?;
+        let since = entry.quarantined_at?;
+        if let Some(ttl) = self.shared.cfg.quarantine_ttl {
+            if since.elapsed() >= ttl {
+                poison.remove(&fingerprint);
+                return None;
+            }
+        }
+        Some(ServeError::Quarantined { fingerprint, crashes: entry.crashes })
+    }
+
+    /// Lift the quarantine (and forget the crash count) for a workload
+    /// fingerprint. Returns `true` when a crash record existed.
+    pub fn clear_quarantine(&self, fingerprint: u64) -> bool {
+        self.shared.poison.lock().unwrap_or_else(|p| p.into_inner()).remove(&fingerprint).is_some()
+    }
+
+    /// The currently quarantined workload fingerprints (sorted).
+    pub fn quarantined_fingerprints(&self) -> Vec<u64> {
+        let poison = self.shared.poison.lock().unwrap_or_else(|p| p.into_inner());
+        let mut fps: Vec<u64> =
+            poison.iter().filter(|(_, e)| e.quarantined_at.is_some()).map(|(fp, _)| *fp).collect();
+        fps.sort_unstable();
+        fps
     }
 
     /// Current queue depth (admitted, not yet dequeued).
@@ -263,6 +370,7 @@ impl Server {
                 total_time: qr.submitted_at.elapsed(),
                 cache_hit: false,
                 load_shed: false,
+                attempts: 0,
                 worker: usize::MAX,
             });
         }
@@ -289,21 +397,37 @@ fn worker_loop(worker: usize, shared: &Shared) {
             shared.stats.batched_requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
         }
         for qr in batch {
+            let tenant = qr.req.tenant;
             serve_one(worker, shared, qr);
+            shared.queue.finish(tenant);
         }
+    }
+}
+
+/// Record one crashed execution attempt against `fingerprint`; trips the
+/// quarantine when the crash count reaches the threshold.
+fn record_crash(shared: &Shared, fingerprint: u64) {
+    let mut poison = shared.poison.lock().unwrap_or_else(|p| p.into_inner());
+    let entry =
+        poison.entry(fingerprint).or_insert(PoisonEntry { crashes: 0, quarantined_at: None });
+    entry.crashes = entry.crashes.saturating_add(1);
+    if entry.quarantined_at.is_none() && entry.crashes >= shared.cfg.quarantine_after {
+        entry.quarantined_at = Some(Instant::now());
+        shared.stats.quarantined.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 fn serve_one(worker: usize, shared: &Shared, qr: QueuedRequest) {
     let start = Instant::now();
     let queue_wait = start.duration_since(qr.submitted_at);
+    let tenant = qr.req.tenant;
 
     // Recurring-workload cache: only memoizable requests (no deadline,
     // unlimited budget — their execution path applies no per-request
     // context, so a replayed report is exactly what a fresh run would
     // produce) and never for load-shed execution.
     let memo_key = match &shared.memo {
-        Some(_) if qr.req.is_memoizable() && !qr.shed => Some(qr.req.workload.fingerprint()),
+        Some(_) if qr.req.is_memoizable() && !qr.shed => Some(qr.fingerprint),
         _ => None,
     };
     if let (Some(key), Some(memo)) = (memo_key, &shared.memo) {
@@ -311,6 +435,7 @@ fn serve_one(worker: usize, shared: &Shared, qr: QueuedRequest) {
         if let Some(report) = hit {
             shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.tenant(tenant, |c| c.completed += 1);
             let _ = qr.tx.send(Served {
                 id: qr.id,
                 response: Ok(Response { outcome: RunOutcome::from_report(report) }),
@@ -319,6 +444,7 @@ fn serve_one(worker: usize, shared: &Shared, qr: QueuedRequest) {
                 total_time: qr.submitted_at.elapsed(),
                 cache_hit: true,
                 load_shed: false,
+                attempts: 0,
                 worker,
             });
             return;
@@ -327,20 +453,54 @@ fn serve_one(worker: usize, shared: &Shared, qr: QueuedRequest) {
 
     // Load-shed execution tightens the request budget to S-U-C-only;
     // everything else is the standalone Session path, verbatim.
-    let result = if qr.shed {
+    let shed_req;
+    let req: &Request = if qr.shed {
         let mut eff = qr.req.clone();
         eff.budget = eff.budget.min_with(&ExecBudget::suc_only());
-        shared.template.for_request_at(&eff, qr.deadline_at).run_workload(&eff.workload)
+        shed_req = eff;
+        &shed_req
     } else {
-        shared.template.for_request_at(&qr.req, qr.deadline_at).run_workload(&qr.req.workload)
+        &qr.req
+    };
+
+    // Supervised execution: each attempt runs under panic isolation, so
+    // a crashing workload resolves its ticket (possibly after retries)
+    // instead of killing the worker thread.
+    let max_attempts = shared.cfg.retry.max_attempts.max(1);
+    let mut attempts = 0u32;
+    let result = loop {
+        attempts += 1;
+        let seq = shared.exec_seq.fetch_add(1, Ordering::Relaxed);
+        let run = run_isolated(|| {
+            if let Some(chaos) = &shared.cfg.chaos {
+                chaos.before_request(seq, qr.fingerprint);
+            }
+            shared.template.for_request_at(req, qr.deadline_at).run_workload(&req.workload)
+        });
+        match run {
+            Ok(r) => break Ok(r),
+            Err(message) => {
+                shared.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                record_crash(shared, qr.fingerprint);
+                if attempts >= max_attempts {
+                    break Err(message);
+                }
+                shared.stats.retried.fetch_add(1, Ordering::Relaxed);
+                let backoff = shared.cfg.retry.backoff;
+                if backoff > Duration::ZERO {
+                    std::thread::sleep(backoff.saturating_mul(1u32 << (attempts - 1).min(16)));
+                }
+            }
+        }
     };
     let exec_time = start.elapsed();
 
     let response = match result {
-        Ok(outcome) => {
+        Ok(Ok(outcome)) => {
             match &outcome {
                 RunOutcome::Complete(report) => {
                     shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.tenant(tenant, |c| c.completed += 1);
                     if let (Some(key), Some(memo)) = (memo_key, &shared.memo) {
                         let evicted = memo
                             .lock()
@@ -353,13 +513,20 @@ fn serve_one(worker: usize, shared: &Shared, qr: QueuedRequest) {
                 }
                 RunOutcome::Degraded(_) => {
                     shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.tenant(tenant, |c| c.degraded += 1);
                 }
             }
             Ok(Response { outcome })
         }
-        Err(e) => {
+        Ok(Err(e)) => {
             shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.tenant(tenant, |c| c.failed += 1);
             Err(ServeError::Run(e))
+        }
+        Err(message) => {
+            shared.stats.crashed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.tenant(tenant, |c| c.crashed += 1);
+            Err(ServeError::WorkerCrashed { message, attempts })
         }
     };
     let _ = qr.tx.send(Served {
@@ -370,6 +537,7 @@ fn serve_one(worker: usize, shared: &Shared, qr: QueuedRequest) {
         total_time: qr.submitted_at.elapsed(),
         cache_hit: false,
         load_shed: qr.shed,
+        attempts,
         worker,
     });
 }

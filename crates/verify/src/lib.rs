@@ -36,6 +36,11 @@
 //!   shards, cancellation) proving the recovery machinery recovers:
 //!   retried runs bit-identical to fault-free, degraded reports
 //!   internally consistent, traces parseable to the last record.
+//! * [`chaos_serve`] — serve-layer chaos injection against a live
+//!   [`drt_serve::Server`] (crashing, poison, and slow requests)
+//!   proving the survivability invariants: every admitted ticket
+//!   resolves, survivors stay bit-identical to standalone, quarantine
+//!   trips at exactly its threshold, retried crashes recover invisibly.
 //!
 //! The `verify` binary in `drt-bench` fronts [`driver::verify_all`] with
 //! `--seed/--iters/--quick` flags and is wired into CI as a gate.
@@ -44,6 +49,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chaos;
+pub mod chaos_serve;
 pub mod deltas;
 pub mod driver;
 pub mod fault;
